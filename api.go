@@ -1,0 +1,295 @@
+package mlvlsi
+
+import (
+	"mlvlsi/internal/cluster"
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/extra"
+	"mlvlsi/internal/fold"
+	"mlvlsi/internal/generic"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/render"
+	"mlvlsi/internal/route"
+	"mlvlsi/internal/sim"
+	"mlvlsi/internal/stack"
+	"mlvlsi/internal/topology"
+	"mlvlsi/internal/track"
+)
+
+// Layout is a realized multilayer layout: node rectangles on the active
+// layer plus edge-disjoint rectilinear wire paths across L wiring layers.
+type Layout = layout.Layout
+
+// Stats bundles a layout's cost measures (area, volume, max wire length…).
+type Stats = layout.Stats
+
+// Collinear is a one-dimensional (single-row) layout: the building block of
+// the orthogonal scheme. See the Ring/CompleteGraph/HypercubeCollinear
+// constructors and Product combinator.
+type Collinear = track.Collinear
+
+// Options configures layout construction.
+type Options struct {
+	// Layers is the number of wiring layers L (>= 2). Zero defaults to 2,
+	// the Thompson model.
+	Layers int
+	// NodeSide fixes the node square side; zero picks the smallest side
+	// that fits the node's ports (the paper's minimal node).
+	NodeSide int
+	// FoldedRows lays k-ary n-cube rows and columns in folded (interleaved)
+	// order, cutting the maximum wire length to O(N/(Lk²)) (§3.1).
+	FoldedRows bool
+}
+
+func (o Options) layers() int {
+	if o.Layers == 0 {
+		return 2
+	}
+	return o.Layers
+}
+
+// KAryNCube lays out a k-ary n-cube (torus) under the multilayer model
+// (§3.1).
+func KAryNCube(k, n int, o Options) (*Layout, error) {
+	return core.KAryNCube(k, n, o.layers(), o.FoldedRows, o.NodeSide)
+}
+
+// Mesh lays out an n-dimensional mesh (dims[0] least significant) as a
+// product of paths (§3.2).
+func Mesh(dims []int, o Options) (*Layout, error) {
+	return core.Mesh(dims, o.layers(), o.NodeSide)
+}
+
+// Hypercube lays out the binary n-cube with the ⌊2N/3⌋-track collinear
+// factors (§5.1).
+func Hypercube(n int, o Options) (*Layout, error) {
+	return core.Hypercube(n, o.layers(), o.NodeSide)
+}
+
+// GeneralizedHypercube lays out a mixed-radix generalized hypercube
+// (radices[0] least significant) (§4.1).
+func GeneralizedHypercube(radices []int, o Options) (*Layout, error) {
+	return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide)
+}
+
+// FoldedHypercube lays out the hypercube plus its N/2 diameter links
+// (§5.3).
+func FoldedHypercube(n int, o Options) (*Layout, error) {
+	return extra.FoldedHypercube(n, o.layers(), o.NodeSide)
+}
+
+// EnhancedCube lays out the hypercube plus one pseudo-random extra link per
+// node (§5.3); seed selects the random stream.
+func EnhancedCube(n int, seed uint64, o Options) (*Layout, error) {
+	return extra.EnhancedCube(n, seed, o.layers(), o.NodeSide)
+}
+
+// CCC lays out the n-dimensional cube-connected cycles network (§5.2).
+func CCC(n int, o Options) (*Layout, error) {
+	return cluster.CCC(n, o.layers(), o.NodeSide)
+}
+
+// ReducedHypercube lays out Ziavras's RH network with n-node hypercube
+// clusters (n a power of two) (§5.2).
+func ReducedHypercube(n int, o Options) (*Layout, error) {
+	return cluster.ReducedHypercube(n, o.layers(), o.NodeSide)
+}
+
+// HSN lays out an l-level radix-r hierarchical swap network with K_r nuclei
+// (§4.3).
+func HSN(l, r int, o Options) (*Layout, error) {
+	return cluster.HSN(l, r, o.layers(), o.NodeSide, nil)
+}
+
+// HHN lays out a hierarchical hypercube network: an HSN with 2^m-node
+// hypercube nuclei (§4.3).
+func HHN(l, m int, o Options) (*Layout, error) {
+	return cluster.HHN(l, m, o.layers(), o.NodeSide)
+}
+
+// Butterfly lays out the wrapped butterfly with 2^m rows and m levels as a
+// PN cluster over its hypercube quotient (§4.2).
+func Butterfly(m int, o Options) (*Layout, error) {
+	return cluster.Butterfly(m, o.layers(), o.NodeSide)
+}
+
+// ISN lays out the indirect swap network (see DESIGN.md for the
+// substitution notes) (§4.3).
+func ISN(m int, o Options) (*Layout, error) {
+	return cluster.ISN(m, o.layers(), o.NodeSide)
+}
+
+// KAryClusterC lays out a k-ary n-cube cluster-c with c-node hypercube
+// clusters (§3.2).
+func KAryClusterC(k, n, c int, o Options) (*Layout, error) {
+	return cluster.KAryClusterC(k, n, c, o.layers(), o.NodeSide)
+}
+
+// Star lays out the n-dimensional star graph via the last-symbol
+// decomposition over a complete-graph quotient (§4.3 extension; see
+// DESIGN.md). n! nodes, 3 <= n <= 7.
+func Star(n int, o Options) (*Layout, error) {
+	return cluster.Star(n, o.layers(), o.NodeSide)
+}
+
+// Pancake lays out the n-dimensional pancake graph (§4.3 extension).
+func Pancake(n int, o Options) (*Layout, error) {
+	return cluster.Pancake(n, o.layers(), o.NodeSide)
+}
+
+// BubbleSort lays out the n-dimensional bubble-sort graph (§4.3 extension).
+func BubbleSort(n int, o Options) (*Layout, error) {
+	return cluster.BubbleSort(n, o.layers(), o.NodeSide)
+}
+
+// Transposition lays out the n-dimensional transposition network (§4.3
+// extension).
+func Transposition(n int, o Options) (*Layout, error) {
+	return cluster.Transposition(n, o.layers(), o.NodeSide)
+}
+
+// SCC lays out the star-connected cycles network (the paper's future-work
+// family, built with the same last-symbol machinery). N = n!·(n−1),
+// 4 <= n <= 6.
+func SCC(n int, o Options) (*Layout, error) {
+	return cluster.SCC(n, o.layers(), o.NodeSide)
+}
+
+// Product lays out the Cartesian product of two collinear factor layouts:
+// rows wired as rowFac, columns as colFac (§3.2). This is the
+// general-purpose entry point for product networks beyond the named
+// families.
+func Product(name string, rowFac, colFac *Collinear, o Options) (*Layout, error) {
+	return core.BuildProduct(name, rowFac, colFac, o.layers(), o.NodeSide)
+}
+
+// Collinear factor constructors, re-exported from the track package.
+
+// Ring returns the 2-track collinear ring layout (§3.1).
+func Ring(k int) *Collinear { return track.Ring(k) }
+
+// FoldedRing returns the folded ring ordering with O(1)-length links.
+func FoldedRing(k int) *Collinear { return track.FoldedRing(k) }
+
+// PathGraph returns the 1-track collinear path layout.
+func PathGraph(n int) *Collinear { return track.Path(n) }
+
+// CompleteGraph returns the strictly optimal ⌊N²/4⌋-track collinear layout
+// of K_N (§4.1).
+func CompleteGraph(n int) *Collinear { return track.Complete(n) }
+
+// HypercubeCollinear returns the ⌊2N/3⌋-track collinear layout of the
+// n-cube (§5.1).
+func HypercubeCollinear(n int) *Collinear { return track.Hypercube(n) }
+
+// KAryCollinear returns the 2(kⁿ−1)/(k−1)-track collinear layout of a k-ary
+// n-cube (§3.1).
+func KAryCollinear(k, n int, folded bool) *Collinear { return track.KAryNCube(k, n, folded) }
+
+// GHCCollinear returns the collinear layout of a mixed-radix generalized
+// hypercube (§4.1).
+func GHCCollinear(radices []int) *Collinear { return track.GeneralizedHypercube(radices) }
+
+// CombineFactors is the paper's product combinator: interleaves N_H copies
+// of g at stride N_H and wires each group of N_H consecutive positions as
+// h, using N_H·tracks(g) + tracks(h) tracks.
+func CombineFactors(g, h *Collinear) *Collinear { return track.Product(g, h) }
+
+// Layout3D is a stacked layout under the multilayer 3-D grid model of
+// §2.2: nodes occupy Boards active layers, each carrying a 2-D multilayer
+// layout, with inter-board links as via columns.
+type Layout3D = stack.Layout3D
+
+// Hypercube3D lays out the binary n-cube in the 3-D model with nz
+// dimensions across boards (2^nz active layers).
+func Hypercube3D(n, nz int, o Options) (*Layout3D, error) {
+	return stack.Hypercube3D(n, nz, o.layers())
+}
+
+// KAryNCube3D lays out a k-ary n-cube in the 3-D model with nz dimensions
+// across boards (k^nz active layers).
+func KAryNCube3D(k, n, nz int, o Options) (*Layout3D, error) {
+	return stack.KAryNCube3D(k, n, nz, o.layers(), o.FoldedRows)
+}
+
+// GenericGraph re-exports the topology graph type for GenericLayout.
+type GenericGraph = topology.Graph
+
+// NewGraph creates an empty graph for GenericLayout; add links with
+// AddLink.
+func NewGraph(name string, n int) *GenericGraph { return topology.New(name, n) }
+
+// GenericLayout routes an arbitrary graph under the multilayer grid model
+// using the §2.3 grid scheme (every link as a bent edge with optimally
+// shared tracks). Slower-area than the structured constructions — see
+// experiment E18 — but works for any topology.
+func GenericLayout(g *GenericGraph, o Options) (*Layout, error) {
+	return generic.Layout(g, generic.Config{L: o.layers(), NodeSide: o.NodeSide})
+}
+
+// Baselines (§2.2).
+
+// Fold accordion-folds a 2-layer layout into l layers (l even): area drops
+// by ≈ l/2 while volume and wire lengths stay put — the baseline the paper
+// improves on.
+func Fold(lay *Layout, l int) (*Layout, error) { return fold.Fold(lay, l) }
+
+// VerifyFolded checks a folded layout (terminal checks skipped: folded
+// nodes sit on raised active layers).
+func VerifyFolded(lay *Layout) error {
+	if v := fold.Verify(lay); len(v) > 0 {
+		return v[0]
+	}
+	return nil
+}
+
+// FoldStats measures a folded layout.
+func FoldStats(lay *Layout) fold.Stats { return fold.Measure(lay) }
+
+// Routing and simulation.
+
+// MaxPathWire returns the maximum total wire length along hop-shortest
+// routes (claim (4) of §2.2); sources <= 0 examines all sources.
+func MaxPathWire(lay *Layout, sources int) int { return route.MaxPathWire(lay, sources) }
+
+// AveragePathWire returns the mean total wire length along hop-shortest
+// routes.
+func AveragePathWire(lay *Layout, sources int) float64 { return route.AveragePathWire(lay, sources) }
+
+// SimConfig configures the wire-delay simulator.
+type SimConfig = sim.Config
+
+// SimResult reports simulated latency statistics.
+type SimResult = sim.Result
+
+// SimPattern selects a traffic pattern; SimSwitching a flow-control
+// discipline.
+type (
+	SimPattern   = sim.Pattern
+	SimSwitching = sim.Switching
+)
+
+// Traffic patterns and switching disciplines for Simulate.
+const (
+	RandomPairs   = sim.RandomPairs
+	Permutation   = sim.Permutation
+	BitComplement = sim.BitComplement
+
+	StoreAndForward = sim.StoreAndForward
+	CutThrough      = sim.CutThrough
+)
+
+// Simulate runs store-and-forward message traffic over the layout with
+// wire-length-proportional link delays.
+func Simulate(lay *Layout, cfg SimConfig) SimResult { return sim.Run(lay, cfg) }
+
+// Rendering.
+
+// RenderCollinear draws a collinear layout as ASCII art (Figures 2-4).
+func RenderCollinear(c *Collinear, pitch int) string { return render.Collinear(c, pitch) }
+
+// RenderSVG exports a realized layout as an SVG document.
+func RenderSVG(lay *Layout, scale int) string { return render.SVG(lay, scale) }
+
+// RenderRecursiveGrid draws the Figure-1 schematic of the recursive grid
+// layout scheme.
+func RenderRecursiveGrid(rows, cols int) string { return render.RecursiveGridSchematic(rows, cols) }

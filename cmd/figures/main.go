@@ -1,0 +1,59 @@
+// Command figures renders the paper's four construction figures as ASCII
+// art (Figures 1-4) and, with -svg DIR, SVG renderings of small 2-D
+// multilayer layouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlvlsi"
+)
+
+func main() {
+	svgDir := flag.String("svg", "", "also write SVG layout renderings into this directory")
+	flag.Parse()
+
+	fmt.Println("=== Figure 1: recursive grid layout scheme (top view) ===")
+	fmt.Println(mlvlsi.RenderRecursiveGrid(3, 4))
+
+	fmt.Println("=== Figure 2: collinear layout of the 3-ary 2-cube ===")
+	fmt.Println(mlvlsi.RenderCollinear(mlvlsi.KAryCollinear(3, 2, false), 6))
+
+	fmt.Println("=== Figure 3: collinear layout of the 9-node complete graph ===")
+	fmt.Println(mlvlsi.RenderCollinear(mlvlsi.CompleteGraph(9), 6))
+
+	fmt.Println("=== Figure 4: collinear layout of the 4-cube (Gray-coded order) ===")
+	fmt.Println(mlvlsi.RenderCollinear(mlvlsi.HypercubeCollinear(4), 6))
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		write := func(name string, lay *mlvlsi.Layout, err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, name, err)
+				return
+			}
+			path := filepath.Join(*svgDir, name+".svg")
+			if err := os.WriteFile(path, []byte(mlvlsi.RenderSVG(lay, 4)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Println("wrote", path)
+		}
+		o2 := mlvlsi.Options{Layers: 2}
+		o4 := mlvlsi.Options{Layers: 4}
+		lay, err := mlvlsi.Hypercube(5, o2)
+		write("hypercube5-L2", lay, err)
+		lay, err = mlvlsi.Hypercube(5, o4)
+		write("hypercube5-L4", lay, err)
+		lay, err = mlvlsi.KAryNCube(4, 2, o2)
+		write("torus4x4-L2", lay, err)
+		lay, err = mlvlsi.CCC(3, o2)
+		write("ccc3-L2", lay, err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command layoutgen builds a multilayer layout of a named network, verifies
+// it, and prints its cost statistics; -svg writes an SVG rendering.
+//
+// Examples:
+//
+//	layoutgen -network hypercube -n 8 -L 8
+//	layoutgen -network kary -k 4 -n 3 -L 4 -folded
+//	layoutgen -network butterfly -n 5 -L 4 -svg butterfly.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlvlsi"
+)
+
+func main() {
+	network := flag.String("network", "hypercube", "hypercube | kary | ghc | folded | enhanced | ccc | rh | hsn | hhn | butterfly | isn | clusterc | star | pancake | bubblesort | transposition | scc")
+	n := flag.Int("n", 6, "primary size parameter (dimension / m)")
+	k := flag.Int("k", 4, "radix for kary/ghc/clusterc, levels for hsn/hhn")
+	c := flag.Int("c", 4, "cluster size for clusterc")
+	layers := flag.Int("L", 2, "wiring layers")
+	nodeSide := flag.Int("side", 0, "node square side (0 = minimal)")
+	folded := flag.Bool("folded", false, "folded row/column order (kary)")
+	seed := flag.Uint64("seed", 1, "seed for enhanced-cube extra links")
+	svgPath := flag.String("svg", "", "write an SVG rendering to this file")
+	skipVerify := flag.Bool("skip-verify", false, "skip the legality verifier (big instances)")
+	strict := flag.Bool("strict", false, "also check Thompson-strict node clearance")
+	simulate := flag.Bool("sim", false, "run a wire-delay permutation simulation")
+	flag.Parse()
+
+	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded}
+	var (
+		lay *mlvlsi.Layout
+		err error
+	)
+	switch *network {
+	case "hypercube":
+		lay, err = mlvlsi.Hypercube(*n, o)
+	case "kary":
+		lay, err = mlvlsi.KAryNCube(*k, *n, o)
+	case "ghc":
+		radices := make([]int, *n)
+		for i := range radices {
+			radices[i] = *k
+		}
+		lay, err = mlvlsi.GeneralizedHypercube(radices, o)
+	case "folded":
+		lay, err = mlvlsi.FoldedHypercube(*n, o)
+	case "enhanced":
+		lay, err = mlvlsi.EnhancedCube(*n, *seed, o)
+	case "ccc":
+		lay, err = mlvlsi.CCC(*n, o)
+	case "rh":
+		lay, err = mlvlsi.ReducedHypercube(*n, o)
+	case "hsn":
+		lay, err = mlvlsi.HSN(*k, *n, o)
+	case "hhn":
+		lay, err = mlvlsi.HHN(*k, *n, o)
+	case "butterfly":
+		lay, err = mlvlsi.Butterfly(*n, o)
+	case "isn":
+		lay, err = mlvlsi.ISN(*n, o)
+	case "clusterc":
+		lay, err = mlvlsi.KAryClusterC(*k, *n, *c, o)
+	case "star":
+		lay, err = mlvlsi.Star(*n, o)
+	case "pancake":
+		lay, err = mlvlsi.Pancake(*n, o)
+	case "bubblesort":
+		lay, err = mlvlsi.BubbleSort(*n, o)
+	case "transposition":
+		lay, err = mlvlsi.Transposition(*n, o)
+	case "scc":
+		lay, err = mlvlsi.SCC(*n, o)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *network)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+
+	if !*skipVerify {
+		v := lay.Verify()
+		if len(v) == 0 && *strict {
+			v = lay.VerifyStrict()
+		}
+		if len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "ILLEGAL LAYOUT: %d violations, first: %v\n", len(v), v[0])
+			os.Exit(1)
+		}
+		if *strict {
+			fmt.Println("verified: legal and Thompson-strict under the multilayer grid model")
+		} else {
+			fmt.Println("verified: layout is legal under the multilayer grid model")
+		}
+	}
+	fmt.Println(lay.Stats())
+	fmt.Println(lay.WireDistribution())
+	fmt.Printf("max path wire (sampled): %d\n", mlvlsi.MaxPathWire(lay, 16))
+
+	if *simulate {
+		res := mlvlsi.Simulate(lay, mlvlsi.SimConfig{
+			Pattern: mlvlsi.Permutation, Velocity: 1, Seed: 42,
+		})
+		fmt.Println("simulation:", res)
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(mlvlsi.RenderSVG(lay, 4)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "svg:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+}

@@ -1,0 +1,77 @@
+// Command simnet sweeps the wire-delay simulator over layer counts,
+// traffic patterns, and switching disciplines for one network, printing a
+// latency table — the tool behind the paper's §2.2 performance story.
+//
+//	simnet -network hypercube -n 8 -L 2,4,8 -flits 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlvlsi"
+)
+
+func main() {
+	network := flag.String("network", "hypercube", "hypercube | kary | ccc | butterfly")
+	n := flag.Int("n", 8, "dimension / m")
+	k := flag.Int("k", 4, "radix for kary")
+	layersCSV := flag.String("L", "2,4,8", "comma-separated wiring layer counts")
+	velocity := flag.Int("velocity", 1, "grid units per cycle")
+	flits := flag.Int("flits", 1, "message length in flits")
+	seed := flag.Uint64("seed", 7, "traffic seed")
+	flag.Parse()
+
+	var layers []int
+	for _, s := range strings.Split(*layersCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -L:", err)
+			os.Exit(2)
+		}
+		layers = append(layers, v)
+	}
+
+	build := func(l int) (*mlvlsi.Layout, error) {
+		o := mlvlsi.Options{Layers: l}
+		switch *network {
+		case "hypercube":
+			return mlvlsi.Hypercube(*n, o)
+		case "kary":
+			o.FoldedRows = true
+			return mlvlsi.KAryNCube(*k, *n, o)
+		case "ccc":
+			return mlvlsi.CCC(*n, o)
+		case "butterfly":
+			return mlvlsi.Butterfly(*n, o)
+		}
+		return nil, fmt.Errorf("unknown network %q", *network)
+	}
+
+	fmt.Printf("%3s  %-14s  %-17s  %9s  %11s  %8s\n",
+		"L", "pattern", "switching", "delivered", "avg-latency", "makespan")
+	for _, l := range layers {
+		lay, err := build(l)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if v := lay.Verify(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "L=%d: illegal layout: %v\n", l, v[0])
+			os.Exit(1)
+		}
+		for _, pattern := range []mlvlsi.SimPattern{mlvlsi.Permutation, mlvlsi.BitComplement} {
+			for _, sw := range []mlvlsi.SimSwitching{mlvlsi.StoreAndForward, mlvlsi.CutThrough} {
+				res := mlvlsi.Simulate(lay, mlvlsi.SimConfig{
+					Pattern: pattern, Velocity: *velocity,
+					Switching: sw, Flits: *flits, Seed: *seed,
+				})
+				fmt.Printf("%3d  %-14s  %-17s  %9d  %11.1f  %8d\n",
+					l, pattern, sw, res.Delivered, res.AvgLatency, res.Makespan)
+			}
+		}
+	}
+}

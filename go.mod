@@ -1,0 +1,3 @@
+module mlvlsi
+
+go 1.22

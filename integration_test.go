@@ -1,0 +1,70 @@
+// Integration sweep: every family in the public API builds, strictly
+// verifies (legality + Thompson-strict node clearance for 2-D layouts), and
+// scales sanely across layer counts. This is the repository's end-to-end
+// safety net on top of the per-package graph-exactness tests.
+package mlvlsi_test
+
+import (
+	"testing"
+
+	"mlvlsi"
+)
+
+func TestIntegrationSweepAllFamiliesAllLayers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is slow")
+	}
+	builders := []struct {
+		name string
+		mk   func(o mlvlsi.Options) (*mlvlsi.Layout, error)
+	}{
+		{"hypercube(6)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.Hypercube(6, o) }},
+		{"4-ary 3-cube", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.KAryNCube(4, 3, o) }},
+		{"5-ary 2-cube folded", func(o mlvlsi.Options) (*mlvlsi.Layout, error) {
+			o.FoldedRows = true
+			return mlvlsi.KAryNCube(5, 2, o)
+		}},
+		{"GHC(4,4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) {
+			return mlvlsi.GeneralizedHypercube([]int{4, 4}, o)
+		}},
+		{"GHC(2,3,4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) {
+			return mlvlsi.GeneralizedHypercube([]int{2, 3, 4}, o)
+		}},
+		{"folded 6-cube", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.FoldedHypercube(6, o) }},
+		{"enhanced 5-cube", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.EnhancedCube(5, 3, o) }},
+		{"CCC(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.CCC(4, o) }},
+		{"RH(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.ReducedHypercube(4, o) }},
+		{"HSN(3,4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.HSN(3, 4, o) }},
+		{"HHN(2,2)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.HHN(2, 2, o) }},
+		{"butterfly(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.Butterfly(4, o) }},
+		{"ISN(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.ISN(4, o) }},
+		{"4-ary 2-cube cluster-4", func(o mlvlsi.Options) (*mlvlsi.Layout, error) {
+			return mlvlsi.KAryClusterC(4, 2, 4, o)
+		}},
+		{"star(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.Star(4, o) }},
+		{"pancake(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.Pancake(4, o) }},
+		{"bubblesort(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.BubbleSort(4, o) }},
+		{"transposition(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.Transposition(4, o) }},
+		{"SCC(4)", func(o mlvlsi.Options) (*mlvlsi.Layout, error) { return mlvlsi.SCC(4, o) }},
+	}
+	for _, b := range builders {
+		prevArea := 0
+		for _, l := range []int{2, 3, 4, 8} {
+			lay, err := b.mk(mlvlsi.Options{Layers: l})
+			if err != nil {
+				t.Fatalf("%s L=%d: %v", b.name, l, err)
+			}
+			if v := lay.VerifyStrict(); len(v) > 0 {
+				t.Fatalf("%s L=%d: %v", b.name, l, v[0])
+			}
+			s := lay.Stats()
+			if s.Area <= 0 || s.MaxWire <= 0 || s.Links == 0 {
+				t.Fatalf("%s L=%d: degenerate stats %+v", b.name, l, s)
+			}
+			if prevArea > 0 && s.Area > prevArea {
+				t.Errorf("%s: area grew from L increase: %d -> %d at L=%d", b.name, prevArea, s.Area, l)
+			}
+			prevArea = s.Area
+		}
+	}
+}

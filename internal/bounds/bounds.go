@@ -1,0 +1,157 @@
+// Package bounds provides bisection-width-based lower bounds on layout area
+// under the Thompson and multilayer grid models, used to assess how close
+// the constructed layouts are to optimal (the paper's §1 claims: within
+// 1 + o(1) of the Thompson bound and 2 + o(1) of the multilayer bound for
+// butterflies, generalized hypercubes, HSNs, and ISNs).
+//
+// The bounds are the standard cut arguments: if every bisection of the
+// network cuts at least B links, then any 2-layer layout has width and
+// height at least B/2-ish and area Ω(B²); with L wiring layers a vertical
+// cut line is crossed by at most L wires per unit length, so the area is at
+// least (B/L)². We use the trivial forms A ≥ B² (Thompson, two layers ≈ one
+// crossing per unit per layer pair) and A ≥ (B/L)² (multilayer), matching
+// the "trivial lower bound" the paper compares against.
+package bounds
+
+import "math"
+
+// ThompsonAreaLB is the two-layer lower bound (B/2)² · 4 = B²: a vertical
+// bisection line of height h is crossed by at most h wires per layer pair,
+// so h ≥ B and likewise the width.
+func ThompsonAreaLB(bisection int) float64 {
+	return float64(bisection) * float64(bisection)
+}
+
+// MultilayerAreaLB is the L-layer lower bound (B/⌊L/2⌋ / 2)²·... reduced to
+// the paper's trivial form (B/L)²: each unit of cut-line length passes at
+// most L wires.
+func MultilayerAreaLB(bisection, l int) float64 {
+	b := float64(bisection) / float64(l)
+	return b * b
+}
+
+// MaxWireLB is the standard diameter-based wire-length bound: a network
+// with N nodes, degree d and diameter D laid out in area A has a wire of
+// length at least (√A/3 − o(√A))/D when N^... We expose the simpler cut
+// form: some wire is at least bisection-width/(L·diameter) — only used as
+// a sanity floor in experiments, not a tight bound.
+func MaxWireLB(bisection, l, diameter int) float64 {
+	if diameter == 0 {
+		return 0
+	}
+	return float64(bisection) / float64(l*diameter)
+}
+
+// Known bisection widths of the paper's families (standard results).
+
+// BisectionHypercube is N/2 for the binary n-cube.
+func BisectionHypercube(n int) int { return 1 << uint(n-1) }
+
+// BisectionKAry is the k-ary n-cube bisection 2·k^(n−1) (k even; odd k has
+// a slightly larger constant, we use the even-k form as the bound).
+func BisectionKAry(k, n int) int {
+	p := 1
+	for i := 1; i < n; i++ {
+		p *= k
+	}
+	if k == 2 {
+		// Binary torus = hypercube: bisection N/2, not 2·k^{n-1}=N.
+		return p
+	}
+	return 2 * p
+}
+
+// BisectionGHC is the radix-r n-dimensional generalized hypercube
+// bisection: cutting the most significant digit in half severs
+// ⌈r/2⌉·⌊r/2⌋·r^{n-1}·... links: (r²/4)·r^(n−1) for even r.
+func BisectionGHC(r, n int) int {
+	p := 1
+	for i := 1; i < n; i++ {
+		p *= r
+	}
+	return (r / 2) * ((r + 1) / 2) * p
+}
+
+// BisectionComplete is ⌈N/2⌉·⌊N/2⌋ for K_N.
+func BisectionComplete(n int) int { return (n / 2) * ((n + 1) / 2) }
+
+// BisectionButterfly for the wrapped butterfly with R = 2^m rows: splitting
+// the rows on the top-level bit cuts 2 cross links per row pair per
+// direction: 2·R... we use the standard 2R bound (R row pairs × 2 links).
+func BisectionButterfly(m int) int { return 2 << uint(m) }
+
+// BisectionCCC for CCC(n): splitting the cube's top dimension cuts 2^(n−1)
+// cube links.
+func BisectionCCC(n int) int { return 1 << uint(n-1) }
+
+// OptimalityRatio is measured area divided by the lower bound (>= 1 for a
+// legal layout; the paper's constructions promise small constants).
+func OptimalityRatio(area int, lb float64) float64 {
+	if lb <= 0 {
+		return math.Inf(1)
+	}
+	return float64(area) / lb
+}
+
+// ExactBisection computes the exact bisection width of a small graph by
+// exhaustive enumeration of balanced bipartitions (⌊N/2⌋ vs ⌈N/2⌉). It is
+// exponential — the limit guards against misuse — and exists to certify the
+// closed-form bisection formulas on small instances.
+func ExactBisection(n int, links [][2]int, limit int) int {
+	if limit <= 0 {
+		limit = 20
+	}
+	if n > limit {
+		panic("ExactBisection: graph too large for exhaustive bisection")
+	}
+	if n < 2 {
+		return 0
+	}
+	half := n / 2
+	best := len(links) + 1
+	// Enumerate subsets of size `half` containing node 0 (fixing one side
+	// halves the work and loses no generality).
+	idx := make([]int, half)
+	for i := range idx {
+		idx[i] = i
+	}
+	inA := make([]bool, n)
+	evaluate := func() {
+		for i := range inA {
+			inA[i] = false
+		}
+		for _, v := range idx {
+			inA[v] = true
+		}
+		cut := 0
+		for _, lk := range links {
+			if inA[lk[0]] != inA[lk[1]] {
+				cut++
+				if cut >= best {
+					return
+				}
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	// Standard combination enumeration with position 0 pinned.
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == half {
+			evaluate()
+			return
+		}
+		for v := start; v <= n-(half-pos); v++ {
+			idx[pos] = v
+			rec(pos+1, v+1)
+		}
+	}
+	if half == 0 {
+		return 0
+	}
+	idx[0] = 0
+	rec(1, 1)
+	return best
+}

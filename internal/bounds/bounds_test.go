@@ -1,0 +1,166 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/topology"
+)
+
+func TestBisectionFormulasAgainstDefinitions(t *testing.T) {
+	// Spot-check the formula values against hand-computable cuts.
+	if got := BisectionHypercube(4); got != 8 {
+		t.Errorf("hypercube(4) bisection = %d, want 8", got)
+	}
+	if got := BisectionKAry(4, 2); got != 8 {
+		t.Errorf("4-ary 2-cube bisection = %d, want 8", got)
+	}
+	if got := BisectionKAry(2, 5); got != 16 {
+		t.Errorf("2-ary 5-cube bisection = %d, want 16 (N/2)", got)
+	}
+	if got := BisectionComplete(9); got != 20 {
+		t.Errorf("K9 bisection = %d, want ⌊81/4⌋ = 20", got)
+	}
+	if got := BisectionGHC(4, 2); got != 16 {
+		t.Errorf("GHC(4,4) bisection = %d, want 16", got)
+	}
+	if got := BisectionButterfly(3); got != 16 {
+		t.Errorf("butterfly(3) bisection = %d, want 16", got)
+	}
+	if got := BisectionCCC(5); got != 16 {
+		t.Errorf("CCC(5) bisection = %d, want 16", got)
+	}
+}
+
+func TestCutsActuallyDisconnect(t *testing.T) {
+	// Removing the formula-counted links along the canonical cut must
+	// disconnect the hypercube into two halves; the count of links across
+	// the cut must equal the formula.
+	for n := 2; n <= 7; n++ {
+		g := topology.Hypercube(n)
+		half := g.N / 2
+		cut := 0
+		for _, lk := range g.Links {
+			if (lk.U < half) != (lk.V < half) {
+				cut++
+			}
+		}
+		if cut != BisectionHypercube(n) {
+			t.Errorf("n=%d: canonical cut %d != formula %d", n, cut, BisectionHypercube(n))
+		}
+	}
+}
+
+func TestKAryCanonicalCut(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{4, 2}, {6, 2}, {4, 3}} {
+		g := topology.KAryNCube(tc.k, tc.n)
+		half := g.N / 2
+		cut := 0
+		for _, lk := range g.Links {
+			if (lk.U < half) != (lk.V < half) {
+				cut++
+			}
+		}
+		// The formula is a lower bound witnessed by the canonical halving.
+		if cut != BisectionKAry(tc.k, tc.n) {
+			t.Errorf("k=%d n=%d: canonical cut %d != formula %d", tc.k, tc.n, cut, BisectionKAry(tc.k, tc.n))
+		}
+	}
+}
+
+func TestAreaLowerBounds(t *testing.T) {
+	if lb := ThompsonAreaLB(10); lb != 100 {
+		t.Errorf("Thompson LB = %v, want 100", lb)
+	}
+	if lb := MultilayerAreaLB(10, 5); lb != 4 {
+		t.Errorf("multilayer LB = %v, want 4", lb)
+	}
+	if lb := MultilayerAreaLB(10, 2); lb != 25 {
+		t.Errorf("multilayer LB at L=2 = %v, want 25", lb)
+	}
+}
+
+func TestLayoutsRespectLowerBounds(t *testing.T) {
+	// Every constructed layout's area must be at least the multilayer
+	// lower bound, with a sane optimality ratio.
+	for _, l := range []int{2, 4, 8} {
+		lay, err := core.Hypercube(8, l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := MultilayerAreaLB(BisectionHypercube(8), l)
+		ratio := OptimalityRatio(lay.Area(), lb)
+		if ratio < 1 {
+			t.Errorf("L=%d: layout area %d below lower bound %.0f", l, lay.Area(), lb)
+		}
+		if ratio > 200 {
+			t.Errorf("L=%d: optimality ratio %.1f implausibly large", l, ratio)
+		}
+	}
+}
+
+func TestOptimalityRatioEdgeCases(t *testing.T) {
+	if !math.IsInf(OptimalityRatio(10, 0), 1) {
+		t.Error("zero lower bound should give +Inf ratio")
+	}
+	if OptimalityRatio(50, 25) != 2 {
+		t.Error("ratio arithmetic wrong")
+	}
+}
+
+func TestMaxWireLB(t *testing.T) {
+	if MaxWireLB(100, 2, 0) != 0 {
+		t.Error("zero diameter should give 0")
+	}
+	if got := MaxWireLB(100, 2, 5); got != 10 {
+		t.Errorf("MaxWireLB = %v, want 10", got)
+	}
+}
+
+func linksOf(g *topology.Graph) [][2]int {
+	out := make([][2]int, len(g.Links))
+	for i, lk := range g.Links {
+		out[i] = [2]int{lk.U, lk.V}
+	}
+	return out
+}
+
+func TestExactBisectionCertifiesFormulas(t *testing.T) {
+	cases := []struct {
+		g    *topology.Graph
+		want int
+	}{
+		{topology.Hypercube(3), BisectionHypercube(3)},
+		{topology.Hypercube(4), BisectionHypercube(4)},
+		{topology.KAryNCube(4, 2), BisectionKAry(4, 2)},
+		{topology.Complete(8), BisectionComplete(8)},
+		{topology.Complete(9), BisectionComplete(9)},
+		{topology.GeneralizedHypercube([]int{4, 4}), BisectionGHC(4, 2)},
+	}
+	for _, c := range cases {
+		got := ExactBisection(c.g.N, linksOf(c.g), 20)
+		if got != c.want {
+			t.Errorf("%s: exact bisection %d, formula %d", c.g.Name, got, c.want)
+		}
+	}
+}
+
+func TestExactBisectionIsLowerBoundForLargerCuts(t *testing.T) {
+	// Odd k tori have slightly larger exact bisections than the even-k
+	// formula we use as the (safe) lower bound.
+	g := topology.KAryNCube(3, 2)
+	exact := ExactBisection(g.N, linksOf(g), 20)
+	if exact < BisectionKAry(3, 2) {
+		t.Errorf("formula %d exceeds exact %d — not a lower bound", BisectionKAry(3, 2), exact)
+	}
+}
+
+func TestExactBisectionGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized graph did not panic")
+		}
+	}()
+	ExactBisection(30, nil, 20)
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/topology"
+	"mlvlsi/internal/track"
+)
+
+// Cayley-graph layouts (§4.3 extensions). The star, pancake, bubble-sort
+// and transposition networks on n symbols all decompose by their last
+// symbol into n copies of the same family on n−1 symbols, with the
+// dimension-n generators forming (n−2)! (or (n−1)! for transpositions)
+// links between every copy pair — i.e. the quotient over copies is the
+// complete graph K_n, exactly the structure the paper lays out with its
+// optimal collinear complete-graph layouts. Each copy becomes a cluster
+// strip whose intra links are a greedy-colored collinear layout of the
+// (n−1)-symbol family.
+//
+// The ICPP paper defers these layouts to "similar strategies" (citing the
+// complete-graph/star layouts of [30]); this implementation follows that
+// recipe and reports measured costs.
+
+// reducePerm maps the first n−1 entries of a permutation whose last symbol
+// is `last` order-preservingly onto 0..n−2.
+func reducePerm(prefix []int, last int) []int {
+	q := make([]int, len(prefix))
+	for i, s := range prefix {
+		if s > last {
+			q[i] = s - 1
+		} else {
+			q[i] = s
+		}
+	}
+	return q
+}
+
+// expandPerm inverts reducePerm: lifts a permutation of 0..n−2 to the
+// symbols {0..n−1} \ {excluded}.
+func expandPerm(q []int, excluded int) []int {
+	out := make([]int, len(q))
+	for i, s := range q {
+		if s >= excluded {
+			out[i] = s + 1
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// memberOf returns the member label (rank within its copy) of a full
+// permutation whose last symbol identifies the copy.
+func memberOf(perm []int) int {
+	n := len(perm)
+	return topology.RankPermutation(reducePerm(perm[:n-1], perm[n-1]))
+}
+
+// midSymbols returns the sorted symbols {0..n−1} \ {i, j}.
+func midSymbols(n, i, j int) []int {
+	out := make([]int, 0, n-2)
+	for s := 0; s < n; s++ {
+		if s != i && s != j {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// midPerm returns the m-th lexicographic arrangement of the given sorted
+// symbols.
+func midPerm(m int, symbols []int) []int {
+	sigma := topology.UnrankPermutation(m, len(symbols))
+	out := make([]int, len(symbols))
+	for i, p := range sigma {
+		out[i] = symbols[p]
+	}
+	return out
+}
+
+// cayleyFamily describes one last-symbol-decomposable family.
+type cayleyFamily struct {
+	name string
+	// intra builds the (n−1)-symbol family graph for cluster interiors.
+	intra func(n int) *topology.Graph
+	// multiplicity of the K_n quotient links.
+	mult func(n int) int
+	// boundary returns the m-th boundary link between copies i < j as the
+	// two full permutations (one in copy i, one in copy j).
+	boundary func(n, i, j, m int) (permI, permJ []int)
+}
+
+var starFamily = cayleyFamily{
+	name:  "star",
+	intra: topology.Star,
+	mult:  func(n int) int { return topology.Factorial(n - 2) },
+	boundary: func(n, i, j, m int) ([]int, []int) {
+		mid := midPerm(m, midSymbols(n, i, j))
+		permI := append(append([]int{j}, mid...), i)
+		permJ := append([]int(nil), permI...)
+		permJ[0], permJ[n-1] = permJ[n-1], permJ[0]
+		return permI, permJ
+	},
+}
+
+var pancakeFamily = cayleyFamily{
+	name:  "pancake",
+	intra: topology.Pancake,
+	mult:  func(n int) int { return topology.Factorial(n - 2) },
+	boundary: func(n, i, j, m int) ([]int, []int) {
+		mid := midPerm(m, midSymbols(n, i, j))
+		permI := append(append([]int{j}, mid...), i)
+		permJ := make([]int, n)
+		for k := range permI {
+			permJ[k] = permI[n-1-k]
+		}
+		return permI, permJ
+	},
+}
+
+var bubbleFamily = cayleyFamily{
+	name:  "bubblesort",
+	intra: topology.BubbleSort,
+	mult:  func(n int) int { return topology.Factorial(n - 2) },
+	boundary: func(n, i, j, m int) ([]int, []int) {
+		mid := midPerm(m, midSymbols(n, i, j))
+		permI := append(append([]int{}, mid...), j, i)
+		permJ := append([]int(nil), permI...)
+		permJ[n-2], permJ[n-1] = permJ[n-1], permJ[n-2]
+		return permI, permJ
+	},
+}
+
+var transpositionFamily = cayleyFamily{
+	name:  "transposition",
+	intra: topology.Transposition,
+	mult:  func(n int) int { return topology.Factorial(n - 1) },
+	boundary: func(n, i, j, m int) ([]int, []int) {
+		// The m-th permutation of copy i (by member rank) has exactly one
+		// link to copy j: swap the position holding j with the last.
+		permI := append(expandPerm(topology.UnrankPermutation(m, n-1), i), i)
+		permJ := append([]int(nil), permI...)
+		for k := 0; k < n-1; k++ {
+			if permJ[k] == j {
+				permJ[k], permJ[n-1] = permJ[n-1], permJ[k]
+				break
+			}
+		}
+		return permI, permJ
+	},
+}
+
+// cayleyLayout lays out one family on n symbols: quotient K_n over the
+// last-symbol copies (a vertical collinear complete-graph arrangement),
+// cluster strips of (n−1)! members with greedy-colored intra layouts.
+func cayleyLayout(f cayleyFamily, n, l, nodeSide int) (*layout.Layout, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%s layout: need n >= 3, got %d", f.name, n)
+	}
+	if n > 7 {
+		return nil, fmt.Errorf("%s layout: n=%d means %d-node clusters; refusing above n=7", f.name, n, topology.Factorial(n-1))
+	}
+	sub := f.intra(n - 1)
+	links := make([][2]int, len(sub.Links))
+	for i, lk := range sub.Links {
+		links[i] = [2]int{lk.U, lk.V}
+	}
+	intra := track.FromGraph(f.name+"-intra", sub.N, links, nil)
+
+	attach := func(u, v, m int) (int, int) {
+		permU, permV := f.boundary(n, u, v, m)
+		return memberOf(permU), memberOf(permV)
+	}
+	label := func(clusterID, member int) int {
+		q := topology.UnrankPermutation(member, n-1)
+		full := append(expandPerm(q, clusterID), clusterID)
+		return topology.RankPermutation(full)
+	}
+	cfg := Config{
+		Name:         fmt.Sprintf("%s(%d) L=%d", f.name, n, l),
+		RowFac:       &track.Collinear{Name: "trivial", N: 1},
+		ColFac:       track.Complete(n),
+		C:            topology.Factorial(n - 1),
+		Intra:        intra,
+		Multiplicity: f.mult(n),
+		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
+		AttachCol:    attach,
+		Label:        label,
+		L:            l, NodeSide: nodeSide,
+	}
+	return Build(cfg)
+}
+
+// Star lays out the n-dimensional star graph.
+func Star(n, l, nodeSide int) (*layout.Layout, error) {
+	return cayleyLayout(starFamily, n, l, nodeSide)
+}
+
+// Pancake lays out the n-dimensional pancake graph.
+func Pancake(n, l, nodeSide int) (*layout.Layout, error) {
+	return cayleyLayout(pancakeFamily, n, l, nodeSide)
+}
+
+// BubbleSort lays out the n-dimensional bubble-sort graph.
+func BubbleSort(n, l, nodeSide int) (*layout.Layout, error) {
+	return cayleyLayout(bubbleFamily, n, l, nodeSide)
+}
+
+// Transposition lays out the n-dimensional transposition network.
+func Transposition(n, l, nodeSide int) (*layout.Layout, error) {
+	return cayleyLayout(transpositionFamily, n, l, nodeSide)
+}
+
+// SCC lays out the star-connected cycles network (listed as future work in
+// the paper's §4.3; built here with the same last-symbol machinery): the
+// quotient over copies is K_n with (n−2)! links per pair — the lateral
+// links of generator swap(0, n−1), which cycle position n−2 carries — and
+// each cluster holds (n−1)!·(n−1) nodes: the copy's cycles plus the
+// laterals of generators that do not touch the last symbol.
+func SCC(n, l, nodeSide int) (*layout.Layout, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("SCC layout: need n >= 4, got %d", n)
+	}
+	if n > 6 {
+		return nil, fmt.Errorf("SCC layout: n=%d means %d-node clusters; refusing above n=6", n, topology.Factorial(n-1)*(n-1))
+	}
+	cyc := n - 1
+	subN := topology.Factorial(n - 1)
+	c := subN * cyc
+	member := func(q, i int) int { return q*cyc + i }
+
+	// Intra graph on member labels: per reduced permutation q, the cycle
+	// plus the laterals of generators 1..n−2 (acting on the reduced perm).
+	var links [][2]int
+	for q := 0; q < subN; q++ {
+		p := topology.UnrankPermutation(q, n-1)
+		for i := 0; i < cyc; i++ {
+			j := (i + 1) % cyc
+			if cyc == 2 && i == 1 {
+				continue
+			}
+			links = append(links, [2]int{member(q, i), member(q, j)})
+		}
+		for i := 0; i+1 < cyc; i++ { // generators swap(0, i+1), i+1 <= n−2
+			pp := append([]int(nil), p...)
+			pp[0], pp[i+1] = pp[i+1], pp[0]
+			q2 := topology.RankPermutation(pp)
+			if q < q2 {
+				links = append(links, [2]int{member(q, i), member(q2, i)})
+			}
+		}
+	}
+	intra := track.FromGraph("scc-intra", c, links, nil)
+
+	attach := func(u, v, m int) (int, int) {
+		mid := midPerm(m, midSymbols(n, u, v))
+		permU := append(append([]int{v}, mid...), u)
+		permV := append([]int(nil), permU...)
+		permV[0], permV[n-1] = permV[n-1], permV[0]
+		qU := topology.RankPermutation(reducePerm(permU[:n-1], u))
+		qV := topology.RankPermutation(reducePerm(permV[:n-1], v))
+		return member(qU, cyc-1), member(qV, cyc-1)
+	}
+	label := func(clusterID, mem int) int {
+		q, i := mem/cyc, mem%cyc
+		full := append(expandPerm(topology.UnrankPermutation(q, n-1), clusterID), clusterID)
+		return topology.RankPermutation(full)*cyc + i
+	}
+	cfg := Config{
+		Name:         fmt.Sprintf("SCC(%d) L=%d", n, l),
+		RowFac:       &track.Collinear{Name: "trivial", N: 1},
+		ColFac:       track.Complete(n),
+		C:            c,
+		Intra:        intra,
+		Multiplicity: topology.Factorial(n - 2),
+		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
+		AttachCol:    attach,
+		Label:        label,
+		L:            l, NodeSide: nodeSide,
+	}
+	return Build(cfg)
+}

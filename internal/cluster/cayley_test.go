@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"mlvlsi/internal/topology"
+)
+
+func TestStarLayout(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {4, 4}, {5, 2}, {5, 8}} {
+		lay := mustBuild(t)(Star(tc.n, tc.l, 0))
+		sameGraph(t, lay, topology.Star(tc.n))
+	}
+}
+
+func TestPancakeLayout(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {5, 4}} {
+		lay := mustBuild(t)(Pancake(tc.n, tc.l, 0))
+		sameGraph(t, lay, topology.Pancake(tc.n))
+	}
+}
+
+func TestBubbleSortLayout(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {5, 4}} {
+		lay := mustBuild(t)(BubbleSort(tc.n, tc.l, 0))
+		sameGraph(t, lay, topology.BubbleSort(tc.n))
+	}
+}
+
+func TestTranspositionLayout(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {4, 4}} {
+		lay := mustBuild(t)(Transposition(tc.n, tc.l, 0))
+		sameGraph(t, lay, topology.Transposition(tc.n))
+	}
+}
+
+func TestCayleyRejectsBadSizes(t *testing.T) {
+	if _, err := Star(2, 2, 0); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := Star(8, 2, 0); err == nil {
+		t.Error("n=8 (5040-node clusters) accepted")
+	}
+}
+
+func TestCayleyMultilayerShrinks(t *testing.T) {
+	a2 := mustBuild(t)(Star(5, 2, 0)).Area()
+	a8 := mustBuild(t)(Star(5, 8, 0)).Area()
+	if a8 >= a2 {
+		t.Errorf("star(5) area did not shrink with layers: %d -> %d", a2, a8)
+	}
+}
+
+func TestPermutationHelpers(t *testing.T) {
+	// reduce/expand round-trip.
+	perm := []int{4, 1, 3, 0, 2}
+	red := reducePerm(perm[:4], 2)
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if red[i] != want[i] {
+			t.Fatalf("reducePerm = %v, want %v", red, want)
+		}
+	}
+	back := expandPerm(red, 2)
+	for i := range back {
+		if back[i] != perm[i] {
+			t.Fatalf("expandPerm = %v, want %v", back, perm[:4])
+		}
+	}
+	// midSymbols excludes both copies.
+	ms := midSymbols(5, 1, 3)
+	if len(ms) != 3 || ms[0] != 0 || ms[1] != 2 || ms[2] != 4 {
+		t.Fatalf("midSymbols = %v", ms)
+	}
+	// midPerm(0) is the sorted order.
+	mp := midPerm(0, ms)
+	for i := range ms {
+		if mp[i] != ms[i] {
+			t.Fatalf("midPerm(0) = %v, want %v", mp, ms)
+		}
+	}
+}
+
+func TestSCCLayout(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{4, 2}, {4, 4}, {5, 2}} {
+		lay := mustBuild(t)(SCC(tc.n, tc.l, 0))
+		sameGraph(t, lay, topology.SCC(tc.n))
+	}
+}
+
+func TestSCCRejectsBadSizes(t *testing.T) {
+	if _, err := SCC(3, 2, 0); err == nil {
+		t.Error("n=3 accepted")
+	}
+	if _, err := SCC(7, 2, 0); err == nil {
+		t.Error("n=7 accepted")
+	}
+}

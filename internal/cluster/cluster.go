@@ -1,0 +1,280 @@
+// Package cluster implements the paper's recursive grid layout scheme
+// (§2.3) specialized to product-network clusters (§3.2): each node of a
+// quotient product network is expanded into a cluster of C nodes, laid out
+// as a strip of C adjacent grid columns whose intra-cluster links run as a
+// collinear layout in the strip's share of the row channels. Quotient links
+// attach to specific cluster members; links in the column direction whose
+// two attachment members differ are routed as bent edges (a short escape in
+// the source row channel plus a shared vertical trunk), which is how the
+// swap links of HSNs and the cross links of butterflies reach their members
+// without distorting the quotient layout's area.
+//
+// Network-specific constructors (CCC, reduced hypercube, HSN, HHN,
+// butterfly, ISN, k-ary n-cube cluster-c) wire the attachment conventions
+// to match the generators in internal/topology exactly, so tests can verify
+// the realized wires against the topologies link for link.
+package cluster
+
+import (
+	"fmt"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/intervals"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/track"
+)
+
+// Config describes a PN-cluster layout instance.
+type Config struct {
+	Name string
+	// RowFac and ColFac are the quotient product network's collinear
+	// factors: the cluster grid has ColFac.N rows and RowFac.N cluster
+	// columns. Quotient cluster labels compose as
+	// colLabel·RowFac.N + rowLabel.
+	RowFac, ColFac *track.Collinear
+	// C is the cluster size; each cluster occupies C adjacent grid columns.
+	C int
+	// Intra is the collinear layout of the intra-cluster graph (N == C);
+	// nil means clusters have no internal links. Its Labels order the
+	// members within the strip.
+	Intra *track.Collinear
+	// Multiplicity is the number of parallel physical links per quotient
+	// link (the paper's butterfly quotient carries 2 per direction pair).
+	Multiplicity int
+	// AttachRow returns the member labels the m-th copy of a row-direction
+	// quotient link attaches to at its two cluster endpoints (given the
+	// global quotient cluster labels, uCluster < vCluster in label order).
+	// The result must depend only on the factor edge and copy — i.e. be the
+	// same for every row — since each row channel replicates one colored
+	// prototype. Label-structural rules (differing bit, differing digit)
+	// satisfy this naturally.
+	AttachRow func(uCluster, vCluster, m int) (uMember, vMember int)
+	// AttachCol is the same for column-direction quotient links. When the
+	// two members differ the link is routed as a bent edge.
+	AttachCol func(uCluster, vCluster, m int) (uMember, vMember int)
+	// Label maps (quotient cluster label, member label) to the node label.
+	Label func(cluster, member int) int
+
+	L        int
+	NodeSide int
+}
+
+// interval aliases the shared half-position interval type; see the
+// intervals package for the coloring rules.
+type interval = intervals.Interval
+
+// colorIntervals delegates to the shared greedy coloring.
+func colorIntervals(ivs []interval) ([]int, int) {
+	return intervals.Color(ivs)
+}
+
+// Build assembles and realizes the PN-cluster layout.
+func Build(cfg Config) (*layout.Layout, error) {
+	spec, err := BuildSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(spec)
+}
+
+// BuildSpec assembles the engine spec for a PN-cluster layout without
+// realizing it (useful for geometry planning).
+func BuildSpec(cfg Config) (core.Spec, error) {
+	if cfg.C < 1 {
+		return core.Spec{}, fmt.Errorf("%s: cluster size %d < 1", cfg.Name, cfg.C)
+	}
+	mult := cfg.Multiplicity
+	if mult < 1 {
+		mult = 1
+	}
+	if cfg.Intra != nil && cfg.Intra.N != cfg.C {
+		return core.Spec{}, fmt.Errorf("%s: intra layout has %d nodes, cluster size is %d", cfg.Name, cfg.Intra.N, cfg.C)
+	}
+	if cfg.Label == nil {
+		return core.Spec{}, fmt.Errorf("%s: Label is required", cfg.Name)
+	}
+
+	rows := cfg.ColFac.N
+	quotCols := cfg.RowFac.N
+	cols := quotCols * cfg.C
+
+	// Member label <-> strip position maps.
+	memberLabel := make([]int, cfg.C)
+	memberPos := make([]int, cfg.C)
+	for p := 0; p < cfg.C; p++ {
+		l := p
+		if cfg.Intra != nil {
+			l = cfg.Intra.Label(p)
+		}
+		memberLabel[p] = l
+		memberPos[l] = p
+	}
+
+	rowLabel := func(j int) int { return cfg.RowFac.Label(j) }
+	colLabel := func(i int) int { return cfg.ColFac.Label(i) }
+	clusterLabel := func(i, j int) int { return colLabel(i)*quotCols + rowLabel(j) }
+
+	spec := core.Spec{
+		Name: cfg.Name,
+		Rows: rows,
+		Cols: cols,
+		L:    cfg.L, NodeSide: cfg.NodeSide,
+		Label: func(r, c int) int {
+			return cfg.Label(clusterLabel(r, c/cfg.C), memberLabel[c%cfg.C])
+		},
+	}
+
+	// --- Row channels -----------------------------------------------------
+	// Every row channel carries the same interval multiset: quotient row
+	// links (with member attachments) and the intra-cluster links of each
+	// strip. Color once and replicate per row. Row-direction attachments
+	// depend only on the row-factor edge, not the row, because the
+	// differing digit lies in the row factor; the attachment call uses the
+	// row-0 cluster labels as representatives and asserts consistency.
+	type rowProtoEdge struct {
+		physU, physV int
+	}
+	var rowIvs []interval
+	var rowPhys []rowProtoEdge
+	addRowIv := func(physU, physV int) {
+		rowPhys = append(rowPhys, rowProtoEdge{physU, physV})
+		rowIvs = append(rowIvs, interval{U: 2 * physU, V: 2 * physV, ID: len(rowPhys) - 1})
+	}
+	for _, e := range cfg.RowFac.Edges {
+		for m := 0; m < mult; m++ {
+			uLab, vLab := rowLabel(e.U), rowLabel(e.V)
+			uCl, vCl := clusterLabel(0, e.U), clusterLabel(0, e.V)
+			if uLab > vLab {
+				// Attachment conventions are defined on label order.
+				uCl, vCl = vCl, uCl
+			}
+			um, vm := cfg.AttachRow(uCl, vCl, m)
+			if uLab > vLab {
+				um, vm = vm, um
+			}
+			if um < 0 || um >= cfg.C || vm < 0 || vm >= cfg.C {
+				return core.Spec{}, fmt.Errorf("%s: AttachRow returned member out of range", cfg.Name)
+			}
+			addRowIv(e.U*cfg.C+memberPos[um], e.V*cfg.C+memberPos[vm])
+		}
+	}
+	if cfg.Intra != nil {
+		for j := 0; j < quotCols; j++ {
+			for _, e := range cfg.Intra.Edges {
+				addRowIv(j*cfg.C+e.U, j*cfg.C+e.V)
+			}
+		}
+	}
+
+	// --- Column channels --------------------------------------------------
+	// Column-direction quotient links whose attachments agree become
+	// regular column edges in the member's physical column; mismatched
+	// attachments become bent edges. Both kinds, plus the bent escapes in
+	// the row channels, are colored per channel.
+	type colPhysEdge struct {
+		physCol int // physical column hosting the vertical segment
+		rU, rV  int
+		member  bool // true: regular column edge; false: bent
+		uPos    int  // for bent: u's physical column
+	}
+	var colPhys []colPhysEdge
+	colIvs := make(map[int][]interval) // physical column -> intervals
+	for j := 0; j < quotCols; j++ {
+		for _, e := range cfg.ColFac.Edges {
+			for m := 0; m < mult; m++ {
+				uLab, vLab := colLabel(e.U), colLabel(e.V)
+				uCl, vCl := clusterLabel(e.U, j), clusterLabel(e.V, j)
+				if uLab > vLab {
+					uCl, vCl = vCl, uCl
+				}
+				um, vm := cfg.AttachCol(uCl, vCl, m)
+				if uLab > vLab {
+					um, vm = vm, um
+				}
+				if um < 0 || um >= cfg.C || vm < 0 || vm >= cfg.C {
+					return core.Spec{}, fmt.Errorf("%s: AttachCol returned member out of range", cfg.Name)
+				}
+				uPhys := j*cfg.C + memberPos[um]
+				vPhys := j*cfg.C + memberPos[vm]
+				if um == vm {
+					idx := len(colPhys)
+					colPhys = append(colPhys, colPhysEdge{physCol: uPhys, rU: e.U, rV: e.V, member: true})
+					colIvs[uPhys] = append(colIvs[uPhys], interval{U: 2 * e.U, V: 2 * e.V, ID: idx})
+					continue
+				}
+				// Bent: escape in row e.U's channel from uPhys to vPhys's
+				// channel; trunk in vPhys's channel spanning rows.
+				idx := len(colPhys)
+				colPhys = append(colPhys, colPhysEdge{physCol: vPhys, rU: e.U, rV: e.V, member: false, uPos: uPhys})
+				vu, vv := 2*e.U+1, 2*e.V
+				if vu > vv {
+					vu, vv = vv, vu
+				}
+				colIvs[vPhys] = append(colIvs[vPhys], interval{U: vu, V: vv, ID: idx})
+			}
+		}
+	}
+
+	// Escape intervals live in specific row channels; since column links of
+	// a given factor edge repeat for every row pair (e.U), the escape sets
+	// are not uniform across rows. Color them per row, offset above the
+	// (uniform) row prototype tracks.
+	rowTracks, rowTrackCount := colorIntervals(rowIvs)
+	escapeIvs := make(map[int][]interval) // row -> escapes (id = colPhys index)
+	for idx, ce := range colPhys {
+		if ce.member {
+			continue
+		}
+		hu, hv := 2*ce.uPos, 2*ce.physCol+1
+		if hu > hv {
+			hu, hv = hv, hu
+		}
+		escapeIvs[ce.rU] = append(escapeIvs[ce.rU], interval{U: hu, V: hv, ID: idx})
+	}
+	escapeTrack := make(map[int]int) // colPhys index -> escape track (per its row)
+	for _, ivs := range escapeIvs {
+		tr, _ := colorIntervals(ivs)
+		for i, iv := range ivs {
+			escapeTrack[iv.ID] = rowTrackCount + tr[i]
+		}
+	}
+
+	// Emit row edges (quotient row links + intra links).
+	for i, pe := range rowPhys {
+		spec.RowEdges = append(spec.RowEdges, core.ChannelEdge{
+			Index: -1, // placeholder; expanded below
+			U:     pe.physU,
+			V:     pe.physV,
+			Track: rowTracks[i],
+		})
+	}
+	proto := spec.RowEdges
+	spec.RowEdges = nil
+	for r := 0; r < rows; r++ {
+		for _, e := range proto {
+			e.Index = r
+			spec.RowEdges = append(spec.RowEdges, e)
+		}
+	}
+
+	// Emit column edges and bent edges.
+	for physCol, ivs := range colIvs {
+		tr, _ := colorIntervals(ivs)
+		for i, iv := range ivs {
+			ce := colPhys[iv.ID]
+			if ce.member {
+				spec.ColEdges = append(spec.ColEdges, core.ChannelEdge{
+					Index: physCol, U: ce.rU, V: ce.rV, Track: tr[i],
+				})
+			} else {
+				spec.Bent = append(spec.Bent, core.BentEdge{
+					URow: ce.rU, UCol: ce.uPos,
+					VRow: ce.rV, VCol: ce.physCol,
+					HTrack: escapeTrack[iv.ID],
+					VTrack: tr[i],
+				})
+			}
+		}
+	}
+	return spec, nil
+}

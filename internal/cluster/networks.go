@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/track"
+)
+
+// bitIndex returns the index of the single set bit of x (the differing
+// dimension of two hypercube labels).
+func bitIndex(x int) int {
+	return bits.TrailingZeros(uint(x))
+}
+
+// sameBit attaches both ends of a hypercube-quotient link to the member
+// whose index is the differing dimension — the CCC convention, where cycle
+// position i handles cube dimension i.
+func sameBit(u, v, _ int) (int, int) {
+	b := bitIndex(u ^ v)
+	return b, b
+}
+
+// CCC lays out the n-dimensional cube-connected cycles network (§5.2): the
+// quotient is the n-cube in its 2-D product layout, each cluster is an
+// n-node cycle strip, and the cube link of dimension i attaches to cycle
+// position i at both ends.
+func CCC(n, l, nodeSide int) (*layout.Layout, error) {
+	cfg, err := cccConfig(n, l, nodeSide)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+// CCCGeometry plans the CCC layout's geometry without realizing wires.
+func CCCGeometry(n, l int) (core.Geometry, error) {
+	cfg, err := cccConfig(n, l, 0)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	spec, err := BuildSpec(cfg)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	return core.Plan(spec)
+}
+
+func cccConfig(n, l, nodeSide int) (Config, error) {
+	if n < 2 {
+		return Config{}, fmt.Errorf("CCC: need n >= 2, got %d", n)
+	}
+	return Config{
+		Name:      fmt.Sprintf("CCC(%d) L=%d", n, l),
+		RowFac:    track.Hypercube(n / 2),
+		ColFac:    track.Hypercube((n + 1) / 2),
+		C:         n,
+		Intra:     track.Ring(n),
+		AttachRow: sameBit,
+		AttachCol: sameBit,
+		Label:     func(w, i int) int { return w*n + i },
+		L:         l, NodeSide: nodeSide,
+	}, nil
+}
+
+// ReducedHypercube lays out Ziavras's RH network (§5.2): CCC with each
+// n-node cycle replaced by a log₂(n)-dimensional hypercube (n a power of
+// two).
+func ReducedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ReducedHypercube: cluster size %d must be a power of two >= 2", n)
+	}
+	logn := bits.TrailingZeros(uint(n))
+	cfg := Config{
+		Name:      fmt.Sprintf("RH(%d) L=%d", n, l),
+		RowFac:    track.Hypercube(n / 2),
+		ColFac:    track.Hypercube((n + 1) / 2),
+		C:         n,
+		Intra:     track.Hypercube(logn),
+		AttachRow: sameBit,
+		AttachCol: sameBit,
+		Label:     func(w, i int) int { return w*n + i },
+		L:         l, NodeSide: nodeSide,
+	}
+	return Build(cfg)
+}
+
+// digitAttach returns an attachment function for generalized-hypercube
+// quotients with the given per-dimension radix r: the link between clusters
+// differing in one digit (values a < b) attaches to member b at the a-side
+// cluster and member a at the b-side — the swap wiring of HSNs.
+func digitAttach(r int) func(u, v, m int) (int, int) {
+	return func(u, v, _ int) (int, int) {
+		for {
+			du, dv := u%r, v%r
+			if du != dv {
+				return dv, du
+			}
+			u /= r
+			v /= r
+		}
+	}
+}
+
+// HSN lays out an l-level hierarchical swap network (§4.3): the quotient is
+// an (lvl−1)-dimensional radix-r generalized hypercube and each cluster is
+// an r-node nucleus. nucleus nil means a complete graph K_r.
+func HSN(lvl, r, l, nodeSide int, nucleus *track.Collinear) (*layout.Layout, error) {
+	cfg, err := hsnConfig(lvl, r, l, nodeSide, nucleus)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+// HSNGeometry plans the HSN layout's geometry.
+func HSNGeometry(lvl, r, l int) (core.Geometry, error) {
+	cfg, err := hsnConfig(lvl, r, l, 0, nil)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	spec, err := BuildSpec(cfg)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	return core.Plan(spec)
+}
+
+func hsnConfig(lvl, r, l, nodeSide int, nucleus *track.Collinear) (Config, error) {
+	if lvl < 2 || r < 2 {
+		return Config{}, fmt.Errorf("HSN: need lvl >= 2 and r >= 2")
+	}
+	if nucleus == nil {
+		nucleus = track.Complete(r)
+	}
+	dims := lvl - 1
+	low := make([]int, dims/2)
+	high := make([]int, dims-dims/2)
+	for i := range low {
+		low[i] = r
+	}
+	for i := range high {
+		high[i] = r
+	}
+	att := digitAttach(r)
+	return Config{
+		Name:      fmt.Sprintf("HSN(l=%d,r=%d) L=%d", lvl, r, l),
+		RowFac:    track.GeneralizedHypercube(low),
+		ColFac:    track.GeneralizedHypercube(high),
+		C:         r,
+		Intra:     nucleus,
+		AttachRow: att,
+		AttachCol: att,
+		Label:     func(c, i int) int { return c*r + i },
+		L:         l, NodeSide: nodeSide,
+	}, nil
+}
+
+// HHN lays out a hierarchical hypercube network: an HSN whose nuclei are
+// 2^m-node hypercubes.
+func HHN(lvl, m, l, nodeSide int) (*layout.Layout, error) {
+	lay, err := HSN(lvl, 1<<uint(m), l, nodeSide, track.Hypercube(m))
+	if lay != nil {
+		lay.Name = fmt.Sprintf("HHN(l=%d,m=%d) L=%d", lvl, m, l)
+	}
+	return lay, err
+}
+
+// butterflyAttach attaches the two copies of a cross-link pair between rows
+// w and w ⊕ 2^ℓ: copy 0 leaves the low row at level ℓ and enters the high
+// row at level ℓ+1; copy 1 is the mirror.
+func butterflyAttach(m int) func(u, v, c int) (int, int) {
+	return func(u, v, c int) (int, int) {
+		l := bitIndex(u ^ v)
+		if c == 0 {
+			return l, (l + 1) % m
+		}
+		return (l + 1) % m, l
+	}
+}
+
+// Butterfly lays out the wrapped butterfly with 2^m rows and m levels
+// (§4.2) as a PN cluster: row clusters of m levels (a cycle strip) over a
+// hypercube quotient carrying 2 parallel links per neighboring pair.
+func Butterfly(m, l, nodeSide int) (*layout.Layout, error) {
+	cfg, err := butterflyConfig(m, l, nodeSide)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+// ButterflyGeometry plans the butterfly layout's geometry.
+func ButterflyGeometry(m, l int) (core.Geometry, error) {
+	cfg, err := butterflyConfig(m, l, 0)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	spec, err := BuildSpec(cfg)
+	if err != nil {
+		return core.Geometry{}, err
+	}
+	return core.Plan(spec)
+}
+
+func butterflyConfig(m, l, nodeSide int) (Config, error) {
+	if m < 3 {
+		return Config{}, fmt.Errorf("Butterfly layout: need m >= 3, got %d", m)
+	}
+	rows := 1 << uint(m)
+	att := butterflyAttach(m)
+	return Config{
+		Name:         fmt.Sprintf("butterfly(%d) L=%d", m, l),
+		RowFac:       track.Hypercube(m / 2),
+		ColFac:       track.Hypercube((m + 1) / 2),
+		C:            m,
+		Intra:        track.Ring(m),
+		Multiplicity: 2,
+		AttachRow:    att,
+		AttachCol:    att,
+		Label:        func(w, lev int) int { return lev*rows + w },
+		L:            l, NodeSide: nodeSide,
+	}, nil
+}
+
+// ISN lays out the indirect swap network substitute (see DESIGN.md): like
+// the butterfly but with a single cross link per neighboring row pair, so
+// the quotient multiplicity is 1 — the property §4.3 uses to claim a
+// quarter of the butterfly's area and half its wire length.
+func ISN(m, l, nodeSide int) (*layout.Layout, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("ISN layout: need m >= 3, got %d", m)
+	}
+	rows := 1 << uint(m)
+	cfg := Config{
+		Name:   fmt.Sprintf("ISN(%d) L=%d", m, l),
+		RowFac: track.Hypercube(m / 2),
+		ColFac: track.Hypercube((m + 1) / 2),
+		C:      m,
+		Intra:  track.Ring(m),
+		AttachRow: func(u, v, _ int) (int, int) {
+			l := bitIndex(u ^ v)
+			return l, (l + 1) % m
+		},
+		AttachCol: func(u, v, _ int) (int, int) {
+			l := bitIndex(u ^ v)
+			return l, (l + 1) % m
+		},
+		Label: func(w, lev int) int { return lev*rows + w },
+		L:     l, NodeSide: nodeSide,
+	}
+	return Build(cfg)
+}
+
+// KAryClusterC lays out a k-ary n-cube cluster-c (§3.2): the quotient is a
+// k-ary n-cube and each cluster a c-node hypercube; the quotient link of
+// dimension d attaches to member d mod c at both ends.
+func KAryClusterC(k, n, c, l, nodeSide int) (*layout.Layout, error) {
+	if c < 2 || c&(c-1) != 0 {
+		return nil, fmt.Errorf("KAryClusterC: c=%d must be a power of two >= 2", c)
+	}
+	logc := bits.TrailingZeros(uint(c))
+	attach := func(u, v, _ int) (int, int) {
+		d := 0
+		for u%k == v%k {
+			u /= k
+			v /= k
+			d++
+		}
+		return d % c, d % c
+	}
+	rowFac := track.KAryNCube(k, n/2, false)
+	if n/2 == 0 {
+		rowFac = &track.Collinear{Name: "trivial", N: 1}
+	}
+	cfg := Config{
+		Name:      fmt.Sprintf("%d-ary %d-cube cluster-%d L=%d", k, n, c, l),
+		RowFac:    rowFac,
+		ColFac:    track.KAryNCube(k, (n+1)/2, false),
+		C:         c,
+		Intra:     track.Hypercube(logc),
+		AttachRow: attach,
+		AttachCol: attach,
+		Label:     func(q, i int) int { return q*c + i },
+		L:         l, NodeSide: nodeSide,
+	}
+	return Build(cfg)
+}

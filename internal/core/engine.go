@@ -1,0 +1,604 @@
+// Package core implements the paper's primary contribution: the orthogonal
+// multilayer layout scheme (§2.4). Network nodes are arranged in a 2-D grid
+// so that every link joins two nodes of the same row or the same column;
+// each row (column) is routed as a collinear layout in the channel above
+// (right of) it; and the horizontal and vertical track bundles are split
+// across ⌈L/2⌉ odd and ⌊L/2⌋ even wiring layers respectively. The result is
+// a fully realized, machine-verifiable layout.Layout.
+//
+// The engine accepts explicit per-channel edge lists, which makes it
+// expressive enough for everything in the paper: uniform product networks
+// (k-ary n-cubes, hypercubes, generalized hypercubes) via FromFactors;
+// PN clusters laid out as in-row cluster strips (§2.3/§3.2) via the cluster
+// package, including quotient links that attach to different cluster members
+// at their two ends (bent edges); and the folded/enhanced hypercubes'
+// diameter links (§5.3) as bent edges on dedicated tracks.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlvlsi/internal/grid"
+	"mlvlsi/internal/layout"
+)
+
+// ChannelEdge is one link routed inside a single row or column channel.
+// For a row edge, Index is the row and U < V are column positions; for a
+// column edge, Index is the column and U < V are row positions. Track is an
+// identifier in the direction's track namespace; two edges sharing (Index,
+// Track) must have intervals with disjoint interiors.
+type ChannelEdge struct {
+	Index int
+	U, V  int
+	Track int
+}
+
+// BentEdge is a link between two arbitrary grid positions: it leaves the U
+// node through a top port, runs along a horizontal track in the channel
+// above URow (track id HTrack in the row-track namespace of that channel),
+// turns onto a vertical track in the channel right of the V node's column
+// (track id VTrack in that column's namespace), and enters the V node
+// through a right port. Bent edges share row/column tracks with channel
+// edges under the same interval-disjointness rule: the horizontal segment
+// occupies columns [UCol, VCol+channel] and the vertical segment rows
+// [URow+channel, VRow].
+type BentEdge struct {
+	URow, UCol int
+	VRow, VCol int
+	HTrack     int
+	VTrack     int
+}
+
+// Spec describes an orthogonal multilayer layout instance.
+type Spec struct {
+	Name string
+	// Rows × Cols node grid.
+	Rows, Cols int
+	// L is the number of wiring layers (>= 2).
+	L int
+	// NodeSide, when positive, fixes the node square side; it must be at
+	// least the per-side port demand. Zero selects the smallest legal side,
+	// the paper's "minimum size required to implement a node".
+	NodeSide int
+	// Label maps grid position to node label (a bijection onto
+	// 0..Rows·Cols-1). Nil means row-major order.
+	Label func(row, col int) int
+
+	RowEdges []ChannelEdge
+	ColEdges []ChannelEdge
+	Bent     []BentEdge
+}
+
+// dedicatedBase starts the track-id range AddDedicatedBent allocates from;
+// regular builders must keep their track ids below it.
+const dedicatedBase = 1 << 30
+
+// AddDedicatedBent appends a bent edge on fresh dedicated tracks (one new
+// horizontal track in U's row channel, one new vertical track in V's column
+// channel), the way §5.3 routes each folded-hypercube diameter link.
+func (s *Spec) AddDedicatedBent(uRow, uCol, vRow, vCol int) {
+	id := dedicatedBase + len(s.Bent)
+	s.Bent = append(s.Bent, BentEdge{
+		URow: uRow, UCol: uCol, VRow: vRow, VCol: vCol,
+		HTrack: id, VTrack: id,
+	})
+}
+
+// endRef identifies one wire end: kind 0 = row edge, 1 = column edge,
+// 2 = bent edge U end, 3 = bent edge V end; idx indexes the respective
+// slice and isV distinguishes the two ends of a channel edge.
+type endRef struct {
+	kind int
+	idx  int
+	isV  bool
+}
+
+type portItem struct {
+	dir  int
+	rank int
+	ref  endRef
+}
+
+type key struct{ index, track int }
+
+// Build realizes the spec as a concrete multilayer layout. The returned
+// layout passes layout.Verify for every legal spec; Build itself validates
+// spec-level invariants (ranges, track interval disjointness, port
+// capacity).
+func Build(spec Spec) (*layout.Layout, error) {
+	lay, _, err := build(spec, true)
+	return lay, err
+}
+
+func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
+	var geom Geometry
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, geom, fmt.Errorf("%s: grid %dx%d is empty", spec.Name, spec.Rows, spec.Cols)
+	}
+	if spec.L < 2 {
+		return nil, geom, fmt.Errorf("%s: need at least 2 wiring layers, got %d", spec.Name, spec.L)
+	}
+	label := spec.Label
+	if label == nil {
+		label = func(r, c int) int { return r*spec.Cols + c }
+	}
+	n := spec.Rows * spec.Cols
+	if err := checkLabels(spec, label, n); err != nil {
+		return nil, geom, err
+	}
+	if err := checkEdges(&spec); err != nil {
+		return nil, geom, err
+	}
+
+	gH := (spec.L + 1) / 2 // horizontal track groups, on odd layers 1,3,…
+	gV := spec.L / 2       // vertical track groups, on even layers 2,4,…
+
+	assignment, hSlots, wSlots := assignTracks(&spec, gH, gV)
+
+	// Port demand per node.
+	top := make([]int, n)   // ports on the node's top edge
+	right := make([]int, n) // ports on the node's right edge
+	at := func(r, c int) int { return r*spec.Cols + c }
+	for _, e := range spec.RowEdges {
+		top[at(e.Index, e.U)]++
+		top[at(e.Index, e.V)]++
+	}
+	for _, e := range spec.ColEdges {
+		right[at(e.U, e.Index)]++
+		right[at(e.V, e.Index)]++
+	}
+	for _, e := range spec.Bent {
+		top[at(e.URow, e.UCol)]++
+		right[at(e.VRow, e.VCol)]++
+	}
+	need := 1
+	for i := 0; i < n; i++ {
+		if top[i] > need {
+			need = top[i]
+		}
+		if right[i] > need {
+			need = right[i]
+		}
+	}
+	side := spec.NodeSide
+	if side == 0 {
+		side = need
+	} else if side < need {
+		return nil, geom, fmt.Errorf("%s: node side %d < required port count %d", spec.Name, side, need)
+	}
+
+	// Grid coordinates.
+	rowY := make([]int, spec.Rows+1)
+	for i := 0; i < spec.Rows; i++ {
+		rowY[i+1] = rowY[i] + side + 1 + hSlots[i]
+	}
+	colX := make([]int, spec.Cols+1)
+	for j := 0; j < spec.Cols; j++ {
+		colX[j+1] = colX[j] + side + 1 + wSlots[j]
+	}
+
+	geom = Geometry{
+		Side:   side,
+		Rows:   spec.Rows,
+		Cols:   spec.Cols,
+		HSlots: hSlots,
+		WSlots: wSlots,
+		Width:  colX[spec.Cols] - 1,
+		Height: rowY[spec.Rows] - 1,
+	}
+	for _, w := range wSlots {
+		geom.ChannelWidth += w
+	}
+	for _, h := range hSlots {
+		geom.ChannelHeight += h
+	}
+	if !realize {
+		return nil, geom, nil
+	}
+
+	// Port assignment. Each wire end at a node gets a distinct offset in
+	// [0, side). Ends are sorted so that, on a shared track, the end of the
+	// edge arriving from the lower side precedes the end of the edge
+	// leaving toward the higher side, keeping same-track trunk intervals
+	// interior-disjoint in realized coordinates.
+	topEnds := make([][]portItem, n)
+	rightEnds := make([][]portItem, n)
+	for i, e := range spec.RowEdges {
+		r := assignment.row[key{e.Index, e.Track}].order()
+		topEnds[at(e.Index, e.U)] = append(topEnds[at(e.Index, e.U)], portItem{dir: 1, rank: r, ref: endRef{0, i, false}})
+		topEnds[at(e.Index, e.V)] = append(topEnds[at(e.Index, e.V)], portItem{dir: 0, rank: r, ref: endRef{0, i, true}})
+	}
+	for i, e := range spec.ColEdges {
+		r := assignment.col[key{e.Index, e.Track}].order()
+		rightEnds[at(e.U, e.Index)] = append(rightEnds[at(e.U, e.Index)], portItem{dir: 1, rank: r, ref: endRef{1, i, false}})
+		rightEnds[at(e.V, e.Index)] = append(rightEnds[at(e.V, e.Index)], portItem{dir: 0, rank: r, ref: endRef{1, i, true}})
+	}
+	for i, e := range spec.Bent {
+		// U end: the horizontal segment heads toward the trunk channel
+		// right of VCol; it leaves rightward iff that channel is at or
+		// right of UCol.
+		uDir := 1
+		if e.VCol < e.UCol {
+			uDir = 0
+		}
+		// V end: the vertical trunk spans from URow's channel to VRow; it
+		// arrives from below iff URow < VRow (for URow == VRow the trunk
+		// comes down from the channel above, i.e. from above).
+		vDir := 1
+		if e.URow < e.VRow {
+			vDir = 0
+		}
+		topEnds[at(e.URow, e.UCol)] = append(topEnds[at(e.URow, e.UCol)], portItem{dir: uDir, rank: assignment.row[key{e.URow, e.HTrack}].order(), ref: endRef{2, i, false}})
+		rightEnds[at(e.VRow, e.VCol)] = append(rightEnds[at(e.VRow, e.VCol)], portItem{dir: vDir, rank: assignment.col[key{e.VCol, e.VTrack}].order(), ref: endRef{3, i, true}})
+	}
+	endPort := make(map[endRef]int)
+	assign := func(ends [][]portItem) error {
+		for node, items := range ends {
+			sort.SliceStable(items, func(a, b int) bool {
+				if items[a].dir != items[b].dir {
+					return items[a].dir < items[b].dir
+				}
+				return items[a].rank < items[b].rank
+			})
+			if len(items) > side {
+				return fmt.Errorf("%s: node %d needs %d ports on one side, side is %d", spec.Name, node, len(items), side)
+			}
+			for off, it := range items {
+				endPort[it.ref] = off
+			}
+		}
+		return nil
+	}
+	if err := assign(topEnds); err != nil {
+		return nil, geom, err
+	}
+	if err := assign(rightEnds); err != nil {
+		return nil, geom, err
+	}
+
+	// Layer helpers.
+	hLayer := func(a trackAssign) (layerH, layerV int, slot int) {
+		slot = a.slot
+		layerH = 2*a.group + 1
+		layerV = layerH + 1
+		if layerV > spec.L {
+			layerV = layerH - 1
+		}
+		return
+	}
+	vLayer := func(a trackAssign) (layerV, layerH int, slot int) {
+		slot = a.slot
+		layerV = 2*a.group + 2
+		layerH = layerV + 1
+		if layerH > spec.L {
+			layerH = layerV - 1
+		}
+		return
+	}
+
+	// Realize wires.
+	lay := &layout.Layout{Name: spec.Name, L: spec.L}
+	lay.Nodes = make([]grid.Rect, n)
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			lay.Nodes[label(r, c)] = grid.Rect{X: colX[c], Y: rowY[r], W: side, H: side}
+		}
+	}
+	wireID := 0
+	addWire := func(u, v int, path []grid.Point) {
+		lay.Wires = append(lay.Wires, grid.Wire{ID: wireID, U: u, V: v, Path: path})
+		wireID++
+	}
+
+	for i, e := range spec.RowEdges {
+		lh, lv, slot := hLayer(assignment.row[key{e.Index, e.Track}])
+		yT := rowY[e.Index] + side + 1 + slot
+		yTop := rowY[e.Index] + side
+		xu := colX[e.U] + endPort[endRef{0, i, false}]
+		xv := colX[e.V] + endPort[endRef{0, i, true}]
+		addWire(label(e.Index, e.U), label(e.Index, e.V), []grid.Point{
+			{X: xu, Y: yTop, Z: 0},
+			{X: xu, Y: yTop, Z: lv},
+			{X: xu, Y: yT, Z: lv},
+			{X: xu, Y: yT, Z: lh},
+			{X: xv, Y: yT, Z: lh},
+			{X: xv, Y: yT, Z: lv},
+			{X: xv, Y: yTop, Z: lv},
+			{X: xv, Y: yTop, Z: 0},
+		})
+	}
+	for i, e := range spec.ColEdges {
+		lv, lh, slot := vLayer(assignment.col[key{e.Index, e.Track}])
+		xT := colX[e.Index] + side + 1 + slot
+		xR := colX[e.Index] + side
+		yu := rowY[e.U] + endPort[endRef{1, i, false}]
+		yv := rowY[e.V] + endPort[endRef{1, i, true}]
+		addWire(label(e.U, e.Index), label(e.V, e.Index), []grid.Point{
+			{X: xR, Y: yu, Z: 0},
+			{X: xR, Y: yu, Z: lh},
+			{X: xT, Y: yu, Z: lh},
+			{X: xT, Y: yu, Z: lv},
+			{X: xT, Y: yv, Z: lv},
+			{X: xT, Y: yv, Z: lh},
+			{X: xR, Y: yv, Z: lh},
+			{X: xR, Y: yv, Z: 0},
+		})
+	}
+	for i, e := range spec.Bent {
+		lh, lvStub, hSlot := hLayer(assignment.row[key{e.URow, e.HTrack}])
+		yT := rowY[e.URow] + side + 1 + hSlot
+		yTop := rowY[e.URow] + side
+		xu := colX[e.UCol] + endPort[endRef{2, i, false}]
+		lv2, lh2, vSlot := vLayer(assignment.col[key{e.VCol, e.VTrack}])
+		xT := colX[e.VCol] + side + 1 + vSlot
+		xR := colX[e.VCol] + side
+		yv := rowY[e.VRow] + endPort[endRef{3, i, true}]
+		addWire(label(e.URow, e.UCol), label(e.VRow, e.VCol), []grid.Point{
+			{X: xu, Y: yTop, Z: 0},
+			{X: xu, Y: yTop, Z: lvStub},
+			{X: xu, Y: yT, Z: lvStub},
+			{X: xu, Y: yT, Z: lh},
+			{X: xT, Y: yT, Z: lh},
+			{X: xT, Y: yT, Z: lv2},
+			{X: xT, Y: yv, Z: lv2},
+			{X: xT, Y: yv, Z: lh2},
+			{X: xR, Y: yv, Z: lh2},
+			{X: xR, Y: yv, Z: 0},
+		})
+	}
+	return lay, geom, nil
+}
+
+func ceilDiv(a, b int) int {
+	if a == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// trackAssign places a channel track in a layer group and a slot within
+// that group's share of the channel.
+type trackAssign struct {
+	group, slot int
+}
+
+// order gives a total order of tracks within one channel, used only to
+// order ports consistently with trunk coordinates.
+func (a trackAssign) order() int { return a.slot<<16 | a.group }
+
+type assignResult struct {
+	row, col map[key]trackAssign
+}
+
+// assignTracks distributes each channel's tracks over layer groups.
+// Regular tracks balance freely; the H and V tracks of a bent edge are
+// pinned to one common group, so the junction via between the bent's
+// horizontal run (layer 2g+1) and vertical run (layer 2g+2) is a single
+// z-edge whose layer pair is unique per group — without this, junction vias
+// of different layer groups could land on the same (x, y) channel-slot
+// crossing and overlap. Track-sharing chains (several bents sharing escape
+// or trunk tracks) are grouped by union-find and spread round-robin over
+// the min(gH, gV) usable groups.
+func assignTracks(spec *Spec, gH, gV int) (assignResult, []int, []int) {
+	type tnode struct {
+		isCol          bool
+		channel, track int
+	}
+	// Union-find over bent-linked tracks.
+	parent := make(map[tnode]tnode)
+	var find func(tnode) tnode
+	find = func(x tnode) tnode {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b tnode) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range spec.Bent {
+		union(tnode{false, e.URow, e.HTrack}, tnode{true, e.VCol, e.VTrack})
+	}
+	// Assign every bent component a group in [0, min(gH, gV)).
+	gMin := gH
+	if gV < gMin {
+		gMin = gV
+	}
+	compGroup := make(map[tnode]int)
+	var reps []tnode
+	seen := make(map[tnode]bool)
+	for _, e := range spec.Bent {
+		for _, nd := range []tnode{{false, e.URow, e.HTrack}, {true, e.VCol, e.VTrack}} {
+			r := find(nd)
+			if !seen[r] {
+				seen[r] = true
+				reps = append(reps, r)
+			}
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool {
+		a, b := reps[i], reps[j]
+		if a.isCol != b.isCol {
+			return !a.isCol
+		}
+		if a.channel != b.channel {
+			return a.channel < b.channel
+		}
+		return a.track < b.track
+	})
+	for i, r := range reps {
+		compGroup[r] = i % gMin
+	}
+	pinnedGroup := func(nd tnode) (int, bool) {
+		r := find(nd)
+		g, ok := compGroup[r]
+		return g, ok
+	}
+
+	// Collect used track ids per channel.
+	rowIDs := make([][]int, spec.Rows)
+	colIDs := make([][]int, spec.Cols)
+	for _, e := range spec.RowEdges {
+		rowIDs[e.Index] = append(rowIDs[e.Index], e.Track)
+	}
+	for _, e := range spec.ColEdges {
+		colIDs[e.Index] = append(colIDs[e.Index], e.Track)
+	}
+	for _, e := range spec.Bent {
+		rowIDs[e.URow] = append(rowIDs[e.URow], e.HTrack)
+		colIDs[e.VCol] = append(colIDs[e.VCol], e.VTrack)
+	}
+
+	res := assignResult{row: make(map[key]trackAssign), col: make(map[key]trackAssign)}
+	place := func(ids [][]int, isCol bool, groups int, out map[key]trackAssign) []int {
+		slots := make([]int, len(ids))
+		for ch, tracks := range ids {
+			sort.Ints(tracks)
+			uniq := tracks[:0]
+			prev := 0
+			for i, t := range tracks {
+				if i == 0 || t != prev {
+					uniq = append(uniq, t)
+				}
+				prev = t
+			}
+			load := make([]int, groups)
+			// Pinned (bent) tracks first, then free tracks onto the
+			// lightest group.
+			var freeTracks []int
+			for _, t := range uniq {
+				if g, ok := pinnedGroup(tnode{isCol, ch, t}); ok {
+					out[key{ch, t}] = trackAssign{group: g, slot: load[g]}
+					load[g]++
+				} else {
+					freeTracks = append(freeTracks, t)
+				}
+			}
+			for _, t := range freeTracks {
+				g := 0
+				for i := 1; i < groups; i++ {
+					if load[i] < load[g] {
+						g = i
+					}
+				}
+				out[key{ch, t}] = trackAssign{group: g, slot: load[g]}
+				load[g]++
+			}
+			max := 0
+			for _, l := range load {
+				if l > max {
+					max = l
+				}
+			}
+			slots[ch] = max
+		}
+		return slots
+	}
+	hSlots := place(rowIDs, false, gH, res.row)
+	wSlots := place(colIDs, true, gV, res.col)
+	return res, hSlots, wSlots
+}
+
+func checkLabels(spec Spec, label func(int, int) int, n int) error {
+	seen := make([]bool, n)
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			l := label(r, c)
+			if l < 0 || l >= n || seen[l] {
+				return fmt.Errorf("%s: Label is not a bijection at (%d,%d) -> %d", spec.Name, r, c, l)
+			}
+			seen[l] = true
+		}
+	}
+	return nil
+}
+
+// checkEdges validates ranges and per-(channel, track) interval
+// disjointness. Intervals are measured in half-positions so that bent-edge
+// segments, which end inside a channel rather than at a node, can share
+// tracks with channel edges safely: position p maps to 2p (node) and the
+// channel right of / above p maps to 2p+1.
+func checkEdges(spec *Spec) error {
+	type iv struct{ u, v int }
+	rowIv := make(map[key][]iv)
+	colIv := make(map[key][]iv)
+
+	for i, e := range spec.RowEdges {
+		if e.Index < 0 || e.Index >= spec.Rows {
+			return fmt.Errorf("%s: row edge %d channel %d out of range", spec.Name, i, e.Index)
+		}
+		if e.U < 0 || e.V >= spec.Cols || e.U >= e.V {
+			return fmt.Errorf("%s: row edge %d interval [%d,%d] invalid", spec.Name, i, e.U, e.V)
+		}
+		k := key{e.Index, e.Track}
+		rowIv[k] = append(rowIv[k], iv{2 * e.U, 2 * e.V})
+	}
+	for i, e := range spec.ColEdges {
+		if e.Index < 0 || e.Index >= spec.Cols {
+			return fmt.Errorf("%s: column edge %d channel %d out of range", spec.Name, i, e.Index)
+		}
+		if e.U < 0 || e.V >= spec.Rows || e.U >= e.V {
+			return fmt.Errorf("%s: column edge %d interval [%d,%d] invalid", spec.Name, i, e.U, e.V)
+		}
+		k := key{e.Index, e.Track}
+		colIv[k] = append(colIv[k], iv{2 * e.U, 2 * e.V})
+	}
+	for i, e := range spec.Bent {
+		if e.URow < 0 || e.URow >= spec.Rows || e.VRow < 0 || e.VRow >= spec.Rows ||
+			e.UCol < 0 || e.UCol >= spec.Cols || e.VCol < 0 || e.VCol >= spec.Cols {
+			return fmt.Errorf("%s: bent edge %d out of range", spec.Name, i)
+		}
+		if e.URow == e.VRow && e.UCol == e.VCol {
+			return fmt.Errorf("%s: bent edge %d is a self-loop", spec.Name, i)
+		}
+		// Horizontal segment: from the U port (2·UCol) to the trunk channel
+		// (2·VCol+1).
+		hu, hv := 2*e.UCol, 2*e.VCol+1
+		if hu > hv {
+			hu, hv = hv, hu
+		}
+		hk := key{e.URow, e.HTrack}
+		rowIv[hk] = append(rowIv[hk], iv{hu, hv})
+		// Vertical segment: from URow's channel (2·URow+1) to the V port
+		// (2·VRow).
+		vu, vv := 2*e.URow+1, 2*e.VRow
+		if vu > vv {
+			vu, vv = vv, vu
+		}
+		vk := key{e.VCol, e.VTrack}
+		colIv[vk] = append(colIv[vk], iv{vu, vv})
+	}
+
+	checkDisjoint := func(m map[key][]iv, what string) error {
+		for k, ivs := range m {
+			sort.Slice(ivs, func(a, b int) bool {
+				if ivs[a].u != ivs[b].u {
+					return ivs[a].u < ivs[b].u
+				}
+				return ivs[a].v < ivs[b].v
+			})
+			for i := 1; i < len(ivs); i++ {
+				// Touching at a node (even half-position) is safe: distinct
+				// ports order the realized endpoints. Touching inside a
+				// channel (odd half-position) is not, since both segments
+				// end at track-slot coordinates that need not be ordered.
+				if ivs[i].u < ivs[i-1].v || (ivs[i].u == ivs[i-1].v && ivs[i].u%2 == 1) {
+					return fmt.Errorf("%s: %s channel %d track %d intervals [%d,%d] and [%d,%d] overlap (half-position units)",
+						spec.Name, what, k.index, k.track, ivs[i-1].u, ivs[i-1].v, ivs[i].u, ivs[i].v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkDisjoint(rowIv, "row"); err != nil {
+		return err
+	}
+	return checkDisjoint(colIv, "column")
+}

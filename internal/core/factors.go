@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/track"
+)
+
+// FromFactors builds the spec of the paper's product-network layout (§3.2):
+// the node grid has one column per position of rowFac and one row per
+// position of colFac; every row is wired as the collinear layout rowFac and
+// every column as colFac. The node at grid position (r, c) receives label
+// colFac.Label(r)·rowFac.N + rowFac.Label(c), so for factor layouts built by
+// the track package the realized graph is exactly the Cartesian product
+// topology on its canonical labels.
+func FromFactors(name string, rowFac, colFac *track.Collinear, l, nodeSide int) Spec {
+	spec := Spec{
+		Name:     name,
+		Rows:     colFac.N,
+		Cols:     rowFac.N,
+		L:        l,
+		NodeSide: nodeSide,
+		Label: func(r, c int) int {
+			return colFac.Label(r)*rowFac.N + rowFac.Label(c)
+		},
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for _, e := range rowFac.Edges {
+			spec.RowEdges = append(spec.RowEdges, ChannelEdge{Index: r, U: e.U, V: e.V, Track: e.Track})
+		}
+	}
+	for c := 0; c < spec.Cols; c++ {
+		for _, e := range colFac.Edges {
+			spec.ColEdges = append(spec.ColEdges, ChannelEdge{Index: c, U: e.U, V: e.V, Track: e.Track})
+		}
+	}
+	return spec
+}
+
+// BuildProduct lays out the product of the two collinear factors under L
+// wiring layers (nodeSide 0 = minimal).
+func BuildProduct(name string, rowFac, colFac *track.Collinear, l, nodeSide int) (*layout.Layout, error) {
+	return Build(FromFactors(name, rowFac, colFac, l, nodeSide))
+}
+
+// KAryNCube lays out a k-ary n-cube under L wiring layers following §3.1:
+// the row factor is a k-ary ⌊n/2⌋-cube and the column factor a k-ary
+// ⌈n/2⌉-cube, both as 2(k^m−1)/(k−1)-track collinear layouts (folded rings
+// when folded is set, which shortens the maximum wire to O(N/(Lk²))).
+func KAryNCube(k, n, l int, folded bool, nodeSide int) (*layout.Layout, error) {
+	rowFac := track.KAryNCube(k, n/2, folded)
+	colFac := track.KAryNCube(k, (n+1)/2, folded)
+	if n/2 == 0 {
+		rowFac = &track.Collinear{Name: "trivial", N: 1}
+	}
+	name := fmt.Sprintf("%d-ary %d-cube L=%d", k, n, l)
+	if folded {
+		name += " folded"
+	}
+	return BuildProduct(name, rowFac, colFac, l, nodeSide)
+}
+
+// Hypercube lays out the binary n-cube under L wiring layers following
+// §5.1: both factors are the ⌊2N/3⌋-track collinear hypercube layouts.
+func Hypercube(n, l, nodeSide int) (*layout.Layout, error) {
+	rowFac := track.Hypercube(n / 2)
+	colFac := track.Hypercube((n + 1) / 2)
+	return BuildProduct(fmt.Sprintf("%d-cube L=%d", n, l), rowFac, colFac, l, nodeSide)
+}
+
+// GeneralizedHypercube lays out an n-dimensional mixed-radix generalized
+// hypercube under L wiring layers following §4.1: the low ⌊n/2⌋ dimensions
+// form the row factor and the high ⌈n/2⌉ dimensions the column factor, each
+// as the (N−1)⌊r²/4⌋/(r−1)-track collinear layout. radices[0] is least
+// significant.
+func GeneralizedHypercube(radices []int, l, nodeSide int) (*layout.Layout, error) {
+	m := len(radices) / 2
+	rowFac := track.GeneralizedHypercube(radices[:m])
+	colFac := track.GeneralizedHypercube(radices[m:])
+	if m == 0 {
+		rowFac = &track.Collinear{Name: "trivial", N: 1}
+	}
+	return BuildProduct(fmt.Sprintf("GHC%v L=%d", radices, l), rowFac, colFac, l, nodeSide)
+}
+
+// Mesh lays out an n-dimensional mesh under L wiring layers (§3.2's first
+// product-network example): the low ⌊n/2⌋ extents form the row factor and
+// the high ⌈n/2⌉ the column factor, each as a product-of-paths collinear
+// layout. dims[0] is least significant, matching topology.Mesh.
+func Mesh(dims []int, l, nodeSide int) (*layout.Layout, error) {
+	m := len(dims) / 2
+	rowFac := track.MeshCollinear(dims[:m])
+	colFac := track.MeshCollinear(dims[m:])
+	if m == 0 {
+		rowFac = &track.Collinear{Name: "trivial", N: 1}
+	}
+	return BuildProduct(fmt.Sprintf("mesh%v L=%d", dims, l), rowFac, colFac, l, nodeSide)
+}

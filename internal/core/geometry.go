@@ -1,0 +1,40 @@
+package core
+
+// Geometry reports the planned dimensions of a layout before realization.
+// The paper's closed-form areas (e.g. 16N²/(9L²) for hypercubes) count
+// wiring tracks only, treating node squares as asymptotically negligible;
+// ChannelWidth and ChannelHeight isolate that wiring contribution so
+// experiments can compare leading constants without the O(N·d) node-area
+// term that vanishes only as N → ∞.
+type Geometry struct {
+	// Side is the realized node square side.
+	Side int
+	// Rows, Cols echo the spec grid.
+	Rows, Cols int
+	// HSlots[i] is the per-layer track count of the channel above row i;
+	// WSlots[j] likewise right of column j.
+	HSlots, WSlots []int
+	// Width and Height are the full planar extents including node squares
+	// and inter-region gaps.
+	Width, Height int
+	// ChannelWidth = Σ WSlots and ChannelHeight = Σ HSlots: the
+	// wiring-only extents the paper's formulas predict.
+	ChannelWidth, ChannelHeight int
+}
+
+// ChannelArea is the wiring-only area ChannelWidth × ChannelHeight.
+func (g Geometry) ChannelArea() int {
+	return g.ChannelWidth * g.ChannelHeight
+}
+
+// Area is the full planar area Width × Height.
+func (g Geometry) Area() int {
+	return g.Width * g.Height
+}
+
+// Plan computes the geometry of a spec without realizing wires. It performs
+// the same validation as Build.
+func Plan(spec Spec) (Geometry, error) {
+	_, geom, err := build(spec, false)
+	return geom, err
+}

@@ -1,0 +1,71 @@
+// Package extra implements §5.3 of the paper: hypercube layouts augmented
+// with additional long links — the folded hypercube's N/2 diameter
+// (bitwise-complement) links and the enhanced cube's N random extra links.
+// Each extra link is routed on one dedicated horizontal track in its source
+// row and one dedicated vertical track in its destination column (a bent
+// edge), exactly the accounting behind the paper's (7N/3L)² and (10N/3L)²
+// area results.
+package extra
+
+import (
+	"fmt"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/topology"
+	"mlvlsi/internal/track"
+)
+
+// hypercubeSpec builds the base n-cube spec plus a position lookup from
+// node label to grid coordinates.
+func hypercubeSpec(n, l, nodeSide int, name string) (core.Spec, func(label int) (int, int)) {
+	rowFac := track.Hypercube(n / 2)
+	colFac := track.Hypercube((n + 1) / 2)
+	spec := core.FromFactors(name, rowFac, colFac, l, nodeSide)
+	rowPos := rowFac.PositionOf()
+	colPos := colFac.PositionOf()
+	cols := rowFac.N
+	locate := func(label int) (int, int) {
+		return colPos[label/cols], rowPos[label%cols]
+	}
+	return spec, locate
+}
+
+// FoldedHypercube lays out the folded n-cube: the ⌊2N/3⌋-track hypercube
+// layout plus one diameter link per complementary node pair.
+func FoldedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("FoldedHypercube: need n >= 1")
+	}
+	spec, locate := hypercubeSpec(n, l, nodeSide, fmt.Sprintf("folded %d-cube L=%d", n, l))
+	mask := 1<<uint(n) - 1
+	for u := 0; u < 1<<uint(n); u++ {
+		v := u ^ mask
+		if u > v {
+			continue
+		}
+		ur, uc := locate(u)
+		vr, vc := locate(v)
+		spec.AddDedicatedBent(ur, uc, vr, vc)
+	}
+	return core.Build(spec)
+}
+
+// EnhancedCube lays out Varvarigos's enhanced cube: the hypercube plus one
+// pseudo-random outgoing link per node, drawn from the same deterministic
+// stream as topology.EnhancedCube so the realized graph matches it exactly
+// for the same seed.
+func EnhancedCube(n int, seed uint64, l, nodeSide int) (*layout.Layout, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("EnhancedCube: need n >= 1")
+	}
+	g := topology.EnhancedCube(n, seed)
+	spec, locate := hypercubeSpec(n, l, nodeSide, fmt.Sprintf("enhanced %d-cube L=%d", n, l))
+	cubeLinks := n << uint(n-1)
+	for _, lk := range g.Links[cubeLinks:] {
+		ur, uc := locate(lk.U)
+		vr, vc := locate(lk.V)
+		spec.AddDedicatedBent(ur, uc, vr, vc)
+	}
+	return core.Build(spec)
+}

@@ -1,0 +1,143 @@
+// Package formulas encodes every closed-form cost expression the paper
+// derives, so experiments can print paper-predicted versus measured values
+// side by side. All expressions are leading terms: the paper's results hold
+// up to 1 + o(1) as N grows with node sizes held negligible.
+package formulas
+
+import "math"
+
+// LayerFactor returns the paper's effective squared-layer divisor: L² for
+// even L, L²−1 for odd L (odd layouts split tracks (L+1)/2 : (L−1)/2).
+func LayerFactor(l int) float64 {
+	if l%2 == 0 {
+		return float64(l) * float64(l)
+	}
+	return float64(l*l - 1)
+}
+
+// KAryArea is §3.1: 16N²/(L²k²) for even L, 16N²/((L²−1)k²) for odd.
+func KAryArea(n, k, l int) float64 {
+	return 16 * float64(n) * float64(n) / (LayerFactor(l) * float64(k*k))
+}
+
+// KAryVolume is §3.1: 16N²/(Lk²) (even L) and 16N²L/((L²−1)k²) (odd).
+func KAryVolume(n, k, l int) float64 {
+	return float64(l) * KAryArea(n, k, l)
+}
+
+// KAryMaxWireBound is §3.1's O(N/(Lk²)) bound for folded rows/columns,
+// reported with constant 16 (the side length divided by k, which the folded
+// construction achieves up to constants).
+func KAryMaxWireBound(n, k, l int) float64 {
+	return 16 * float64(n) / (float64(l) * float64(k*k))
+}
+
+// GHCArea is §4.1: r²N²/(4L²), odd-L variant r²N²/(4(L²−1)).
+func GHCArea(n, r, l int) float64 {
+	return float64(r*r) * float64(n) * float64(n) / (4 * LayerFactor(l))
+}
+
+// GHCVolume is §4.1: r²N²/(4L).
+func GHCVolume(n, r, l int) float64 {
+	return float64(l) * GHCArea(n, r, l)
+}
+
+// GHCMaxWire is §4.1: rN/(2L).
+func GHCMaxWire(n, r, l int) float64 {
+	return float64(r) * float64(n) / (2 * float64(l))
+}
+
+// GHCPathWire is §4.1: rN/L, the maximum total wire length along a
+// shortest routing path.
+func GHCPathWire(n, r, l int) float64 {
+	return float64(r) * float64(n) / float64(l)
+}
+
+// ButterflyArea is §4.2: 4N²/(L² log₂²N), odd-L 4N²/((L²−1) log₂²N).
+func ButterflyArea(n, l int) float64 {
+	lg := math.Log2(float64(n))
+	return 4 * float64(n) * float64(n) / (LayerFactor(l) * lg * lg)
+}
+
+// ButterflyVolume is §4.2: 4N²/(L log₂²N).
+func ButterflyVolume(n, l int) float64 {
+	return float64(l) * ButterflyArea(n, l)
+}
+
+// ButterflyMaxWire is §4.2: 2N/(L log₂N).
+func ButterflyMaxWire(n, l int) float64 {
+	return 2 * float64(n) / (float64(l) * math.Log2(float64(n)))
+}
+
+// HSNArea is §4.3: N²/(4L²), odd-L N²/(4(L²−1)).
+func HSNArea(n, l int) float64 {
+	return float64(n) * float64(n) / (4 * LayerFactor(l))
+}
+
+// HSNVolume is §4.3: N²/(4L).
+func HSNVolume(n, l int) float64 {
+	return float64(l) * HSNArea(n, l)
+}
+
+// HSNMaxWire is §4.3: N/(2L).
+func HSNMaxWire(n, l int) float64 {
+	return float64(n) / (2 * float64(l))
+}
+
+// HSNPathWire is §4.3: N/L.
+func HSNPathWire(n, l int) float64 {
+	return float64(n) / float64(l)
+}
+
+// ISNArea is §4.3: a quarter of the butterfly area.
+func ISNArea(n, l int) float64 {
+	return ButterflyArea(n, l) / 4
+}
+
+// ISNMaxWire is §4.3: half the butterfly max wire.
+func ISNMaxWire(n, l int) float64 {
+	return ButterflyMaxWire(n, l) / 2
+}
+
+// HypercubeArea is §5.1: 16N²/(9L²).
+func HypercubeArea(n, l int) float64 {
+	return 16 * float64(n) * float64(n) / (9 * LayerFactor(l))
+}
+
+// HypercubeVolume is §5.1: 16N²/(9L).
+func HypercubeVolume(n, l int) float64 {
+	return float64(l) * HypercubeArea(n, l)
+}
+
+// HypercubeMaxWire is §5.1: 2N/(3L).
+func HypercubeMaxWire(n, l int) float64 {
+	return 2 * float64(n) / (3 * float64(l))
+}
+
+// CCCArea is §5.2: 16N²/(9L² log₂²N); reduced hypercubes match.
+func CCCArea(n, l int) float64 {
+	lg := math.Log2(float64(n))
+	return 16 * float64(n) * float64(n) / (9 * LayerFactor(l) * lg * lg)
+}
+
+// FoldedHypercubeArea is §5.3: 49N²/(9L²), i.e. a (7N/3L)² square.
+func FoldedHypercubeArea(n, l int) float64 {
+	return 49 * float64(n) * float64(n) / (9 * LayerFactor(l))
+}
+
+// EnhancedCubeArea is §5.3: 100N²/(9L²), i.e. a (10N/3L)² square.
+func EnhancedCubeArea(n, l int) float64 {
+	return 100 * float64(n) * float64(n) / (9 * LayerFactor(l))
+}
+
+// FoldingAreaGain is §2.2's baseline: folding a 2-layer layout into L
+// layers divides area by L/2 (volume and wire length unchanged).
+func FoldingAreaGain(l int) float64 {
+	return float64(l) / 2
+}
+
+// DirectAreaGain is the paper's headline: designing directly for L layers
+// divides area by L²/4 (L²−1)/4 for odd L).
+func DirectAreaGain(l int) float64 {
+	return LayerFactor(l) / 4
+}

@@ -1,0 +1,107 @@
+package formulas
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestLayerFactor(t *testing.T) {
+	almost(t, LayerFactor(2), 4, "LayerFactor(2)")
+	almost(t, LayerFactor(8), 64, "LayerFactor(8)")
+	almost(t, LayerFactor(3), 8, "LayerFactor(3)")
+	almost(t, LayerFactor(5), 24, "LayerFactor(5)")
+}
+
+func TestKAryFormulas(t *testing.T) {
+	// §3.1 with N=64, k=4, L=4: area 16·64²/(16·16) = 256.
+	almost(t, KAryArea(64, 4, 4), 256, "KAryArea")
+	almost(t, KAryVolume(64, 4, 4), 1024, "KAryVolume")
+	// Odd L uses L²−1: 16·64²/(8·16) = 512.
+	almost(t, KAryArea(64, 4, 3), 512, "KAryArea odd L")
+}
+
+func TestGHCFormulas(t *testing.T) {
+	// §4.1 with r=4, N=16, L=2: area r²N²/(4L²) = 16·256/16 = 256.
+	almost(t, GHCArea(16, 4, 2), 256, "GHCArea")
+	almost(t, GHCVolume(16, 4, 2), 512, "GHCVolume")
+	almost(t, GHCMaxWire(16, 4, 2), 16, "GHCMaxWire")
+	almost(t, GHCPathWire(16, 4, 2), 32, "GHCPathWire")
+}
+
+func TestButterflyFormulas(t *testing.T) {
+	// N=64, L=2: log2 N = 6: area 4·4096/(4·36) = 113.78.
+	almost(t, ButterflyArea(64, 2), 4.0*64*64/(4*36), "ButterflyArea")
+	almost(t, ButterflyVolume(64, 2), 2*ButterflyArea(64, 2), "ButterflyVolume")
+	almost(t, ButterflyMaxWire(64, 2), 2.0*64/(2*6), "ButterflyMaxWire")
+	// ISN relations (§4.3).
+	almost(t, ISNArea(64, 2), ButterflyArea(64, 2)/4, "ISNArea")
+	almost(t, ISNMaxWire(64, 2), ButterflyMaxWire(64, 2)/2, "ISNMaxWire")
+}
+
+func TestHSNFormulas(t *testing.T) {
+	almost(t, HSNArea(64, 4), 64.0*64/(4*16), "HSNArea")
+	almost(t, HSNVolume(64, 4), 4*HSNArea(64, 4), "HSNVolume")
+	almost(t, HSNMaxWire(64, 4), 8, "HSNMaxWire")
+	almost(t, HSNPathWire(64, 4), 16, "HSNPathWire")
+}
+
+func TestHypercubeFormulas(t *testing.T) {
+	// §5.1 with N=256, L=2: area 16·65536/(9·4) = 29127.1.
+	almost(t, HypercubeArea(256, 2), 16.0*256*256/(9*4), "HypercubeArea")
+	almost(t, HypercubeMaxWire(256, 2), 2.0*256/(3*2), "HypercubeMaxWire")
+	almost(t, HypercubeVolume(256, 4), 4*HypercubeArea(256, 4), "HypercubeVolume")
+}
+
+func TestCCCAndExtraFormulas(t *testing.T) {
+	almost(t, CCCArea(64, 2), 16.0*64*64/(9*4*36), "CCCArea")
+	almost(t, FoldedHypercubeArea(64, 2), 49.0*64*64/(9*4), "FoldedHypercubeArea")
+	almost(t, EnhancedCubeArea(64, 2), 100.0*64*64/(9*4), "EnhancedCubeArea")
+	// §5.3's factors relative to the plain hypercube.
+	almost(t, FoldedHypercubeArea(64, 2)/HypercubeArea(64, 2), 49.0/16, "folded factor")
+	almost(t, EnhancedCubeArea(64, 2)/HypercubeArea(64, 2), 100.0/16, "enhanced factor")
+}
+
+func TestGains(t *testing.T) {
+	almost(t, FoldingAreaGain(8), 4, "FoldingAreaGain")
+	almost(t, DirectAreaGain(8), 16, "DirectAreaGain")
+	almost(t, DirectAreaGain(5), 6, "DirectAreaGain odd")
+}
+
+// The paper's central comparison: for every family, the direct multilayer
+// area gain L²/4 strictly exceeds the folding gain L/2 for L > 2.
+func TestDirectBeatsFolding(t *testing.T) {
+	for l := 3; l <= 16; l++ {
+		if DirectAreaGain(l) <= FoldingAreaGain(l) {
+			t.Errorf("L=%d: direct gain %v not above folding gain %v",
+				l, DirectAreaGain(l), FoldingAreaGain(l))
+		}
+	}
+}
+
+// Area formulas scale as 1/L² and volume as 1/L across all families.
+func TestScalingLaws(t *testing.T) {
+	type f2 func(int, int) float64
+	families := map[string]f2{
+		"hypercube": HypercubeArea,
+		"butterfly": ButterflyArea,
+		"hsn":       HSNArea,
+		"ccc":       CCCArea,
+		"folded":    FoldedHypercubeArea,
+		"enhanced":  EnhancedCubeArea,
+		"isn":       ISNArea,
+	}
+	for name, fn := range families {
+		r := fn(1024, 2) / fn(1024, 8)
+		almost(t, r, 16, name+" area 1/L² scaling")
+	}
+	almost(t, KAryArea(1024, 4, 2)/KAryArea(1024, 4, 8), 16, "kary area scaling")
+	almost(t, GHCArea(1024, 4, 2)/GHCArea(1024, 4, 8), 16, "ghc area scaling")
+	almost(t, HypercubeVolume(1024, 2)/HypercubeVolume(1024, 8), 4, "volume 1/L scaling")
+}

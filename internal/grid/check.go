@@ -1,0 +1,139 @@
+package grid
+
+import "fmt"
+
+// CheckOptions configures the legality verifier.
+type CheckOptions struct {
+	// Layers is the number of wiring layers available (Z = 1..Layers).
+	// Zero disables the layer-range check.
+	Layers int
+	// Discipline enforces the direction-layer rule: X-runs only on odd
+	// wiring layers, Y-runs only on even wiring layers. Z-runs (vias) are
+	// always allowed. When Layers is odd, the extra odd layer carries
+	// X-runs, matching the paper's odd-L track split.
+	Discipline bool
+	// Nodes, when non-nil, are the node rectangles on the active layer.
+	// The verifier then checks that every wire with endpoint IDs >= 0
+	// starts and ends at Z = 0 inside the claimed endpoint node rectangles.
+	Nodes []Rect
+}
+
+// A Violation describes one legality failure found by Check.
+type Violation struct {
+	WireID  int
+	OtherID int // second wire for overlap violations, -1 otherwise
+	Where   Point
+	Reason  string
+}
+
+func (v Violation) Error() string {
+	if v.OtherID >= 0 {
+		return fmt.Sprintf("wire %d overlaps wire %d at %v: %s", v.WireID, v.OtherID, v.Where, v.Reason)
+	}
+	return fmt.Sprintf("wire %d at %v: %s", v.WireID, v.Where, v.Reason)
+}
+
+type edgeKey struct {
+	p Point
+	a Axis
+}
+
+// Check verifies that a set of wires forms a legal multilayer layout:
+// every wire is a well-formed rectilinear path, no two wires share a unit
+// grid edge (the multilayer grid model requires edge-disjoint paths), the
+// direction discipline holds if requested, all geometry stays within the
+// wiring layers, and wire endpoints terminate on their nodes. It returns all
+// violations found (nil means the layout is legal).
+//
+// The check is exact, not sampled: every unit grid edge of every wire is
+// hashed. Memory is proportional to total wire length.
+func Check(wires []Wire, opts CheckOptions) []Violation {
+	var violations []Violation
+	seen := make(map[edgeKey]int, totalLength(wires))
+
+	for wi := range wires {
+		w := &wires[wi]
+		if err := w.Validate(); err != nil {
+			violations = append(violations, Violation{WireID: w.ID, OtherID: -1, Reason: err.Error()})
+			continue
+		}
+		w.UnitEdges(func(low Point, axis Axis) bool {
+			if opts.Layers > 0 {
+				zTop := low.Z
+				if axis == AxisZ {
+					zTop = low.Z + 1
+				}
+				if low.Z < 0 || zTop > opts.Layers {
+					violations = append(violations, Violation{
+						WireID: w.ID, OtherID: -1, Where: low,
+						Reason: fmt.Sprintf("leaves wiring layer range [0,%d]", opts.Layers),
+					})
+					return false
+				}
+			}
+			if opts.Discipline && low.Z > 0 {
+				if axis == AxisX && low.Z%2 == 0 {
+					violations = append(violations, Violation{
+						WireID: w.ID, OtherID: -1, Where: low,
+						Reason: "x-run on an even layer violates direction discipline",
+					})
+					return false
+				}
+				if axis == AxisY && low.Z%2 == 1 {
+					violations = append(violations, Violation{
+						WireID: w.ID, OtherID: -1, Where: low,
+						Reason: "y-run on an odd layer violates direction discipline",
+					})
+					return false
+				}
+			}
+			key := edgeKey{low, axis}
+			if other, dup := seen[key]; dup {
+				violations = append(violations, Violation{
+					WireID: w.ID, OtherID: other, Where: low,
+					Reason: fmt.Sprintf("shared unit %s-edge", axis),
+				})
+				return false
+			}
+			seen[key] = w.ID
+			return true
+		})
+
+		if opts.Nodes != nil && w.U >= 0 && w.V >= 0 {
+			checkTerminal(w, w.Path[0], w.U, opts.Nodes, &violations)
+			checkTerminal(w, w.Path[len(w.Path)-1], w.V, opts.Nodes, &violations)
+		}
+	}
+	return violations
+}
+
+func checkTerminal(w *Wire, p Point, node int, nodes []Rect, violations *[]Violation) {
+	if node < 0 || node >= len(nodes) {
+		*violations = append(*violations, Violation{
+			WireID: w.ID, OtherID: -1, Where: p,
+			Reason: fmt.Sprintf("endpoint node id %d out of range", node),
+		})
+		return
+	}
+	if p.Z != 0 {
+		*violations = append(*violations, Violation{
+			WireID: w.ID, OtherID: -1, Where: p,
+			Reason: "wire terminal is not on the active layer (z=0)",
+		})
+		return
+	}
+	if !nodes[node].Contains(p.X, p.Y) {
+		*violations = append(*violations, Violation{
+			WireID: w.ID, OtherID: -1, Where: p,
+			Reason: fmt.Sprintf("wire terminal is outside node %d rectangle", node),
+		})
+	}
+}
+
+func totalLength(wires []Wire) int {
+	total := 0
+	for i := range wires {
+		total += wires[i].Length()
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+package grid
+
+import "testing"
+
+func TestClearanceDetectsForeignCrossing(t *testing.T) {
+	nodes := []Rect{
+		{X: 0, Y: 0, W: 4, H: 4},
+		{X: 10, Y: 0, W: 4, H: 4},
+		{X: 5, Y: 0, W: 3, H: 3}, // sits between them
+	}
+	// A wire from node 0 to node 1 plowing straight through node 2's
+	// interior at y=1.
+	w := Wire{ID: 0, U: 0, V: 1, Path: []Point{
+		{X: 2, Y: 1, Z: 0}, {X: 2, Y: 1, Z: 1}, {X: 12, Y: 1, Z: 1}, {X: 12, Y: 1, Z: 0},
+	}}
+	if v := CheckClearance([]Wire{w}, nodes); len(v) == 0 {
+		t.Error("crossing through a foreign node interior not flagged")
+	}
+	// The same wire at y=3 runs along node 2's boundary (H=3): allowed.
+	w2 := Wire{ID: 1, U: 0, V: 1, Path: []Point{
+		{X: 2, Y: 3, Z: 0}, {X: 2, Y: 3, Z: 1}, {X: 12, Y: 3, Z: 1}, {X: 12, Y: 3, Z: 0},
+	}}
+	if v := CheckClearance([]Wire{w2}, nodes); len(v) != 0 {
+		t.Errorf("boundary run flagged: %v", v)
+	}
+}
+
+func TestClearanceAllowsOwnNodes(t *testing.T) {
+	nodes := []Rect{{X: 0, Y: 0, W: 4, H: 4}}
+	// A run inside the wire's own endpoint node is allowed.
+	w := Wire{ID: 0, U: 0, V: 0, Path: []Point{
+		{X: 1, Y: 2, Z: 1}, {X: 3, Y: 2, Z: 1},
+	}}
+	if v := CheckClearance([]Wire{w}, nodes); len(v) != 0 {
+		t.Errorf("own-node run flagged: %v", v)
+	}
+}
+
+func TestClearanceIgnoresVias(t *testing.T) {
+	nodes := []Rect{{X: 0, Y: 0, W: 4, H: 4}}
+	w := Wire{ID: 0, U: -1, V: -1, Path: []Point{
+		{X: 2, Y: 2, Z: 0}, {X: 2, Y: 2, Z: 5},
+	}}
+	if v := CheckClearance([]Wire{w}, nodes); len(v) != 0 {
+		t.Errorf("via through a node column flagged: %v", v)
+	}
+}

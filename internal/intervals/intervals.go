@@ -1,0 +1,110 @@
+// Package intervals provides greedy interval-graph coloring in the
+// half-position coordinate system shared by the layout engines: node
+// position p maps to 2p and the channel beyond it to 2p+1. Touching
+// endpoints are allowed at node (even) positions — distinct ports order the
+// realized endpoints there — but not at channel (odd) positions, where both
+// segments end at track-slot coordinates with no such ordering.
+//
+// Greedy coloring under this rule is optimal for a fixed placement: the
+// track count equals the maximum number of intervals that overlap a point
+// (with odd touch counted as overlap).
+package intervals
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Interval is a half-position interval with a caller-defined payload index.
+type Interval struct {
+	U, V int
+	ID   int
+}
+
+type slot struct{ end, track int }
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int            { return len(h) }
+func (h slotHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Color assigns tracks greedily. The result slice is indexed like the
+// input; the second return is the number of tracks used.
+func Color(ivs []Interval) ([]int, int) {
+	idx := make([]int, len(ivs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := ivs[idx[a]], ivs[idx[b]]
+		if ia.U != ib.U {
+			return ia.U < ib.U
+		}
+		return ia.V < ib.V
+	})
+	tracks := make([]int, len(ivs))
+	var free slotHeap
+	next := 0
+	for _, i := range idx {
+		iv := ivs[i]
+		reuse := -1
+		if len(free) > 0 {
+			top := free[0]
+			if top.end < iv.U || (top.end == iv.U && iv.U%2 == 0) {
+				reuse = top.track
+				heap.Pop(&free)
+			}
+		}
+		if reuse < 0 {
+			reuse = next
+			next++
+		}
+		tracks[i] = reuse
+		heap.Push(&free, slot{end: iv.V, track: reuse})
+	}
+	return tracks, next
+}
+
+// Congestion returns the coloring lower bound for the interval set: the
+// maximum number of intervals covering any half-open unit gap, counting
+// odd-position touches as overlap (matching Color's rule). Color always
+// uses exactly this many tracks.
+func Congestion(ivs []Interval) int {
+	type ev struct {
+		pos   int
+		delta int
+		order int // starts after ends at even positions, before at odd
+	}
+	var evs []ev
+	for _, iv := range ivs {
+		startOrder := 1
+		if iv.U%2 == 1 {
+			startOrder = -1 // odd touch counts as overlap: start before end
+		}
+		evs = append(evs, ev{iv.U, 1, startOrder})
+		evs = append(evs, ev{iv.V, -1, 0})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].pos != evs[b].pos {
+			return evs[a].pos < evs[b].pos
+		}
+		return evs[a].order < evs[b].order
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

@@ -1,0 +1,108 @@
+package intervals
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColorBasics(t *testing.T) {
+	ivs := []Interval{
+		{U: 0, V: 4, ID: 0},
+		{U: 4, V: 8, ID: 1}, // even touch: shares
+		{U: 5, V: 9, ID: 2}, // overlaps 1
+	}
+	tracks, n := Color(ivs)
+	if tracks[0] != tracks[1] {
+		t.Errorf("even touch should share: %v", tracks)
+	}
+	if tracks[2] == tracks[1] || n != 2 {
+		t.Errorf("overlap sharing or count wrong: %v, n=%d", tracks, n)
+	}
+}
+
+func TestColorOddTouch(t *testing.T) {
+	ivs := []Interval{
+		{U: 1, V: 5, ID: 0},
+		{U: 5, V: 9, ID: 1},
+	}
+	tracks, n := Color(ivs)
+	if tracks[0] == tracks[1] || n != 2 {
+		t.Errorf("odd touch must not share: %v", tracks)
+	}
+}
+
+func TestCongestionMatchesColor(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+		next := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		var ivs []Interval
+		m := 1 + next(40)
+		for i := 0; i < m; i++ {
+			u := next(60)
+			v := u + 1 + next(20)
+			ivs = append(ivs, Interval{U: u, V: v, ID: i})
+		}
+		_, n := Color(ivs)
+		return n == Congestion(ivs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorProducesValidAssignment(t *testing.T) {
+	// No two intervals on one track may overlap (odd touches included).
+	f := func(seed int64) bool {
+		s := uint64(seed)*2654435761 + 7
+		next := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		var ivs []Interval
+		m := 1 + next(50)
+		for i := 0; i < m; i++ {
+			u := next(40)
+			v := u + 1 + next(15)
+			ivs = append(ivs, Interval{U: u, V: v, ID: i})
+		}
+		tracks, _ := Color(ivs)
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if tracks[i] != tracks[j] {
+					continue
+				}
+				a, b := ivs[i], ivs[j]
+				if a.U > b.U {
+					a, b = b, a
+				}
+				if b.U < a.V {
+					return false
+				}
+				if b.U == a.V && b.U%2 == 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tracks, n := Color(nil)
+	if len(tracks) != 0 || n != 0 {
+		t.Error("empty input should use no tracks")
+	}
+	if Congestion(nil) != 0 {
+		t.Error("empty congestion should be 0")
+	}
+}

@@ -1,0 +1,229 @@
+// Package layout defines the realized multilayer layout produced by the
+// engines in this module: concrete node rectangles on the active layer and
+// concrete rectilinear wire paths through L wiring layers, plus the cost
+// measures the paper reports (area, volume, maximum wire length) and a
+// legality verifier.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"mlvlsi/internal/grid"
+)
+
+// Layout is a fully realized multilayer layout.
+type Layout struct {
+	Name string
+	// L is the number of wiring layers (Z = 1..L); nodes sit on Z = 0.
+	L int
+	// Nodes holds one rectangle per node, indexed by node label.
+	Nodes []grid.Rect
+	// Wires holds one realized path per network link; Wire.U/V are node
+	// labels.
+	Wires []grid.Wire
+}
+
+// Bounds returns the smallest upright box containing all nodes and wires.
+func (l *Layout) Bounds() grid.BoundingBox {
+	b := grid.NewBoundingBox()
+	for _, r := range l.Nodes {
+		b.AddRect(r, 0)
+	}
+	for i := range l.Wires {
+		for _, p := range l.Wires[i].Path {
+			b.AddPoint(p)
+		}
+	}
+	return b
+}
+
+// Area is the paper's layout area: the planar area of the bounding
+// rectangle over all layers.
+func (l *Layout) Area() int {
+	b := l.Bounds()
+	return b.Area()
+}
+
+// Volume is the paper's layout volume: L times the area.
+func (l *Layout) Volume() int {
+	return l.L * l.Area()
+}
+
+// Width and Height are the planar extents of the bounding rectangle.
+func (l *Layout) Width() int {
+	b := l.Bounds()
+	return b.Width()
+}
+
+func (l *Layout) Height() int {
+	b := l.Bounds()
+	return b.Height()
+}
+
+// MaxWireLength returns the length of the longest wire, counting X and Y
+// runs only (vias are inter-layer connectors, not tracks).
+func (l *Layout) MaxWireLength() int {
+	m := 0
+	for i := range l.Wires {
+		if n := l.Wires[i].PlanarLength(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// TotalWireLength returns the summed planar length of all wires.
+func (l *Layout) TotalWireLength() int {
+	t := 0
+	for i := range l.Wires {
+		t += l.Wires[i].PlanarLength()
+	}
+	return t
+}
+
+// WireLengths returns, for each link, its endpoints and planar length.
+// Parallel links appear once each.
+func (l *Layout) WireLengths() []WireLength {
+	out := make([]WireLength, len(l.Wires))
+	for i := range l.Wires {
+		out[i] = WireLength{
+			U:      l.Wires[i].U,
+			V:      l.Wires[i].V,
+			Length: l.Wires[i].PlanarLength(),
+		}
+	}
+	return out
+}
+
+// WireLength records the realized length of one link.
+type WireLength struct {
+	U, V, Length int
+}
+
+// Verify checks the layout's legality under the multilayer grid model:
+// wires are rectilinear, pairwise edge-disjoint, within layers 0..L,
+// obey the direction discipline, and terminate on their endpoint nodes.
+func (l *Layout) Verify() []grid.Violation {
+	return grid.Check(l.Wires, grid.CheckOptions{
+		Layers:     l.L,
+		Discipline: true,
+		Nodes:      l.Nodes,
+	})
+}
+
+// VerifyStrict performs Verify plus the Thompson-strict clearance check:
+// no planar wire segment may pass through the interior of a foreign node
+// rectangle. The multilayer model permits such crossings; the engines in
+// this module never produce them, and strict verification certifies that.
+func (l *Layout) VerifyStrict() []grid.Violation {
+	if v := l.Verify(); len(v) > 0 {
+		return v
+	}
+	return grid.CheckClearance(l.Wires, l.Nodes)
+}
+
+// MustVerify panics with a descriptive message if the layout is illegal;
+// intended for construction-time assertions in examples and benchmarks.
+func (l *Layout) MustVerify() {
+	if v := l.Verify(); len(v) > 0 {
+		panic(fmt.Sprintf("layout %s is illegal: %v (and %d more)", l.Name, v[0], len(v)-1))
+	}
+}
+
+// Stats bundles the cost measures of a layout for reporting.
+type Stats struct {
+	Name          string
+	N             int // number of nodes
+	Links         int // number of wires
+	L             int // wiring layers
+	Width, Height int
+	Area          int
+	Volume        int
+	MaxWire       int
+	TotalWire     int
+}
+
+// Stats computes the full cost summary.
+func (l *Layout) Stats() Stats {
+	b := l.Bounds()
+	return Stats{
+		Name:      l.Name,
+		N:         len(l.Nodes),
+		Links:     len(l.Wires),
+		L:         l.L,
+		Width:     b.Width(),
+		Height:    b.Height(),
+		Area:      b.Area(),
+		Volume:    l.L * b.Area(),
+		MaxWire:   l.MaxWireLength(),
+		TotalWire: l.TotalWireLength(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: N=%d links=%d L=%d %dx%d area=%d volume=%d maxwire=%d",
+		s.Name, s.N, s.Links, s.L, s.Width, s.Height, s.Area, s.Volume, s.MaxWire)
+}
+
+// Distribution summarizes the planar wire-length distribution of a layout.
+type Distribution struct {
+	Count         int
+	Min, Max      int
+	Mean          float64
+	P50, P90, P99 int
+}
+
+// WireDistribution computes planar wire-length statistics over all wires.
+func (l *Layout) WireDistribution() Distribution {
+	if len(l.Wires) == 0 {
+		return Distribution{}
+	}
+	lengths := make([]int, len(l.Wires))
+	total := 0
+	for i := range l.Wires {
+		lengths[i] = l.Wires[i].PlanarLength()
+		total += lengths[i]
+	}
+	sort.Ints(lengths)
+	pick := func(q float64) int {
+		idx := int(q * float64(len(lengths)-1))
+		return lengths[idx]
+	}
+	return Distribution{
+		Count: len(lengths),
+		Min:   lengths[0],
+		Max:   lengths[len(lengths)-1],
+		Mean:  float64(total) / float64(len(lengths)),
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P99:   pick(0.99),
+	}
+}
+
+func (d Distribution) String() string {
+	return fmt.Sprintf("wires=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+		d.Count, d.Min, d.P50, d.P90, d.P99, d.Max, d.Mean)
+}
+
+// LayerUsage returns, for each wiring layer z = 1..L, the total planar wire
+// length routed on it (index 0 corresponds to layer 1). A well-grouped
+// multilayer layout spreads trunk wirelength across its odd (horizontal)
+// and even (vertical) layers.
+func (l *Layout) LayerUsage() []int {
+	usage := make([]int, l.L)
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		w.Segments(func(start grid.Point, axis grid.Axis, length int) {
+			if axis == grid.AxisZ || start.Z < 1 || start.Z > l.L {
+				return
+			}
+			n := length
+			if n < 0 {
+				n = -n
+			}
+			usage[start.Z-1] += n
+		})
+	}
+	return usage
+}

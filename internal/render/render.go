@@ -1,0 +1,154 @@
+// Package render draws the paper's construction figures: ASCII art of
+// collinear layouts (Figures 2-4: the 3-ary 2-cube, the 9-node complete
+// graph, and the 4-cube), an ASCII schematic of the recursive grid layout
+// scheme (Figure 1), and SVG export of realized 2-D layouts for inspection.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/track"
+)
+
+// Collinear renders a collinear layout as ASCII art: tracks stacked above
+// the node row, node labels underneath. pitch is the horizontal spacing
+// between adjacent node positions (>= 3 recommended; it is clamped to at
+// least 2).
+func Collinear(c *track.Collinear, pitch int) string {
+	if pitch < 2 {
+		pitch = 2
+	}
+	if c.N == 0 {
+		return "(empty)\n"
+	}
+	width := (c.N-1)*pitch + 1
+	rows := c.Tracks + 1
+	canvas := make([][]byte, rows)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	trackRow := func(t int) int { return c.Tracks - 1 - t }
+	nodeRow := c.Tracks
+
+	put := func(r, x int, ch byte) {
+		cur := canvas[r][x]
+		switch {
+		case cur == ' ':
+			canvas[r][x] = ch
+		case cur != ch:
+			canvas[r][x] = '+'
+		}
+	}
+	for _, e := range c.Edges {
+		r := trackRow(e.Track)
+		xu, xv := e.U*pitch, e.V*pitch
+		for x := xu + 1; x < xv; x++ {
+			put(r, x, '-')
+		}
+		put(r, xu, '+')
+		put(r, xv, '+')
+		for rr := r + 1; rr < nodeRow; rr++ {
+			put(rr, xu, '|')
+			put(rr, xv, '|')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: N=%d tracks=%d\n", c.Name, c.N, c.Tracks)
+	for i := 0; i < rows-1; i++ {
+		b.Write(canvas[i])
+		b.WriteByte('\n')
+	}
+	// Node row: label each position with its topology label (mod 10 wide
+	// labels fall back to 'o').
+	node := []byte(strings.Repeat(" ", width))
+	for p := 0; p < c.N; p++ {
+		lbl := fmt.Sprintf("%d", c.Label(p))
+		x := p * pitch
+		if len(lbl) == 1 {
+			node[x] = lbl[0]
+		} else {
+			node[x] = 'o'
+		}
+	}
+	b.Write(node)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RecursiveGridSchematic draws Figure 1: level-l blocks arranged as a 2-D
+// grid with routing channels between neighboring rows and columns.
+func RecursiveGridSchematic(rows, cols int) string {
+	var b strings.Builder
+	b.WriteString("Recursive grid layout scheme (Fig. 1): level-l blocks in a 2-D grid;\n")
+	b.WriteString("channels between rows/columns carry the level-l inter-cluster links.\n\n")
+	block := []string{"+------+", "|block |", "+------+"}
+	channel := " ::: "
+	for r := 0; r < rows; r++ {
+		for line := 0; line < len(block); line++ {
+			for c := 0; c < cols; c++ {
+				if c > 0 {
+					b.WriteString(channel)
+				}
+				b.WriteString(block[line])
+			}
+			b.WriteByte('\n')
+		}
+		if r+1 < rows {
+			width := cols*len(block[0]) + (cols-1)*len(channel)
+			for i := 0; i < 2; i++ {
+				b.WriteString(strings.Repeat("=", width))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// layerColors cycles distinct stroke colors per wiring layer.
+var layerColors = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+	"#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+}
+
+// SVG renders a realized layout as an SVG document: node squares in gray,
+// wires as polylines colored by the layer of their first planar segment.
+// scale is pixels per grid unit.
+func SVG(lay *layout.Layout, scale int) string {
+	if scale < 1 {
+		scale = 4
+	}
+	b := lay.Bounds()
+	w := (b.Width() + 2) * scale
+	h := (b.Height() + 2) * scale
+	sx := func(x int) int { return (x - b.MinX + 1) * scale }
+	sy := func(y int) int { return (b.MaxY - y + 1) * scale } // flip: y up
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	for i, r := range lay.Nodes {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#d0d0d0" stroke="#404040"><title>node %d</title></rect>`+"\n",
+			sx(r.X), sy(r.Y+r.H), r.W*scale, r.H*scale, i)
+	}
+	for i := range lay.Wires {
+		wi := &lay.Wires[i]
+		color := layerColors[0]
+		for j := 1; j < len(wi.Path); j++ {
+			if wi.Path[j].Z == wi.Path[j-1].Z && (wi.Path[j].X != wi.Path[j-1].X || wi.Path[j].Y != wi.Path[j-1].Y) {
+				color = layerColors[wi.Path[j].Z%len(layerColors)]
+				break
+			}
+		}
+		var pts []string
+		for _, p := range wi.Path {
+			pts = append(pts, fmt.Sprintf("%d,%d", sx(p.X), sy(p.Y)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1"><title>wire %d: %d-%d</title></polyline>`+"\n",
+			strings.Join(pts, " "), color, wi.ID, wi.U, wi.V)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

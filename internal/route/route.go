@@ -1,0 +1,175 @@
+// Package route computes routing-related cost measures over realized
+// layouts: the paper's claim (4) in §2.2 concerns the maximum total length
+// of wires along the (shortest) routing path between any source-destination
+// pair, reported in closed form for generalized hypercubes (rN/L, §4.1) and
+// HSNs (N/L, §4.3).
+package route
+
+import (
+	"container/heap"
+	"sort"
+
+	"mlvlsi/internal/layout"
+)
+
+// WeightedGraph is an adjacency structure with per-link physical wire
+// lengths, built from a realized layout.
+type WeightedGraph struct {
+	N   int
+	adj [][]arc
+}
+
+type arc struct {
+	to, w int
+}
+
+// Arc is an outgoing link with its physical wire length.
+type Arc struct {
+	To, Wire int
+}
+
+// Arcs returns the outgoing links of v.
+func (g *WeightedGraph) Arcs(v int) []Arc {
+	out := make([]Arc, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		out[i] = Arc{To: a.to, Wire: a.w}
+	}
+	return out
+}
+
+// FromLayout builds the weighted routing graph of a layout; parallel wires
+// between the same node pair keep the shortest length.
+func FromLayout(lay *layout.Layout) *WeightedGraph {
+	g := &WeightedGraph{N: len(lay.Nodes)}
+	g.adj = make([][]arc, g.N)
+	best := make(map[[2]int]int)
+	for _, wl := range lay.WireLengths() {
+		k := [2]int{wl.U, wl.V}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if old, ok := best[k]; !ok || wl.Length < old {
+			best[k] = wl.Length
+		}
+	}
+	keys := make([][2]int, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	// Deterministic adjacency order (map iteration order would leak into
+	// tie-breaking among equal-cost routes).
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		w := best[k]
+		g.adj[k[0]] = append(g.adj[k[0]], arc{k[1], w})
+		g.adj[k[1]] = append(g.adj[k[1]], arc{k[0], w})
+	}
+	return g
+}
+
+// ShortestPathWire returns, for a single source, the minimum total wire
+// length to every node among hop-shortest paths: the lexicographic
+// (hops, wire) shortest path, which is what "total length of wires along a
+// shortest routing path" measures when the router is free to pick among
+// shortest paths.
+func (g *WeightedGraph) ShortestPathWire(src int) (hops []int, wire []int) {
+	const inf = int(^uint(0) >> 1)
+	hops = make([]int, g.N)
+	wire = make([]int, g.N)
+	for i := range hops {
+		hops[i] = inf
+		wire[i] = inf
+	}
+	hops[src], wire[src] = 0, 0
+	// Dijkstra on the lexicographic (hops, wire) cost; hop counts are
+	// bounded so this is effectively BFS with tie-breaking on wire length.
+	pq := &pairHeap{{0, 0, src}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.hops > hops[it.node] || (it.hops == hops[it.node] && it.wire > wire[it.node]) {
+			continue
+		}
+		for _, a := range g.adj[it.node] {
+			nh, nw := it.hops+1, it.wire+a.w
+			if nh < hops[a.to] || (nh == hops[a.to] && nw < wire[a.to]) {
+				hops[a.to], wire[a.to] = nh, nw
+				heap.Push(pq, pqItem{nh, nw, a.to})
+			}
+		}
+	}
+	return hops, wire
+}
+
+type pqItem struct {
+	hops, wire, node int
+}
+
+type pairHeap []pqItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].hops != h[j].hops {
+		return h[i].hops < h[j].hops
+	}
+	return h[i].wire < h[j].wire
+}
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MaxPathWire returns the maximum over sampled source-destination pairs of
+// the total wire length along a hop-shortest path. sources <= 0 means all
+// sources (O(N·E log N)); otherwise a deterministic stride sample of that
+// many sources is used.
+func MaxPathWire(lay *layout.Layout, sources int) int {
+	g := FromLayout(lay)
+	step := 1
+	if sources > 0 && sources < g.N {
+		step = g.N / sources
+	}
+	max := 0
+	for s := 0; s < g.N; s += step {
+		_, wire := g.ShortestPathWire(s)
+		for _, w := range wire {
+			if w != int(^uint(0)>>1) && w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// AveragePathWire returns the mean total wire length along hop-shortest
+// paths over sampled sources (diagnostic for the simulator experiments).
+func AveragePathWire(lay *layout.Layout, sources int) float64 {
+	g := FromLayout(lay)
+	step := 1
+	if sources > 0 && sources < g.N {
+		step = g.N / sources
+	}
+	total, count := 0, 0
+	for s := 0; s < g.N; s += step {
+		_, wire := g.ShortestPathWire(s)
+		for v, w := range wire {
+			if v != s && w != int(^uint(0)>>1) {
+				total += w
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}

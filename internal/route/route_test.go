@@ -1,0 +1,166 @@
+package route
+
+import (
+	"testing"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/grid"
+	"mlvlsi/internal/layout"
+)
+
+// chain builds a 3-node path layout with given wire lengths by hand.
+func chain(lengths ...int) *layout.Layout {
+	lay := &layout.Layout{Name: "chain", L: 2}
+	x := 0
+	for i := 0; i <= len(lengths); i++ {
+		lay.Nodes = append(lay.Nodes, grid.Rect{X: x, Y: 0, W: 1, H: 1})
+		x += 10
+	}
+	for i, ln := range lengths {
+		lay.Wires = append(lay.Wires, grid.Wire{
+			ID: i, U: i, V: i + 1,
+			Path: []grid.Point{{X: 0, Y: 0, Z: 1}, {X: ln, Y: 0, Z: 1}},
+		})
+	}
+	return lay
+}
+
+func TestShortestPathWireOnChain(t *testing.T) {
+	lay := chain(3, 5, 7)
+	g := FromLayout(lay)
+	hops, wire := g.ShortestPathWire(0)
+	wantHops := []int{0, 1, 2, 3}
+	wantWire := []int{0, 3, 8, 15}
+	for v := range wantHops {
+		if hops[v] != wantHops[v] || wire[v] != wantWire[v] {
+			t.Errorf("node %d: hops=%d wire=%d, want %d and %d",
+				v, hops[v], wire[v], wantHops[v], wantWire[v])
+		}
+	}
+}
+
+func TestParallelLinksKeepShortest(t *testing.T) {
+	lay := &layout.Layout{Name: "par", L: 2}
+	lay.Nodes = []grid.Rect{{X: 0, Y: 0, W: 1, H: 1}, {X: 10, Y: 0, W: 1, H: 1}}
+	lay.Wires = []grid.Wire{
+		{ID: 0, U: 0, V: 1, Path: []grid.Point{{X: 0, Y: 0, Z: 1}, {X: 9, Y: 0, Z: 1}}},
+		{ID: 1, U: 0, V: 1, Path: []grid.Point{{X: 0, Y: 1, Z: 1}, {X: 4, Y: 1, Z: 1}}},
+	}
+	g := FromLayout(lay)
+	_, wire := g.ShortestPathWire(0)
+	if wire[1] != 4 {
+		t.Errorf("parallel link wire = %d, want the shorter 4", wire[1])
+	}
+}
+
+func TestHopShortestBeatsWireShortest(t *testing.T) {
+	// Triangle where the direct link is long: hop-shortest routing must
+	// take the 1-hop link even though 2 hops would be shorter in wire.
+	lay := &layout.Layout{Name: "tri", L: 2}
+	for i := 0; i < 3; i++ {
+		lay.Nodes = append(lay.Nodes, grid.Rect{X: i * 10, Y: 0, W: 1, H: 1})
+	}
+	mk := func(id, u, v, ln, y int) grid.Wire {
+		return grid.Wire{ID: id, U: u, V: v,
+			Path: []grid.Point{{X: 0, Y: y, Z: 1}, {X: ln, Y: y, Z: 1}}}
+	}
+	lay.Wires = []grid.Wire{
+		mk(0, 0, 1, 2, 0),
+		mk(1, 1, 2, 2, 1),
+		mk(2, 0, 2, 100, 2),
+	}
+	g := FromLayout(lay)
+	hops, wire := g.ShortestPathWire(0)
+	if hops[2] != 1 || wire[2] != 100 {
+		t.Errorf("to node 2: hops=%d wire=%d, want 1 hop of wire 100", hops[2], wire[2])
+	}
+}
+
+func TestMaxPathWireOnRealLayout(t *testing.T) {
+	lay, err := core.Hypercube(6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MaxPathWire(lay, 0)
+	if full <= lay.MaxWireLength() {
+		t.Errorf("max path wire %d should exceed the longest single wire %d on a diameter route",
+			full, lay.MaxWireLength())
+	}
+	sampled := MaxPathWire(lay, 8)
+	if sampled > full {
+		t.Errorf("sampled max %d exceeds full max %d", sampled, full)
+	}
+}
+
+func TestMaxPathWireShrinksWithLayers(t *testing.T) {
+	// §2.2 claim (4): the max total wire length along routes shrinks by
+	// about L/2.
+	l2, err := core.Hypercube(7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := core.Hypercube(7, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := MaxPathWire(l2, 16)
+	w8 := MaxPathWire(l8, 16)
+	if w8 >= w2 {
+		t.Errorf("path wire did not shrink: L=2 gives %d, L=8 gives %d", w2, w8)
+	}
+	if r := float64(w2) / float64(w8); r < 1.6 {
+		t.Errorf("path-wire ratio L2/L8 = %.2f, want approaching 4", r)
+	}
+}
+
+func TestAveragePathWire(t *testing.T) {
+	lay := chain(4, 4, 4)
+	avg := AveragePathWire(lay, 0)
+	// Pairwise wire sums: from 0: 4,8,12; from 1: 4,4,8; from 2: 8,4,4;
+	// from 3: 12,8,4. Mean = 80/12.
+	want := 80.0 / 12.0
+	if avg < want-0.01 || avg > want+0.01 {
+		t.Errorf("average path wire = %.3f, want %.3f", avg, want)
+	}
+}
+
+// Property: path wire is at least the hop count (every link has length
+// >= 1) and at most hops × the longest wire.
+func TestPathWireBoundsProperty(t *testing.T) {
+	lay, err := core.KAryNCube(4, 2, 2, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromLayout(lay)
+	maxWire := lay.MaxWireLength()
+	for src := 0; src < g.N; src++ {
+		hops, wire := g.ShortestPathWire(src)
+		for v := 0; v < g.N; v++ {
+			if v == src {
+				continue
+			}
+			if wire[v] < hops[v] {
+				t.Fatalf("src %d -> %d: wire %d below hops %d", src, v, wire[v], hops[v])
+			}
+			if wire[v] > hops[v]*maxWire {
+				t.Fatalf("src %d -> %d: wire %d above hops×maxwire %d", src, v, wire[v], hops[v]*maxWire)
+			}
+		}
+	}
+}
+
+// Symmetry: path wire between u and v is independent of direction.
+func TestPathWireSymmetry(t *testing.T) {
+	lay, err := core.Hypercube(5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromLayout(lay)
+	_, w0 := g.ShortestPathWire(0)
+	for v := 1; v < g.N; v += 5 {
+		_, wv := g.ShortestPathWire(v)
+		if w0[v] != wv[0] {
+			t.Errorf("asymmetric path wire: 0->%d = %d, %d->0 = %d", v, w0[v], v, wv[0])
+		}
+	}
+}

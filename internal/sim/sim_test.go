@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/layout"
+)
+
+func buildCube(t *testing.T, n, l int) *layout.Layout {
+	t.Helper()
+	lay, err := core.Hypercube(n, l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+func TestRunDeliversEverything(t *testing.T) {
+	lay := buildCube(t, 5, 2)
+	for _, p := range []Pattern{RandomPairs, Permutation, BitComplement} {
+		res := Run(lay, Config{Pattern: p, Messages: 64, Velocity: 4, Seed: 9})
+		if res.Delivered == 0 {
+			t.Errorf("%v: nothing delivered", p)
+		}
+		if res.AvgLatency <= 0 || res.MaxLatency < int(res.AvgLatency) {
+			t.Errorf("%v: inconsistent latency stats %+v", p, res)
+		}
+		if res.Makespan < res.MaxLatency {
+			t.Errorf("%v: makespan %d below max latency %d", p, res.Makespan, res.MaxLatency)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	lay := buildCube(t, 4, 2)
+	a := Run(lay, Config{Pattern: RandomPairs, Messages: 50, Velocity: 2, Seed: 5})
+	b := Run(lay, Config{Pattern: RandomPairs, Messages: 50, Velocity: 2, Seed: 5})
+	if a != b {
+		t.Errorf("same seed gave different results: %+v vs %+v", a, b)
+	}
+	c := Run(lay, Config{Pattern: RandomPairs, Messages: 50, Velocity: 2, Seed: 6})
+	if a == c {
+		t.Error("different seeds gave identical results (suspicious)")
+	}
+}
+
+func TestPermutationDeliversNMinusFixed(t *testing.T) {
+	lay := buildCube(t, 4, 2)
+	res := Run(lay, Config{Pattern: Permutation, Velocity: 1, Seed: 3})
+	if res.Delivered < 10 || res.Delivered > 16 {
+		t.Errorf("permutation delivered %d, want close to N=16", res.Delivered)
+	}
+}
+
+func TestLatencyDropsWithMoreLayers(t *testing.T) {
+	// The §2.2 performance claim: with wire delay dominating (velocity 1),
+	// an L=8 layout's shorter wires cut latency versus L=2.
+	l2 := buildCube(t, 6, 2)
+	l8 := buildCube(t, 6, 8)
+	cfg := Config{Pattern: BitComplement, Velocity: 1, Seed: 1}
+	r2 := Run(l2, cfg)
+	r8 := Run(l8, cfg)
+	if r8.AvgLatency >= r2.AvgLatency {
+		t.Errorf("L=8 avg latency %.1f not below L=2 %.1f", r8.AvgLatency, r2.AvgLatency)
+	}
+	ratio := r2.AvgLatency / r8.AvgLatency
+	if ratio < 1.5 {
+		t.Errorf("latency ratio L2/L8 = %.2f, want clearly > 1.5 approaching 4", ratio)
+	}
+}
+
+func TestVelocityScalesLatency(t *testing.T) {
+	lay := buildCube(t, 5, 2)
+	slow := Run(lay, Config{Pattern: Permutation, Velocity: 1, Seed: 2})
+	fast := Run(lay, Config{Pattern: Permutation, Velocity: 100, Seed: 2})
+	if fast.AvgLatency >= slow.AvgLatency {
+		t.Errorf("faster wires did not reduce latency: %.1f vs %.1f",
+			fast.AvgLatency, slow.AvgLatency)
+	}
+	// At very high velocity every hop costs one cycle; average latency is
+	// then bounded by diameter plus queueing.
+	if fast.AvgLatency > 40 {
+		t.Errorf("hop-limited latency %.1f implausibly high", fast.AvgLatency)
+	}
+}
+
+func TestContentionRaisesLatency(t *testing.T) {
+	lay := buildCube(t, 4, 2)
+	light := Run(lay, Config{Pattern: RandomPairs, Messages: 4, Velocity: 1, Seed: 8})
+	heavy := Run(lay, Config{Pattern: RandomPairs, Messages: 400, Velocity: 1, Seed: 8})
+	if heavy.AvgLatency <= light.AvgLatency {
+		t.Errorf("heavy load latency %.1f not above light load %.1f",
+			heavy.AvgLatency, light.AvgLatency)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if RandomPairs.String() != "random-pairs" || Permutation.String() != "permutation" ||
+		BitComplement.String() != "bit-complement" || Pattern(99).String() != "unknown" {
+		t.Error("Pattern.String mismatch")
+	}
+}
+
+func TestCutThroughBeatsStoreAndForwardForLongMessages(t *testing.T) {
+	lay := buildCube(t, 6, 2)
+	base := Config{Pattern: Permutation, Velocity: 1, Seed: 4, Flits: 8}
+	saf := base
+	saf.Switching = StoreAndForward
+	ct := base
+	ct.Switching = CutThrough
+	rs, rc := Run(lay, saf), Run(lay, ct)
+	if rc.AvgLatency >= rs.AvgLatency {
+		t.Errorf("cut-through %.1f not below store-and-forward %.1f for 8-flit messages",
+			rc.AvgLatency, rs.AvgLatency)
+	}
+}
+
+func TestSingleFlitModesAgreeOnUncontendedPath(t *testing.T) {
+	// With one message and one flit, both disciplines give the same
+	// latency: the sum of wire latencies along the route.
+	lay := buildCube(t, 4, 2)
+	saf := Run(lay, Config{Pattern: BitComplement, Velocity: 1, Flits: 1, Switching: StoreAndForward})
+	ct := Run(lay, Config{Pattern: BitComplement, Velocity: 1, Flits: 1, Switching: CutThrough})
+	if saf.AvgLatency != ct.AvgLatency {
+		t.Errorf("single-flit disciplines disagree: %.2f vs %.2f", saf.AvgLatency, ct.AvgLatency)
+	}
+}
+
+func TestSwitchingString(t *testing.T) {
+	if StoreAndForward.String() != "store-and-forward" || CutThrough.String() != "cut-through" {
+		t.Error("Switching.String mismatch")
+	}
+}
+
+func TestWireDelayGainHoldsUnderCutThrough(t *testing.T) {
+	// The paper's L/2 latency claim is about wire lengths, so it survives
+	// the switching discipline: cut-through latency still drops with L.
+	l2 := buildCube(t, 6, 2)
+	l8 := buildCube(t, 6, 8)
+	cfg := Config{Pattern: BitComplement, Velocity: 1, Flits: 4, Switching: CutThrough, Seed: 2}
+	r2, r8 := Run(l2, cfg), Run(l8, cfg)
+	if r8.AvgLatency >= r2.AvgLatency {
+		t.Errorf("cut-through latency did not drop with layers: %.1f vs %.1f",
+			r2.AvgLatency, r8.AvgLatency)
+	}
+}

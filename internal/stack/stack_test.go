@@ -1,0 +1,197 @@
+package stack
+
+import (
+	"sort"
+	"testing"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/topology"
+	"mlvlsi/internal/track"
+)
+
+func mustBuild(t *testing.T) func(*Layout3D, error) *Layout3D {
+	return func(s *Layout3D, err error) *Layout3D {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if v := s.Verify(); len(v) > 0 {
+			t.Fatalf("%s: %d violations, first: %v", s.Name, len(v), v[0])
+		}
+		return s
+	}
+}
+
+func sameGraph(t *testing.T, s *Layout3D, g *topology.Graph) {
+	t.Helper()
+	if len(s.Nodes) != g.N {
+		t.Fatalf("%s: %d nodes, topology has %d", s.Name, len(s.Nodes), g.N)
+	}
+	if len(s.Wires) != len(g.Links) {
+		t.Fatalf("%s: %d wires, topology has %d links", s.Name, len(s.Wires), len(g.Links))
+	}
+	got := make([]topology.Link, 0, len(s.Wires))
+	for i := range s.Wires {
+		u, v := s.Wires[i].U, s.Wires[i].V
+		if u > v {
+			u, v = v, u
+		}
+		got = append(got, topology.Link{U: u, V: v})
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].U != got[j].U {
+			return got[i].U < got[j].U
+		}
+		return got[i].V < got[j].V
+	})
+	want := g.LinkSet()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: wires differ at %d: got %v want %v", s.Name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestHypercube3DLegalAndCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, nz, l int }{
+		{3, 1, 2}, {4, 1, 2}, {4, 2, 2}, {5, 2, 4}, {6, 2, 4}, {6, 3, 2},
+	} {
+		s := mustBuild(t)(Hypercube3D(tc.n, tc.nz, tc.l))
+		sameGraph(t, s, topology.Hypercube(tc.n))
+	}
+}
+
+func TestKAry3DLegalAndCorrect(t *testing.T) {
+	for _, tc := range []struct{ k, n, nz, l int }{
+		{3, 2, 1, 2}, {4, 3, 1, 2}, {3, 3, 1, 4}, {4, 3, 2, 2},
+	} {
+		s := mustBuild(t)(KAryNCube3D(tc.k, tc.n, tc.nz, tc.l, false))
+		sameGraph(t, s, topology.KAryNCube(tc.k, tc.n))
+	}
+}
+
+func TestStackingShrinksFootprint(t *testing.T) {
+	// §2.2: moving dimensions onto active layers shrinks the footprint
+	// area (by roughly the board count) while the volume stays comparable.
+	flat, err := core.Hypercube(8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked := mustBuild(t)(Hypercube3D(8, 2, 4)) // 4 boards
+	fa, sa := flat.Area(), stacked.Area()
+	if sa >= fa {
+		t.Fatalf("stacked footprint %d not below flat %d", sa, fa)
+	}
+	gain := float64(fa) / float64(sa)
+	if gain < 2.0 {
+		t.Errorf("footprint gain %.2f with 4 boards, want > 2", gain)
+	}
+	// Volume comparable: within a factor ~3 either way (boards add idle
+	// active layers).
+	fv, sv := flat.Volume(), stacked.Volume()
+	r := float64(sv) / float64(fv)
+	if r < 0.3 || r > 3.0 {
+		t.Errorf("volume ratio stacked/flat = %.2f, want comparable", r)
+	}
+}
+
+func TestStackingShortensWires(t *testing.T) {
+	flat, err := core.Hypercube(8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked := mustBuild(t)(Hypercube3D(8, 2, 4))
+	if stacked.MaxWireLength() >= flat.MaxWireLength() {
+		t.Errorf("stacked max wire %d not below flat %d",
+			stacked.MaxWireLength(), flat.MaxWireLength())
+	}
+}
+
+func TestStackStatsConsistency(t *testing.T) {
+	s := mustBuild(t)(Hypercube3D(5, 1, 2))
+	st := s.Stats()
+	if st.Boards != 2 || st.N != 32 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TotalLayers != 2*(2+1) {
+		t.Errorf("total layers = %d, want 6", st.TotalLayers)
+	}
+	if st.Volume != st.TotalLayers*st.Area {
+		t.Errorf("volume %d != layers %d × area %d", st.Volume, st.TotalLayers, st.Area)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Hypercube3D(4, 0, 2); err == nil {
+		t.Error("nz=0 accepted")
+	}
+	if _, err := Hypercube3D(4, 4, 2); err == nil {
+		t.Error("nz=n accepted")
+	}
+	if _, err := KAryNCube3D(3, 2, 2, 2, false); err == nil {
+		t.Error("nz=n accepted for kary")
+	}
+	bad := Spec{
+		Name:     "bad",
+		Board:    core.Spec{Rows: 1, Cols: 1, L: 1},
+		BoardFac: track.Ring(2),
+	}
+	if _, err := Build(bad); err == nil {
+		t.Error("L=1 board accepted")
+	}
+}
+
+func TestElevatorsDoNotCollideAcrossTracks(t *testing.T) {
+	// A board factor with several tracks and touching intervals exercises
+	// the alternating column allocation: ring(6) has chains of touching
+	// intervals on track 0.
+	boardSpec := core.FromFactors("board", track.Ring(3), track.Ring(3), 2, 0)
+	s, err := Build(Spec{
+		Name:     "ring-stack",
+		Board:    boardSpec,
+		BoardFac: track.Ring(6),
+	})
+	mustBuild(t)(s, err)
+	// 9 nodes/board × 6 boards; ring(3)² per board + ring(6) stack links.
+	if len(s.Nodes) != 54 {
+		t.Errorf("N = %d, want 54", len(s.Nodes))
+	}
+	want := 6*(9+9) + 6*9 // per-board wires + elevator wires (6 ring edges × 9 stacks)
+	if len(s.Wires) != want {
+		t.Errorf("wires = %d, want %d", len(s.Wires), want)
+	}
+}
+
+// Property: stacked layouts stay legal across board factors with different
+// track structures (paths, rings, folded rings, hypercubes).
+func TestStackPropertyBoardFactors(t *testing.T) {
+	boardSpec := core.FromFactors("board", track.Ring(4), track.Ring(4), 2, 0)
+	factors := []*track.Collinear{
+		track.Path(5),
+		track.Ring(5),
+		track.FoldedRing(6),
+		track.Hypercube(3),
+		track.Complete(4),
+	}
+	for _, bf := range factors {
+		s, err := Build(Spec{Name: "prop-" + bf.Name, Board: boardSpec, BoardFac: bf})
+		if err != nil {
+			t.Fatalf("%s: %v", bf.Name, err)
+		}
+		if v := s.Verify(); len(v) > 0 {
+			t.Fatalf("%s: %v", bf.Name, v[0])
+		}
+		wantElev := len(bf.Edges) * 16
+		wantBoard := bf.N * 32 // ring(4)² has 32 links per board
+		if len(s.Wires) != wantElev+wantBoard {
+			t.Errorf("%s: wires = %d, want %d", bf.Name, len(s.Wires), wantElev+wantBoard)
+		}
+	}
+}
+
+func TestStackOddLayersPerBoard(t *testing.T) {
+	s := mustBuild(t)(Hypercube3D(5, 1, 3))
+	if s.LayersPerBoard != 3 || s.TotalLayers != 2*4-1 {
+		t.Errorf("odd-L stack: %d layers/board, %d total", s.LayersPerBoard, s.TotalLayers)
+	}
+}

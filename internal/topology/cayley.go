@@ -1,0 +1,239 @@
+package topology
+
+import "fmt"
+
+// Permutation ranking via the factorial number system gives each of the n!
+// permutations of {0..n−1} a canonical label, used by the Cayley-graph
+// generators below (star, pancake, bubble-sort, transposition networks),
+// the families the paper lists in §4.3 as amenable to the same layout
+// strategies.
+
+// Factorial returns n! (panics on overflow-prone n > 20).
+func Factorial(n int) int {
+	if n < 0 || n > 20 {
+		panic("Factorial: n out of range")
+	}
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// RankPermutation returns the factorial-number-system rank of perm, a
+// permutation of {0..n−1}.
+func RankPermutation(perm []int) int {
+	n := len(perm)
+	rank := 0
+	work := append([]int(nil), perm...)
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if work[j] < work[i] {
+				smaller++
+			}
+		}
+		rank = rank*(n-i) + smaller
+	}
+	return rank
+}
+
+// UnrankPermutation inverts RankPermutation for permutations of length n.
+func UnrankPermutation(rank, n int) []int {
+	digits := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		digits[i] = rank % (n - i)
+		rank /= (n - i)
+	}
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		d := digits[i]
+		perm[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return perm
+}
+
+// cayley builds the Cayley graph of the symmetric group S_n under the given
+// set of involutive generators (each generator applied to a permutation
+// must be an involution on positions so links are undirected).
+func cayley(name string, n int, gens []func([]int) []int) *Graph {
+	g := New(name, Factorial(n))
+	perm := make([]int, n)
+	for v := 0; v < g.N; v++ {
+		copy(perm, UnrankPermutation(v, n))
+		for _, gen := range gens {
+			w := RankPermutation(gen(perm))
+			if v < w {
+				g.AddLink(v, w)
+			}
+		}
+	}
+	return g
+}
+
+func swapGen(i, j int) func([]int) []int {
+	return func(p []int) []int {
+		q := append([]int(nil), p...)
+		q[i], q[j] = q[j], q[i]
+		return q
+	}
+}
+
+func reverseGen(prefix int) func([]int) []int {
+	return func(p []int) []int {
+		q := append([]int(nil), p...)
+		for a, b := 0, prefix-1; a < b; a, b = a+1, b-1 {
+			q[a], q[b] = q[b], q[a]
+		}
+		return q
+	}
+}
+
+// Star returns the n-dimensional star graph (Akers & Krishnamurthy):
+// generators swap position 0 with position i, i = 1..n−1. N = n!.
+func Star(n int) *Graph {
+	var gens []func([]int) []int
+	for i := 1; i < n; i++ {
+		gens = append(gens, swapGen(0, i))
+	}
+	return cayley(fmt.Sprintf("star(%d)", n), n, gens)
+}
+
+// Pancake returns the n-dimensional pancake graph: generators reverse
+// prefixes of length 2..n. N = n!.
+func Pancake(n int) *Graph {
+	var gens []func([]int) []int
+	for l := 2; l <= n; l++ {
+		gens = append(gens, reverseGen(l))
+	}
+	return cayley(fmt.Sprintf("pancake(%d)", n), n, gens)
+}
+
+// BubbleSort returns the bubble-sort graph: generators are adjacent
+// transpositions (i, i+1). N = n!.
+func BubbleSort(n int) *Graph {
+	var gens []func([]int) []int
+	for i := 0; i+1 < n; i++ {
+		gens = append(gens, swapGen(i, i+1))
+	}
+	return cayley(fmt.Sprintf("bubblesort(%d)", n), n, gens)
+}
+
+// Transposition returns the transposition network: generators are all
+// transpositions (i, j). N = n!.
+func Transposition(n int) *Graph {
+	var gens []func([]int) []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			gens = append(gens, swapGen(i, j))
+		}
+	}
+	return cayley(fmt.Sprintf("transposition(%d)", n), n, gens)
+}
+
+// ISN returns the indirect swap network substitute documented in DESIGN.md:
+// a wrapped butterfly with 2^m rows and m levels in which each (level, row
+// pair) boundary carries a single cross link instead of the butterfly's two
+// — node (ℓ, w) with bit ℓ of w clear links to ((ℓ+1) mod m, w ⊕ 2^ℓ). The
+// quotient over row clusters then has 2 parallel links per neighboring
+// cluster pair versus the butterfly's 4, the property §4.3 uses to claim a
+// factor-4 area and factor-2 wire-length advantage.
+func ISN(m int) *Graph {
+	if m < 2 {
+		panic("ISN: need m >= 2")
+	}
+	rows := 1 << uint(m)
+	g := New(fmt.Sprintf("ISN(%d)", m), m*rows)
+	id := func(l, w int) int { return l*rows + w }
+	for l := 0; l < m; l++ {
+		nl := (l + 1) % m
+		for w := 0; w < rows; w++ {
+			if m == 2 && nl < l {
+				g.AddLinkOnce(id(l, w), id(nl, w))
+				if w&(1<<uint(l)) == 0 {
+					g.AddLinkOnce(id(l, w), id(nl, w^(1<<uint(l))))
+				}
+				continue
+			}
+			g.AddLink(id(l, w), id(nl, w))
+			if w&(1<<uint(l)) == 0 {
+				g.AddLink(id(l, w), id(nl, w^(1<<uint(l))))
+			}
+		}
+	}
+	return g
+}
+
+// SCC returns the star-connected cycles network of Latifi, de Azevedo &
+// Bagherzadeh: each node of the n-dimensional star graph is replaced by an
+// (n−1)-node cycle, and cycle position i carries the lateral (star) link of
+// generator swap(0, i+1). Node (v, i) has label v·(n−1) + i with v the
+// permutation rank. N = n!·(n−1); degree 3 for n >= 4.
+func SCC(n int) *Graph {
+	if n < 3 {
+		panic("SCC: need n >= 3")
+	}
+	cyc := n - 1
+	g := New(fmt.Sprintf("SCC(%d)", n), Factorial(n)*cyc)
+	id := func(v, i int) int { return v*cyc + i }
+	for v := 0; v < Factorial(n); v++ {
+		perm := UnrankPermutation(v, n)
+		// Cycle links (a single link when the cycle has 2 nodes).
+		if cyc == 2 {
+			g.AddLink(id(v, 0), id(v, 1))
+		} else {
+			for i := 0; i < cyc; i++ {
+				g.AddLink(id(v, i), id(v, (i+1)%cyc))
+			}
+		}
+		// Lateral links: position i applies generator swap(0, i+1).
+		for i := 0; i < cyc; i++ {
+			q := append([]int(nil), perm...)
+			q[0], q[i+1] = q[i+1], q[0]
+			w := RankPermutation(q)
+			if v < w {
+				g.AddLink(id(v, i), id(w, i))
+			}
+		}
+	}
+	return g
+}
+
+// MacroStar returns the macro-star network MS(l, n) of Yeh & Varvarigos
+// [29]: a Cayley graph on the permutations of l·n+1 symbols whose
+// generators are the n nucleus star transpositions (position 0 with
+// positions 1..n) plus l−1 block-swap involutions exchanging the first
+// n-symbol block with each other block. Degree n+l−1, N = (l·n+1)!.
+// The ICPP paper names this family among the §4.3 targets.
+func MacroStar(l, n int) *Graph {
+	if l < 1 || n < 1 {
+		panic("MacroStar: need l >= 1, n >= 1")
+	}
+	total := l*n + 1
+	var gens []func([]int) []int
+	for i := 1; i <= n; i++ {
+		gens = append(gens, swapGen(0, i))
+	}
+	for j := 1; j < l; j++ {
+		base := j*n + 1
+		gens = append(gens, blockSwapGen(1, base, n))
+	}
+	g := cayley(fmt.Sprintf("macrostar(%d,%d)", l, n), total, gens)
+	return g
+}
+
+// blockSwapGen exchanges the n-symbol blocks starting at positions a and b.
+func blockSwapGen(a, b, n int) func([]int) []int {
+	return func(p []int) []int {
+		q := append([]int(nil), p...)
+		for i := 0; i < n; i++ {
+			q[a+i], q[b+i] = q[b+i], q[a+i]
+		}
+		return q
+	}
+}

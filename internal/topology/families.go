@@ -1,0 +1,431 @@
+package topology
+
+import "fmt"
+
+// KAryNCube returns the k-ary n-cube (torus): node labels are n-digit
+// base-k numbers, digit 0 least significant; links join labels differing by
+// ±1 (mod k) in one digit. For k = 2 the +1 and −1 neighbors coincide, so
+// each dimension contributes one link per node pair (the binary hypercube).
+func KAryNCube(k, n int) *Graph {
+	if k < 2 || n < 1 {
+		panic("KAryNCube: need k >= 2, n >= 1")
+	}
+	g := New(fmt.Sprintf("%d-ary %d-cube", k, n), pow(k, n))
+	stride := 1
+	for d := 0; d < n; d++ {
+		for v := 0; v < g.N; v++ {
+			digit := (v / stride) % k
+			up := v + stride
+			if digit == k-1 {
+				up = v - (k-1)*stride
+			}
+			if k == 2 {
+				if digit == 0 {
+					g.AddLink(v, v+stride)
+				}
+				continue
+			}
+			g.AddLink(v, up) // each node contributes its +1 link once
+		}
+		stride *= k
+	}
+	return g
+}
+
+// Mesh returns the n-dimensional mesh with the given per-dimension extents
+// (dims[0] least significant). Links join labels differing by 1 in one
+// coordinate (no wraparound).
+func Mesh(dims []int) *Graph {
+	n := 1
+	for _, d := range dims {
+		if d < 1 {
+			panic("Mesh: extents must be >= 1")
+		}
+		n *= d
+	}
+	g := New(fmt.Sprintf("mesh%v", dims), n)
+	stride := 1
+	for _, d := range dims {
+		for v := 0; v < n; v++ {
+			if (v/stride)%d < d-1 {
+				g.AddLink(v, v+stride)
+			}
+		}
+		stride *= d
+	}
+	return g
+}
+
+// Hypercube returns the binary n-cube: 2ⁿ nodes, links between labels
+// differing in exactly one bit.
+func Hypercube(n int) *Graph {
+	g := New(fmt.Sprintf("%d-cube", n), 1<<uint(n))
+	for v := 0; v < g.N; v++ {
+		for b := 0; b < n; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				g.AddLink(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(fmt.Sprintf("K%d", n), n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddLink(u, v)
+		}
+	}
+	return g
+}
+
+// GeneralizedHypercube returns the n-dimensional mixed-radix generalized
+// hypercube of Bhuyan & Agrawal: labels are mixed-radix numbers with
+// radices[0] least significant, and two labels are linked iff they differ
+// in exactly one digit (each dimension is a complete graph).
+func GeneralizedHypercube(radices []int) *Graph {
+	n := 1
+	for _, r := range radices {
+		if r < 2 {
+			panic("GeneralizedHypercube: radices must be >= 2")
+		}
+		n *= r
+	}
+	g := New(fmt.Sprintf("GHC%v", radices), n)
+	stride := 1
+	for _, r := range radices {
+		for v := 0; v < n; v++ {
+			digit := (v / stride) % r
+			for other := digit + 1; other < r; other++ {
+				g.AddLink(v, v+(other-digit)*stride)
+			}
+		}
+		stride *= r
+	}
+	return g
+}
+
+// FoldedHypercube returns the n-cube plus one diameter (bitwise-complement)
+// link per node pair: N/2 extra links (§5.3, citing El-Amawy & Latifi [1]).
+func FoldedHypercube(n int) *Graph {
+	g := Hypercube(n)
+	g.Name = fmt.Sprintf("folded %d-cube", n)
+	mask := 1<<uint(n) - 1
+	for v := 0; v < g.N; v++ {
+		w := v ^ mask
+		if v < w {
+			g.AddLink(v, w)
+		}
+	}
+	return g
+}
+
+// EnhancedCube returns the n-cube with one additional outgoing link per node
+// leading to a pseudo-random node (§5.3, citing Varvarigos [26]): N extra
+// links. The destination of node v's extra link is drawn from a
+// deterministic xorshift stream seeded by seed, skipping self-loops.
+func EnhancedCube(n int, seed uint64) *Graph {
+	g := Hypercube(n)
+	g.Name = fmt.Sprintf("enhanced %d-cube", n)
+	s := seed*2862933555777941757 + 3037000493
+	next := func(m int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(m))
+	}
+	for v := 0; v < g.N; v++ {
+		w := next(g.N)
+		for w == v {
+			w = next(g.N)
+		}
+		g.AddLink(v, w)
+	}
+	return g
+}
+
+// CCC returns the n-dimensional cube-connected cycles graph of Preparata &
+// Vuillemin: each n-cube node w is replaced by an n-node cycle; cycle node
+// (w, i) has label w·n + i, cycle links join consecutive i, and the cube
+// link at position i joins (w, i) to (w ⊕ 2^i, i). N = n·2ⁿ.
+func CCC(n int) *Graph {
+	if n < 1 {
+		panic("CCC: need n >= 1")
+	}
+	g := New(fmt.Sprintf("CCC(%d)", n), n<<uint(n))
+	id := func(w, i int) int { return w*n + i }
+	for w := 0; w < 1<<uint(n); w++ {
+		// Cycle links: an n-node cycle for n >= 3, a single link for n = 2,
+		// nothing for n = 1.
+		switch {
+		case n >= 3:
+			for i := 0; i < n; i++ {
+				g.AddLink(id(w, i), id(w, (i+1)%n))
+			}
+		case n == 2:
+			g.AddLink(id(w, 0), id(w, 1))
+		}
+		// Cube links: position i handles dimension i.
+		for i := 0; i < n; i++ {
+			wx := w ^ (1 << uint(i))
+			if w < wx {
+				g.AddLink(id(w, i), id(wx, i))
+			}
+		}
+	}
+	return g
+}
+
+// ReducedHypercube returns Ziavras's reduced hypercube RH obtained from
+// CCC(n) by replacing each n-node cycle with a log2(n)-dimensional
+// hypercube; n must be a power of two. Node (w, i) keeps the cube link to
+// (w ⊕ 2^i, i); intra-cluster links join i's differing in one bit.
+func ReducedHypercube(n int) *Graph {
+	if n < 2 || n&(n-1) != 0 {
+		panic("ReducedHypercube: cluster size n must be a power of two >= 2")
+	}
+	g := New(fmt.Sprintf("RH(%d)", n), n<<uint(n))
+	id := func(w, i int) int { return w*n + i }
+	logn := 0
+	for 1<<uint(logn) < n {
+		logn++
+	}
+	for w := 0; w < 1<<uint(n); w++ {
+		for i := 0; i < n; i++ {
+			for b := 0; b < logn; b++ {
+				j := i ^ (1 << uint(b))
+				if i < j {
+					g.AddLink(id(w, i), id(w, j))
+				}
+			}
+			wx := w ^ (1 << uint(i))
+			if w < wx {
+				g.AddLink(id(w, i), id(wx, i))
+			}
+		}
+	}
+	return g
+}
+
+// Butterfly returns the wrapped butterfly with 2^m rows and m levels:
+// N = m·2^m nodes labeled (level ℓ, row w) -> ℓ·2^m + w. Node (ℓ, w)
+// connects to ((ℓ+1) mod m, w) (straight) and ((ℓ+1) mod m, w ⊕ 2^ℓ)
+// (cross). The paper's "R×R butterfly" has R = 2^m rows and N = R·log2 R.
+func Butterfly(m int) *Graph {
+	if m < 2 {
+		panic("Butterfly: need m >= 2")
+	}
+	rows := 1 << uint(m)
+	g := New(fmt.Sprintf("butterfly(%d)", m), m*rows)
+	id := func(l, w int) int { return l*rows + w }
+	for l := 0; l < m; l++ {
+		nl := (l + 1) % m
+		for w := 0; w < rows; w++ {
+			if m == 2 && nl < l {
+				// With m=2 the wrap level pairs repeat; still add one copy
+				// of each distinct link.
+				g.AddLinkOnce(id(l, w), id(nl, w))
+				g.AddLinkOnce(id(l, w), id(nl, w^(1<<uint(l))))
+				continue
+			}
+			g.AddLink(id(l, w), id(nl, w))
+			g.AddLink(id(l, w), id(nl, w^(1<<uint(l))))
+		}
+	}
+	return g
+}
+
+// OrdinaryButterfly returns the unwrapped butterfly with m+1 levels and 2^m
+// rows: N = (m+1)·2^m. Used by tests comparing against wrapped counts.
+func OrdinaryButterfly(m int) *Graph {
+	rows := 1 << uint(m)
+	g := New(fmt.Sprintf("obutterfly(%d)", m), (m+1)*rows)
+	id := func(l, w int) int { return l*rows + w }
+	for l := 0; l < m; l++ {
+		for w := 0; w < rows; w++ {
+			g.AddLink(id(l, w), id(l+1, w))
+			g.AddLink(id(l, w), id(l+1, w^(1<<uint(l))))
+		}
+	}
+	return g
+}
+
+// HSN returns an l-level hierarchical swap network: the quotient over
+// clusters is an (l−1)-dimensional radix-r generalized hypercube, each
+// cluster is an r-node nucleus graph, and the level-d link between clusters
+// c and c' differing in digit d (values a = digit_d(c), b = digit_d(c'))
+// joins node (c, b) to (c', a) — one link per neighboring cluster pair, the
+// swap wiring of Yeh & Parhami's index-permutation model. nucleus builds the
+// intra-cluster graph (must have r nodes); nil means K_r.
+func HSN(l, r int, nucleus func(int) *Graph) *Graph {
+	if l < 2 || r < 2 {
+		panic("HSN: need l >= 2, r >= 2")
+	}
+	if nucleus == nil {
+		nucleus = Complete
+	}
+	nuc := nucleus(r)
+	if nuc.N != r {
+		panic("HSN: nucleus must have r nodes")
+	}
+	clusters := pow(r, l-1)
+	g := New(fmt.Sprintf("HSN(l=%d,r=%d,%s)", l, r, nuc.Name), clusters*r)
+	id := func(c, i int) int { return c*r + i }
+	for c := 0; c < clusters; c++ {
+		for _, lk := range nuc.Links {
+			g.AddLink(id(c, lk.U), id(c, lk.V))
+		}
+		stride := 1
+		for d := 0; d < l-1; d++ {
+			a := (c / stride) % r
+			for b := a + 1; b < r; b++ {
+				c2 := c + (b-a)*stride
+				g.AddLink(id(c, b), id(c2, a))
+			}
+			stride *= r
+		}
+	}
+	return g
+}
+
+// HHN returns a hierarchical hypercube network: an HSN whose nuclei are
+// hypercubes of 2^m nodes (so r = 2^m) with l levels.
+func HHN(l, m int) *Graph {
+	r := 1 << uint(m)
+	g := HSN(l, r, func(n int) *Graph { return Hypercube(m) })
+	g.Name = fmt.Sprintf("HHN(l=%d,m=%d)", l, m)
+	return g
+}
+
+// PNCluster replaces each node of quotient with a cluster graph of c nodes:
+// node (q, i) -> q·c + i. Intra-cluster links come from cluster(); the j-th
+// quotient link incident to cluster q attaches at cluster node j mod c, so
+// inter-cluster links spread round-robin over cluster nodes. multiplicity
+// parallel links realize each quotient link (the paper's butterfly quotient
+// uses 4). This is the generic PN-cluster construction of §3.2.
+func PNCluster(quotient *Graph, c int, cluster func(int) *Graph, multiplicity int) *Graph {
+	if c < 1 {
+		panic("PNCluster: need c >= 1")
+	}
+	if multiplicity < 1 {
+		multiplicity = 1
+	}
+	g := New(fmt.Sprintf("%s-cluster-%d", quotient.Name, c), quotient.N*c)
+	if cluster != nil {
+		cl := cluster(c)
+		if cl.N != c {
+			panic("PNCluster: cluster graph must have c nodes")
+		}
+		for q := 0; q < quotient.N; q++ {
+			for _, lk := range cl.Links {
+				g.AddLink(q*c+lk.U, q*c+lk.V)
+			}
+		}
+	}
+	port := make([]int, quotient.N)
+	for _, lk := range quotient.Links {
+		for rep := 0; rep < multiplicity; rep++ {
+			pu := port[lk.U] % c
+			port[lk.U]++
+			pv := port[lk.V] % c
+			port[lk.V]++
+			g.AddLink(lk.U*c+pu, lk.V*c+pv)
+		}
+	}
+	return g
+}
+
+// PNClusterWithAttach is PNCluster with explicit attachment control: the
+// m-th copy of quotient link {u, v} (u < v) joins cluster node
+// (u, attach(u,v,m).uMember) to (v, attach(u,v,m).vMember). The layout
+// engines use structural attachment rules (differing bit/digit, dimension
+// mod c); this generator builds the matching expected topology.
+func PNClusterWithAttach(quotient *Graph, c int, cluster func(int) *Graph, mult int, attach func(u, v, m int) (int, int)) *Graph {
+	if c < 1 {
+		panic("PNClusterWithAttach: need c >= 1")
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	g := New(fmt.Sprintf("%s-cluster-%d", quotient.Name, c), quotient.N*c)
+	if cluster != nil {
+		cl := cluster(c)
+		if cl.N != c {
+			panic("PNClusterWithAttach: cluster graph must have c nodes")
+		}
+		for q := 0; q < quotient.N; q++ {
+			for _, lk := range cl.Links {
+				g.AddLink(q*c+lk.U, q*c+lk.V)
+			}
+		}
+	}
+	for _, lk := range quotient.Links {
+		for m := 0; m < mult; m++ {
+			um, vm := attach(lk.U, lk.V, m)
+			g.AddLink(lk.U*c+um, lk.V*c+vm)
+		}
+	}
+	return g
+}
+
+// KAryClusterC returns a k-ary n-cube cluster-c (Basak & Panda [4]): the
+// quotient is a k-ary n-cube and each cluster is a c-node hypercube
+// (c must be a power of two).
+func KAryClusterC(k, n, c int) *Graph {
+	if c < 2 || c&(c-1) != 0 {
+		panic("KAryClusterC: c must be a power of two >= 2")
+	}
+	logc := 0
+	for 1<<uint(logc) < c {
+		logc++
+	}
+	g := PNCluster(KAryNCube(k, n), c, func(int) *Graph { return Hypercube(logc) }, 1)
+	g.Name = fmt.Sprintf("%d-ary %d-cube cluster-%d", k, n, c)
+	return g
+}
+
+// DeBruijn returns the binary de Bruijn graph on 2^m nodes: node v links to
+// (2v mod N) and (2v+1 mod N), taken as undirected links with self-loops
+// (at 0 and N−1) dropped and duplicates kept once.
+func DeBruijn(m int) *Graph {
+	if m < 2 {
+		panic("DeBruijn: need m >= 2")
+	}
+	n := 1 << uint(m)
+	g := New(fmt.Sprintf("debruijn(%d)", m), n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < 2; b++ {
+			w := (2*v + b) % n
+			if w != v {
+				g.AddLinkOnce(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// ShuffleExchange returns the shuffle-exchange graph on 2^m nodes:
+// exchange links (v, v XOR 1) and shuffle links (v, rotate-left(v)),
+// undirected, self-loops dropped.
+func ShuffleExchange(m int) *Graph {
+	if m < 2 {
+		panic("ShuffleExchange: need m >= 2")
+	}
+	n := 1 << uint(m)
+	g := New(fmt.Sprintf("shuffle-exchange(%d)", m), n)
+	rol := func(v int) int {
+		return ((v << 1) | (v >> uint(m-1))) & (n - 1)
+	}
+	for v := 0; v < n; v++ {
+		if w := v ^ 1; v < w {
+			g.AddLink(v, w)
+		}
+		if w := rol(v); w != v {
+			g.AddLinkOnce(v, w)
+		}
+	}
+	return g
+}

@@ -1,0 +1,188 @@
+// Package topology provides generators for every interconnection network the
+// paper lays out (k-ary n-cubes, hypercubes and their variants, generalized
+// hypercubes, butterflies, cube-connected cycles, hierarchical and indirect
+// swap networks, PN clusters) plus the Cayley-graph families the paper lists
+// as extensions (star, pancake, bubble-sort, transposition graphs).
+//
+// Every generator documents its node labeling, since the layout engine and
+// the legality verifier cross-check realized wires against these edge sets.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is an undirected edge between node labels U and V.
+type Link struct {
+	U, V int
+}
+
+// Graph is an undirected multigraph with nodes 0..N-1.
+type Graph struct {
+	Name  string
+	N     int
+	Links []Link
+	adj   [][]int // lazily built adjacency lists
+}
+
+// New returns an empty graph with n nodes.
+func New(name string, n int) *Graph {
+	return &Graph{Name: name, N: n}
+}
+
+// AddLink appends the undirected link {u, v}, normalizing to u < v.
+// Self-loops are rejected.
+func (g *Graph) AddLink(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("%s: self-loop at %d", g.Name, u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.Links = append(g.Links, Link{u, v})
+	g.adj = nil
+}
+
+// AddLinkOnce appends {u, v} only if not already present. It is O(links) and
+// intended for small constructions; generators that can produce duplicates
+// (e.g. k=2 rings) deduplicate structurally instead.
+func (g *Graph) AddLinkOnce(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	for _, l := range g.Links {
+		if l.U == u && l.V == v {
+			return
+		}
+	}
+	g.AddLink(u, v)
+}
+
+// Adjacency returns adjacency lists (built once, cached).
+func (g *Graph) Adjacency() [][]int {
+	if g.adj == nil {
+		g.adj = make([][]int, g.N)
+		for _, l := range g.Links {
+			g.adj[l.U] = append(g.adj[l.U], l.V)
+			g.adj[l.V] = append(g.adj[l.V], l.U)
+		}
+	}
+	return g.adj
+}
+
+// Degree returns each node's degree (counting parallel links).
+func (g *Graph) Degree() []int {
+	deg := make([]int, g.N)
+	for _, l := range g.Links {
+		deg[l.U]++
+		deg[l.V]++
+	}
+	return deg
+}
+
+// MaxDegree returns the maximum node degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, d := range g.Degree() {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// LinkSet returns the multiset of links as sorted pairs, for comparisons.
+func (g *Graph) LinkSet() []Link {
+	out := append([]Link(nil), g.Links...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Equal reports whether two graphs have the same node count and identical
+// link multisets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N != h.N || len(g.Links) != len(h.Links) {
+		return false
+	}
+	a, b := g.LinkSet(), h.LinkSet()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Connected reports whether the graph is connected (true for N <= 1).
+func (g *Graph) Connected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	adj := g.Adjacency()
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N
+}
+
+// BFS returns the distance from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	adj := g.Adjacency()
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the graph diameter (max over sources of max BFS depth).
+// O(N·E); intended for the moderate sizes used in tests and benches.
+func (g *Graph) Diameter() int {
+	d := 0
+	for s := 0; s < g.N; s++ {
+		for _, x := range g.BFS(s) {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+func pow(base, exp int) int {
+	p := 1
+	for i := 0; i < exp; i++ {
+		p *= base
+	}
+	return p
+}

@@ -1,0 +1,372 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func checkRegular(t *testing.T, g *Graph, degree int) {
+	t.Helper()
+	for v, d := range g.Degree() {
+		if d != degree {
+			t.Fatalf("%s: node %d has degree %d, want %d", g.Name, v, d, degree)
+			return
+		}
+	}
+}
+
+func checkConnected(t *testing.T, g *Graph) {
+	t.Helper()
+	if !g.Connected() {
+		t.Fatalf("%s: not connected", g.Name)
+	}
+}
+
+func TestKAryNCube(t *testing.T) {
+	for _, tc := range []struct {
+		k, n, wantN, wantLinks, degree int
+	}{
+		{3, 2, 9, 18, 4},
+		{4, 2, 16, 32, 4},
+		{4, 3, 64, 192, 6},
+		{2, 3, 8, 12, 3}, // binary: torus collapses to hypercube
+		{5, 1, 5, 5, 2},
+		{2, 1, 2, 1, 1},
+	} {
+		g := KAryNCube(tc.k, tc.n)
+		if g.N != tc.wantN || len(g.Links) != tc.wantLinks {
+			t.Errorf("%s: N=%d links=%d, want %d and %d", g.Name, g.N, len(g.Links), tc.wantN, tc.wantLinks)
+		}
+		checkRegular(t, g, tc.degree)
+		checkConnected(t, g)
+	}
+	if !KAryNCube(2, 4).Equal(Hypercube(4)) {
+		t.Error("2-ary 4-cube should equal the 4-cube")
+	}
+}
+
+func TestMesh(t *testing.T) {
+	g := Mesh([]int{3, 4})
+	if g.N != 12 || len(g.Links) != 2*4+3*3 {
+		t.Errorf("mesh 3x4: N=%d links=%d, want 12 and 17", g.N, len(g.Links))
+	}
+	checkConnected(t, g)
+	if d := Mesh([]int{5}).Diameter(); d != 4 {
+		t.Errorf("path-5 diameter = %d, want 4", d)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		g := Hypercube(n)
+		if g.N != 1<<uint(n) || len(g.Links) != n<<uint(n-1) {
+			t.Errorf("%s: N=%d links=%d", g.Name, g.N, len(g.Links))
+		}
+		checkRegular(t, g, n)
+		checkConnected(t, g)
+		if d := g.Diameter(); d != n {
+			t.Errorf("%s: diameter %d, want %d", g.Name, d, n)
+		}
+	}
+}
+
+func TestGeneralizedHypercube(t *testing.T) {
+	g := GeneralizedHypercube([]int{3, 3})
+	if g.N != 9 || len(g.Links) != 9*2 {
+		t.Errorf("GHC(3,3): N=%d links=%d, want 9 and 18", g.N, len(g.Links))
+	}
+	checkRegular(t, g, 4)
+	if d := g.Diameter(); d != 2 {
+		t.Errorf("GHC(3,3) diameter = %d, want 2 (one hop per digit)", d)
+	}
+	// Radix-2 GHC is the hypercube.
+	if !GeneralizedHypercube([]int{2, 2, 2}).Equal(Hypercube(3)) {
+		t.Error("radix-2 GHC should equal the hypercube")
+	}
+	// Single-dimension GHC is the complete graph.
+	if !GeneralizedHypercube([]int{7}).Equal(Complete(7)) {
+		t.Error("1-D GHC should equal K7")
+	}
+	mixed := GeneralizedHypercube([]int{2, 3})
+	checkRegular(t, mixed, 1+2)
+	checkConnected(t, mixed)
+}
+
+func TestFoldedHypercube(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := FoldedHypercube(n)
+		if want := n<<uint(n-1) + 1<<uint(n-1); len(g.Links) != want {
+			t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+		}
+		checkRegular(t, g, n+1)
+		// Folding halves the diameter (⌈n/2⌉).
+		if d := g.Diameter(); d != (n+1)/2 {
+			t.Errorf("%s: diameter %d, want %d", g.Name, d, (n+1)/2)
+		}
+	}
+}
+
+func TestEnhancedCube(t *testing.T) {
+	g := EnhancedCube(5, 42)
+	if want := 5<<4 + 32; len(g.Links) != want {
+		t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+	}
+	checkConnected(t, g)
+	// Deterministic for a fixed seed.
+	h := EnhancedCube(5, 42)
+	if !g.Equal(h) {
+		t.Error("EnhancedCube not deterministic for fixed seed")
+	}
+	if g.Equal(EnhancedCube(5, 43)) {
+		t.Error("different seeds should give different extra links")
+	}
+}
+
+func TestCCC(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := CCC(n)
+		if g.N != n<<uint(n) {
+			t.Fatalf("%s: N=%d", g.Name, g.N)
+		}
+		cycleLinks := n
+		if n == 2 {
+			cycleLinks = 1
+		}
+		want := cycleLinks<<uint(n) + n<<uint(n-1)
+		if len(g.Links) != want {
+			t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+		}
+		checkConnected(t, g)
+		if n >= 3 {
+			checkRegular(t, g, 3)
+		}
+	}
+}
+
+func TestReducedHypercube(t *testing.T) {
+	g := ReducedHypercube(4)
+	if g.N != 4*16 {
+		t.Fatalf("%s: N=%d, want 64", g.Name, g.N)
+	}
+	// Each node: log2(4)=2 intra links + 1 cube link.
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+}
+
+func TestButterfly(t *testing.T) {
+	for m := 2; m <= 6; m++ {
+		g := Butterfly(m)
+		rows := 1 << uint(m)
+		if g.N != m*rows {
+			t.Fatalf("%s: N=%d, want %d", g.Name, g.N, m*rows)
+		}
+		checkConnected(t, g)
+		if m >= 3 {
+			if want := 2 * m * rows; len(g.Links) != want {
+				t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+			}
+			checkRegular(t, g, 4)
+		}
+	}
+	og := OrdinaryButterfly(3)
+	if og.N != 4*8 || len(og.Links) != 2*3*8 {
+		t.Errorf("ordinary butterfly(3): N=%d links=%d", og.N, len(og.Links))
+	}
+	checkConnected(t, og)
+}
+
+func TestISN(t *testing.T) {
+	for m := 3; m <= 5; m++ {
+		g := ISN(m)
+		rows := 1 << uint(m)
+		if g.N != m*rows {
+			t.Fatalf("%s: N=%d", g.Name, g.N)
+		}
+		// Straight links: m·2^m; cross links: m·2^m/2.
+		if want := m*rows + m*rows/2; len(g.Links) != want {
+			t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+		}
+		checkConnected(t, g)
+	}
+}
+
+func TestHSN(t *testing.T) {
+	g := HSN(2, 4, nil)
+	// 2-level HSN radix 4: quotient K4 (1 digit), 4 clusters of K4.
+	if g.N != 16 {
+		t.Fatalf("%s: N=%d, want 16", g.Name, g.N)
+	}
+	// Intra: 4 clusters × 6 links; inter: 6 quotient links × 1.
+	if want := 4*6 + 6; len(g.Links) != want {
+		t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+	}
+	checkConnected(t, g)
+
+	g3 := HSN(3, 3, nil)
+	if g3.N != 27 {
+		t.Fatalf("%s: N=%d, want 27", g3.Name, g3.N)
+	}
+	// Quotient GHC(3,3) has 18 links; 9 clusters × 3 intra links.
+	if want := 9*3 + 18; len(g3.Links) != want {
+		t.Errorf("%s: %d links, want %d", g3.Name, len(g3.Links), want)
+	}
+	checkConnected(t, g3)
+}
+
+func TestHHN(t *testing.T) {
+	g := HHN(2, 2)
+	// r = 4, nuclei are 2-cubes: 4 clusters × 4 links + 6 inter.
+	if g.N != 16 || len(g.Links) != 4*4+6 {
+		t.Errorf("%s: N=%d links=%d, want 16 and 22", g.Name, g.N, len(g.Links))
+	}
+	checkConnected(t, g)
+}
+
+func TestPNClusterAndKAryClusterC(t *testing.T) {
+	g := KAryClusterC(3, 2, 4)
+	if g.N != 9*4 {
+		t.Fatalf("%s: N=%d, want 36", g.Name, g.N)
+	}
+	// Intra: 9 clusters × 4 links (2-cube); inter: 18 quotient links.
+	if want := 9*4 + 18; len(g.Links) != want {
+		t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+	}
+	checkConnected(t, g)
+
+	multi := PNCluster(Complete(3), 2, nil, 2)
+	// 3 quotient links × multiplicity 2, no intra graph.
+	if len(multi.Links) != 6 {
+		t.Errorf("PNCluster multiplicity: %d links, want 6", len(multi.Links))
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	g := Star(4)
+	if g.N != 24 || len(g.Links) != 24*3/2 {
+		t.Errorf("%s: N=%d links=%d, want 24 and 36", g.Name, g.N, len(g.Links))
+	}
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+}
+
+func TestPancake(t *testing.T) {
+	g := Pancake(4)
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+	if g.N != 24 {
+		t.Errorf("%s: N=%d", g.Name, g.N)
+	}
+}
+
+func TestBubbleSort(t *testing.T) {
+	g := BubbleSort(4)
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+	// Bubble-sort graph diameter is n(n−1)/2.
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("%s: diameter %d, want 6", g.Name, d)
+	}
+}
+
+func TestTransposition(t *testing.T) {
+	g := Transposition(4)
+	checkRegular(t, g, 6)
+	checkConnected(t, g)
+	// Transposition network diameter is n−1.
+	if d := g.Diameter(); d != 3 {
+		t.Errorf("%s: diameter %d, want 3", g.Name, d)
+	}
+}
+
+func TestPermutationRanking(t *testing.T) {
+	f := func(r uint16, nn uint8) bool {
+		n := 1 + int(nn%7)
+		rank := int(r) % Factorial(n)
+		perm := UnrankPermutation(rank, n)
+		return RankPermutation(perm) == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphEqualAndLinkSet(t *testing.T) {
+	a := Hypercube(3)
+	b := Hypercube(3)
+	if !a.Equal(b) {
+		t.Error("identical hypercubes not equal")
+	}
+	b.AddLink(0, 7)
+	if a.Equal(b) {
+		t.Error("graphs with different links reported equal")
+	}
+}
+
+func TestAddLinkPanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop did not panic")
+		}
+	}()
+	New("x", 2).AddLink(1, 1)
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Hypercube(4)
+	dist := g.BFS(0)
+	for v := 0; v < g.N; v++ {
+		pop := 0
+		for x := v; x > 0; x &= x - 1 {
+			pop++
+		}
+		if dist[v] != pop {
+			t.Errorf("BFS dist to %b = %d, want popcount %d", v, dist[v], pop)
+		}
+	}
+}
+
+// Property: every generated family is connected and has the expected node
+// count for random small parameters.
+func TestFamiliesConnectedProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		k := 2 + int(a%4)
+		n := 1 + int(b%3)
+		if !KAryNCube(k, n).Connected() {
+			return false
+		}
+		if !GeneralizedHypercube([]int{k, 2 + int(b%3)}).Connected() {
+			return false
+		}
+		return HSN(2, k, nil).Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := SCC(4)
+	if g.N != 24*3 {
+		t.Fatalf("%s: N=%d, want 72", g.Name, g.N)
+	}
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+	// Total links: cycles 24·3 + laterals 24·3/2.
+	if want := 24*3 + 24*3/2; len(g.Links) != want {
+		t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+	}
+}
+
+func TestMacroStar(t *testing.T) {
+	// MS(2,2): 5 symbols, degree 2+2-1 = 3, N = 120.
+	g := MacroStar(2, 2)
+	if g.N != 120 {
+		t.Fatalf("%s: N=%d, want 120", g.Name, g.N)
+	}
+	checkRegular(t, g, 3)
+	checkConnected(t, g)
+	// MS(1,n) degenerates to the star graph on n+1 symbols.
+	if !MacroStar(1, 3).Equal(Star(4)) {
+		t.Error("MS(1,3) should equal star(4)")
+	}
+}

@@ -1,0 +1,43 @@
+package track
+
+import "fmt"
+
+// FromGraph builds a collinear layout of an arbitrary graph: node with
+// label l sits at position pos[l] (nil = identity placement), every link
+// becomes an interval, and tracks are assigned greedily (optimal for the
+// placement: track count equals the placement's max cut). This is the
+// workhorse behind the Cayley-graph layouts the paper defers to
+// "similar strategies" in §4.3 — those families are not Cartesian
+// products, so their collinear layouts come from a placement plus optimal
+// interval coloring rather than the product combinator.
+func FromGraph(name string, n int, links [][2]int, pos []int) *Collinear {
+	c := &Collinear{Name: name, N: n}
+	if pos != nil {
+		if len(pos) != n {
+			panic(fmt.Sprintf("FromGraph(%s): pos has %d entries for n=%d", name, len(pos), n))
+		}
+		labels := make([]int, n)
+		for l, p := range pos {
+			labels[p] = l
+		}
+		c.Labels = labels
+	}
+	at := func(l int) int {
+		if pos == nil {
+			return l
+		}
+		return pos[l]
+	}
+	for _, lk := range links {
+		u, v := at(lk[0]), at(lk[1])
+		if u > v {
+			u, v = v, u
+		}
+		if u == v {
+			panic(fmt.Sprintf("FromGraph(%s): self-loop at %d", name, lk[0]))
+		}
+		c.Edges = append(c.Edges, Edge{U: u, V: v})
+	}
+	c.AssignGreedy()
+	return c
+}

@@ -1,0 +1,396 @@
+package track
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mustVerify(t *testing.T, c *Collinear) {
+	t.Helper()
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify(%s): %v", c.Name, err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	c := Path(5)
+	mustVerify(t, c)
+	if c.Tracks != 1 || len(c.Edges) != 4 {
+		t.Errorf("path(5): tracks=%d edges=%d, want 1 and 4", c.Tracks, len(c.Edges))
+	}
+	if Path(1).Tracks != 0 {
+		t.Error("path(1) should need no tracks")
+	}
+}
+
+func TestRing(t *testing.T) {
+	for k := 2; k <= 10; k++ {
+		c := Ring(k)
+		mustVerify(t, c)
+		wantEdges := k
+		wantTracks := 2
+		if k == 2 {
+			wantEdges, wantTracks = 1, 1
+		}
+		if len(c.Edges) != wantEdges || c.Tracks != wantTracks {
+			t.Errorf("ring(%d): edges=%d tracks=%d, want %d and %d",
+				k, len(c.Edges), c.Tracks, wantEdges, wantTracks)
+		}
+	}
+}
+
+func TestFoldedRing(t *testing.T) {
+	for k := 2; k <= 12; k++ {
+		c := FoldedRing(k)
+		mustVerify(t, c)
+		if got := c.MaxSpan(); k > 2 && got > 2 {
+			t.Errorf("foldedring(%d): max span %d, want <= 2", k, got)
+		}
+		if k >= 3 && c.Tracks > 3 {
+			t.Errorf("foldedring(%d): %d tracks, want <= 3", k, c.Tracks)
+		}
+		wantEdges := k
+		if k == 2 {
+			wantEdges = 1
+		}
+		if len(c.Edges) != wantEdges {
+			t.Errorf("foldedring(%d): %d edges, want %d", k, len(c.Edges), wantEdges)
+		}
+		assertRingEdges(t, c, k)
+	}
+}
+
+// assertRingEdges checks that the layout's edges, mapped through Labels,
+// are exactly the ring edges {i, i+1 mod k}.
+func assertRingEdges(t *testing.T, c *Collinear, k int) {
+	t.Helper()
+	seen := make(map[[2]int]bool)
+	for _, e := range c.Edges {
+		a, b := c.Label(e.U), c.Label(e.V)
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]int{a, b}] = true
+	}
+	for i := 0; i < k; i++ {
+		j := (i + 1) % k
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		if a == b {
+			continue
+		}
+		if !seen[[2]int{a, b}] {
+			t.Errorf("ring(%d) layout missing edge {%d,%d}", k, a, b)
+		}
+	}
+}
+
+func TestCompleteTrackCount(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		c := Complete(n)
+		mustVerify(t, c)
+		want := n * n / 4
+		if c.Tracks != want {
+			t.Errorf("K%d: %d tracks, want ⌊N²/4⌋ = %d", n, c.Tracks, want)
+		}
+		if len(c.Edges) != n*(n-1)/2 {
+			t.Errorf("K%d: %d edges, want %d", n, len(c.Edges), n*(n-1)/2)
+		}
+	}
+}
+
+func TestKAryNCubeTrackCount(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		for n := 1; n <= 4; n++ {
+			c := KAryNCube(k, n, false)
+			mustVerify(t, c)
+			want := TrackCountKAry(k, n)
+			// Ring(2) needs 1 track, not 2, so for k=2 the recurrence is
+			// f(n) = 2f(n−1)+1 = 2ⁿ−1 instead of 2(2ⁿ−1).
+			if k == 2 {
+				want = 1<<uint(n) - 1
+			}
+			if c.Tracks != want {
+				t.Errorf("%d-ary %d-cube: %d tracks, want %d", k, n, c.Tracks, want)
+			}
+			pow := 1
+			for i := 0; i < n; i++ {
+				pow *= k
+			}
+			if c.N != pow {
+				t.Errorf("%d-ary %d-cube: N=%d, want %d", k, n, c.N, pow)
+			}
+			wantEdges := n * pow
+			if k == 2 {
+				wantEdges = n * pow / 2
+			}
+			if len(c.Edges) != wantEdges {
+				t.Errorf("%d-ary %d-cube: %d edges, want %d", k, n, len(c.Edges), wantEdges)
+			}
+		}
+	}
+}
+
+func TestKAryNCubeFoldedSpan(t *testing.T) {
+	c := KAryNCube(6, 2, true)
+	mustVerify(t, c)
+	// Folded rings make the innermost dimension's intervals span at most
+	// 2 positions and the outer dimension's at most 2*6.
+	if got := c.MaxSpan(); got > 12 {
+		t.Errorf("folded 6-ary 2-cube: max span %d, want <= 12", got)
+	}
+	unf := KAryNCube(6, 2, false)
+	if unf.MaxSpan() <= c.MaxSpan() {
+		t.Errorf("folding did not reduce span: folded %d, unfolded %d", c.MaxSpan(), unf.MaxSpan())
+	}
+}
+
+func TestHypercubeTrackCount(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		c := Hypercube(n)
+		mustVerify(t, c)
+		if want := TrackCountHypercube(n); c.Tracks != want {
+			t.Errorf("%d-cube: %d tracks, want ⌊2N/3⌋ = %d", n, c.Tracks, want)
+		}
+		if c.N != 1<<uint(n) {
+			t.Errorf("%d-cube: N=%d, want %d", n, c.N, 1<<uint(n))
+		}
+		if want := n << uint(n-1); len(c.Edges) != want {
+			t.Errorf("%d-cube: %d edges, want %d", n, len(c.Edges), want)
+		}
+	}
+}
+
+func TestHypercubeLabelsAreCubeEdges(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		c := Hypercube(n)
+		for _, e := range c.Edges {
+			a, b := c.Label(e.U), c.Label(e.V)
+			x := a ^ b
+			if x == 0 || x&(x-1) != 0 {
+				t.Fatalf("%d-cube: edge labels %b and %b differ in %b, not one bit", n, a, b, x)
+			}
+		}
+	}
+}
+
+func TestGeneralizedHypercubeTrackCount(t *testing.T) {
+	for _, tc := range []struct {
+		r, n int
+	}{{3, 1}, {3, 2}, {3, 3}, {4, 2}, {5, 2}, {6, 2}, {4, 3}} {
+		radices := make([]int, tc.n)
+		for i := range radices {
+			radices[i] = tc.r
+		}
+		c := GeneralizedHypercube(radices)
+		mustVerify(t, c)
+		if want := TrackCountGHC(tc.r, tc.n); c.Tracks != want {
+			t.Errorf("GHC r=%d n=%d: %d tracks, want %d", tc.r, tc.n, c.Tracks, want)
+		}
+	}
+}
+
+func TestGeneralizedHypercubeMixedRadix(t *testing.T) {
+	c := GeneralizedHypercube([]int{2, 3, 4})
+	mustVerify(t, c)
+	if c.N != 24 {
+		t.Fatalf("GHC(2,3,4): N=%d, want 24", c.N)
+	}
+	// Every edge must connect labels differing in exactly one mixed-radix
+	// digit. radices[0]=2 is the least significant digit, so the label
+	// decomposes as l = d2·6 + d1·2 + d0 with d0 ∈ [0,2), d1 ∈ [0,3),
+	// d2 ∈ [0,4).
+	digits := func(l int) [3]int {
+		return [3]int{l % 2, (l / 2) % 3, l / 6}
+	}
+	for _, e := range c.Edges {
+		a, b := c.Label(e.U), c.Label(e.V)
+		da, db := digits(a), digits(b)
+		diff := 0
+		for i := 0; i < 3; i++ {
+			if da[i] != db[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("GHC(2,3,4): edge %d-%d differs in %d digits", a, b, diff)
+		}
+	}
+}
+
+func TestProductTrackFormula(t *testing.T) {
+	g := Ring(5)
+	h := Complete(4)
+	p := Product(g, h)
+	mustVerify(t, p)
+	if want := h.N*g.Tracks + h.Tracks; p.Tracks != want {
+		t.Errorf("product tracks = %d, want N_H·f(G)+f(H) = %d", p.Tracks, want)
+	}
+	if p.N != 20 {
+		t.Errorf("product N = %d, want 20", p.N)
+	}
+	if want := 4*len(g.Edges) + 5*len(h.Edges); len(p.Edges) != want {
+		t.Errorf("product edges = %d, want %d", len(p.Edges), want)
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	c := Ring(6)
+	m := Multiply(c, 4)
+	mustVerify(t, m)
+	if m.Tracks != 4*c.Tracks || len(m.Edges) != 4*len(c.Edges) {
+		t.Errorf("multiply: tracks=%d edges=%d, want %d and %d",
+			m.Tracks, len(m.Edges), 4*c.Tracks, 4*len(c.Edges))
+	}
+}
+
+func TestMaxCutCompleteGraph(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		c := Complete(n)
+		if got, want := c.MaxCut(), n*n/4; got != want {
+			t.Errorf("K%d max cut = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCompactNeverWorse(t *testing.T) {
+	layouts := []*Collinear{
+		KAryNCube(4, 3, false),
+		Hypercube(6),
+		GeneralizedHypercube([]int{4, 4}),
+		FoldedRing(9),
+	}
+	for _, c := range layouts {
+		cc := c.Compact()
+		mustVerify(t, cc)
+		if cc.Tracks > c.Tracks {
+			t.Errorf("%s: compact used %d tracks > structured %d", c.Name, cc.Tracks, c.Tracks)
+		}
+		if cc.Tracks != cc.MaxCut() {
+			t.Errorf("%s: compact tracks %d != max cut %d (greedy should be optimal)",
+				c.Name, cc.Tracks, cc.MaxCut())
+		}
+	}
+}
+
+func TestVerifyCatchesOverlap(t *testing.T) {
+	c := &Collinear{Name: "bad", N: 4, Tracks: 1, Edges: []Edge{
+		{U: 0, V: 2, Track: 0}, {U: 1, V: 3, Track: 0},
+	}}
+	if err := c.Verify(); err == nil {
+		t.Error("overlapping intervals on one track not caught")
+	}
+	c2 := &Collinear{Name: "touch", N: 4, Tracks: 1, Edges: []Edge{
+		{U: 0, V: 2, Track: 0}, {U: 2, V: 3, Track: 0},
+	}}
+	if err := c2.Verify(); err != nil {
+		t.Errorf("touching intervals flagged: %v", err)
+	}
+}
+
+func TestVerifyCatchesBadEdgesAndLabels(t *testing.T) {
+	bad := []*Collinear{
+		{Name: "range", N: 3, Tracks: 1, Edges: []Edge{{U: 0, V: 3, Track: 0}}},
+		{Name: "order", N: 3, Tracks: 1, Edges: []Edge{{U: 2, V: 2, Track: 0}}},
+		{Name: "track", N: 3, Tracks: 1, Edges: []Edge{{U: 0, V: 1, Track: 1}}},
+		{Name: "labels", N: 3, Tracks: 0, Labels: []int{0, 0, 2}},
+		{Name: "labellen", N: 3, Tracks: 0, Labels: []int{0, 1}},
+	}
+	for _, c := range bad {
+		if err := c.Verify(); err == nil {
+			t.Errorf("%s: expected verification failure", c.Name)
+		}
+	}
+}
+
+func TestPositionOfInvertsLabels(t *testing.T) {
+	c := Hypercube(5)
+	pos := c.PositionOf()
+	for p := 0; p < c.N; p++ {
+		if pos[c.Label(p)] != p {
+			t.Fatalf("PositionOf does not invert Label at position %d", p)
+		}
+	}
+}
+
+// Property: for random products of rings and complete graphs, the combinator
+// output verifies, has the predicted track count, and greedy compaction
+// matches max cut.
+func TestProductProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		k1 := 2 + int(a%5)
+		k2 := 2 + int(b%5)
+		k3 := 2 + int(c%4)
+		g := Product(Ring(k1), Complete(k2))
+		p := Product(g, Ring(k3))
+		if err := p.Verify(); err != nil {
+			return false
+		}
+		if p.Tracks != k3*g.Tracks+Ring(k3).Tracks {
+			return false
+		}
+		cc := p.Compact()
+		return cc.Verify() == nil && cc.Tracks == p.MaxCut()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy assignment always equals max cut (optimality of interval
+// coloring) on random interval sets.
+func TestGreedyOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)*6364136223846793005 + 1442695040888963407
+		next := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		n := 4 + next(30)
+		c := &Collinear{Name: "rand", N: n}
+		m := 1 + next(60)
+		for i := 0; i < m; i++ {
+			u := next(n - 1)
+			v := u + 1 + next(n-1-u)
+			c.Edges = append(c.Edges, Edge{U: u, V: v})
+		}
+		c.AssignGreedy()
+		return c.Verify() == nil && c.Tracks == c.MaxCut()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleKAryNCube() {
+	c := KAryNCube(3, 2, false)
+	fmt.Println(c.N, c.Tracks)
+	// Output: 9 8
+}
+
+func ExampleHypercube() {
+	c := Hypercube(4)
+	fmt.Println(c.N, c.Tracks)
+	// Output: 16 10
+}
+
+func TestMeshCollinear(t *testing.T) {
+	c := MeshCollinear([]int{3, 4})
+	mustVerify(t, c)
+	if c.N != 12 {
+		t.Fatalf("mesh(3,4) N=%d, want 12", c.N)
+	}
+	// f = N_P·f(path4) + f(path3) = 3·1 + 1 = 4 built most-significant
+	// first: Product(Path(4), Path(3)): 3·1+1 = 4.
+	if c.Tracks != 4 {
+		t.Errorf("mesh(3,4) tracks = %d, want 4", c.Tracks)
+	}
+	if MeshCollinear(nil).N != 1 {
+		t.Error("empty mesh should have one node")
+	}
+}
