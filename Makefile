@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with parallel paths (the par worker
+# pool, the sharded grid checker, the parallel realize loop, the routing
+# sweeps) plus everything else under internal/.
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -1,7 +1,8 @@
 package mlvlsi
 
 import (
-	"mlvlsi/internal/cluster"
+	"errors"
+
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/extra"
 	"mlvlsi/internal/fold"
@@ -30,7 +31,10 @@ type Collinear = track.Collinear
 // Options configures layout construction.
 type Options struct {
 	// Layers is the number of wiring layers L (>= 2). Zero defaults to 2,
-	// the Thompson model.
+	// the Thompson model. Odd L is legal: the engines split each channel's
+	// tracks across ⌈L/2⌉ x-layers and ⌊L/2⌋ y-layers (§2.1's direction
+	// discipline), so the odd layer goes to the x direction and area
+	// improves by the ⌈L/2⌉ factor rather than L/2.
 	Layers int
 	// NodeSide fixes the node square side; zero picks the smallest side
 	// that fits the node's ports (the paper's minimal node).
@@ -38,6 +42,10 @@ type Options struct {
 	// FoldedRows lays k-ary n-cube rows and columns in folded (interleaved)
 	// order, cutting the maximum wire length to O(N/(Lk²)) (§3.1).
 	FoldedRows bool
+	// Workers bounds the fan-out of the parallel build and verify paths:
+	// 0 means GOMAXPROCS, 1 forces serial execution. The constructed
+	// layout and all verification results are identical for every value.
+	Workers int
 }
 
 func (o Options) layers() int {
@@ -47,111 +55,135 @@ func (o Options) layers() int {
 	return o.Layers
 }
 
+// validate rejects out-of-range Options fields with a *ParamError. All
+// constructors and BuildFamily call it before building.
+func (o Options) validate() error {
+	if o.Layers < 0 {
+		return &ParamError{Param: "Layers", Value: o.Layers, Reason: "must be >= 0 (0 defaults to 2)"}
+	}
+	if o.NodeSide < 0 {
+		return &ParamError{Param: "NodeSide", Value: o.NodeSide, Reason: "must be >= 0 (0 picks the minimal node)"}
+	}
+	if o.Workers < 0 {
+		return &ParamError{Param: "Workers", Value: o.Workers, Reason: "must be >= 0 (0 means GOMAXPROCS)"}
+	}
+	return nil
+}
+
 // KAryNCube lays out a k-ary n-cube (torus) under the multilayer model
 // (§3.1).
 func KAryNCube(k, n int, o Options) (*Layout, error) {
-	return core.KAryNCube(k, n, o.layers(), o.FoldedRows, o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "kary", Params: map[string]int{"k": k, "n": n}}, o)
 }
 
 // Mesh lays out an n-dimensional mesh (dims[0] least significant) as a
 // product of paths (§3.2).
 func Mesh(dims []int, o Options) (*Layout, error) {
-	return core.Mesh(dims, o.layers(), o.NodeSide)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return core.Mesh(dims, o.layers(), o.NodeSide, o.Workers)
 }
 
 // Hypercube lays out the binary n-cube with the ⌊2N/3⌋-track collinear
 // factors (§5.1).
 func Hypercube(n int, o Options) (*Layout, error) {
-	return core.Hypercube(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "hypercube", Params: map[string]int{"n": n}}, o)
 }
 
 // GeneralizedHypercube lays out a mixed-radix generalized hypercube
 // (radices[0] least significant) (§4.1).
 func GeneralizedHypercube(radices []int, o Options) (*Layout, error) {
-	return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide, o.Workers)
 }
 
 // FoldedHypercube lays out the hypercube plus its N/2 diameter links
 // (§5.3).
 func FoldedHypercube(n int, o Options) (*Layout, error) {
-	return extra.FoldedHypercube(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "folded", Params: map[string]int{"n": n}}, o)
 }
 
 // EnhancedCube lays out the hypercube plus one pseudo-random extra link per
 // node (§5.3); seed selects the random stream.
 func EnhancedCube(n int, seed uint64, o Options) (*Layout, error) {
-	return extra.EnhancedCube(n, seed, o.layers(), o.NodeSide)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return extra.EnhancedCube(n, seed, o.layers(), o.NodeSide, o.Workers)
 }
 
 // CCC lays out the n-dimensional cube-connected cycles network (§5.2).
 func CCC(n int, o Options) (*Layout, error) {
-	return cluster.CCC(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "ccc", Params: map[string]int{"n": n}}, o)
 }
 
 // ReducedHypercube lays out Ziavras's RH network with n-node hypercube
 // clusters (n a power of two) (§5.2).
 func ReducedHypercube(n int, o Options) (*Layout, error) {
-	return cluster.ReducedHypercube(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "rh", Params: map[string]int{"n": n}}, o)
 }
 
 // HSN lays out an l-level radix-r hierarchical swap network with K_r nuclei
 // (§4.3).
 func HSN(l, r int, o Options) (*Layout, error) {
-	return cluster.HSN(l, r, o.layers(), o.NodeSide, nil)
+	return BuildFamily(FamilySpec{Name: "hsn", Params: map[string]int{"levels": l, "r": r}}, o)
 }
 
 // HHN lays out a hierarchical hypercube network: an HSN with 2^m-node
 // hypercube nuclei (§4.3).
 func HHN(l, m int, o Options) (*Layout, error) {
-	return cluster.HHN(l, m, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "hhn", Params: map[string]int{"levels": l, "m": m}}, o)
 }
 
 // Butterfly lays out the wrapped butterfly with 2^m rows and m levels as a
 // PN cluster over its hypercube quotient (§4.2).
 func Butterfly(m int, o Options) (*Layout, error) {
-	return cluster.Butterfly(m, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "butterfly", Params: map[string]int{"m": m}}, o)
 }
 
 // ISN lays out the indirect swap network (see DESIGN.md for the
 // substitution notes) (§4.3).
 func ISN(m int, o Options) (*Layout, error) {
-	return cluster.ISN(m, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "isn", Params: map[string]int{"m": m}}, o)
 }
 
 // KAryClusterC lays out a k-ary n-cube cluster-c with c-node hypercube
 // clusters (§3.2).
 func KAryClusterC(k, n, c int, o Options) (*Layout, error) {
-	return cluster.KAryClusterC(k, n, c, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "clusterc", Params: map[string]int{"k": k, "n": n, "c": c}}, o)
 }
 
 // Star lays out the n-dimensional star graph via the last-symbol
 // decomposition over a complete-graph quotient (§4.3 extension; see
 // DESIGN.md). n! nodes, 3 <= n <= 7.
 func Star(n int, o Options) (*Layout, error) {
-	return cluster.Star(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "star", Params: map[string]int{"n": n}}, o)
 }
 
 // Pancake lays out the n-dimensional pancake graph (§4.3 extension).
 func Pancake(n int, o Options) (*Layout, error) {
-	return cluster.Pancake(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "pancake", Params: map[string]int{"n": n}}, o)
 }
 
 // BubbleSort lays out the n-dimensional bubble-sort graph (§4.3 extension).
 func BubbleSort(n int, o Options) (*Layout, error) {
-	return cluster.BubbleSort(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "bubblesort", Params: map[string]int{"n": n}}, o)
 }
 
 // Transposition lays out the n-dimensional transposition network (§4.3
 // extension).
 func Transposition(n int, o Options) (*Layout, error) {
-	return cluster.Transposition(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "transposition", Params: map[string]int{"n": n}}, o)
 }
 
 // SCC lays out the star-connected cycles network (the paper's future-work
 // family, built with the same last-symbol machinery). N = n!·(n−1),
 // 4 <= n <= 6.
 func SCC(n int, o Options) (*Layout, error) {
-	return cluster.SCC(n, o.layers(), o.NodeSide)
+	return BuildFamily(FamilySpec{Name: "scc", Params: map[string]int{"n": n}}, o)
 }
 
 // Product lays out the Cartesian product of two collinear factor layouts:
@@ -159,7 +191,10 @@ func SCC(n int, o Options) (*Layout, error) {
 // general-purpose entry point for product networks beyond the named
 // families.
 func Product(name string, rowFac, colFac *Collinear, o Options) (*Layout, error) {
-	return core.BuildProduct(name, rowFac, colFac, o.layers(), o.NodeSide)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return core.BuildProduct(name, rowFac, colFac, o.layers(), o.NodeSide, o.Workers)
 }
 
 // Collinear factor constructors, re-exported from the track package.
@@ -234,12 +269,19 @@ func GenericLayout(g *GenericGraph, o Options) (*Layout, error) {
 func Fold(lay *Layout, l int) (*Layout, error) { return fold.Fold(lay, l) }
 
 // VerifyFolded checks a folded layout (terminal checks skipped: folded
-// nodes sit on raised active layers).
+// nodes sit on raised active layers). All violations are reported, joined
+// with errors.Join; errors.As with *grid.Violation (or unwrapping the join)
+// recovers the individual findings.
 func VerifyFolded(lay *Layout) error {
-	if v := fold.Verify(lay); len(v) > 0 {
-		return v[0]
+	v := fold.Verify(lay)
+	if len(v) == 0 {
+		return nil
 	}
-	return nil
+	errs := make([]error, len(v))
+	for i := range v {
+		errs[i] = v[i]
+	}
+	return errors.Join(errs...)
 }
 
 // FoldStats measures a folded layout.
@@ -249,11 +291,15 @@ func FoldStats(lay *Layout) fold.Stats { return fold.Measure(lay) }
 
 // MaxPathWire returns the maximum total wire length along hop-shortest
 // routes (claim (4) of §2.2); sources <= 0 examines all sources.
-func MaxPathWire(lay *Layout, sources int) int { return route.MaxPathWire(lay, sources) }
+func MaxPathWire(lay *Layout, sources int) int {
+	return route.MaxPathWire(lay, sources, 0)
+}
 
 // AveragePathWire returns the mean total wire length along hop-shortest
 // routes.
-func AveragePathWire(lay *Layout, sources int) float64 { return route.AveragePathWire(lay, sources) }
+func AveragePathWire(lay *Layout, sources int) float64 {
+	return route.AveragePathWire(lay, sources, 0)
+}
 
 // SimConfig configures the wire-delay simulator.
 type SimConfig = sim.Config

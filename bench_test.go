@@ -9,6 +9,7 @@
 package mlvlsi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"mlvlsi/internal/cluster"
@@ -18,6 +19,7 @@ import (
 	"mlvlsi/internal/fold"
 	"mlvlsi/internal/formulas"
 	"mlvlsi/internal/generic"
+	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
 	"mlvlsi/internal/route"
 	"mlvlsi/internal/sim"
@@ -75,7 +77,7 @@ func BenchmarkE3CollinearHypercube(b *testing.B) {
 func BenchmarkE4KAryNCube(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(core.KAryNCube(8, 3, 8, false, 0))
+		lay := mustLay(b)(core.KAryNCube(8, 3, 8, false, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -85,7 +87,7 @@ func BenchmarkE4KAryNCube(b *testing.B) {
 func BenchmarkE5GeneralizedHypercube(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(core.GeneralizedHypercube([]int{8, 8}, 4, 0))
+		lay := mustLay(b)(core.GeneralizedHypercube([]int{8, 8}, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -95,7 +97,7 @@ func BenchmarkE5GeneralizedHypercube(b *testing.B) {
 func BenchmarkE6Butterfly(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(cluster.Butterfly(6, 4, 0))
+		lay := mustLay(b)(cluster.Butterfly(6, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -105,7 +107,7 @@ func BenchmarkE6Butterfly(b *testing.B) {
 func BenchmarkE7SwapNetworks(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(cluster.HSN(3, 4, 4, 0, nil))
+		lay := mustLay(b)(cluster.HSN(3, 4, 4, 0, 0, nil))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -115,7 +117,7 @@ func BenchmarkE7SwapNetworks(b *testing.B) {
 func BenchmarkE8Hypercube(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(core.Hypercube(10, 8, 0))
+		lay := mustLay(b)(core.Hypercube(10, 8, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -125,7 +127,7 @@ func BenchmarkE8Hypercube(b *testing.B) {
 func BenchmarkE9CCC(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(cluster.CCC(6, 4, 0))
+		lay := mustLay(b)(cluster.CCC(6, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -135,7 +137,7 @@ func BenchmarkE9CCC(b *testing.B) {
 func BenchmarkE10FoldedEnhanced(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(extra.FoldedHypercube(9, 4, 0))
+		lay := mustLay(b)(extra.FoldedHypercube(9, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -145,7 +147,7 @@ func BenchmarkE10FoldedEnhanced(b *testing.B) {
 func BenchmarkE11PNCluster(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(cluster.KAryClusterC(4, 4, 4, 4, 0))
+		lay := mustLay(b)(cluster.KAryClusterC(4, 4, 4, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -154,7 +156,7 @@ func BenchmarkE11PNCluster(b *testing.B) {
 // --- E12-E14: baselines, bounds, simulation -------------------------------
 
 func BenchmarkE12FoldingBaseline(b *testing.B) {
-	base := mustLay(b)(core.Hypercube(8, 2, 0))
+	base := mustLay(b)(core.Hypercube(8, 2, 0, 0))
 	baseArea := base.Area()
 	var foldedArea int
 	b.ResetTimer()
@@ -165,7 +167,7 @@ func BenchmarkE12FoldingBaseline(b *testing.B) {
 		}
 		foldedArea = fold.Measure(f).Area
 	}
-	direct := mustLay(b)(core.Hypercube(8, 8, 0))
+	direct := mustLay(b)(core.Hypercube(8, 8, 0, 0))
 	b.ReportMetric(float64(baseArea)/float64(foldedArea), "fold-gain")
 	b.ReportMetric(float64(baseArea)/float64(direct.Area()), "direct-gain")
 }
@@ -181,7 +183,7 @@ func BenchmarkE13LowerBounds(b *testing.B) {
 }
 
 func BenchmarkE14WireDelaySim(b *testing.B) {
-	lay := mustLay(b)(core.Hypercube(8, 8, 0))
+	lay := mustLay(b)(core.Hypercube(8, 8, 0, 0))
 	var avg float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -211,8 +213,8 @@ func BenchmarkAblationGreedyRecolor(b *testing.B) {
 func BenchmarkAblationFoldedRows(b *testing.B) {
 	var plain, folded int
 	for i := 0; i < b.N; i++ {
-		p := mustLay(b)(core.KAryNCube(16, 2, 4, false, 0))
-		f := mustLay(b)(core.KAryNCube(16, 2, 4, true, 0))
+		p := mustLay(b)(core.KAryNCube(16, 2, 4, false, 0, 0))
+		f := mustLay(b)(core.KAryNCube(16, 2, 4, true, 0, 0))
 		plain, folded = p.MaxWireLength(), f.MaxWireLength()
 	}
 	b.ReportMetric(float64(plain), "maxwire-natural")
@@ -222,7 +224,7 @@ func BenchmarkAblationFoldedRows(b *testing.B) {
 // Ablation: cost of the exact legality verifier (hashes every unit wire
 // edge), the price of machine-checked layouts.
 func BenchmarkAblationVerifier(b *testing.B) {
-	lay := mustLay(b)(core.Hypercube(8, 4, 0))
+	lay := mustLay(b)(core.Hypercube(8, 4, 0, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if v := lay.Verify(); len(v) > 0 {
@@ -233,11 +235,11 @@ func BenchmarkAblationVerifier(b *testing.B) {
 
 // Ablation: routing measurement cost (hop-shortest Dijkstra sweep).
 func BenchmarkAblationMaxPathWire(b *testing.B) {
-	lay := mustLay(b)(core.Hypercube(8, 4, 0))
+	lay := mustLay(b)(core.Hypercube(8, 4, 0, 0))
 	var w int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w = route.MaxPathWire(lay, 16)
+		w = route.MaxPathWire(lay, 16, 0)
 	}
 	b.ReportMetric(float64(w), "pathwire")
 }
@@ -245,7 +247,7 @@ func BenchmarkAblationMaxPathWire(b *testing.B) {
 func BenchmarkE15Cayley(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		lay := mustLay(b)(cluster.Star(5, 4, 0))
+		lay := mustLay(b)(cluster.Star(5, 4, 0, 0))
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
@@ -291,4 +293,70 @@ func BenchmarkE18GenericRouter(b *testing.B) {
 		area = lay.Area()
 	}
 	b.ReportMetric(float64(area), "area")
+}
+
+// Serial-vs-parallel verification on the PR's acceptance workload: the
+// 12-cube under L=4 (24576 wires). The parallel checker's packed integer
+// edge keys and sharded maps beat the struct-keyed serial map even on a
+// single core; extra workers widen the gap on multicore machines.
+func benchCheckWires(b *testing.B) ([]grid.Wire, grid.CheckOptions) {
+	b.Helper()
+	lay := mustLay(b)(core.Hypercube(12, 4, 0, 0))
+	return lay.Wires, grid.CheckOptions{Layers: lay.L, Discipline: true, Nodes: lay.Nodes}
+}
+
+func BenchmarkCheckSerial(b *testing.B) {
+	wires, opts := benchCheckWires(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := grid.Check(wires, opts); len(v) > 0 {
+			b.Fatal(v[0])
+		}
+	}
+}
+
+func BenchmarkCheckParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			wires, opts := benchCheckWires(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := grid.CheckParallel(wires, opts, workers); len(v) > 0 {
+					b.Fatal(v[0])
+				}
+			}
+		})
+	}
+}
+
+// Serial-vs-parallel hop-shortest routing sweeps (the measurement behind
+// MaxPathWire/AveragePathWire).
+func BenchmarkMaxPathWireSerial(b *testing.B) {
+	lay := mustLay(b)(core.Hypercube(9, 4, 0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.MaxPathWire(lay, 32, 1)
+	}
+}
+
+func BenchmarkMaxPathWireParallel(b *testing.B) {
+	lay := mustLay(b)(core.Hypercube(9, 4, 0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.MaxPathWire(lay, 32, 4)
+	}
+}
+
+// Serial-vs-parallel wire realization (the build-side half of the engine).
+func BenchmarkBuildHypercubeSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustLay(b)(core.Hypercube(10, 4, 0, 1))
+	}
+}
+
+func BenchmarkBuildHypercubeParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustLay(b)(core.Hypercube(10, 4, 0, 4))
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 func main() {
 	svgDir := flag.String("svg", "", "also write SVG layout renderings into this directory")
+	workers := flag.Int("workers", 0, "parallel build workers for the SVG layouts (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fmt.Println("=== Figure 1: recursive grid layout scheme (top view) ===")
@@ -45,8 +46,8 @@ func main() {
 			}
 			fmt.Println("wrote", path)
 		}
-		o2 := mlvlsi.Options{Layers: 2}
-		o4 := mlvlsi.Options{Layers: 4}
+		o2 := mlvlsi.Options{Layers: 2, Workers: *workers}
+		o4 := mlvlsi.Options{Layers: 4, Workers: *workers}
 		lay, err := mlvlsi.Hypercube(5, o2)
 		write("hypercube5-L2", lay, err)
 		lay, err = mlvlsi.Hypercube(5, o4)

@@ -1,91 +1,118 @@
-// Command layoutgen builds a multilayer layout of a named network, verifies
-// it, and prints its cost statistics; -svg writes an SVG rendering.
+// Command layoutgen builds a multilayer layout of a named network family,
+// verifies it, and prints its cost statistics; -svg writes an SVG rendering.
+// Families come from the mlvlsi registry (-list enumerates them with their
+// parameters); -params sets family parameters directly, while the legacy
+// -n/-k/-c/-seed flags keep their historical meanings per family.
 //
 // Examples:
 //
 //	layoutgen -network hypercube -n 8 -L 8
 //	layoutgen -network kary -k 4 -n 3 -L 4 -folded
-//	layoutgen -network butterfly -n 5 -L 4 -svg butterfly.svg
+//	layoutgen -network butterfly -params m=5 -L 4 -svg butterfly.svg
+//	layoutgen -network hsn -params levels=3,r=4 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"mlvlsi"
 )
 
+// legacyAliases maps each family's registry parameters to the historical
+// flag names, so pre-registry invocations keep working: the primary size
+// flag -n and the secondary -k fed different parameters per family.
+var legacyAliases = map[string]map[string]string{
+	"hypercube":     {"n": "n"},
+	"kary":          {"k": "k", "n": "n"},
+	"ghc":           {"r": "k", "n": "n"},
+	"mesh":          {"n": "n", "d": "k"},
+	"folded":        {"n": "n"},
+	"enhanced":      {"n": "n", "seed": "seed"},
+	"ccc":           {"n": "n"},
+	"rh":            {"n": "n"},
+	"hsn":           {"levels": "k", "r": "n"},
+	"hhn":           {"levels": "k", "m": "n"},
+	"butterfly":     {"m": "n"},
+	"isn":           {"m": "n"},
+	"clusterc":      {"k": "k", "n": "n", "c": "c"},
+	"star":          {"n": "n"},
+	"pancake":       {"n": "n"},
+	"bubblesort":    {"n": "n"},
+	"transposition": {"n": "n"},
+	"scc":           {"n": "n"},
+}
+
+func familyNames() string {
+	var names []string
+	for _, f := range mlvlsi.Families() {
+		names = append(names, f.Name)
+	}
+	return strings.Join(names, " | ")
+}
+
 func main() {
-	network := flag.String("network", "hypercube", "hypercube | kary | ghc | folded | enhanced | ccc | rh | hsn | hhn | butterfly | isn | clusterc | star | pancake | bubblesort | transposition | scc")
-	n := flag.Int("n", 6, "primary size parameter (dimension / m)")
+	network := flag.String("network", "hypercube", familyNames())
+	n := flag.Int("n", 6, "primary size parameter (dimension / m / r)")
 	k := flag.Int("k", 4, "radix for kary/ghc/clusterc, levels for hsn/hhn")
 	c := flag.Int("c", 4, "cluster size for clusterc")
+	params := flag.String("params", "", "comma-separated name=value family parameters (override legacy flags)")
 	layers := flag.Int("L", 2, "wiring layers")
 	nodeSide := flag.Int("side", 0, "node square side (0 = minimal)")
 	folded := flag.Bool("folded", false, "folded row/column order (kary)")
-	seed := flag.Uint64("seed", 1, "seed for enhanced-cube extra links")
+	seed := flag.Int("seed", 1, "seed for enhanced-cube extra links")
+	workers := flag.Int("workers", 0, "parallel build/verify workers (0 = GOMAXPROCS, 1 = serial)")
 	svgPath := flag.String("svg", "", "write an SVG rendering to this file")
 	skipVerify := flag.Bool("skip-verify", false, "skip the legality verifier (big instances)")
 	strict := flag.Bool("strict", false, "also check Thompson-strict node clearance")
 	simulate := flag.Bool("sim", false, "run a wire-delay permutation simulation")
+	list := flag.Bool("list", false, "list the registered families and their parameters")
 	flag.Parse()
 
-	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded}
-	var (
-		lay *mlvlsi.Layout
-		err error
-	)
-	switch *network {
-	case "hypercube":
-		lay, err = mlvlsi.Hypercube(*n, o)
-	case "kary":
-		lay, err = mlvlsi.KAryNCube(*k, *n, o)
-	case "ghc":
-		radices := make([]int, *n)
-		for i := range radices {
-			radices[i] = *k
+	if *list {
+		for _, f := range mlvlsi.Families() {
+			fmt.Printf("%-14s %s\n", f.Name, f.Doc)
+			for _, p := range f.Params {
+				fmt.Printf("    %-8s [%d..%d] default %-4d %s\n", p.Name, p.Min, p.Max, p.Default, p.Doc)
+			}
 		}
-		lay, err = mlvlsi.GeneralizedHypercube(radices, o)
-	case "folded":
-		lay, err = mlvlsi.FoldedHypercube(*n, o)
-	case "enhanced":
-		lay, err = mlvlsi.EnhancedCube(*n, *seed, o)
-	case "ccc":
-		lay, err = mlvlsi.CCC(*n, o)
-	case "rh":
-		lay, err = mlvlsi.ReducedHypercube(*n, o)
-	case "hsn":
-		lay, err = mlvlsi.HSN(*k, *n, o)
-	case "hhn":
-		lay, err = mlvlsi.HHN(*k, *n, o)
-	case "butterfly":
-		lay, err = mlvlsi.Butterfly(*n, o)
-	case "isn":
-		lay, err = mlvlsi.ISN(*n, o)
-	case "clusterc":
-		lay, err = mlvlsi.KAryClusterC(*k, *n, *c, o)
-	case "star":
-		lay, err = mlvlsi.Star(*n, o)
-	case "pancake":
-		lay, err = mlvlsi.Pancake(*n, o)
-	case "bubblesort":
-		lay, err = mlvlsi.BubbleSort(*n, o)
-	case "transposition":
-		lay, err = mlvlsi.Transposition(*n, o)
-	case "scc":
-		lay, err = mlvlsi.SCC(*n, o)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown network %q\n", *network)
-		os.Exit(2)
+		return
 	}
+
+	legacy := map[string]int{"n": *n, "k": *k, "c": *c, "seed": *seed}
+	p := map[string]int{}
+	for param, flagName := range legacyAliases[*network] {
+		p[param] = legacy[flagName]
+	}
+	for _, kv := range strings.Split(*params, ",") {
+		if kv == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-params entry %q is not name=value\n", kv)
+			os.Exit(2)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-params %s: %v\n", name, err)
+			os.Exit(2)
+		}
+		p[strings.TrimSpace(name)] = v
+	}
+
+	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded, Workers: *workers}
+	lay, err := mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "build:", err)
 		os.Exit(1)
 	}
 
 	if !*skipVerify {
-		v := lay.Verify()
+		v := lay.VerifyWorkers(*workers)
 		if len(v) == 0 && *strict {
 			v = lay.VerifyStrict()
 		}

@@ -1,13 +1,15 @@
 // Command paperbench regenerates every experiment table of the reproduction
 // (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // output). With no flags it prints all tables; -only selects experiments by
-// id prefix (e.g. -only E4,E8).
+// id prefix (e.g. -only E4,E8). The experiment list comes from
+// experiments.Registry().
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mlvlsi/internal/experiments"
@@ -17,37 +19,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment id prefixes to run (e.g. E4,E8)")
 	list := flag.Bool("list", false, "list experiment ids and titles without running")
 	format := flag.String("format", "text", "output format: text | csv")
+	workers := flag.Int("workers", 0, "cap the scheduler's parallelism for all experiments (0 = all cores)")
 	flag.Parse()
 
-	type entry struct {
-		id, title string
-		run       func() *experiments.Table
+	if *workers > 0 {
+		// The experiment generators run builds and verifies at the default
+		// full fan-out; capping GOMAXPROCS bounds them all at once.
+		runtime.GOMAXPROCS(*workers)
 	}
-	all := []entry{
-		{"E1", "collinear k-ary n-cubes (Fig. 2)", experiments.E1CollinearKAry},
-		{"E2", "collinear complete graphs (Fig. 3)", experiments.E2CollinearComplete},
-		{"E3", "collinear hypercubes (Fig. 4)", experiments.E3CollinearHypercube},
-		{"E4", "k-ary n-cube multilayer layouts (§3.1)", experiments.E4KAryNCube},
-		{"E5", "generalized hypercubes (§4.1)", experiments.E5GeneralizedHypercube},
-		{"E6", "butterflies (§4.2)", experiments.E6Butterfly},
-		{"E7", "swap networks HSN/HHN/ISN (§4.3)", experiments.E7SwapNetworks},
-		{"E8", "hypercubes (§5.1)", experiments.E8Hypercube},
-		{"E9", "CCC and reduced hypercubes (§5.2)", experiments.E9CCC},
-		{"E10", "folded and enhanced hypercubes (§5.3)", experiments.E10FoldedEnhanced},
-		{"E11", "k-ary n-cube cluster-c (§3.2)", experiments.E11PNCluster},
-		{"E12", "direct vs folding vs stacked collinear (§2.2)", experiments.E12Baselines},
-		{"E13", "bisection lower bounds (§1)", experiments.E13LowerBounds},
-		{"E14", "wire-delay simulation (§2.2)", experiments.E14WireDelay},
-		{"E15", "Cayley-family extension layouts (§4.3)", experiments.E15Cayley},
-		{"E16", "2-D vs 3-D multilayer grid model (§2.2)", experiments.E16Stack3D},
-		{"E17", "track-assignment ablation", experiments.E17Compaction},
-		{"E18", "generic router vs structured constructions (§2.3)", experiments.E18GenericVsSpecialized},
-		{"E19", "wire-length distribution (§2.2)", experiments.E19WireDistribution},
-	}
+
+	all := experiments.Registry()
 
 	if *list {
 		for _, e := range all {
-			fmt.Printf("%-4s %s\n", e.id, e.title)
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -61,7 +46,7 @@ func main() {
 		if len(filters) > 0 {
 			ok := false
 			for _, f := range filters {
-				if strings.EqualFold(strings.TrimSpace(f), e.id) {
+				if strings.EqualFold(strings.TrimSpace(f), e.ID) {
 					ok = true
 					break
 				}
@@ -71,7 +56,7 @@ func main() {
 			}
 		}
 		matched = true
-		tab := e.run()
+		tab := e.Run()
 		if *format == "csv" {
 			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		} else {

@@ -23,6 +23,7 @@ func main() {
 	velocity := flag.Int("velocity", 1, "grid units per cycle")
 	flits := flag.Int("flits", 1, "message length in flits")
 	seed := flag.Uint64("seed", 7, "traffic seed")
+	workers := flag.Int("workers", 0, "parallel build/verify workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var layers []int
@@ -35,18 +36,18 @@ func main() {
 		layers = append(layers, v)
 	}
 
+	// Families resolve through the mlvlsi registry; the historical -n flag
+	// feeds each family's primary parameter.
 	build := func(l int) (*mlvlsi.Layout, error) {
-		o := mlvlsi.Options{Layers: l}
+		o := mlvlsi.Options{Layers: l, Workers: *workers}
 		switch *network {
-		case "hypercube":
-			return mlvlsi.Hypercube(*n, o)
+		case "hypercube", "ccc":
+			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: map[string]int{"n": *n}}, o)
 		case "kary":
 			o.FoldedRows = true
-			return mlvlsi.KAryNCube(*k, *n, o)
-		case "ccc":
-			return mlvlsi.CCC(*n, o)
+			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "kary", Params: map[string]int{"k": *k, "n": *n}}, o)
 		case "butterfly":
-			return mlvlsi.Butterfly(*n, o)
+			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "butterfly", Params: map[string]int{"m": *n}}, o)
 		}
 		return nil, fmt.Errorf("unknown network %q", *network)
 	}
@@ -59,7 +60,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if v := lay.Verify(); len(v) > 0 {
+		if v := lay.VerifyWorkers(*workers); len(v) > 0 {
 			fmt.Fprintf(os.Stderr, "L=%d: illegal layout: %v\n", l, v[0])
 			os.Exit(1)
 		}

@@ -85,7 +85,7 @@ func TestLayoutsRespectLowerBounds(t *testing.T) {
 	// Every constructed layout's area must be at least the multilayer
 	// lower bound, with a sane optimality ratio.
 	for _, l := range []int{2, 4, 8} {
-		lay, err := core.Hypercube(8, l, 0)
+		lay, err := core.Hypercube(8, l, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -154,7 +154,7 @@ var transpositionFamily = cayleyFamily{
 // cayleyLayout lays out one family on n symbols: quotient K_n over the
 // last-symbol copies (a vertical collinear complete-graph arrangement),
 // cluster strips of (n−1)! members with greedy-colored intra layouts.
-func cayleyLayout(f cayleyFamily, n, l, nodeSide int) (*layout.Layout, error) {
+func cayleyLayout(f cayleyFamily, n, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("%s layout: need n >= 3, got %d", f.name, n)
 	}
@@ -187,29 +187,29 @@ func cayleyLayout(f cayleyFamily, n, l, nodeSide int) (*layout.Layout, error) {
 		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
 		AttachCol:    attach,
 		Label:        label,
-		L:            l, NodeSide: nodeSide,
+		L:            l, NodeSide: nodeSide, Workers: workers,
 	}
 	return Build(cfg)
 }
 
 // Star lays out the n-dimensional star graph.
-func Star(n, l, nodeSide int) (*layout.Layout, error) {
-	return cayleyLayout(starFamily, n, l, nodeSide)
+func Star(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	return cayleyLayout(starFamily, n, l, nodeSide, workers)
 }
 
 // Pancake lays out the n-dimensional pancake graph.
-func Pancake(n, l, nodeSide int) (*layout.Layout, error) {
-	return cayleyLayout(pancakeFamily, n, l, nodeSide)
+func Pancake(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	return cayleyLayout(pancakeFamily, n, l, nodeSide, workers)
 }
 
 // BubbleSort lays out the n-dimensional bubble-sort graph.
-func BubbleSort(n, l, nodeSide int) (*layout.Layout, error) {
-	return cayleyLayout(bubbleFamily, n, l, nodeSide)
+func BubbleSort(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	return cayleyLayout(bubbleFamily, n, l, nodeSide, workers)
 }
 
 // Transposition lays out the n-dimensional transposition network.
-func Transposition(n, l, nodeSide int) (*layout.Layout, error) {
-	return cayleyLayout(transpositionFamily, n, l, nodeSide)
+func Transposition(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	return cayleyLayout(transpositionFamily, n, l, nodeSide, workers)
 }
 
 // SCC lays out the star-connected cycles network (listed as future work in
@@ -218,7 +218,7 @@ func Transposition(n, l, nodeSide int) (*layout.Layout, error) {
 // links of generator swap(0, n−1), which cycle position n−2 carries — and
 // each cluster holds (n−1)!·(n−1) nodes: the copy's cycles plus the
 // laterals of generators that do not touch the last symbol.
-func SCC(n, l, nodeSide int) (*layout.Layout, error) {
+func SCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n < 4 {
 		return nil, fmt.Errorf("SCC layout: need n >= 4, got %d", n)
 	}
@@ -277,7 +277,7 @@ func SCC(n, l, nodeSide int) (*layout.Layout, error) {
 		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
 		AttachCol:    attach,
 		Label:        label,
-		L:            l, NodeSide: nodeSide,
+		L:            l, NodeSide: nodeSide, Workers: workers,
 	}
 	return Build(cfg)
 }

@@ -8,44 +8,44 @@ import (
 
 func TestStarLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {4, 4}, {5, 2}, {5, 8}} {
-		lay := mustBuild(t)(Star(tc.n, tc.l, 0))
+		lay := mustBuild(t)(Star(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.Star(tc.n))
 	}
 }
 
 func TestPancakeLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {5, 4}} {
-		lay := mustBuild(t)(Pancake(tc.n, tc.l, 0))
+		lay := mustBuild(t)(Pancake(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.Pancake(tc.n))
 	}
 }
 
 func TestBubbleSortLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {5, 4}} {
-		lay := mustBuild(t)(BubbleSort(tc.n, tc.l, 0))
+		lay := mustBuild(t)(BubbleSort(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.BubbleSort(tc.n))
 	}
 }
 
 func TestTranspositionLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{3, 2}, {4, 2}, {4, 4}} {
-		lay := mustBuild(t)(Transposition(tc.n, tc.l, 0))
+		lay := mustBuild(t)(Transposition(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.Transposition(tc.n))
 	}
 }
 
 func TestCayleyRejectsBadSizes(t *testing.T) {
-	if _, err := Star(2, 2, 0); err == nil {
+	if _, err := Star(2, 2, 0, 0); err == nil {
 		t.Error("n=2 accepted")
 	}
-	if _, err := Star(8, 2, 0); err == nil {
+	if _, err := Star(8, 2, 0, 0); err == nil {
 		t.Error("n=8 (5040-node clusters) accepted")
 	}
 }
 
 func TestCayleyMultilayerShrinks(t *testing.T) {
-	a2 := mustBuild(t)(Star(5, 2, 0)).Area()
-	a8 := mustBuild(t)(Star(5, 8, 0)).Area()
+	a2 := mustBuild(t)(Star(5, 2, 0, 0)).Area()
+	a8 := mustBuild(t)(Star(5, 8, 0, 0)).Area()
 	if a8 >= a2 {
 		t.Errorf("star(5) area did not shrink with layers: %d -> %d", a2, a8)
 	}
@@ -83,16 +83,16 @@ func TestPermutationHelpers(t *testing.T) {
 
 func TestSCCLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{4, 2}, {4, 4}, {5, 2}} {
-		lay := mustBuild(t)(SCC(tc.n, tc.l, 0))
+		lay := mustBuild(t)(SCC(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.SCC(tc.n))
 	}
 }
 
 func TestSCCRejectsBadSizes(t *testing.T) {
-	if _, err := SCC(3, 2, 0); err == nil {
+	if _, err := SCC(3, 2, 0, 0); err == nil {
 		t.Error("n=3 accepted")
 	}
-	if _, err := SCC(7, 2, 0); err == nil {
+	if _, err := SCC(7, 2, 0, 0); err == nil {
 		t.Error("n=7 accepted")
 	}
 }

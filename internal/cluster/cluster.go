@@ -17,6 +17,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/intervals"
@@ -57,6 +58,9 @@ type Config struct {
 
 	L        int
 	NodeSide int
+	// Workers bounds the realization fan-out (0 = GOMAXPROCS, 1 = serial);
+	// the realized layout is identical for every value.
+	Workers int
 }
 
 // interval aliases the shared half-position interval type; see the
@@ -122,6 +126,7 @@ func BuildSpec(cfg Config) (core.Spec, error) {
 		Label: func(r, c int) int {
 			return cfg.Label(clusterLabel(r, c/cfg.C), memberLabel[c%cfg.C])
 		},
+		Workers: cfg.Workers,
 	}
 
 	// --- Row channels -----------------------------------------------------
@@ -257,8 +262,17 @@ func BuildSpec(cfg Config) (core.Spec, error) {
 		}
 	}
 
-	// Emit column edges and bent edges.
-	for physCol, ivs := range colIvs {
+	// Emit column edges and bent edges. Iterate physical columns in sorted
+	// order: map order would make wire IDs differ between otherwise
+	// identical builds, breaking reproducibility (and the guarantee that
+	// the realized layout is independent of the worker count).
+	physCols := make([]int, 0, len(colIvs))
+	for physCol := range colIvs {
+		physCols = append(physCols, physCol)
+	}
+	sort.Ints(physCols)
+	for _, physCol := range physCols {
+		ivs := colIvs[physCol]
 		tr, _ := colorIntervals(ivs)
 		for i, iv := range ivs {
 			ce := colPhys[iv.ID]

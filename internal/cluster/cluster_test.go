@@ -57,14 +57,14 @@ func TestCCCLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{
 		{2, 2}, {3, 2}, {3, 4}, {4, 2}, {4, 4}, {5, 8}, {4, 3},
 	} {
-		lay := mustBuild(t)(CCC(tc.n, tc.l, 0))
+		lay := mustBuild(t)(CCC(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.CCC(tc.n))
 	}
 }
 
 func TestReducedHypercubeLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{{2, 2}, {4, 2}, {4, 4}} {
-		lay := mustBuild(t)(ReducedHypercube(tc.n, tc.l, 0))
+		lay := mustBuild(t)(ReducedHypercube(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.ReducedHypercube(tc.n))
 	}
 }
@@ -73,28 +73,28 @@ func TestHSNLayout(t *testing.T) {
 	for _, tc := range []struct{ lvl, r, l int }{
 		{2, 3, 2}, {2, 4, 2}, {3, 3, 2}, {3, 3, 4}, {3, 4, 4}, {4, 3, 2},
 	} {
-		lay := mustBuild(t)(HSN(tc.lvl, tc.r, tc.l, 0, nil))
+		lay := mustBuild(t)(HSN(tc.lvl, tc.r, tc.l, 0, 0, nil))
 		sameGraph(t, lay, topology.HSN(tc.lvl, tc.r, nil))
 	}
 }
 
 func TestHHNLayout(t *testing.T) {
 	for _, tc := range []struct{ lvl, m, l int }{{2, 2, 2}, {3, 2, 4}, {2, 3, 2}} {
-		lay := mustBuild(t)(HHN(tc.lvl, tc.m, tc.l, 0))
+		lay := mustBuild(t)(HHN(tc.lvl, tc.m, tc.l, 0, 0))
 		sameGraph(t, lay, topology.HHN(tc.lvl, tc.m))
 	}
 }
 
 func TestButterflyLayout(t *testing.T) {
 	for _, tc := range []struct{ m, l int }{{3, 2}, {3, 4}, {4, 2}, {4, 4}, {5, 8}} {
-		lay := mustBuild(t)(Butterfly(tc.m, tc.l, 0))
+		lay := mustBuild(t)(Butterfly(tc.m, tc.l, 0, 0))
 		sameGraph(t, lay, topology.Butterfly(tc.m))
 	}
 }
 
 func TestISNLayout(t *testing.T) {
 	for _, tc := range []struct{ m, l int }{{3, 2}, {4, 4}, {5, 2}} {
-		lay := mustBuild(t)(ISN(tc.m, tc.l, 0))
+		lay := mustBuild(t)(ISN(tc.m, tc.l, 0, 0))
 		sameGraph(t, lay, topology.ISN(tc.m))
 	}
 }
@@ -107,8 +107,8 @@ func TestISNSmallerThanButterfly(t *testing.T) {
 	// grows with m.
 	prev := 0.0
 	for _, m := range []int{4, 5, 6, 7} {
-		bf := mustBuild(t)(Butterfly(m, 4, 0))
-		isn := mustBuild(t)(ISN(m, 4, 0))
+		bf := mustBuild(t)(Butterfly(m, 4, 0, 0))
+		isn := mustBuild(t)(ISN(m, 4, 0, 0))
 		ra := float64(bf.Area()) / float64(isn.Area())
 		if ra <= 1.0 {
 			t.Errorf("m=%d: ISN not smaller than butterfly (ratio %.2f)", m, ra)
@@ -131,7 +131,7 @@ func TestKAryClusterCLayout(t *testing.T) {
 	for _, tc := range []struct{ k, n, c, l int }{
 		{3, 2, 2, 2}, {4, 2, 4, 2}, {3, 3, 2, 4}, {4, 2, 2, 3},
 	} {
-		lay := mustBuild(t)(KAryClusterC(tc.k, tc.n, tc.c, tc.l, 0))
+		lay := mustBuild(t)(KAryClusterC(tc.k, tc.n, tc.c, tc.l, 0, 0))
 		logc := bits.TrailingZeros(uint(tc.c))
 		want := topology.PNClusterWithAttach(
 			topology.KAryNCube(tc.k, tc.n), tc.c,
@@ -154,7 +154,7 @@ func TestKAryClusterCAreaOverheadSmall(t *testing.T) {
 	// the same area as the plain k-ary n-cube. With k=4, n=4, c=2 the
 	// overhead must be modest.
 	base := mustBuild(t)(kary(t, 4, 4, 2))
-	clustered := mustBuild(t)(KAryClusterC(4, 4, 2, 2, 0))
+	clustered := mustBuild(t)(KAryClusterC(4, 4, 2, 2, 0, 0))
 	ratio := float64(clustered.Area()) / float64(base.Area())
 	if ratio > 3.0 {
 		t.Errorf("cluster-2 area is %.2fx the quotient area, want modest overhead", ratio)
@@ -237,9 +237,9 @@ func TestColorIntervals(t *testing.T) {
 
 func TestCCCAreaAdvantageOverPlainHypercubeOfSameSize(t *testing.T) {
 	// §5.2: an N-node CCC lays out in Θ(N²/(L² log²N)) — much smaller than
-	// an N-node hypercube's Θ(N²/L²). Compare CCC(4) (64 nodes) to a
+	// an N-node hypercube's Θ(N²/L²). Compare CCC(4, 0) (64 nodes) to a
 	// 6-cube (64 nodes).
-	ccc := mustBuild(t)(CCC(4, 2, 0))
+	ccc := mustBuild(t)(CCC(4, 2, 0, 0))
 	cube, err := coreHypercube(6, 2)
 	if err != nil {
 		t.Fatal(err)

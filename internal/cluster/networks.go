@@ -27,11 +27,12 @@ func sameBit(u, v, _ int) (int, int) {
 // quotient is the n-cube in its 2-D product layout, each cluster is an
 // n-node cycle strip, and the cube link of dimension i attaches to cycle
 // position i at both ends.
-func CCC(n, l, nodeSide int) (*layout.Layout, error) {
+func CCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	cfg, err := cccConfig(n, l, nodeSide)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }
 
@@ -68,7 +69,7 @@ func cccConfig(n, l, nodeSide int) (Config, error) {
 // ReducedHypercube lays out Ziavras's RH network (§5.2): CCC with each
 // n-node cycle replaced by a log₂(n)-dimensional hypercube (n a power of
 // two).
-func ReducedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
+func ReducedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("ReducedHypercube: cluster size %d must be a power of two >= 2", n)
 	}
@@ -82,7 +83,7 @@ func ReducedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
 		AttachRow: sameBit,
 		AttachCol: sameBit,
 		Label:     func(w, i int) int { return w*n + i },
-		L:         l, NodeSide: nodeSide,
+		L:         l, NodeSide: nodeSide, Workers: workers,
 	}
 	return Build(cfg)
 }
@@ -107,11 +108,12 @@ func digitAttach(r int) func(u, v, m int) (int, int) {
 // HSN lays out an l-level hierarchical swap network (§4.3): the quotient is
 // an (lvl−1)-dimensional radix-r generalized hypercube and each cluster is
 // an r-node nucleus. nucleus nil means a complete graph K_r.
-func HSN(lvl, r, l, nodeSide int, nucleus *track.Collinear) (*layout.Layout, error) {
+func HSN(lvl, r, l, nodeSide, workers int, nucleus *track.Collinear) (*layout.Layout, error) {
 	cfg, err := hsnConfig(lvl, r, l, nodeSide, nucleus)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }
 
@@ -160,8 +162,8 @@ func hsnConfig(lvl, r, l, nodeSide int, nucleus *track.Collinear) (Config, error
 
 // HHN lays out a hierarchical hypercube network: an HSN whose nuclei are
 // 2^m-node hypercubes.
-func HHN(lvl, m, l, nodeSide int) (*layout.Layout, error) {
-	lay, err := HSN(lvl, 1<<uint(m), l, nodeSide, track.Hypercube(m))
+func HHN(lvl, m, l, nodeSide, workers int) (*layout.Layout, error) {
+	lay, err := HSN(lvl, 1<<uint(m), l, nodeSide, workers, track.Hypercube(m))
 	if lay != nil {
 		lay.Name = fmt.Sprintf("HHN(l=%d,m=%d) L=%d", lvl, m, l)
 	}
@@ -184,11 +186,12 @@ func butterflyAttach(m int) func(u, v, c int) (int, int) {
 // Butterfly lays out the wrapped butterfly with 2^m rows and m levels
 // (§4.2) as a PN cluster: row clusters of m levels (a cycle strip) over a
 // hypercube quotient carrying 2 parallel links per neighboring pair.
-func Butterfly(m, l, nodeSide int) (*layout.Layout, error) {
+func Butterfly(m, l, nodeSide, workers int) (*layout.Layout, error) {
 	cfg, err := butterflyConfig(m, l, nodeSide)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }
 
@@ -229,7 +232,7 @@ func butterflyConfig(m, l, nodeSide int) (Config, error) {
 // the butterfly but with a single cross link per neighboring row pair, so
 // the quotient multiplicity is 1 — the property §4.3 uses to claim a
 // quarter of the butterfly's area and half its wire length.
-func ISN(m, l, nodeSide int) (*layout.Layout, error) {
+func ISN(m, l, nodeSide, workers int) (*layout.Layout, error) {
 	if m < 3 {
 		return nil, fmt.Errorf("ISN layout: need m >= 3, got %d", m)
 	}
@@ -249,7 +252,7 @@ func ISN(m, l, nodeSide int) (*layout.Layout, error) {
 			return l, (l + 1) % m
 		},
 		Label: func(w, lev int) int { return lev*rows + w },
-		L:     l, NodeSide: nodeSide,
+		L:     l, NodeSide: nodeSide, Workers: workers,
 	}
 	return Build(cfg)
 }
@@ -257,7 +260,7 @@ func ISN(m, l, nodeSide int) (*layout.Layout, error) {
 // KAryClusterC lays out a k-ary n-cube cluster-c (§3.2): the quotient is a
 // k-ary n-cube and each cluster a c-node hypercube; the quotient link of
 // dimension d attaches to member d mod c at both ends.
-func KAryClusterC(k, n, c, l, nodeSide int) (*layout.Layout, error) {
+func KAryClusterC(k, n, c, l, nodeSide, workers int) (*layout.Layout, error) {
 	if c < 2 || c&(c-1) != 0 {
 		return nil, fmt.Errorf("KAryClusterC: c=%d must be a power of two >= 2", c)
 	}
@@ -284,7 +287,7 @@ func KAryClusterC(k, n, c, l, nodeSide int) (*layout.Layout, error) {
 		AttachRow: attach,
 		AttachCol: attach,
 		Label:     func(q, i int) int { return q*c + i },
-		L:         l, NodeSide: nodeSide,
+		L:         l, NodeSide: nodeSide, Workers: workers,
 	}
 	return Build(cfg)
 }

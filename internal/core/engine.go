@@ -21,6 +21,7 @@ import (
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/par"
 )
 
 // ChannelEdge is one link routed inside a single row or column channel.
@@ -61,6 +62,11 @@ type Spec struct {
 	// least the per-side port demand. Zero selects the smallest legal side,
 	// the paper's "minimum size required to implement a node".
 	NodeSide int
+	// Workers bounds the fan-out of the parallel wire-realization loop:
+	// 0 means GOMAXPROCS, 1 forces serial execution. Every worker count
+	// produces byte-identical layouts — rows, columns and bent edges are
+	// realized independently into preassigned wire slots.
+	Workers int
 	// Label maps grid position to node label (a bijection onto
 	// 0..Rows·Cols-1). Nil means row-major order.
 	Label func(row, col int) int
@@ -277,76 +283,88 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 		return
 	}
 
-	// Realize wires.
+	// Realize wires. Every edge is independent once tracks and ports are
+	// assigned (all shared state below is read-only), so realization fans
+	// out across Spec.Workers: wire slot i is preassigned to edge i in the
+	// fixed row-edges, column-edges, bent-edges order, making the result
+	// byte-identical to the serial loop for every worker count.
 	lay := &layout.Layout{Name: spec.Name, L: spec.L}
 	lay.Nodes = make([]grid.Rect, n)
+	// Labels are tabulated up front: Spec.Label closures need not be
+	// goroutine-safe, so the parallel loop below only reads this table.
+	labelAt := make([]int, n)
 	for r := 0; r < spec.Rows; r++ {
 		for c := 0; c < spec.Cols; c++ {
-			lay.Nodes[label(r, c)] = grid.Rect{X: colX[c], Y: rowY[r], W: side, H: side}
+			l := label(r, c)
+			labelAt[at(r, c)] = l
+			lay.Nodes[l] = grid.Rect{X: colX[c], Y: rowY[r], W: side, H: side}
 		}
 	}
-	wireID := 0
-	addWire := func(u, v int, path []grid.Point) {
-		lay.Wires = append(lay.Wires, grid.Wire{ID: wireID, U: u, V: v, Path: path})
-		wireID++
-	}
-
-	for i, e := range spec.RowEdges {
-		lh, lv, slot := hLayer(assignment.row[key{e.Index, e.Track}])
-		yT := rowY[e.Index] + side + 1 + slot
-		yTop := rowY[e.Index] + side
-		xu := colX[e.U] + endPort[endRef{0, i, false}]
-		xv := colX[e.V] + endPort[endRef{0, i, true}]
-		addWire(label(e.Index, e.U), label(e.Index, e.V), []grid.Point{
-			{X: xu, Y: yTop, Z: 0},
-			{X: xu, Y: yTop, Z: lv},
-			{X: xu, Y: yT, Z: lv},
-			{X: xu, Y: yT, Z: lh},
-			{X: xv, Y: yT, Z: lh},
-			{X: xv, Y: yT, Z: lv},
-			{X: xv, Y: yTop, Z: lv},
-			{X: xv, Y: yTop, Z: 0},
-		})
-	}
-	for i, e := range spec.ColEdges {
-		lv, lh, slot := vLayer(assignment.col[key{e.Index, e.Track}])
-		xT := colX[e.Index] + side + 1 + slot
-		xR := colX[e.Index] + side
-		yu := rowY[e.U] + endPort[endRef{1, i, false}]
-		yv := rowY[e.V] + endPort[endRef{1, i, true}]
-		addWire(label(e.U, e.Index), label(e.V, e.Index), []grid.Point{
-			{X: xR, Y: yu, Z: 0},
-			{X: xR, Y: yu, Z: lh},
-			{X: xT, Y: yu, Z: lh},
-			{X: xT, Y: yu, Z: lv},
-			{X: xT, Y: yv, Z: lv},
-			{X: xT, Y: yv, Z: lh},
-			{X: xR, Y: yv, Z: lh},
-			{X: xR, Y: yv, Z: 0},
-		})
-	}
-	for i, e := range spec.Bent {
-		lh, lvStub, hSlot := hLayer(assignment.row[key{e.URow, e.HTrack}])
-		yT := rowY[e.URow] + side + 1 + hSlot
-		yTop := rowY[e.URow] + side
-		xu := colX[e.UCol] + endPort[endRef{2, i, false}]
-		lv2, lh2, vSlot := vLayer(assignment.col[key{e.VCol, e.VTrack}])
-		xT := colX[e.VCol] + side + 1 + vSlot
-		xR := colX[e.VCol] + side
-		yv := rowY[e.VRow] + endPort[endRef{3, i, true}]
-		addWire(label(e.URow, e.UCol), label(e.VRow, e.VCol), []grid.Point{
-			{X: xu, Y: yTop, Z: 0},
-			{X: xu, Y: yTop, Z: lvStub},
-			{X: xu, Y: yT, Z: lvStub},
-			{X: xu, Y: yT, Z: lh},
-			{X: xT, Y: yT, Z: lh},
-			{X: xT, Y: yT, Z: lv2},
-			{X: xT, Y: yv, Z: lv2},
-			{X: xT, Y: yv, Z: lh2},
-			{X: xR, Y: yv, Z: lh2},
-			{X: xR, Y: yv, Z: 0},
-		})
-	}
+	nRow, nCol := len(spec.RowEdges), len(spec.ColEdges)
+	lay.Wires = make([]grid.Wire, nRow+nCol+len(spec.Bent))
+	par.ForEach(spec.Workers, len(lay.Wires), func(id int) {
+		switch {
+		case id < nRow:
+			i := id
+			e := spec.RowEdges[i]
+			lh, lv, slot := hLayer(assignment.row[key{e.Index, e.Track}])
+			yT := rowY[e.Index] + side + 1 + slot
+			yTop := rowY[e.Index] + side
+			xu := colX[e.U] + endPort[endRef{0, i, false}]
+			xv := colX[e.V] + endPort[endRef{0, i, true}]
+			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.Index, e.U)], V: labelAt[at(e.Index, e.V)], Path: []grid.Point{
+				{X: xu, Y: yTop, Z: 0},
+				{X: xu, Y: yTop, Z: lv},
+				{X: xu, Y: yT, Z: lv},
+				{X: xu, Y: yT, Z: lh},
+				{X: xv, Y: yT, Z: lh},
+				{X: xv, Y: yT, Z: lv},
+				{X: xv, Y: yTop, Z: lv},
+				{X: xv, Y: yTop, Z: 0},
+			}}
+		case id < nRow+nCol:
+			i := id - nRow
+			e := spec.ColEdges[i]
+			lv, lh, slot := vLayer(assignment.col[key{e.Index, e.Track}])
+			xT := colX[e.Index] + side + 1 + slot
+			xR := colX[e.Index] + side
+			yu := rowY[e.U] + endPort[endRef{1, i, false}]
+			yv := rowY[e.V] + endPort[endRef{1, i, true}]
+			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.U, e.Index)], V: labelAt[at(e.V, e.Index)], Path: []grid.Point{
+				{X: xR, Y: yu, Z: 0},
+				{X: xR, Y: yu, Z: lh},
+				{X: xT, Y: yu, Z: lh},
+				{X: xT, Y: yu, Z: lv},
+				{X: xT, Y: yv, Z: lv},
+				{X: xT, Y: yv, Z: lh},
+				{X: xR, Y: yv, Z: lh},
+				{X: xR, Y: yv, Z: 0},
+			}}
+		default:
+			i := id - nRow - nCol
+			e := spec.Bent[i]
+			lh, lvStub, hSlot := hLayer(assignment.row[key{e.URow, e.HTrack}])
+			yT := rowY[e.URow] + side + 1 + hSlot
+			yTop := rowY[e.URow] + side
+			xu := colX[e.UCol] + endPort[endRef{2, i, false}]
+			lv2, lh2, vSlot := vLayer(assignment.col[key{e.VCol, e.VTrack}])
+			xT := colX[e.VCol] + side + 1 + vSlot
+			xR := colX[e.VCol] + side
+			yv := rowY[e.VRow] + endPort[endRef{3, i, true}]
+			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.URow, e.UCol)], V: labelAt[at(e.VRow, e.VCol)], Path: []grid.Point{
+				{X: xu, Y: yTop, Z: 0},
+				{X: xu, Y: yTop, Z: lvStub},
+				{X: xu, Y: yT, Z: lvStub},
+				{X: xu, Y: yT, Z: lh},
+				{X: xT, Y: yT, Z: lh},
+				{X: xT, Y: yT, Z: lv2},
+				{X: xT, Y: yv, Z: lv2},
+				{X: xT, Y: yv, Z: lh2},
+				{X: xR, Y: yv, Z: lh2},
+				{X: xR, Y: yv, Z: 0},
+			}}
+		}
+	})
 	return lay, geom, nil
 }
 

@@ -61,7 +61,7 @@ func mustBuild(t *testing.T) func(*layout.Layout, error) *layout.Layout {
 func TestHypercubeLayoutLegalAndCorrect(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 5, 6, 7} {
 		for _, l := range []int{2, 3, 4, 6, 8} {
-			lay := mustBuild(t)(Hypercube(n, l, 0))
+			lay := mustBuild(t)(Hypercube(n, l, 0, 0))
 			sameGraph(t, lay, topology.Hypercube(n))
 		}
 	}
@@ -71,14 +71,14 @@ func TestKAryLayoutLegalAndCorrect(t *testing.T) {
 	for _, tc := range []struct{ k, n, l int }{
 		{3, 2, 2}, {3, 2, 4}, {4, 2, 2}, {4, 3, 4}, {5, 2, 3}, {3, 3, 8}, {4, 1, 2},
 	} {
-		lay := mustBuild(t)(KAryNCube(tc.k, tc.n, tc.l, false, 0))
+		lay := mustBuild(t)(KAryNCube(tc.k, tc.n, tc.l, false, 0, 0))
 		sameGraph(t, lay, topology.KAryNCube(tc.k, tc.n))
 	}
 }
 
 func TestKAryFoldedLayout(t *testing.T) {
-	plain := mustBuild(t)(KAryNCube(8, 2, 2, false, 0))
-	folded := mustBuild(t)(KAryNCube(8, 2, 2, true, 0))
+	plain := mustBuild(t)(KAryNCube(8, 2, 2, false, 0, 0))
+	folded := mustBuild(t)(KAryNCube(8, 2, 2, true, 0, 0))
 	sameGraph(t, folded, topology.KAryNCube(8, 2))
 	if folded.MaxWireLength() >= plain.MaxWireLength() {
 		t.Errorf("folded maxwire %d not shorter than plain %d",
@@ -89,7 +89,7 @@ func TestKAryFoldedLayout(t *testing.T) {
 func TestGHCLayoutLegalAndCorrect(t *testing.T) {
 	for _, radices := range [][]int{{3, 3}, {4, 4}, {3, 4, 5}, {5}, {2, 2, 2, 2}} {
 		for _, l := range []int{2, 4, 5} {
-			lay := mustBuild(t)(GeneralizedHypercube(radices, l, 0))
+			lay := mustBuild(t)(GeneralizedHypercube(radices, l, 0, 0))
 			sameGraph(t, lay, topology.GeneralizedHypercube(radices))
 		}
 	}
@@ -119,9 +119,9 @@ func TestChannelAreaShrinksQuadratically(t *testing.T) {
 		t.Errorf("channel area(L=2)/area(L=8) = %.2f, want ≈ 16", r)
 	}
 	// Full area must also shrink monotonically and substantially.
-	a2 := mustBuild(t)(Hypercube(8, 2, 0)).Area()
-	a4 := mustBuild(t)(Hypercube(8, 4, 0)).Area()
-	a8 := mustBuild(t)(Hypercube(8, 8, 0)).Area()
+	a2 := mustBuild(t)(Hypercube(8, 2, 0, 0)).Area()
+	a4 := mustBuild(t)(Hypercube(8, 4, 0, 0)).Area()
+	a8 := mustBuild(t)(Hypercube(8, 8, 0, 0)).Area()
 	if !(a8 < a4 && a4 < a2) {
 		t.Errorf("full areas not monotone: %d, %d, %d", a2, a4, a8)
 	}
@@ -163,9 +163,9 @@ func TestMaxWireShrinksLinearly(t *testing.T) {
 	// §2.2 claim (3): maximum wire length shrinks by about L/2. On finite
 	// instances node squares damp the ratio; require a clear decrease and
 	// cross-check the trend.
-	w2 := mustBuild(t)(Hypercube(8, 2, 0)).MaxWireLength()
-	w4 := mustBuild(t)(Hypercube(8, 4, 0)).MaxWireLength()
-	w8 := mustBuild(t)(Hypercube(8, 8, 0)).MaxWireLength()
+	w2 := mustBuild(t)(Hypercube(8, 2, 0, 0)).MaxWireLength()
+	w4 := mustBuild(t)(Hypercube(8, 4, 0, 0)).MaxWireLength()
+	w8 := mustBuild(t)(Hypercube(8, 8, 0, 0)).MaxWireLength()
 	if !(w8 < w4 && w4 < w2) {
 		t.Fatalf("maxwire not monotone in L: %d, %d, %d", w2, w4, w8)
 	}
@@ -178,9 +178,9 @@ func TestMaxWireShrinksLinearly(t *testing.T) {
 func TestOddLayerLayouts(t *testing.T) {
 	// Odd L uses (L+1)/2 horizontal and (L−1)/2 vertical groups; area lands
 	// between the two adjacent even-L areas.
-	a2 := mustBuild(t)(Hypercube(7, 2, 0)).Area()
-	a3 := mustBuild(t)(Hypercube(7, 3, 0)).Area()
-	a4 := mustBuild(t)(Hypercube(7, 4, 0)).Area()
+	a2 := mustBuild(t)(Hypercube(7, 2, 0, 0)).Area()
+	a3 := mustBuild(t)(Hypercube(7, 3, 0, 0)).Area()
+	a4 := mustBuild(t)(Hypercube(7, 4, 0, 0)).Area()
 	if !(a4 <= a3 && a3 <= a2) {
 		t.Errorf("areas not monotone in L: a2=%d a3=%d a4=%d", a2, a3, a4)
 	}
@@ -191,9 +191,9 @@ func TestNodeSideScalability(t *testing.T) {
 	// o(width/N^(1/2)) leaves the leading constant unchanged. With side
 	// doubled from minimal, area should grow by well under 2x on a large
 	// instance.
-	minimal := mustBuild(t)(Hypercube(10, 2, 0))
+	minimal := mustBuild(t)(Hypercube(10, 2, 0, 0))
 	side := minimal.Nodes[0].W
-	bigger := mustBuild(t)(Hypercube(10, 2, side*2))
+	bigger := mustBuild(t)(Hypercube(10, 2, side*2, 0))
 	sameGraph(t, bigger, topology.Hypercube(10))
 	growth := float64(bigger.Area()) / float64(minimal.Area())
 	if growth > 1.5 {
@@ -341,7 +341,7 @@ func TestTouchingIntervalsColumn(t *testing.T) {
 func TestFromFactorsLabels(t *testing.T) {
 	// C4 row factor uses Gray-code labels; the composed labels must form
 	// the 4-cube exactly.
-	lay := mustBuild(t)(BuildProduct("cube4", track.Hypercube(2), track.Hypercube(2), 2, 0))
+	lay := mustBuild(t)(BuildProduct("cube4", track.Hypercube(2), track.Hypercube(2), 2, 0, 0))
 	sameGraph(t, lay, topology.Hypercube(4))
 }
 
@@ -354,7 +354,7 @@ func TestEnginePropertyRandomProducts(t *testing.T) {
 		l := 2 + int(c%5)
 		rowFac := track.Ring(k1)
 		colFac := track.Complete(k2)
-		lay, err := BuildProduct("prop", rowFac, colFac, l, 0)
+		lay, err := BuildProduct("prop", rowFac, colFac, l, 0, 0)
 		if err != nil {
 			return false
 		}
@@ -377,7 +377,7 @@ func TestMeshLayout(t *testing.T) {
 		{[]int{4, 4}, 2}, {[]int{3, 5}, 2}, {[]int{2, 3, 4}, 4},
 		{[]int{8}, 2}, {[]int{2, 2, 2, 2}, 3},
 	} {
-		lay := mustBuild(t)(Mesh(tc.dims, tc.l, 0))
+		lay := mustBuild(t)(Mesh(tc.dims, tc.l, 0, 0))
 		sameGraph(t, lay, topology.Mesh(tc.dims))
 	}
 }
@@ -385,8 +385,8 @@ func TestMeshLayout(t *testing.T) {
 func TestMeshCheaperThanTorus(t *testing.T) {
 	// A mesh has no wraparound links: fewer tracks, less area than the
 	// same-extent torus.
-	mesh := mustBuild(t)(Mesh([]int{8, 8}, 2, 0))
-	torus := mustBuild(t)(KAryNCube(8, 2, 2, false, 0))
+	mesh := mustBuild(t)(Mesh([]int{8, 8}, 2, 0, 0))
+	torus := mustBuild(t)(KAryNCube(8, 2, 2, false, 0, 0))
 	if mesh.Area() >= torus.Area() {
 		t.Errorf("mesh area %d not below torus area %d", mesh.Area(), torus.Area())
 	}

@@ -39,16 +39,19 @@ func FromFactors(name string, rowFac, colFac *track.Collinear, l, nodeSide int) 
 }
 
 // BuildProduct lays out the product of the two collinear factors under L
-// wiring layers (nodeSide 0 = minimal).
-func BuildProduct(name string, rowFac, colFac *track.Collinear, l, nodeSide int) (*layout.Layout, error) {
-	return Build(FromFactors(name, rowFac, colFac, l, nodeSide))
+// wiring layers (nodeSide 0 = minimal). workers bounds the realization
+// fan-out: 0 means GOMAXPROCS, 1 forces serial execution.
+func BuildProduct(name string, rowFac, colFac *track.Collinear, l, nodeSide, workers int) (*layout.Layout, error) {
+	spec := FromFactors(name, rowFac, colFac, l, nodeSide)
+	spec.Workers = workers
+	return Build(spec)
 }
 
 // KAryNCube lays out a k-ary n-cube under L wiring layers following §3.1:
 // the row factor is a k-ary ⌊n/2⌋-cube and the column factor a k-ary
 // ⌈n/2⌉-cube, both as 2(k^m−1)/(k−1)-track collinear layouts (folded rings
 // when folded is set, which shortens the maximum wire to O(N/(Lk²))).
-func KAryNCube(k, n, l int, folded bool, nodeSide int) (*layout.Layout, error) {
+func KAryNCube(k, n, l int, folded bool, nodeSide, workers int) (*layout.Layout, error) {
 	rowFac := track.KAryNCube(k, n/2, folded)
 	colFac := track.KAryNCube(k, (n+1)/2, folded)
 	if n/2 == 0 {
@@ -58,15 +61,15 @@ func KAryNCube(k, n, l int, folded bool, nodeSide int) (*layout.Layout, error) {
 	if folded {
 		name += " folded"
 	}
-	return BuildProduct(name, rowFac, colFac, l, nodeSide)
+	return BuildProduct(name, rowFac, colFac, l, nodeSide, workers)
 }
 
 // Hypercube lays out the binary n-cube under L wiring layers following
 // §5.1: both factors are the ⌊2N/3⌋-track collinear hypercube layouts.
-func Hypercube(n, l, nodeSide int) (*layout.Layout, error) {
+func Hypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	rowFac := track.Hypercube(n / 2)
 	colFac := track.Hypercube((n + 1) / 2)
-	return BuildProduct(fmt.Sprintf("%d-cube L=%d", n, l), rowFac, colFac, l, nodeSide)
+	return BuildProduct(fmt.Sprintf("%d-cube L=%d", n, l), rowFac, colFac, l, nodeSide, workers)
 }
 
 // GeneralizedHypercube lays out an n-dimensional mixed-radix generalized
@@ -74,26 +77,26 @@ func Hypercube(n, l, nodeSide int) (*layout.Layout, error) {
 // form the row factor and the high ⌈n/2⌉ dimensions the column factor, each
 // as the (N−1)⌊r²/4⌋/(r−1)-track collinear layout. radices[0] is least
 // significant.
-func GeneralizedHypercube(radices []int, l, nodeSide int) (*layout.Layout, error) {
+func GeneralizedHypercube(radices []int, l, nodeSide, workers int) (*layout.Layout, error) {
 	m := len(radices) / 2
 	rowFac := track.GeneralizedHypercube(radices[:m])
 	colFac := track.GeneralizedHypercube(radices[m:])
 	if m == 0 {
 		rowFac = &track.Collinear{Name: "trivial", N: 1}
 	}
-	return BuildProduct(fmt.Sprintf("GHC%v L=%d", radices, l), rowFac, colFac, l, nodeSide)
+	return BuildProduct(fmt.Sprintf("GHC%v L=%d", radices, l), rowFac, colFac, l, nodeSide, workers)
 }
 
 // Mesh lays out an n-dimensional mesh under L wiring layers (§3.2's first
 // product-network example): the low ⌊n/2⌋ extents form the row factor and
 // the high ⌈n/2⌉ the column factor, each as a product-of-paths collinear
 // layout. dims[0] is least significant, matching topology.Mesh.
-func Mesh(dims []int, l, nodeSide int) (*layout.Layout, error) {
+func Mesh(dims []int, l, nodeSide, workers int) (*layout.Layout, error) {
 	m := len(dims) / 2
 	rowFac := track.MeshCollinear(dims[:m])
 	colFac := track.MeshCollinear(dims[m:])
 	if m == 0 {
 		rowFac = &track.Collinear{Name: "trivial", N: 1}
 	}
-	return BuildProduct(fmt.Sprintf("mesh%v L=%d", dims, l), rowFac, colFac, l, nodeSide)
+	return BuildProduct(fmt.Sprintf("mesh%v L=%d", dims, l), rowFac, colFac, l, nodeSide, workers)
 }

@@ -189,9 +189,9 @@ func TestEngineOutputsAreClearanceClean(t *testing.T) {
 
 func TestNamedFamiliesClearanceClean(t *testing.T) {
 	lays := []func() (*layout.Layout, error){
-		func() (*layout.Layout, error) { return Hypercube(6, 4, 0) },
-		func() (*layout.Layout, error) { return KAryNCube(4, 2, 4, true, 0) },
-		func() (*layout.Layout, error) { return GeneralizedHypercube([]int{4, 4}, 3, 0) },
+		func() (*layout.Layout, error) { return Hypercube(6, 4, 0, 0) },
+		func() (*layout.Layout, error) { return KAryNCube(4, 2, 4, true, 0, 0) },
+		func() (*layout.Layout, error) { return GeneralizedHypercube([]int{4, 4}, 3, 0, 0) },
 	}
 	for _, mk := range lays {
 		lay, err := mk()
@@ -208,7 +208,7 @@ func TestNamedFamiliesClearanceClean(t *testing.T) {
 // wiring layer, with horizontal trunk length concentrated on odd layers and
 // vertical on even.
 func TestLayerUsageBalanced(t *testing.T) {
-	lay, err := Hypercube(8, 8, 0)
+	lay, err := Hypercube(8, 8, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,13 +23,13 @@ func E10FoldedEnhanced() *Table {
 	}
 	for _, n := range []int{6, 8, 10} {
 		for _, l := range []int{2, 4, 8} {
-			plain, err := core.Hypercube(n, l, 0)
+			plain, err := core.Hypercube(n, l, 0, 0)
 			if err != nil {
 				t.Note("plain build failed: %v", err)
 				continue
 			}
 			pa := plain.Stats().Area
-			if lay, err := extra.FoldedHypercube(n, l, 0); err == nil {
+			if lay, err := extra.FoldedHypercube(n, l, 0, 0); err == nil {
 				st := checkedStats(t, lay)
 				paper := formulas.FoldedHypercubeArea(st.N, l)
 				t.Add("folded", n, st.N, l, st.Area, paper, ratio(float64(st.Area), paper),
@@ -37,7 +37,7 @@ func E10FoldedEnhanced() *Table {
 			} else {
 				t.Note("folded build failed n=%d L=%d: %v", n, l, err)
 			}
-			if lay, err := extra.EnhancedCube(n, 12345, l, 0); err == nil {
+			if lay, err := extra.EnhancedCube(n, 12345, l, 0, 0); err == nil {
 				st := checkedStats(t, lay)
 				paper := formulas.EnhancedCubeArea(st.N, l)
 				t.Add("enhanced", n, st.N, l, st.Area, paper, ratio(float64(st.Area), paper),
@@ -64,7 +64,7 @@ func E12Baselines() *Table {
 			"direct-vol", "folded-vol"},
 	}
 	const n = 9
-	base, err := core.Hypercube(n, 2, 0)
+	base, err := core.Hypercube(n, 2, 0, 0)
 	if err != nil {
 		t.Note("base build failed: %v", err)
 		return t
@@ -73,7 +73,7 @@ func E12Baselines() *Table {
 	baseGeom, _ := core.Plan(core.FromFactors("plan",
 		track.Hypercube(n/2), track.Hypercube((n+1)/2), 2, 0))
 	for _, l := range []int{2, 4, 8, 16} {
-		direct, err := core.Hypercube(n, l, 0)
+		direct, err := core.Hypercube(n, l, 0, 0)
 		if err != nil {
 			t.Note("direct build failed L=%d: %v", l, err)
 			continue
@@ -127,27 +127,27 @@ func E13LowerBounds() *Table {
 	}
 	var entries []entry
 	for _, l := range []int{2, 4, 8} {
-		if lay, err := core.Hypercube(9, l, 0); err == nil {
+		if lay, err := core.Hypercube(9, l, 0, 0); err == nil {
 			st := lay.Stats()
 			entries = append(entries, entry{"hypercube(9)", st.Area, st.N, l, bounds.BisectionHypercube(9)})
 		}
-		if lay, err := core.KAryNCube(8, 3, l, false, 0); err == nil {
+		if lay, err := core.KAryNCube(8, 3, l, false, 0, 0); err == nil {
 			st := lay.Stats()
 			entries = append(entries, entry{"8-ary 3-cube", st.Area, st.N, l, bounds.BisectionKAry(8, 3)})
 		}
-		if lay, err := core.GeneralizedHypercube([]int{8, 8}, l, 0); err == nil {
+		if lay, err := core.GeneralizedHypercube([]int{8, 8}, l, 0, 0); err == nil {
 			st := lay.Stats()
 			entries = append(entries, entry{"GHC(8,8)", st.Area, st.N, l, bounds.BisectionGHC(8, 2)})
 		}
-		if lay, err := cluster.Butterfly(6, l, 0); err == nil {
+		if lay, err := cluster.Butterfly(6, l, 0, 0); err == nil {
 			st := lay.Stats()
 			entries = append(entries, entry{"butterfly(6)", st.Area, st.N, l, bounds.BisectionButterfly(6)})
 		}
-		if lay, err := cluster.CCC(6, l, 0); err == nil {
+		if lay, err := cluster.CCC(6, l, 0, 0); err == nil {
 			st := lay.Stats()
 			entries = append(entries, entry{"CCC(6)", st.Area, st.N, l, bounds.BisectionCCC(6)})
 		}
-		if lay, err := cluster.HSN(2, 16, l, 0, nil); err == nil {
+		if lay, err := cluster.HSN(2, 16, l, 0, 0, nil); err == nil {
 			st := lay.Stats()
 			// 2-level HSN quotient is K_16; its bisection is that of the
 			// complete graph over clusters times one link per pair.
@@ -177,8 +177,8 @@ func E14WireDelay() *Table {
 		name  string
 		build func(l int) (*layout.Layout, error)
 	}{
-		{"hypercube(8)", func(l int) (*layout.Layout, error) { return core.Hypercube(8, l, 0) }},
-		{"8-ary 2-cube", func(l int) (*layout.Layout, error) { return core.KAryNCube(8, 2, l, true, 0) }},
+		{"hypercube(8)", func(l int) (*layout.Layout, error) { return core.Hypercube(8, l, 0, 0) }},
+		{"8-ary 2-cube", func(l int) (*layout.Layout, error) { return core.KAryNCube(8, 2, l, true, 0, 0) }},
 	}
 	for _, nw := range networks {
 		var baseAvg float64

@@ -20,7 +20,7 @@ func E15Cayley() *Table {
 	}
 	families := []struct {
 		name  string
-		build func(n, l, nodeSide int) (*layout.Layout, error)
+		build func(n, l, nodeSide, workers int) (*layout.Layout, error)
 		n     int
 	}{
 		{"star", cluster.Star, 5},
@@ -32,7 +32,7 @@ func E15Cayley() *Table {
 	for _, f := range families {
 		var base int
 		for _, l := range []int{2, 4, 8} {
-			lay, err := f.build(f.n, l, 0)
+			lay, err := f.build(f.n, l, 0, 0)
 			if err != nil {
 				t.Note("build failed %s L=%d: %v", f.name, l, err)
 				continue
@@ -42,7 +42,7 @@ func E15Cayley() *Table {
 				base = st.Area
 			}
 			t.Add(lay.Name, st.N, l, st.Area, st.MaxWire,
-				route.MaxPathWire(lay, 16), ratio(float64(base), float64(st.Area)))
+				route.MaxPathWire(lay, 16, 0), ratio(float64(base), float64(st.Area)))
 		}
 	}
 	t.Note("the paper defers these families to the strategies of [30] (complete-graph and star")

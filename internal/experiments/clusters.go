@@ -19,7 +19,7 @@ func E6Butterfly() *Table {
 	}
 	for _, m := range []int{4, 5, 6, 7} {
 		for _, l := range []int{2, 4, 8} {
-			lay, err := cluster.Butterfly(m, l, 0)
+			lay, err := cluster.Butterfly(m, l, 0, 0)
 			if err != nil {
 				t.Note("build failed m=%d L=%d: %v", m, l, err)
 				continue
@@ -53,7 +53,7 @@ func E7SwapNetworks() *Table {
 	for _, lr := range [][2]int{{2, 4}, {2, 8}, {3, 4}, {3, 8}, {4, 4}} {
 		lvl, r := lr[0], lr[1]
 		for _, l := range []int{2, 4, 8} {
-			lay, err := cluster.HSN(lvl, r, l, 0, nil)
+			lay, err := cluster.HSN(lvl, r, l, 0, 0, nil)
 			if err != nil {
 				t.Note("HSN build failed lvl=%d r=%d L=%d: %v", lvl, r, l, err)
 				continue
@@ -61,7 +61,7 @@ func E7SwapNetworks() *Table {
 			st := checkedStats(t, lay)
 			geom, _ := cluster.HSNGeometry(lvl, r, l)
 			paperArea := formulas.HSNArea(st.N, l)
-			pw := route.MaxPathWire(lay, 16)
+			pw := route.MaxPathWire(lay, 16, 0)
 			t.Add(lay.Name, st.N, l, st.Area, geom.ChannelArea(), paperArea,
 				ratio(float64(geom.ChannelArea()), paperArea),
 				st.MaxWire, formulas.HSNMaxWire(st.N, l),
@@ -69,21 +69,21 @@ func E7SwapNetworks() *Table {
 		}
 	}
 	for _, lm := range [][2]int{{2, 3}, {3, 2}} {
-		lay, err := cluster.HHN(lm[0], lm[1], 4, 0)
+		lay, err := cluster.HHN(lm[0], lm[1], 4, 0, 0)
 		if err != nil {
 			t.Note("HHN build failed: %v", err)
 			continue
 		}
 		st := checkedStats(t, lay)
 		paperArea := formulas.HSNArea(st.N, 4)
-		pw := route.MaxPathWire(lay, 16)
+		pw := route.MaxPathWire(lay, 16, 0)
 		t.Add(lay.Name, st.N, 4, st.Area, "-", paperArea, ratio(float64(st.Area), paperArea),
 			st.MaxWire, formulas.HSNMaxWire(st.N, 4), pw, formulas.HSNPathWire(st.N, 4))
 	}
 	// ISN vs butterfly comparison rows.
 	for _, m := range []int{5, 6, 7} {
-		bf, err1 := cluster.Butterfly(m, 4, 0)
-		isn, err2 := cluster.ISN(m, 4, 0)
+		bf, err1 := cluster.Butterfly(m, 4, 0, 0)
+		isn, err2 := cluster.ISN(m, 4, 0, 0)
 		if err1 != nil || err2 != nil {
 			t.Note("ISN/butterfly build failed m=%d: %v %v", m, err1, err2)
 			continue
@@ -116,7 +116,7 @@ func E9CCC() *Table {
 	}
 	for _, n := range []int{3, 4, 5, 6} {
 		for _, l := range []int{2, 4, 8} {
-			lay, err := cluster.CCC(n, l, 0)
+			lay, err := cluster.CCC(n, l, 0, 0)
 			if err != nil {
 				t.Note("CCC build failed n=%d L=%d: %v", n, l, err)
 				continue
@@ -129,7 +129,7 @@ func E9CCC() *Table {
 		}
 	}
 	for _, nl := range [][2]int{{4, 2}, {4, 4}, {8, 2}} {
-		lay, err := cluster.ReducedHypercube(nl[0], nl[1], 0)
+		lay, err := cluster.ReducedHypercube(nl[0], nl[1], 0, 0)
 		if err != nil {
 			t.Note("RH build failed: %v", err)
 			continue
@@ -153,14 +153,14 @@ func E11PNCluster() *Table {
 		Header: []string{"k", "n", "c", "N", "L", "area", "base-area", "overhead"},
 	}
 	for _, l := range []int{2, 4} {
-		base, err := core.KAryNCube(4, 4, l, false, 0)
+		base, err := core.KAryNCube(4, 4, l, false, 0, 0)
 		if err != nil {
 			t.Note("base build failed: %v", err)
 			continue
 		}
 		bs := base.Stats()
 		for _, c := range []int{2, 4, 8} {
-			lay, err := cluster.KAryClusterC(4, 4, c, l, 0)
+			lay, err := cluster.KAryClusterC(4, 4, c, l, 0, 0)
 			if err != nil {
 				t.Note("cluster build failed c=%d: %v", c, err)
 				continue

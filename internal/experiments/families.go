@@ -38,13 +38,13 @@ func E4KAryNCube() *Table {
 	for _, kn := range [][2]int{{4, 2}, {4, 3}, {4, 4}, {8, 2}, {8, 3}, {16, 2}} {
 		k, n := kn[0], kn[1]
 		for _, l := range []int{2, 3, 4, 8} {
-			lay, err := core.KAryNCube(k, n, l, false, 0)
+			lay, err := core.KAryNCube(k, n, l, false, 0, 0)
 			if err != nil {
 				t.Note("build failed k=%d n=%d L=%d: %v", k, n, l, err)
 				continue
 			}
 			st := checkedStats(t, lay)
-			folded, err := core.KAryNCube(k, n, l, true, 0)
+			folded, err := core.KAryNCube(k, n, l, true, 0, 0)
 			if err != nil {
 				t.Note("folded build failed: %v", err)
 				continue
@@ -87,7 +87,7 @@ func E5GeneralizedHypercube() *Table {
 			radices[i] = r
 		}
 		for _, l := range []int{2, 4, 5, 8} {
-			lay, err := core.GeneralizedHypercube(radices, l, 0)
+			lay, err := core.GeneralizedHypercube(radices, l, 0, 0)
 			if err != nil {
 				t.Note("build failed r=%d dims=%d L=%d: %v", r, dims, l, err)
 				continue
@@ -97,7 +97,7 @@ func E5GeneralizedHypercube() *Table {
 			geom, _ := core.Plan(core.FromFactors("plan",
 				ghcFactor(radices[:m]), ghcFactor(radices[m:]), l, 0))
 			paperArea := formulas.GHCArea(st.N, r, l)
-			pathWire := route.MaxPathWire(lay, 16)
+			pathWire := route.MaxPathWire(lay, 16, 0)
 			t.Add(r, dims, st.N, l,
 				geom.ChannelArea(), paperArea, ratio(float64(geom.ChannelArea()), paperArea),
 				st.MaxWire, formulas.GHCMaxWire(st.N, r, l),
@@ -128,7 +128,7 @@ func E8Hypercube() *Table {
 	}
 	for _, n := range []int{6, 8, 10, 12} {
 		for _, l := range []int{2, 3, 4, 8} {
-			lay, err := core.Hypercube(n, l, 0)
+			lay, err := core.Hypercube(n, l, 0, 0)
 			if err != nil {
 				t.Note("build failed n=%d L=%d: %v", n, l, err)
 				continue

@@ -26,21 +26,21 @@ func E18GenericVsSpecialized() *Table {
 		spec specialized
 	}{
 		{topology.Hypercube(7), func(l int) (int, int, error) {
-			lay, err := core.Hypercube(7, l, 0)
+			lay, err := core.Hypercube(7, l, 0, 0)
 			if err != nil {
 				return 0, 0, err
 			}
 			return lay.Area(), lay.MaxWireLength(), nil
 		}},
 		{topology.KAryNCube(5, 3), func(l int) (int, int, error) {
-			lay, err := core.KAryNCube(5, 3, l, false, 0)
+			lay, err := core.KAryNCube(5, 3, l, false, 0, 0)
 			if err != nil {
 				return 0, 0, err
 			}
 			return lay.Area(), lay.MaxWireLength(), nil
 		}},
 		{topology.GeneralizedHypercube([]int{8, 8}), func(l int) (int, int, error) {
-			lay, err := core.GeneralizedHypercube([]int{8, 8}, l, 0)
+			lay, err := core.GeneralizedHypercube([]int{8, 8}, l, 0, 0)
 			if err != nil {
 				return 0, 0, err
 			}

@@ -1,0 +1,34 @@
+package experiments
+
+// Experiment pairs an experiment id and title with its table generator.
+type Experiment struct {
+	ID, Title string
+	Run       func() *Table
+}
+
+// Registry enumerates every experiment table of the reproduction in
+// presentation order (the ids match DESIGN.md and EXPERIMENTS.md); consumers
+// like cmd/paperbench iterate this instead of hand-rolling the list.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "collinear k-ary n-cubes (Fig. 2)", E1CollinearKAry},
+		{"E2", "collinear complete graphs (Fig. 3)", E2CollinearComplete},
+		{"E3", "collinear hypercubes (Fig. 4)", E3CollinearHypercube},
+		{"E4", "k-ary n-cube multilayer layouts (§3.1)", E4KAryNCube},
+		{"E5", "generalized hypercubes (§4.1)", E5GeneralizedHypercube},
+		{"E6", "butterflies (§4.2)", E6Butterfly},
+		{"E7", "swap networks HSN/HHN/ISN (§4.3)", E7SwapNetworks},
+		{"E8", "hypercubes (§5.1)", E8Hypercube},
+		{"E9", "CCC and reduced hypercubes (§5.2)", E9CCC},
+		{"E10", "folded and enhanced hypercubes (§5.3)", E10FoldedEnhanced},
+		{"E11", "k-ary n-cube cluster-c (§3.2)", E11PNCluster},
+		{"E12", "direct vs folding vs stacked collinear (§2.2)", E12Baselines},
+		{"E13", "bisection lower bounds (§1)", E13LowerBounds},
+		{"E14", "wire-delay simulation (§2.2)", E14WireDelay},
+		{"E15", "Cayley-family extension layouts (§4.3)", E15Cayley},
+		{"E16", "2-D vs 3-D multilayer grid model (§2.2)", E16Stack3D},
+		{"E17", "track-assignment ablation", E17Compaction},
+		{"E18", "generic router vs structured constructions (§2.3)", E18GenericVsSpecialized},
+		{"E19", "wire-length distribution (§2.2)", E19WireDistribution},
+	}
+}

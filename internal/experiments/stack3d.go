@@ -25,7 +25,7 @@ func E16Stack3D() *Table {
 			st.MaxWire, ratio(float64(flatArea), float64(st.Area)))
 	}
 	for _, tc := range []struct{ n, l int }{{8, 2}, {8, 4}, {10, 4}} {
-		flat, err := core.Hypercube(tc.n, tc.l, 0)
+		flat, err := core.Hypercube(tc.n, tc.l, 0, 0)
 		if err != nil {
 			t.Note("flat build failed: %v", err)
 			continue
@@ -42,7 +42,7 @@ func E16Stack3D() *Table {
 		}
 	}
 	for _, tc := range []struct{ k, n, nz, l int }{{4, 3, 1, 4}, {8, 3, 1, 4}} {
-		flat, err := core.KAryNCube(tc.k, tc.n, tc.l, false, 0)
+		flat, err := core.KAryNCube(tc.k, tc.n, tc.l, false, 0, 0)
 		if err != nil {
 			t.Note("flat kary build failed: %v", err)
 			continue

@@ -33,7 +33,7 @@ func hypercubeSpec(n, l, nodeSide int, name string) (core.Spec, func(label int) 
 
 // FoldedHypercube lays out the folded n-cube: the ⌊2N/3⌋-track hypercube
 // layout plus one diameter link per complementary node pair.
-func FoldedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
+func FoldedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("FoldedHypercube: need n >= 1")
 	}
@@ -48,6 +48,7 @@ func FoldedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
 		vr, vc := locate(v)
 		spec.AddDedicatedBent(ur, uc, vr, vc)
 	}
+	spec.Workers = workers
 	return core.Build(spec)
 }
 
@@ -55,7 +56,7 @@ func FoldedHypercube(n, l, nodeSide int) (*layout.Layout, error) {
 // pseudo-random outgoing link per node, drawn from the same deterministic
 // stream as topology.EnhancedCube so the realized graph matches it exactly
 // for the same seed.
-func EnhancedCube(n int, seed uint64, l, nodeSide int) (*layout.Layout, error) {
+func EnhancedCube(n int, seed uint64, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("EnhancedCube: need n >= 1")
 	}
@@ -67,5 +68,6 @@ func EnhancedCube(n int, seed uint64, l, nodeSide int) (*layout.Layout, error) {
 		vr, vc := locate(lk.V)
 		spec.AddDedicatedBent(ur, uc, vr, vc)
 	}
+	spec.Workers = workers
 	return core.Build(spec)
 }

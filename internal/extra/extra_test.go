@@ -53,7 +53,7 @@ func TestFoldedHypercubeLayout(t *testing.T) {
 	for _, tc := range []struct{ n, l int }{
 		{2, 2}, {3, 2}, {4, 2}, {5, 4}, {6, 4}, {5, 3},
 	} {
-		lay := mustBuild(t)(FoldedHypercube(tc.n, tc.l, 0))
+		lay := mustBuild(t)(FoldedHypercube(tc.n, tc.l, 0, 0))
 		sameGraph(t, lay, topology.FoldedHypercube(tc.n))
 	}
 }
@@ -65,7 +65,7 @@ func TestEnhancedCubeLayout(t *testing.T) {
 	}{
 		{3, 2, 1}, {4, 2, 42}, {5, 4, 7}, {6, 8, 99},
 	} {
-		lay := mustBuild(t)(EnhancedCube(tc.n, tc.seed, tc.l, 0))
+		lay := mustBuild(t)(EnhancedCube(tc.n, tc.seed, tc.l, 0, 0))
 		sameGraph(t, lay, topology.EnhancedCube(tc.n, tc.seed))
 	}
 }
@@ -74,23 +74,23 @@ func TestFoldedAreaOverheadMatchesPaperShape(t *testing.T) {
 	// §5.3 predicts folded-hypercube area (7N/3L)² versus hypercube
 	// (4N/3L)²: overhead factor (7/4)² ≈ 3.06 in the track-dominated
 	// regime. Require the measured overhead to be in a sane band.
-	cube := mustBuild(t)(core.Hypercube(8, 2, 0))
-	folded := mustBuild(t)(FoldedHypercube(8, 2, 0))
+	cube := mustBuild(t)(core.Hypercube(8, 2, 0, 0))
+	folded := mustBuild(t)(FoldedHypercube(8, 2, 0, 0))
 	ratio := float64(folded.Area()) / float64(cube.Area())
 	if ratio < 1.3 || ratio > 4.5 {
 		t.Errorf("folded/plain area ratio = %.2f, want ≈ 3 (paper's (7/4)²)", ratio)
 	}
 	// The enhanced cube has twice the extra links and should cost more.
-	enhanced := mustBuild(t)(EnhancedCube(8, 5, 2, 0))
+	enhanced := mustBuild(t)(EnhancedCube(8, 5, 2, 0, 0))
 	if enhanced.Area() <= folded.Area() {
 		t.Errorf("enhanced area %d not above folded area %d", enhanced.Area(), folded.Area())
 	}
 }
 
 func TestFoldedMultilayerScaling(t *testing.T) {
-	a2 := mustBuild(t)(FoldedHypercube(7, 2, 0)).Area()
-	a4 := mustBuild(t)(FoldedHypercube(7, 4, 0)).Area()
-	a8 := mustBuild(t)(FoldedHypercube(7, 8, 0)).Area()
+	a2 := mustBuild(t)(FoldedHypercube(7, 2, 0, 0)).Area()
+	a4 := mustBuild(t)(FoldedHypercube(7, 4, 0, 0)).Area()
+	a8 := mustBuild(t)(FoldedHypercube(7, 8, 0, 0)).Area()
 	if !(a8 < a4 && a4 < a2) {
 		t.Errorf("folded hypercube area not monotone in L: %d, %d, %d", a2, a4, a8)
 	}

@@ -10,7 +10,7 @@ import (
 
 func buildHypercube2(t *testing.T, n int) *layout.Layout {
 	t.Helper()
-	lay, err := core.Hypercube(n, 2, 0)
+	lay, err := core.Hypercube(n, 2, 0, 0)
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -140,7 +140,7 @@ func TestFoldPropertyRandomLayouts(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		k := 3 + int(seed%3)
 		n := 2
-		src, err := core.KAryNCube(k, n, 2, seed%2 == 0, 0)
+		src, err := core.KAryNCube(k, n, 2, seed%2 == 0, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,9 +164,9 @@ func TestFoldPropertyRandomLayouts(t *testing.T) {
 // Folding GHC and hypercube layouts of different aspect ratios.
 func TestFoldVariousSources(t *testing.T) {
 	sources := []func() (*layout.Layout, error){
-		func() (*layout.Layout, error) { return core.GeneralizedHypercube([]int{4, 4}, 2, 0) },
-		func() (*layout.Layout, error) { return core.Mesh([]int{5, 7}, 2, 0) },
-		func() (*layout.Layout, error) { return core.Hypercube(5, 2, 3) }, // forced node side
+		func() (*layout.Layout, error) { return core.GeneralizedHypercube([]int{4, 4}, 2, 0, 0) },
+		func() (*layout.Layout, error) { return core.Mesh([]int{5, 7}, 2, 0, 0) },
+		func() (*layout.Layout, error) { return core.Hypercube(5, 2, 3, 0) }, // forced node side
 	}
 	for _, mk := range sources {
 		src, err := mk()

@@ -83,7 +83,7 @@ func TestGenericVsSpecializedPremium(t *testing.T) {
 	// premium is what E18 reports.
 	g := topology.Hypercube(7)
 	gen := build(t, g, 4)
-	spec, err := core.Hypercube(7, 4, 0)
+	spec, err := core.Hypercube(7, 4, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

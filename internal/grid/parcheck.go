@@ -1,0 +1,314 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"mlvlsi/internal/par"
+)
+
+// CheckParallel is the sharded variant of Check: wires are partitioned into
+// contiguous shards across workers (workers <= 0 means GOMAXPROCS), each
+// shard walks its wires' unit edges into per-shard edge sets keyed by a
+// packed integer encoding, and the shards' sets are merged bucket by bucket
+// to find cross-shard conflicts. The check is exact — every unit grid edge
+// of every wire is still hashed, exactly as in Check — and the result is
+// deterministic: it does not depend on the worker count or on goroutine
+// scheduling.
+//
+// On a legal layout CheckParallel returns nil exactly when Check does, and
+// on any input the result is byte-identical for every worker count. Illegal
+// layouts produce the canonical violation set: ordered by wire (slice order)
+// and, within a wire, by path position, with at most one walk violation per
+// wire — the same truncation Check's early exit applies. Shared-edge
+// violations carry Check's attribution rule (the wire earliest in slice
+// order owns the edge; the later wire is charged). The only divergence from
+// Check arises on layouts with several interacting violations, where Check's
+// serial early exit also stops hashing the rest of a violating wire's edges;
+// CheckParallel hashes them, so it can attribute a conflict on those edges
+// that Check never sees. Legality verdicts always agree.
+func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
+	n := len(wires)
+	if n == 0 {
+		return nil
+	}
+	w := par.Workers(workers)
+
+	enc, ok := newEdgeEncoder(wires, w)
+	if !ok {
+		// Coordinates too large to pack into 64 bits (beyond any layout this
+		// module can realistically build): fall back to the reference checker.
+		return Check(wires, opts)
+	}
+
+	// Phase 1: shard wires contiguously across workers. Each shard performs
+	// the per-wire checks (path validity, layer range, direction discipline,
+	// terminals) and collects every hashed unit edge into hash-partitioned
+	// buckets. Within a shard, bucket entries are appended in (wire, edge)
+	// order; shards cover ascending wire ranges, so concatenating shard
+	// buckets in shard order keeps every bucket globally sorted by wire —
+	// which is what makes ownership deterministic in phase 2.
+	shards := par.NumChunks(w, n)
+	// One merge task per shard keeps fan-out bounded; rounded up to a power
+	// of two so bucket selection is a mask instead of a modulo.
+	buckets := 1
+	for buckets < shards {
+		buckets <<= 1
+	}
+	type shardResult struct {
+		violations []seqViolation
+		buckets    [][]claim
+	}
+	results := make([]shardResult, shards)
+	par.Chunks(w, n, func(shard, lo, hi int) {
+		res := &results[shard]
+		res.buckets = make([][]claim, buckets)
+		for wi := lo; wi < hi; wi++ {
+			collectWire(&wires[wi], int32(wi), opts, enc, res.buckets, &res.violations)
+		}
+	})
+
+	// Phase 2: merge each bucket across shards. The per-bucket edge map is
+	// the shard-local "seen" set of Check, now keyed by the packed encoding;
+	// the first claimant in global wire order owns an edge and every later
+	// claimant is a violation, matching Check's attribution.
+	perBucket := make([][]seqViolation, buckets)
+	par.ForEach(w, buckets, func(b int) {
+		total := 0
+		for s := range results {
+			total += len(results[s].buckets[b])
+		}
+		if total == 0 {
+			return
+		}
+		owner := make(map[uint64]int32, total)
+		var found []seqViolation
+		for s := range results {
+			for _, c := range results[s].buckets[b] {
+				if first, dup := owner[c.key]; dup {
+					found = append(found, seqViolation{
+						wire: c.wire,
+						seq:  c.seq,
+						v: Violation{
+							WireID:  wires[c.wire].ID,
+							OtherID: wires[first].ID,
+							Where:   enc.unpack(c.key),
+							Reason:  fmt.Sprintf("shared unit %s-edge", Axis(c.key&3)),
+						},
+					})
+				} else {
+					owner[c.key] = c.wire
+				}
+			}
+		}
+		perBucket[b] = found
+	})
+
+	var all []seqViolation
+	for _, res := range results {
+		all = append(all, res.violations...)
+	}
+	for _, found := range perBucket {
+		all = append(all, found...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].wire != all[j].wire {
+			return all[i].wire < all[j].wire
+		}
+		return all[i].seq < all[j].seq
+	})
+	// Check stops walking a wire at its first violation, so it reports at
+	// most one walk violation per wire; keep only the earliest of ours
+	// (validate and terminal violations are outside the walk and unaffected).
+	out := make([]Violation, 0, len(all))
+	walkDone := int32(-1) // last wire whose walk violation was emitted
+	for _, sv := range all {
+		if sv.seq >= 0 && sv.seq < seqTerminalU {
+			if sv.wire == walkDone {
+				continue
+			}
+			walkDone = sv.wire
+		}
+		out = append(out, sv.v)
+	}
+	return out
+}
+
+// claim records one unit edge hashed by one wire: the packed edge key plus
+// the claiming wire's slice index and the edge's position along its path.
+type claim struct {
+	key  uint64
+	wire int32
+	seq  int32
+}
+
+// seqViolation carries a violation with its canonical sort position.
+type seqViolation struct {
+	wire int32
+	seq  int32
+	v    Violation
+}
+
+const (
+	seqValidate  = int32(-1)        // malformed path, before any edge
+	seqTerminalU = int32(1<<31 - 2) // terminal checks run after the walk
+	seqTerminalV = int32(1<<31 - 1)
+)
+
+// collectWire runs the per-wire checks of Check on one wire and appends its
+// unit edges to the hash-partitioned buckets. It mirrors Check exactly: a
+// malformed path skips the walk entirely, and a layer-range or discipline
+// violation stops the walk (so edges past it are not hashed, matching the
+// serial checker's early exit).
+func collectWire(w *Wire, wi int32, opts CheckOptions, enc edgeEncoder, buckets [][]claim, violations *[]seqViolation) {
+	if err := w.Validate(); err != nil {
+		// Matches Check's `continue`: a malformed path skips the walk and
+		// the terminal checks.
+		*violations = append(*violations, seqViolation{
+			wire: wi, seq: seqValidate,
+			v: Violation{WireID: w.ID, OtherID: -1, Reason: err.Error()},
+		})
+		return
+	}
+	{
+		seq := int32(0)
+		mask := uint64(len(buckets) - 1)
+		w.UnitEdges(func(low Point, axis Axis) bool {
+			if opts.Layers > 0 {
+				zTop := low.Z
+				if axis == AxisZ {
+					zTop = low.Z + 1
+				}
+				if low.Z < 0 || zTop > opts.Layers {
+					*violations = append(*violations, seqViolation{
+						wire: wi, seq: seq,
+						v: Violation{
+							WireID: w.ID, OtherID: -1, Where: low,
+							Reason: fmt.Sprintf("leaves wiring layer range [0,%d]", opts.Layers),
+						},
+					})
+					return false
+				}
+			}
+			if opts.Discipline && low.Z > 0 {
+				if axis == AxisX && low.Z%2 == 0 {
+					*violations = append(*violations, seqViolation{
+						wire: wi, seq: seq,
+						v: Violation{
+							WireID: w.ID, OtherID: -1, Where: low,
+							Reason: "x-run on an even layer violates direction discipline",
+						},
+					})
+					return false
+				}
+				if axis == AxisY && low.Z%2 == 1 {
+					*violations = append(*violations, seqViolation{
+						wire: wi, seq: seq,
+						v: Violation{
+							WireID: w.ID, OtherID: -1, Where: low,
+							Reason: "y-run on an odd layer violates direction discipline",
+						},
+					})
+					return false
+				}
+			}
+			key := enc.pack(low, axis)
+			b := int((key * 0x9E3779B97F4A7C15 >> 32) & mask)
+			buckets[b] = append(buckets[b], claim{key: key, wire: wi, seq: seq})
+			seq++
+			return true
+		})
+	}
+
+	if opts.Nodes != nil && w.U >= 0 && w.V >= 0 {
+		var tv []Violation
+		checkTerminal(w, w.Path[0], w.U, opts.Nodes, &tv)
+		for _, v := range tv {
+			*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalU, v: v})
+		}
+		tv = tv[:0]
+		checkTerminal(w, w.Path[len(w.Path)-1], w.V, opts.Nodes, &tv)
+		for _, v := range tv {
+			*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalV, v: v})
+		}
+	}
+}
+
+// edgeEncoder packs a unit edge (lower endpoint + axis) into a uint64:
+// 2 axis bits in the low word, then Z, Y, X fields sized to the wire set's
+// bounding box. Integer keys hash an order of magnitude faster than the
+// 32-byte struct key the serial checker uses, which is where most of
+// CheckParallel's single-core speedup comes from.
+type edgeEncoder struct {
+	minX, minY, minZ       int
+	shiftZ, shiftY, shiftX uint
+}
+
+// newEdgeEncoder scans the wires' path vertices (in parallel) for the
+// bounding box and derives the field layout. ok is false when the spans do
+// not fit in 62 bits.
+func newEdgeEncoder(wires []Wire, workers int) (edgeEncoder, bool) {
+	shards := par.NumChunks(workers, len(wires))
+	boxes := make([]BoundingBox, shards)
+	par.Chunks(workers, len(wires), func(shard, lo, hi int) {
+		b := NewBoundingBox()
+		for wi := lo; wi < hi; wi++ {
+			for _, p := range wires[wi].Path {
+				b.AddPoint(p)
+			}
+		}
+		boxes[shard] = b
+	})
+	box := NewBoundingBox()
+	for _, b := range boxes {
+		if !b.Empty() {
+			box.AddPoint(Point{b.MinX, b.MinY, b.MinZ})
+			box.AddPoint(Point{b.MaxX, b.MaxY, b.MaxZ})
+		}
+	}
+	if box.Empty() {
+		return edgeEncoder{}, true
+	}
+	bitsFor := func(span int) uint {
+		n := uint(1)
+		for span >= 1<<n {
+			n++
+		}
+		return n
+	}
+	// +1 head-room per field: the unit-edge lower endpoint never exceeds the
+	// box, but sizing by span+1 keeps the arithmetic obviously safe.
+	bz := bitsFor(box.MaxZ - box.MinZ + 1)
+	by := bitsFor(box.MaxY - box.MinY + 1)
+	bx := bitsFor(box.MaxX - box.MinX + 1)
+	if 2+bz+by+bx > 64 {
+		return edgeEncoder{}, false
+	}
+	return edgeEncoder{
+		minX: box.MinX, minY: box.MinY, minZ: box.MinZ,
+		shiftZ: 2,
+		shiftY: 2 + bz,
+		shiftX: 2 + bz + by,
+	}, true
+}
+
+func (e edgeEncoder) pack(p Point, axis Axis) uint64 {
+	return uint64(p.X-e.minX)<<e.shiftX |
+		uint64(p.Y-e.minY)<<e.shiftY |
+		uint64(p.Z-e.minZ)<<e.shiftZ |
+		uint64(axis)
+}
+
+// unpack recovers the edge's lower endpoint from a packed key.
+func (e edgeEncoder) unpack(key uint64) Point {
+	maskY := uint64(1)<<(e.shiftX-e.shiftY) - 1
+	maskZ := uint64(1)<<(e.shiftY-e.shiftZ) - 1
+	return Point{
+		X: int(key>>e.shiftX) + e.minX,
+		Y: int(key>>e.shiftY&maskY) + e.minY,
+		Z: int(key>>e.shiftZ&maskZ) + e.minZ,
+	}
+}

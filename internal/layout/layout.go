@@ -104,12 +104,20 @@ type WireLength struct {
 // Verify checks the layout's legality under the multilayer grid model:
 // wires are rectilinear, pairwise edge-disjoint, within layers 0..L,
 // obey the direction discipline, and terminate on their endpoint nodes.
+// It runs the sharded checker at full fan-out; use VerifyWorkers to bound
+// the worker count.
 func (l *Layout) Verify() []grid.Violation {
-	return grid.Check(l.Wires, grid.CheckOptions{
+	return l.VerifyWorkers(0)
+}
+
+// VerifyWorkers is Verify with an explicit fan-out bound (0 = GOMAXPROCS,
+// 1 = serial). The result is identical for every worker count.
+func (l *Layout) VerifyWorkers(workers int) []grid.Violation {
+	return grid.CheckParallel(l.Wires, grid.CheckOptions{
 		Layers:     l.L,
 		Discipline: true,
 		Nodes:      l.Nodes,
-	})
+	}, workers)
 }
 
 // VerifyStrict performs Verify plus the Thompson-strict clearance check:

@@ -1,0 +1,104 @@
+// Package par is a small dependency-free worker pool used by the build and
+// verify engines. All helpers share the same contract:
+//
+//   - bounded fan-out: at most Workers(w) goroutines run at once, and the
+//     index space is split into contiguous chunks so shard-local state (maps,
+//     scratch buffers) amortizes across many items;
+//   - deterministic results: outputs are collected by index, never by
+//     completion order, so callers observe the same result regardless of the
+//     worker count or scheduling;
+//   - full error collection: ForEachErr runs every item even after failures
+//     and joins all errors in index order, mirroring how grid.Check reports
+//     every violation instead of the first.
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n >= 1 means exactly n workers,
+// anything else (the zero value) means runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Chunks splits [0, n) into at most Workers(workers) contiguous, balanced,
+// non-empty ranges and calls fn(shard, lo, hi) for each concurrently. It
+// returns after every shard completes. The shard index is dense in
+// [0, shards) so callers can preallocate per-shard result slots.
+func Chunks(workers, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for shard := 0; shard < w; shard++ {
+		lo := shard * n / w
+		hi := (shard + 1) * n / w
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumChunks returns the number of shards Chunks will use for n items.
+func NumChunks(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if w := Workers(workers); w < n {
+		return w
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool.
+func ForEach(workers, n int, fn func(i int)) {
+	Chunks(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachErr runs fn(i) for every i in [0, n), collects every returned
+// error, and joins them in index order (nil when all calls succeed). Unlike
+// errgroup-style helpers it does not cancel on first failure: the engines
+// here want the complete violation/error set.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Chunks(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = fn(i)
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(1) != 1 {
+		t.Errorf("Workers(1) = %d", Workers(1))
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("Workers must resolve to >= 1")
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 17, 100} {
+			visits := make([]int32, n)
+			Chunks(workers, n, func(shard, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("w=%d n=%d: empty shard [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("w=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksShardIndicesDense(t *testing.T) {
+	n := 37
+	workers := 4
+	want := NumChunks(workers, n)
+	seen := make([]atomic.Bool, want)
+	Chunks(workers, n, func(shard, lo, hi int) {
+		if shard < 0 || shard >= want {
+			t.Errorf("shard %d out of [0,%d)", shard, want)
+			return
+		}
+		if seen[shard].Swap(true) {
+			t.Errorf("shard %d ran twice", shard)
+		}
+	})
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("shard %d never ran", i)
+		}
+	}
+}
+
+func TestForEachBoundedFanOut(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	ForEach(3, 100, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent workers, want <= 3", p)
+	}
+}
+
+func TestForEachErrJoinsAllInOrder(t *testing.T) {
+	err := ForEachErr(4, 10, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	msg := err.Error()
+	wantOrder := []string{"item 0", "item 3", "item 6", "item 9"}
+	last := -1
+	for _, w := range wantOrder {
+		idx := strings.Index(msg, w)
+		if idx < 0 {
+			t.Fatalf("error %q missing from %q", w, msg)
+		}
+		if idx < last {
+			t.Errorf("error %q out of index order in %q", w, msg)
+		}
+		last = idx
+	}
+	if err := ForEachErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Errorf("all-nil run returned %v", err)
+	}
+	if err := ForEachErr(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("empty run returned %v", err)
+	}
+}
+
+func TestMapDeterministicOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}

@@ -75,7 +75,7 @@ func TestRecursiveGridSchematic(t *testing.T) {
 }
 
 func TestSVG(t *testing.T) {
-	lay, err := core.Hypercube(3, 2, 0)
+	lay, err := core.Hypercube(3, 2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/par"
 )
 
 // WeightedGraph is an adjacency structure with per-link physical wire
@@ -128,23 +129,47 @@ func (h *pairHeap) Pop() interface{} {
 	return x
 }
 
+// sampleSources materializes the deterministic stride sample of source
+// nodes MaxPathWire and AveragePathWire sweep: sources <= 0 means every
+// node.
+func sampleSources(n, sources int) []int {
+	step := 1
+	if sources > 0 && sources < n {
+		step = n / sources
+	}
+	out := make([]int, 0, (n+step-1)/step)
+	for s := 0; s < n; s += step {
+		out = append(out, s)
+	}
+	return out
+}
+
 // MaxPathWire returns the maximum over sampled source-destination pairs of
 // the total wire length along a hop-shortest path. sources <= 0 means all
 // sources (O(N·E log N)); otherwise a deterministic stride sample of that
-// many sources is used.
-func MaxPathWire(lay *layout.Layout, sources int) int {
+// many sources is used. The per-source single-source sweeps are independent
+// and fan out across workers (0 = GOMAXPROCS, 1 = serial); the result is
+// identical for every worker count.
+func MaxPathWire(lay *layout.Layout, sources, workers int) int {
 	g := FromLayout(lay)
-	step := 1
-	if sources > 0 && sources < g.N {
-		step = g.N / sources
-	}
-	max := 0
-	for s := 0; s < g.N; s += step {
-		_, wire := g.ShortestPathWire(s)
-		for _, w := range wire {
-			if w != int(^uint(0)>>1) && w > max {
-				max = w
+	srcs := sampleSources(g.N, sources)
+	shardMax := make([]int, par.NumChunks(workers, len(srcs)))
+	par.Chunks(workers, len(srcs), func(shard, lo, hi int) {
+		max := 0
+		for _, s := range srcs[lo:hi] {
+			_, wire := g.ShortestPathWire(s)
+			for _, w := range wire {
+				if w != int(^uint(0)>>1) && w > max {
+					max = w
+				}
 			}
+		}
+		shardMax[shard] = max
+	})
+	max := 0
+	for _, m := range shardMax {
+		if m > max {
+			max = m
 		}
 	}
 	return max
@@ -152,21 +177,31 @@ func MaxPathWire(lay *layout.Layout, sources int) int {
 
 // AveragePathWire returns the mean total wire length along hop-shortest
 // paths over sampled sources (diagnostic for the simulator experiments).
-func AveragePathWire(lay *layout.Layout, sources int) float64 {
+// Like MaxPathWire it fans the per-source sweeps out across workers; the
+// per-shard sums are integers, so the result is exactly the serial value
+// for every worker count.
+func AveragePathWire(lay *layout.Layout, sources, workers int) float64 {
 	g := FromLayout(lay)
-	step := 1
-	if sources > 0 && sources < g.N {
-		step = g.N / sources
-	}
-	total, count := 0, 0
-	for s := 0; s < g.N; s += step {
-		_, wire := g.ShortestPathWire(s)
-		for v, w := range wire {
-			if v != s && w != int(^uint(0)>>1) {
-				total += w
-				count++
+	srcs := sampleSources(g.N, sources)
+	type sum struct{ total, count int }
+	sums := make([]sum, par.NumChunks(workers, len(srcs)))
+	par.Chunks(workers, len(srcs), func(shard, lo, hi int) {
+		var sh sum
+		for _, s := range srcs[lo:hi] {
+			_, wire := g.ShortestPathWire(s)
+			for v, w := range wire {
+				if v != s && w != int(^uint(0)>>1) {
+					sh.total += w
+					sh.count++
+				}
 			}
 		}
+		sums[shard] = sh
+	})
+	total, count := 0, 0
+	for _, sh := range sums {
+		total += sh.total
+		count += sh.count
 	}
 	if count == 0 {
 		return 0

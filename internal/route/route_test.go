@@ -77,16 +77,16 @@ func TestHopShortestBeatsWireShortest(t *testing.T) {
 }
 
 func TestMaxPathWireOnRealLayout(t *testing.T) {
-	lay, err := core.Hypercube(6, 2, 0)
+	lay, err := core.Hypercube(6, 2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := MaxPathWire(lay, 0)
+	full := MaxPathWire(lay, 0, 1)
 	if full <= lay.MaxWireLength() {
 		t.Errorf("max path wire %d should exceed the longest single wire %d on a diameter route",
 			full, lay.MaxWireLength())
 	}
-	sampled := MaxPathWire(lay, 8)
+	sampled := MaxPathWire(lay, 8, 2)
 	if sampled > full {
 		t.Errorf("sampled max %d exceeds full max %d", sampled, full)
 	}
@@ -95,16 +95,16 @@ func TestMaxPathWireOnRealLayout(t *testing.T) {
 func TestMaxPathWireShrinksWithLayers(t *testing.T) {
 	// §2.2 claim (4): the max total wire length along routes shrinks by
 	// about L/2.
-	l2, err := core.Hypercube(7, 2, 0)
+	l2, err := core.Hypercube(7, 2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l8, err := core.Hypercube(7, 8, 0)
+	l8, err := core.Hypercube(7, 8, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2 := MaxPathWire(l2, 16)
-	w8 := MaxPathWire(l8, 16)
+	w2 := MaxPathWire(l2, 16, 0)
+	w8 := MaxPathWire(l8, 16, 0)
 	if w8 >= w2 {
 		t.Errorf("path wire did not shrink: L=2 gives %d, L=8 gives %d", w2, w8)
 	}
@@ -115,7 +115,7 @@ func TestMaxPathWireShrinksWithLayers(t *testing.T) {
 
 func TestAveragePathWire(t *testing.T) {
 	lay := chain(4, 4, 4)
-	avg := AveragePathWire(lay, 0)
+	avg := AveragePathWire(lay, 0, 0)
 	// Pairwise wire sums: from 0: 4,8,12; from 1: 4,4,8; from 2: 8,4,4;
 	// from 3: 12,8,4. Mean = 80/12.
 	want := 80.0 / 12.0
@@ -127,7 +127,7 @@ func TestAveragePathWire(t *testing.T) {
 // Property: path wire is at least the hop count (every link has length
 // >= 1) and at most hops × the longest wire.
 func TestPathWireBoundsProperty(t *testing.T) {
-	lay, err := core.KAryNCube(4, 2, 2, false, 0)
+	lay, err := core.KAryNCube(4, 2, 2, false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestPathWireBoundsProperty(t *testing.T) {
 
 // Symmetry: path wire between u and v is independent of direction.
 func TestPathWireSymmetry(t *testing.T) {
-	lay, err := core.Hypercube(5, 2, 0)
+	lay, err := core.Hypercube(5, 2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

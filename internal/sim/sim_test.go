@@ -9,7 +9,7 @@ import (
 
 func buildCube(t *testing.T, n, l int) *layout.Layout {
 	t.Helper()
-	lay, err := core.Hypercube(n, l, 0)
+	lay, err := core.Hypercube(n, l, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

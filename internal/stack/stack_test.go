@@ -73,7 +73,7 @@ func TestKAry3DLegalAndCorrect(t *testing.T) {
 func TestStackingShrinksFootprint(t *testing.T) {
 	// §2.2: moving dimensions onto active layers shrinks the footprint
 	// area (by roughly the board count) while the volume stays comparable.
-	flat, err := core.Hypercube(8, 4, 0)
+	flat, err := core.Hypercube(8, 4, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestStackingShrinksFootprint(t *testing.T) {
 }
 
 func TestStackingShortensWires(t *testing.T) {
-	flat, err := core.Hypercube(8, 4, 0)
+	flat, err := core.Hypercube(8, 4, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

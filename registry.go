@@ -1,0 +1,343 @@
+package mlvlsi
+
+import (
+	"fmt"
+	"sort"
+
+	"mlvlsi/internal/cluster"
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/extra"
+	"mlvlsi/internal/layout"
+)
+
+// ParamError reports a rejected construction parameter: an Options field out
+// of range, an unknown family or parameter name, or a family parameter
+// outside its documented range.
+type ParamError struct {
+	Family string // empty for Options-level errors
+	Param  string
+	Value  int
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	if e.Family == "" {
+		return fmt.Sprintf("mlvlsi: Options.%s = %d %s", e.Param, e.Value, e.Reason)
+	}
+	if e.Param == "" {
+		return fmt.Sprintf("mlvlsi: family %q %s", e.Family, e.Reason)
+	}
+	return fmt.Sprintf("mlvlsi: family %q parameter %s = %d %s", e.Family, e.Param, e.Value, e.Reason)
+}
+
+// ParamSpec documents one integer parameter of a layout family: its
+// inclusive range, the value BuildFamily substitutes when the parameter is
+// omitted, and a one-line description.
+type ParamSpec struct {
+	Name     string
+	Min, Max int
+	Default  int
+	Doc      string
+}
+
+// FamilyInfo describes one registered layout family.
+type FamilyInfo struct {
+	// Name is the registry key BuildFamily matches on.
+	Name string
+	// Doc is a one-line description with the paper section.
+	Doc string
+	// Params lists the family's parameters in canonical order.
+	Params []ParamSpec
+
+	build func(p map[string]int, o Options) (*layout.Layout, error)
+}
+
+// FamilySpec names a family and assigns its parameters; parameters omitted
+// from Params take their registry defaults.
+type FamilySpec struct {
+	Name   string
+	Params map[string]int
+}
+
+// powerOfTwo reports whether v is a power of two >= 2.
+func powerOfTwo(v int) bool { return v >= 2 && v&(v-1) == 0 }
+
+// families is the registry backing Families and BuildFamily. Ranges reflect
+// the constraints of the underlying constructors (e.g. the last-symbol
+// Cayley machinery needs 3 <= n <= 7) plus practical size ceilings; defaults
+// are small enough that every family builds in well under a second.
+var families = []FamilyInfo{
+	{
+		Name: "hypercube",
+		Doc:  "binary n-cube with the ⌊2N/3⌋-track collinear factors (§5.1)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 1, Max: 20, Default: 4, Doc: "dimension; N = 2^n nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return core.Hypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "kary",
+		Doc:  "k-ary n-cube torus; Options.FoldedRows selects the folded-ring ordering (§3.1)",
+		Params: []ParamSpec{
+			{Name: "k", Min: 2, Max: 64, Default: 3, Doc: "radix per dimension"},
+			{Name: "n", Min: 1, Max: 8, Default: 2, Doc: "dimensions; N = k^n nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return core.KAryNCube(p["k"], p["n"], o.layers(), o.FoldedRows, o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "ghc",
+		Doc:  "uniform generalized hypercube: n dimensions of radix r (§4.1)",
+		Params: []ParamSpec{
+			{Name: "r", Min: 2, Max: 32, Default: 3, Doc: "radix per dimension"},
+			{Name: "n", Min: 1, Max: 8, Default: 2, Doc: "dimensions; N = r^n nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			radices := make([]int, p["n"])
+			for i := range radices {
+				radices[i] = p["r"]
+			}
+			return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "mesh",
+		Doc:  "uniform d-dimensional mesh of extent n per dimension (§3.2)",
+		Params: []ParamSpec{
+			{Name: "d", Min: 1, Max: 8, Default: 2, Doc: "dimensions"},
+			{Name: "n", Min: 2, Max: 64, Default: 3, Doc: "extent per dimension; N = n^d nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			dims := make([]int, p["d"])
+			for i := range dims {
+				dims[i] = p["n"]
+			}
+			return core.Mesh(dims, o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "folded",
+		Doc:  "folded hypercube: n-cube plus N/2 diameter links (§5.3)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 1, Max: 16, Default: 4, Doc: "dimension; N = 2^n nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return extra.FoldedHypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "enhanced",
+		Doc:  "enhanced cube: n-cube plus one pseudo-random link per node (§5.3)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 1, Max: 16, Default: 4, Doc: "dimension; N = 2^n nodes"},
+			{Name: "seed", Min: 0, Max: 1 << 30, Default: 1, Doc: "random-stream seed"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return extra.EnhancedCube(p["n"], uint64(p["seed"]), o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "ccc",
+		Doc:  "cube-connected cycles over the n-cube quotient (§5.2)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 2, Max: 16, Default: 3, Doc: "cube dimension; N = n·2^n nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.CCC(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "rh",
+		Doc:  "Ziavras reduced hypercube: CCC with hypercube clusters (§5.2)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 2, Max: 64, Default: 4, Doc: "cluster size; a power of two"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			if !powerOfTwo(p["n"]) {
+				return nil, &ParamError{Family: "rh", Param: "n", Value: p["n"], Reason: "must be a power of two >= 2"}
+			}
+			return cluster.ReducedHypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "hsn",
+		Doc:  "hierarchical swap network with K_r nuclei (§4.3)",
+		Params: []ParamSpec{
+			{Name: "levels", Min: 2, Max: 6, Default: 2, Doc: "hierarchy levels"},
+			{Name: "r", Min: 2, Max: 16, Default: 3, Doc: "nucleus size; N = r^levels nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.HSN(p["levels"], p["r"], o.layers(), o.NodeSide, o.Workers, nil)
+		},
+	},
+	{
+		Name: "hhn",
+		Doc:  "hierarchical hypercube network: HSN with 2^m-node hypercube nuclei (§4.3)",
+		Params: []ParamSpec{
+			{Name: "levels", Min: 2, Max: 6, Default: 2, Doc: "hierarchy levels"},
+			{Name: "m", Min: 1, Max: 5, Default: 2, Doc: "nucleus dimension; nuclei hold 2^m nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.HHN(p["levels"], p["m"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "butterfly",
+		Doc:  "wrapped butterfly with 2^m rows and m levels (§4.2)",
+		Params: []ParamSpec{
+			{Name: "m", Min: 3, Max: 12, Default: 3, Doc: "levels; N = m·2^m nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.Butterfly(p["m"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "isn",
+		Doc:  "indirect swap network: butterfly with single cross links (§4.3)",
+		Params: []ParamSpec{
+			{Name: "m", Min: 3, Max: 12, Default: 3, Doc: "levels; N = m·2^m nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.ISN(p["m"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "clusterc",
+		Doc:  "k-ary n-cube cluster-c with c-node hypercube clusters (§3.2)",
+		Params: []ParamSpec{
+			{Name: "k", Min: 2, Max: 16, Default: 3, Doc: "torus radix"},
+			{Name: "n", Min: 1, Max: 6, Default: 2, Doc: "torus dimensions"},
+			{Name: "c", Min: 2, Max: 16, Default: 2, Doc: "cluster size; a power of two"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			if !powerOfTwo(p["c"]) {
+				return nil, &ParamError{Family: "clusterc", Param: "c", Value: p["c"], Reason: "must be a power of two >= 2"}
+			}
+			return cluster.KAryClusterC(p["k"], p["n"], p["c"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "star",
+		Doc:  "star graph via the last-symbol decomposition (§4.3 extension)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.Star(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "pancake",
+		Doc:  "pancake graph via the last-symbol decomposition (§4.3 extension)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.Pancake(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "bubblesort",
+		Doc:  "bubble-sort graph via the last-symbol decomposition (§4.3 extension)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.BubbleSort(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "transposition",
+		Doc:  "transposition network via the last-symbol decomposition (§4.3 extension)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.Transposition(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+	{
+		Name: "scc",
+		Doc:  "star-connected cycles (the paper's future-work family)",
+		Params: []ParamSpec{
+			{Name: "n", Min: 4, Max: 6, Default: 4, Doc: "symbols; N = n!·(n−1) nodes"},
+		},
+		build: func(p map[string]int, o Options) (*layout.Layout, error) {
+			return cluster.SCC(p["n"], o.layers(), o.NodeSide, o.Workers)
+		},
+	},
+}
+
+// Families enumerates the registered layout families in name order. The
+// returned slice and its parameter lists are copies; callers may modify them
+// freely.
+func Families() []FamilyInfo {
+	out := make([]FamilyInfo, len(families))
+	copy(out, families)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for i := range out {
+		out[i].Params = append([]ParamSpec(nil), out[i].Params...)
+		out[i].build = nil // the copy is descriptive; building goes through BuildFamily
+	}
+	return out
+}
+
+// BuildFamily constructs a layout by registry name. Parameters omitted from
+// spec.Params take their defaults; unknown families, unknown parameter
+// names, out-of-range values, and invalid Options are rejected with a
+// *ParamError.
+func BuildFamily(spec FamilySpec, o Options) (*Layout, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	var fam *FamilyInfo
+	for i := range families {
+		if families[i].Name == spec.Name {
+			fam = &families[i]
+			break
+		}
+	}
+	if fam == nil {
+		return nil, &ParamError{Family: spec.Name, Reason: "is not a registered family; see Families()"}
+	}
+	p := make(map[string]int, len(fam.Params))
+	for _, ps := range fam.Params {
+		p[ps.Name] = ps.Default
+	}
+	for name, v := range spec.Params {
+		ps := fam.paramSpec(name)
+		if ps == nil {
+			return nil, &ParamError{Family: fam.Name, Param: name, Value: v,
+				Reason: fmt.Sprintf("is not a parameter of this family (has %s)", fam.paramNames())}
+		}
+		if v < ps.Min || v > ps.Max {
+			return nil, &ParamError{Family: fam.Name, Param: name, Value: v,
+				Reason: fmt.Sprintf("outside range [%d, %d]", ps.Min, ps.Max)}
+		}
+		p[name] = v
+	}
+	return fam.build(p, o)
+}
+
+func (f *FamilyInfo) paramSpec(name string) *ParamSpec {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return &f.Params[i]
+		}
+	}
+	return nil
+}
+
+func (f *FamilyInfo) paramNames() string {
+	s := ""
+	for i, ps := range f.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += ps.Name
+	}
+	return s
+}
