@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check clean
+.PHONY: all vet build test race bench chaos fuzz check clean
 
 all: check
 
@@ -21,6 +21,17 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Chaos sweep: corrupt every registry family with every fault class and
+# require both verifiers to catch each corruption, under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestCancel|TestBudget|TestBuildContains|TestDegraded' -v .
+	$(GO) test -race ./internal/fault/
+
+# Short fuzz smoke over the differential checker oracle.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
 check: vet build test race
 

@@ -1,13 +1,16 @@
 package mlvlsi
 
 import (
+	"context"
 	"errors"
 
+	"mlvlsi/internal/cluster"
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/extra"
 	"mlvlsi/internal/fold"
 	"mlvlsi/internal/generic"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/par"
 	"mlvlsi/internal/render"
 	"mlvlsi/internal/route"
 	"mlvlsi/internal/sim"
@@ -43,10 +46,24 @@ type Options struct {
 	// order, cutting the maximum wire length to O(N/(Lk²)) (§3.1).
 	FoldedRows bool
 	// Workers bounds the fan-out of the parallel build and verify paths:
-	// 0 means GOMAXPROCS, 1 forces serial execution. The constructed
+	// 0 means GOMAXPROCS, 1 forces serial execution. Requests beyond the
+	// machine's capacity degrade gracefully to GOMAXPROCS. The constructed
 	// layout and all verification results are identical for every value.
 	Workers int
+	// Context, when non-nil, cancels construction cooperatively: the build
+	// checks it between phases and every few wires during realization, and
+	// returns an error wrapping ErrCanceled once it is done. Nil means no
+	// cancellation.
+	Context context.Context
+	// MaxCells, when positive, bounds the realized grid volume
+	// (width+1)·(height+1)·(L+1); a layout that would exceed it fails fast
+	// with a *BudgetError before any wire is realized. Zero means no budget.
+	MaxCells int
 }
+
+// maxNodeSide bounds Options.NodeSide: a node square beyond 2^20 grid units
+// per side overflows the area accounting long before any realistic use.
+const maxNodeSide = 1 << 20
 
 func (o Options) layers() int {
 	if o.Layers == 0 {
@@ -61,14 +78,55 @@ func (o Options) validate() error {
 	if o.Layers < 0 {
 		return &ParamError{Param: "Layers", Value: o.Layers, Reason: "must be >= 0 (0 defaults to 2)"}
 	}
+	if o.Layers == 1 {
+		return &ParamError{Param: "Layers", Value: o.Layers, Reason: "must be 0 or >= 2: one wiring layer cannot carry both x- and y-runs under the direction discipline"}
+	}
 	if o.NodeSide < 0 {
 		return &ParamError{Param: "NodeSide", Value: o.NodeSide, Reason: "must be >= 0 (0 picks the minimal node)"}
+	}
+	if o.NodeSide > maxNodeSide {
+		return &ParamError{Param: "NodeSide", Value: o.NodeSide, Reason: "exceeds the 2^20 grid-unit ceiling"}
 	}
 	if o.Workers < 0 {
 		return &ParamError{Param: "Workers", Value: o.Workers, Reason: "must be >= 0 (0 means GOMAXPROCS)"}
 	}
+	if o.MaxCells < 0 {
+		return &ParamError{Param: "MaxCells", Value: o.MaxCells, Reason: "must be >= 0 (0 means no budget)"}
+	}
 	return nil
 }
+
+// buildSpec applies the cross-cutting Options (Workers, Context, MaxCells)
+// to an assembled engine spec and realizes it.
+func (o Options) buildSpec(spec core.Spec) (*Layout, error) {
+	spec.Workers = o.Workers
+	spec.Ctx = o.Context
+	spec.MaxCells = o.MaxCells
+	return core.Build(spec)
+}
+
+// buildCluster does the same for PN-cluster configurations.
+func (o Options) buildCluster(cfg cluster.Config) (*Layout, error) {
+	cfg.Workers = o.Workers
+	cfg.Ctx = o.Context
+	cfg.MaxCells = o.MaxCells
+	return cluster.Build(cfg)
+}
+
+// Robustness errors surfaced by the build and verify paths.
+
+// ErrCanceled is wrapped by every error returned because an
+// Options.Context (or a ctx passed to a *Context function) was done;
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()) both hold.
+var ErrCanceled = par.ErrCanceled
+
+// BudgetError reports a layout whose grid volume exceeds Options.MaxCells.
+type BudgetError = layout.BudgetError
+
+// PanicError wraps a panic captured in a parallel build or verify worker:
+// the panic is contained and surfaced as an error on the calling goroutine
+// with the worker's original stack trace.
+type PanicError = par.Panic
 
 // KAryNCube lays out a k-ary n-cube (torus) under the multilayer model
 // (§3.1).
@@ -82,7 +140,7 @@ func Mesh(dims []int, o Options) (*Layout, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return core.Mesh(dims, o.layers(), o.NodeSide, o.Workers)
+	return o.buildSpec(core.MeshSpec(dims, o.layers(), o.NodeSide))
 }
 
 // Hypercube lays out the binary n-cube with the ⌊2N/3⌋-track collinear
@@ -97,7 +155,7 @@ func GeneralizedHypercube(radices []int, o Options) (*Layout, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide, o.Workers)
+	return o.buildSpec(core.GeneralizedHypercubeSpec(radices, o.layers(), o.NodeSide))
 }
 
 // FoldedHypercube lays out the hypercube plus its N/2 diameter links
@@ -112,7 +170,11 @@ func EnhancedCube(n int, seed uint64, o Options) (*Layout, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return extra.EnhancedCube(n, seed, o.layers(), o.NodeSide, o.Workers)
+	spec, err := extra.EnhancedCubeSpec(n, seed, o.layers(), o.NodeSide)
+	if err != nil {
+		return nil, err
+	}
+	return o.buildSpec(spec)
 }
 
 // CCC lays out the n-dimensional cube-connected cycles network (§5.2).
@@ -194,7 +256,7 @@ func Product(name string, rowFac, colFac *Collinear, o Options) (*Layout, error)
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return core.BuildProduct(name, rowFac, colFac, o.layers(), o.NodeSide, o.Workers)
+	return o.buildSpec(core.FromFactors(name, rowFac, colFac, o.layers(), o.NodeSide))
 }
 
 // Collinear factor constructors, re-exported from the track package.
@@ -295,14 +357,32 @@ func MaxPathWire(lay *Layout, sources int) int {
 	return route.MaxPathWire(lay, sources, 0)
 }
 
+// MaxPathWireContext is MaxPathWire with cooperative cancellation: once ctx
+// is done the sweep stops and returns an error wrapping ErrCanceled. A nil
+// ctx means no cancellation.
+func MaxPathWireContext(ctx context.Context, lay *Layout, sources int) (int, error) {
+	return route.MaxPathWireCtx(ctx, lay, sources, 0)
+}
+
 // AveragePathWire returns the mean total wire length along hop-shortest
 // routes.
 func AveragePathWire(lay *Layout, sources int) float64 {
 	return route.AveragePathWire(lay, sources, 0)
 }
 
+// AveragePathWireContext is AveragePathWire with cooperative cancellation,
+// mirroring MaxPathWireContext.
+func AveragePathWireContext(ctx context.Context, lay *Layout, sources int) (float64, error) {
+	return route.AveragePathWireCtx(ctx, lay, sources, 0)
+}
+
 // SimConfig configures the wire-delay simulator.
 type SimConfig = sim.Config
+
+// SimFaultPlan degrades the simulated network with dead nodes and links —
+// explicit, seeded-random, or both — so fault-tolerance experiments can
+// measure delivered vs. dropped traffic. Set it on SimConfig.Faults.
+type SimFaultPlan = sim.FaultPlan
 
 // SimResult reports simulated latency statistics.
 type SimResult = sim.Result

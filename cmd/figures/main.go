@@ -10,11 +10,13 @@ import (
 	"path/filepath"
 
 	"mlvlsi"
+	"mlvlsi/internal/cli"
 )
 
 func main() {
 	svgDir := flag.String("svg", "", "also write SVG layout renderings into this directory")
 	workers := flag.Int("workers", 0, "parallel build workers for the SVG layouts (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the SVG layout builds after this long (0 = no deadline)")
 	flag.Parse()
 
 	fmt.Println("=== Figure 1: recursive grid layout scheme (top view) ===")
@@ -31,9 +33,10 @@ func main() {
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Failf("%v", err)
 		}
+		ctx, cancel := cli.Timeout(*timeout)
+		defer cancel()
 		write := func(name string, lay *mlvlsi.Layout, err error) {
 			if err != nil {
 				fmt.Fprintln(os.Stderr, name, err)
@@ -46,8 +49,8 @@ func main() {
 			}
 			fmt.Println("wrote", path)
 		}
-		o2 := mlvlsi.Options{Layers: 2, Workers: *workers}
-		o4 := mlvlsi.Options{Layers: 4, Workers: *workers}
+		o2 := mlvlsi.Options{Layers: 2, Workers: *workers, Context: ctx}
+		o4 := mlvlsi.Options{Layers: 4, Workers: *workers, Context: ctx}
 		lay, err := mlvlsi.Hypercube(5, o2)
 		write("hypercube5-L2", lay, err)
 		lay, err = mlvlsi.Hypercube(5, o4)

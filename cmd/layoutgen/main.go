@@ -16,10 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
+	"time"
 
 	"mlvlsi"
+	"mlvlsi/internal/cli"
 )
 
 // legacyAliases maps each family's registry parameters to the historical
@@ -46,16 +47,8 @@ var legacyAliases = map[string]map[string]string{
 	"scc":           {"n": "n"},
 }
 
-func familyNames() string {
-	var names []string
-	for _, f := range mlvlsi.Families() {
-		names = append(names, f.Name)
-	}
-	return strings.Join(names, " | ")
-}
-
 func main() {
-	network := flag.String("network", "hypercube", familyNames())
+	network := flag.String("network", "hypercube", strings.Join(cli.FamilyNames(), " | "))
 	n := flag.Int("n", 6, "primary size parameter (dimension / m / r)")
 	k := flag.Int("k", 4, "radix for kary/ghc/clusterc, levels for hsn/hhn")
 	c := flag.Int("c", 4, "cluster size for clusterc")
@@ -70,6 +63,8 @@ func main() {
 	strict := flag.Bool("strict", false, "also check Thompson-strict node clearance")
 	simulate := flag.Bool("sim", false, "run a wire-delay permutation simulation")
 	list := flag.Bool("list", false, "list the registered families and their parameters")
+	timeout := flag.Duration("timeout", 0, "abort build and verify after this long (0 = no deadline)")
+	maxCells := flag.Int("max-cells", 0, "fail fast if the planned grid exceeds this many cells (0 = unlimited)")
 	flag.Parse()
 
 	if *list {
@@ -82,43 +77,42 @@ func main() {
 		return
 	}
 
+	if err := cli.CheckFamily(*network); err != nil {
+		cli.Usagef("-network: %v", err)
+	}
 	legacy := map[string]int{"n": *n, "k": *k, "c": *c, "seed": *seed}
 	p := map[string]int{}
 	for param, flagName := range legacyAliases[*network] {
 		p[param] = legacy[flagName]
 	}
-	for _, kv := range strings.Split(*params, ",") {
-		if kv == "" {
-			continue
-		}
-		name, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			fmt.Fprintf(os.Stderr, "-params entry %q is not name=value\n", kv)
-			os.Exit(2)
-		}
-		v, err := strconv.Atoi(strings.TrimSpace(val))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "-params %s: %v\n", name, err)
-			os.Exit(2)
-		}
-		p[strings.TrimSpace(name)] = v
+	override, err := cli.ParseParams("-params", *params)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+	for name, v := range override {
+		p[name] = v
 	}
 
-	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded, Workers: *workers}
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
+	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded,
+		Workers: *workers, Context: ctx, MaxCells: *maxCells}
+	start := time.Now()
 	lay, err := mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "build:", err)
-		os.Exit(1)
+		cli.Failf("build: %v", err)
 	}
 
 	if !*skipVerify {
-		v := lay.VerifyWorkers(*workers)
+		v, err := lay.VerifyContext(ctx, *workers)
+		if err != nil {
+			cli.Failf("verify: %v (after %v)", err, time.Since(start).Round(time.Millisecond))
+		}
 		if len(v) == 0 && *strict {
 			v = lay.VerifyStrict()
 		}
 		if len(v) > 0 {
-			fmt.Fprintf(os.Stderr, "ILLEGAL LAYOUT: %d violations, first: %v\n", len(v), v[0])
-			os.Exit(1)
+			cli.Failf("ILLEGAL LAYOUT: %d violations, first: %v", len(v), v[0])
 		}
 		if *strict {
 			fmt.Println("verified: legal and Thompson-strict under the multilayer grid model")
@@ -138,8 +132,7 @@ func main() {
 	}
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(mlvlsi.RenderSVG(lay, 4)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "svg:", err)
-			os.Exit(1)
+			cli.Failf("svg: %v", err)
 		}
 		fmt.Println("wrote", *svgPath)
 	}

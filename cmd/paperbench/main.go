@@ -8,10 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 	"strings"
 
+	"mlvlsi/internal/cli"
 	"mlvlsi/internal/experiments"
 )
 
@@ -22,6 +22,9 @@ func main() {
 	workers := flag.Int("workers", 0, "cap the scheduler's parallelism for all experiments (0 = all cores)")
 	flag.Parse()
 
+	if *format != "text" && *format != "csv" {
+		cli.Usagef("-format: unknown format %q; valid formats: text, csv", *format)
+	}
 	if *workers > 0 {
 		// The experiment generators run builds and verifies at the default
 		// full fan-out; capping GOMAXPROCS bounds them all at once.
@@ -64,7 +67,10 @@ func main() {
 		}
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *only)
-		os.Exit(1)
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		cli.Usagef("-only: no experiment matches %q; valid ids: %s", *only, strings.Join(ids, ", "))
 	}
 }

@@ -1,77 +1,118 @@
 // Command simnet sweeps the wire-delay simulator over layer counts,
 // traffic patterns, and switching disciplines for one network, printing a
 // latency table — the tool behind the paper's §2.2 performance story.
+// With -faults it degrades the network first (dead nodes and links,
+// explicit or seeded-random) and adds a dropped-traffic column.
 //
 //	simnet -network hypercube -n 8 -L 2,4,8 -flits 4
+//	simnet -network kary -k 4 -n 2 -faults "random-links=3;seed=9"
+//	simnet -network butterfly -params m=4 -faults "nodes=0,5"
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
-	"strconv"
 	"strings"
 
+	"flag"
+
 	"mlvlsi"
+	"mlvlsi/internal/cli"
 )
 
+// primaryParam names the registry parameter the legacy -n flag feeds for
+// each family (the historical behavior for the four originally supported
+// networks, extended registry-wide).
+func primaryParam(family string) string {
+	for _, f := range mlvlsi.Families() {
+		if f.Name != family {
+			continue
+		}
+		for _, want := range []string{"n", "m", "levels"} {
+			for _, p := range f.Params {
+				if p.Name == want {
+					return p.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
 func main() {
-	network := flag.String("network", "hypercube", "hypercube | kary | ccc | butterfly")
-	n := flag.Int("n", 8, "dimension / m")
+	network := flag.String("network", "hypercube", strings.Join(cli.FamilyNames(), " | "))
+	n := flag.Int("n", 8, "primary size parameter (dimension / m / levels)")
 	k := flag.Int("k", 4, "radix for kary")
+	params := flag.String("params", "", "comma-separated name=value family parameters (override -n/-k)")
 	layersCSV := flag.String("L", "2,4,8", "comma-separated wiring layer counts")
 	velocity := flag.Int("velocity", 1, "grid units per cycle")
 	flits := flag.Int("flits", 1, "message length in flits")
 	seed := flag.Uint64("seed", 7, "traffic seed")
+	faults := flag.String("faults", "", `degrade the network first, e.g. "nodes=0,5;links=0-1;random-links=3;seed=9"`)
 	workers := flag.Int("workers", 0, "parallel build/verify workers (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort build and verify after this long (0 = no deadline)")
 	flag.Parse()
 
-	var layers []int
-	for _, s := range strings.Split(*layersCSV, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bad -L:", err)
-			os.Exit(2)
-		}
-		layers = append(layers, v)
+	if err := cli.CheckFamily(*network); err != nil {
+		cli.Usagef("-network: %v", err)
+	}
+	layers, err := cli.ParseInts("-L", *layersCSV)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+	plan, err := cli.ParseFaultPlan(*faults)
+	if err != nil {
+		cli.Usagef("%v", err)
 	}
 
-	// Families resolve through the mlvlsi registry; the historical -n flag
-	// feeds each family's primary parameter.
+	p := map[string]int{}
+	if prim := primaryParam(*network); prim != "" {
+		p[prim] = *n
+	}
+	if *network == "kary" || *network == "ghc" || *network == "clusterc" {
+		p["k"] = *k
+	}
+	override, err := cli.ParseParams("-params", *params)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+	for name, v := range override {
+		p[name] = v
+	}
+
+	ctx, cancel := cli.Timeout(*timeout)
+	defer cancel()
+
 	build := func(l int) (*mlvlsi.Layout, error) {
-		o := mlvlsi.Options{Layers: l, Workers: *workers}
-		switch *network {
-		case "hypercube", "ccc":
-			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: map[string]int{"n": *n}}, o)
-		case "kary":
+		o := mlvlsi.Options{Layers: l, Workers: *workers, Context: ctx}
+		if *network == "kary" {
 			o.FoldedRows = true
-			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "kary", Params: map[string]int{"k": *k, "n": *n}}, o)
-		case "butterfly":
-			return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "butterfly", Params: map[string]int{"m": *n}}, o)
 		}
-		return nil, fmt.Errorf("unknown network %q", *network)
+		return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
 	}
 
-	fmt.Printf("%3s  %-14s  %-17s  %9s  %11s  %8s\n",
-		"L", "pattern", "switching", "delivered", "avg-latency", "makespan")
+	fmt.Printf("%3s  %-14s  %-17s  %9s  %8s  %11s  %8s\n",
+		"L", "pattern", "switching", "delivered", "dropped", "avg-latency", "makespan")
 	for _, l := range layers {
 		lay, err := build(l)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Failf("L=%d: %v", l, err)
 		}
-		if v := lay.VerifyWorkers(*workers); len(v) > 0 {
-			fmt.Fprintf(os.Stderr, "L=%d: illegal layout: %v\n", l, v[0])
-			os.Exit(1)
+		v, err := lay.VerifyContext(ctx, *workers)
+		if err != nil {
+			cli.Failf("L=%d: verify: %v", l, err)
+		}
+		if len(v) > 0 {
+			cli.Failf("L=%d: illegal layout: %v", l, v[0])
 		}
 		for _, pattern := range []mlvlsi.SimPattern{mlvlsi.Permutation, mlvlsi.BitComplement} {
 			for _, sw := range []mlvlsi.SimSwitching{mlvlsi.StoreAndForward, mlvlsi.CutThrough} {
 				res := mlvlsi.Simulate(lay, mlvlsi.SimConfig{
 					Pattern: pattern, Velocity: *velocity,
 					Switching: sw, Flits: *flits, Seed: *seed,
+					Faults: plan,
 				})
-				fmt.Printf("%3d  %-14s  %-17s  %9d  %11.1f  %8d\n",
-					l, pattern, sw, res.Delivered, res.AvgLatency, res.Makespan)
+				fmt.Printf("%3d  %-14s  %-17s  %9d  %8d  %11.1f  %8d\n",
+					l, pattern, sw, res.Delivered, res.Dropped, res.AvgLatency, res.Makespan)
 			}
 		}
 	}

@@ -1,0 +1,175 @@
+// Package cli holds plumbing shared by the mlvlsi command-line tools so
+// that bad input fails the same way everywhere: a one-line actionable
+// diagnostic on stderr (unknown families list the registry's valid names),
+// exit code 2 for usage errors and 1 for runtime failures, and a uniform
+// -timeout flag wired to the library's cooperative cancellation.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlvlsi"
+)
+
+// Usagef prints a usage-level diagnostic to stderr and exits 2, the
+// conventional flag-error code (matching what package flag itself uses).
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// Failf prints a runtime failure to stderr and exits 1.
+func Failf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// FamilyNames returns the registered family names in sorted order.
+func FamilyNames() []string {
+	fams := mlvlsi.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// CheckFamily validates a -network value against the registry; the error
+// for an unknown name lists every valid family so the fix is one copy-paste
+// away.
+func CheckFamily(name string) error {
+	for _, f := range mlvlsi.Families() {
+		if f.Name == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown network family %q; valid families: %s",
+		name, strings.Join(FamilyNames(), ", "))
+}
+
+// ParseInts parses a comma-separated integer list ("2,4,8"); flagName is
+// used in error messages.
+func ParseInts(flagName, csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q is not an integer", flagName, s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+// ParseParams parses a comma-separated name=value list ("k=4,n=3") into a
+// family-parameter map; flagName is used in error messages.
+func ParseParams(flagName, csv string) (map[string]int, error) {
+	p := map[string]int{}
+	for _, kv := range strings.Split(csv, ",") {
+		if strings.TrimSpace(kv) == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%s: entry %q is not name=value", flagName, kv)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s=%q is not an integer", flagName, strings.TrimSpace(name), val)
+		}
+		p[strings.TrimSpace(name)] = v
+	}
+	return p, nil
+}
+
+// ParseFaultPlan parses the -faults mini-language into a simulator fault
+// plan. The spec is semicolon-separated fields:
+//
+//	nodes=0,5            explicit dead nodes
+//	links=0-1,2-3        explicit dead links (endpoints joined by '-')
+//	random-nodes=2       seeded-random additional dead nodes
+//	random-links=3       seeded-random additional dead links
+//	seed=9               the fault seed for the random draws
+//
+// An empty spec returns nil (no faults).
+func ParseFaultPlan(spec string) (*mlvlsi.SimFaultPlan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	plan := &mlvlsi.SimFaultPlan{}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("-faults: field %q is not name=value (fields: nodes, links, random-nodes, random-links, seed)", field)
+		}
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		switch name {
+		case "nodes":
+			nodes, err := ParseInts("-faults nodes", val)
+			if err != nil {
+				return nil, err
+			}
+			plan.Nodes = nodes
+		case "links":
+			for _, lk := range strings.Split(val, ",") {
+				us, vs, ok := strings.Cut(strings.TrimSpace(lk), "-")
+				if !ok {
+					return nil, fmt.Errorf("-faults links: %q is not u-v", lk)
+				}
+				u, err1 := strconv.Atoi(us)
+				v, err2 := strconv.Atoi(vs)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("-faults links: %q is not u-v with integer endpoints", lk)
+				}
+				plan.Links = append(plan.Links, [2]int{u, v})
+			}
+		case "random-nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-faults random-nodes: %q is not a count", val)
+			}
+			plan.RandomNodes = n
+		case "random-links":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-faults random-links: %q is not a count", val)
+			}
+			plan.RandomLinks = n
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-faults seed: %q is not an unsigned integer", val)
+			}
+			plan.Seed = s
+		default:
+			return nil, fmt.Errorf("-faults: unknown field %q (fields: nodes, links, random-nodes, random-links, seed)", name)
+		}
+	}
+	return plan, nil
+}
+
+// Timeout turns a -timeout flag value into a context: zero means no
+// deadline (a nil context, which the library treats as "no cancellation"),
+// so unbounded runs pay no polling overhead.
+func Timeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}

@@ -151,15 +151,16 @@ var transpositionFamily = cayleyFamily{
 	},
 }
 
-// cayleyLayout lays out one family on n symbols: quotient K_n over the
-// last-symbol copies (a vertical collinear complete-graph arrangement),
-// cluster strips of (n−1)! members with greedy-colored intra layouts.
-func cayleyLayout(f cayleyFamily, n, l, nodeSide, workers int) (*layout.Layout, error) {
+// cayleyConfig assembles one family's cluster configuration on n symbols:
+// quotient K_n over the last-symbol copies (a vertical collinear
+// complete-graph arrangement), cluster strips of (n−1)! members with
+// greedy-colored intra layouts.
+func cayleyConfig(f cayleyFamily, n, l, nodeSide int) (Config, error) {
 	if n < 3 {
-		return nil, fmt.Errorf("%s layout: need n >= 3, got %d", f.name, n)
+		return Config{}, fmt.Errorf("%s layout: need n >= 3, got %d", f.name, n)
 	}
 	if n > 7 {
-		return nil, fmt.Errorf("%s layout: n=%d means %d-node clusters; refusing above n=7", f.name, n, topology.Factorial(n-1))
+		return Config{}, fmt.Errorf("%s layout: n=%d means %d-node clusters; refusing above n=7", f.name, n, topology.Factorial(n-1))
 	}
 	sub := f.intra(n - 1)
 	links := make([][2]int, len(sub.Links))
@@ -177,7 +178,7 @@ func cayleyLayout(f cayleyFamily, n, l, nodeSide, workers int) (*layout.Layout, 
 		full := append(expandPerm(q, clusterID), clusterID)
 		return topology.RankPermutation(full)
 	}
-	cfg := Config{
+	return Config{
 		Name:         fmt.Sprintf("%s(%d) L=%d", f.name, n, l),
 		RowFac:       &track.Collinear{Name: "trivial", N: 1},
 		ColFac:       track.Complete(n),
@@ -187,9 +188,22 @@ func cayleyLayout(f cayleyFamily, n, l, nodeSide, workers int) (*layout.Layout, 
 		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
 		AttachCol:    attach,
 		Label:        label,
-		L:            l, NodeSide: nodeSide, Workers: workers,
+		L:            l, NodeSide: nodeSide,
+	}, nil
+}
+
+func cayleyLayout(f cayleyFamily, n, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := cayleyConfig(f, n, l, nodeSide)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
+}
+
+// StarConfig assembles the n-dimensional star graph configuration.
+func StarConfig(n, l, nodeSide int) (Config, error) {
+	return cayleyConfig(starFamily, n, l, nodeSide)
 }
 
 // Star lays out the n-dimensional star graph.
@@ -197,9 +211,20 @@ func Star(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	return cayleyLayout(starFamily, n, l, nodeSide, workers)
 }
 
+// PancakeConfig assembles the n-dimensional pancake graph configuration.
+func PancakeConfig(n, l, nodeSide int) (Config, error) {
+	return cayleyConfig(pancakeFamily, n, l, nodeSide)
+}
+
 // Pancake lays out the n-dimensional pancake graph.
 func Pancake(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	return cayleyLayout(pancakeFamily, n, l, nodeSide, workers)
+}
+
+// BubbleSortConfig assembles the n-dimensional bubble-sort graph
+// configuration.
+func BubbleSortConfig(n, l, nodeSide int) (Config, error) {
+	return cayleyConfig(bubbleFamily, n, l, nodeSide)
 }
 
 // BubbleSort lays out the n-dimensional bubble-sort graph.
@@ -207,23 +232,29 @@ func BubbleSort(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	return cayleyLayout(bubbleFamily, n, l, nodeSide, workers)
 }
 
+// TranspositionConfig assembles the n-dimensional transposition network
+// configuration.
+func TranspositionConfig(n, l, nodeSide int) (Config, error) {
+	return cayleyConfig(transpositionFamily, n, l, nodeSide)
+}
+
 // Transposition lays out the n-dimensional transposition network.
 func Transposition(n, l, nodeSide, workers int) (*layout.Layout, error) {
 	return cayleyLayout(transpositionFamily, n, l, nodeSide, workers)
 }
 
-// SCC lays out the star-connected cycles network (listed as future work in
-// the paper's §4.3; built here with the same last-symbol machinery): the
-// quotient over copies is K_n with (n−2)! links per pair — the lateral
-// links of generator swap(0, n−1), which cycle position n−2 carries — and
-// each cluster holds (n−1)!·(n−1) nodes: the copy's cycles plus the
-// laterals of generators that do not touch the last symbol.
-func SCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
+// SCCConfig assembles the star-connected cycles configuration (listed as
+// future work in the paper's §4.3; built here with the same last-symbol
+// machinery): the quotient over copies is K_n with (n−2)! links per pair —
+// the lateral links of generator swap(0, n−1), which cycle position n−2
+// carries — and each cluster holds (n−1)!·(n−1) nodes: the copy's cycles
+// plus the laterals of generators that do not touch the last symbol.
+func SCCConfig(n, l, nodeSide int) (Config, error) {
 	if n < 4 {
-		return nil, fmt.Errorf("SCC layout: need n >= 4, got %d", n)
+		return Config{}, fmt.Errorf("SCC layout: need n >= 4, got %d", n)
 	}
 	if n > 6 {
-		return nil, fmt.Errorf("SCC layout: n=%d means %d-node clusters; refusing above n=6", n, topology.Factorial(n-1)*(n-1))
+		return Config{}, fmt.Errorf("SCC layout: n=%d means %d-node clusters; refusing above n=6", n, topology.Factorial(n-1)*(n-1))
 	}
 	cyc := n - 1
 	subN := topology.Factorial(n - 1)
@@ -267,7 +298,7 @@ func SCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
 		full := append(expandPerm(topology.UnrankPermutation(q, n-1), clusterID), clusterID)
 		return topology.RankPermutation(full)*cyc + i
 	}
-	cfg := Config{
+	return Config{
 		Name:         fmt.Sprintf("SCC(%d) L=%d", n, l),
 		RowFac:       &track.Collinear{Name: "trivial", N: 1},
 		ColFac:       track.Complete(n),
@@ -277,7 +308,16 @@ func SCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
 		AttachRow:    func(_, _, _ int) (int, int) { return 0, 0 },
 		AttachCol:    attach,
 		Label:        label,
-		L:            l, NodeSide: nodeSide, Workers: workers,
+		L:            l, NodeSide: nodeSide,
+	}, nil
+}
+
+// SCC lays out the star-connected cycles network; see SCCConfig.
+func SCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := SCCConfig(n, l, nodeSide)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }

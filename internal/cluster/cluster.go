@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,6 +62,12 @@ type Config struct {
 	// Workers bounds the realization fan-out (0 = GOMAXPROCS, 1 = serial);
 	// the realized layout is identical for every value.
 	Workers int
+	// Ctx and MaxCells are forwarded to the engine spec: a non-nil Ctx
+	// cancels the build cooperatively (error wraps par.ErrCanceled) and a
+	// positive MaxCells bounds the planned grid occupancy (overruns return
+	// a *layout.BudgetError). See core.Spec.
+	Ctx      context.Context
+	MaxCells int
 }
 
 // interval aliases the shared half-position interval type; see the
@@ -126,7 +133,9 @@ func BuildSpec(cfg Config) (core.Spec, error) {
 		Label: func(r, c int) int {
 			return cfg.Label(clusterLabel(r, c/cfg.C), memberLabel[c%cfg.C])
 		},
-		Workers: cfg.Workers,
+		Workers:  cfg.Workers,
+		Ctx:      cfg.Ctx,
+		MaxCells: cfg.MaxCells,
 	}
 
 	// --- Row channels -----------------------------------------------------

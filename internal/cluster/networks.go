@@ -28,7 +28,7 @@ func sameBit(u, v, _ int) (int, int) {
 // n-node cycle strip, and the cube link of dimension i attaches to cycle
 // position i at both ends.
 func CCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
-	cfg, err := cccConfig(n, l, nodeSide)
+	cfg, err := CCCConfig(n, l, nodeSide)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +38,7 @@ func CCC(n, l, nodeSide, workers int) (*layout.Layout, error) {
 
 // CCCGeometry plans the CCC layout's geometry without realizing wires.
 func CCCGeometry(n, l int) (core.Geometry, error) {
-	cfg, err := cccConfig(n, l, 0)
+	cfg, err := CCCConfig(n, l, 0)
 	if err != nil {
 		return core.Geometry{}, err
 	}
@@ -49,7 +49,9 @@ func CCCGeometry(n, l int) (core.Geometry, error) {
 	return core.Plan(spec)
 }
 
-func cccConfig(n, l, nodeSide int) (Config, error) {
+// CCCConfig assembles the CCC cluster configuration without realizing it;
+// callers may set Workers/Ctx/MaxCells on the result before Build.
+func CCCConfig(n, l, nodeSide int) (Config, error) {
 	if n < 2 {
 		return Config{}, fmt.Errorf("CCC: need n >= 2, got %d", n)
 	}
@@ -66,15 +68,15 @@ func cccConfig(n, l, nodeSide int) (Config, error) {
 	}, nil
 }
 
-// ReducedHypercube lays out Ziavras's RH network (§5.2): CCC with each
-// n-node cycle replaced by a log₂(n)-dimensional hypercube (n a power of
-// two).
-func ReducedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
+// ReducedHypercubeConfig assembles the configuration of Ziavras's RH
+// network (§5.2): CCC with each n-node cycle replaced by a
+// log₂(n)-dimensional hypercube (n a power of two).
+func ReducedHypercubeConfig(n, l, nodeSide int) (Config, error) {
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("ReducedHypercube: cluster size %d must be a power of two >= 2", n)
+		return Config{}, fmt.Errorf("ReducedHypercube: cluster size %d must be a power of two >= 2", n)
 	}
 	logn := bits.TrailingZeros(uint(n))
-	cfg := Config{
+	return Config{
 		Name:      fmt.Sprintf("RH(%d) L=%d", n, l),
 		RowFac:    track.Hypercube(n / 2),
 		ColFac:    track.Hypercube((n + 1) / 2),
@@ -83,8 +85,18 @@ func ReducedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
 		AttachRow: sameBit,
 		AttachCol: sameBit,
 		Label:     func(w, i int) int { return w*n + i },
-		L:         l, NodeSide: nodeSide, Workers: workers,
+		L:         l, NodeSide: nodeSide,
+	}, nil
+}
+
+// ReducedHypercube lays out Ziavras's RH network; see
+// ReducedHypercubeConfig.
+func ReducedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := ReducedHypercubeConfig(n, l, nodeSide)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }
 
@@ -109,7 +121,7 @@ func digitAttach(r int) func(u, v, m int) (int, int) {
 // an (lvl−1)-dimensional radix-r generalized hypercube and each cluster is
 // an r-node nucleus. nucleus nil means a complete graph K_r.
 func HSN(lvl, r, l, nodeSide, workers int, nucleus *track.Collinear) (*layout.Layout, error) {
-	cfg, err := hsnConfig(lvl, r, l, nodeSide, nucleus)
+	cfg, err := HSNConfig(lvl, r, l, nodeSide, nucleus)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +131,7 @@ func HSN(lvl, r, l, nodeSide, workers int, nucleus *track.Collinear) (*layout.La
 
 // HSNGeometry plans the HSN layout's geometry.
 func HSNGeometry(lvl, r, l int) (core.Geometry, error) {
-	cfg, err := hsnConfig(lvl, r, l, 0, nil)
+	cfg, err := HSNConfig(lvl, r, l, 0, nil)
 	if err != nil {
 		return core.Geometry{}, err
 	}
@@ -130,7 +142,8 @@ func HSNGeometry(lvl, r, l int) (core.Geometry, error) {
 	return core.Plan(spec)
 }
 
-func hsnConfig(lvl, r, l, nodeSide int, nucleus *track.Collinear) (Config, error) {
+// HSNConfig assembles the HSN cluster configuration without realizing it.
+func HSNConfig(lvl, r, l, nodeSide int, nucleus *track.Collinear) (Config, error) {
 	if lvl < 2 || r < 2 {
 		return Config{}, fmt.Errorf("HSN: need lvl >= 2 and r >= 2")
 	}
@@ -160,14 +173,25 @@ func hsnConfig(lvl, r, l, nodeSide int, nucleus *track.Collinear) (Config, error
 	}, nil
 }
 
-// HHN lays out a hierarchical hypercube network: an HSN whose nuclei are
-// 2^m-node hypercubes.
-func HHN(lvl, m, l, nodeSide, workers int) (*layout.Layout, error) {
-	lay, err := HSN(lvl, 1<<uint(m), l, nodeSide, workers, track.Hypercube(m))
-	if lay != nil {
-		lay.Name = fmt.Sprintf("HHN(l=%d,m=%d) L=%d", lvl, m, l)
+// HHNConfig assembles the hierarchical hypercube network configuration: an
+// HSN whose nuclei are 2^m-node hypercubes.
+func HHNConfig(lvl, m, l, nodeSide int) (Config, error) {
+	cfg, err := HSNConfig(lvl, 1<<uint(m), l, nodeSide, track.Hypercube(m))
+	if err != nil {
+		return Config{}, err
 	}
-	return lay, err
+	cfg.Name = fmt.Sprintf("HHN(l=%d,m=%d) L=%d", lvl, m, l)
+	return cfg, nil
+}
+
+// HHN lays out a hierarchical hypercube network; see HHNConfig.
+func HHN(lvl, m, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := HHNConfig(lvl, m, l, nodeSide)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
+	return Build(cfg)
 }
 
 // butterflyAttach attaches the two copies of a cross-link pair between rows
@@ -187,7 +211,7 @@ func butterflyAttach(m int) func(u, v, c int) (int, int) {
 // (§4.2) as a PN cluster: row clusters of m levels (a cycle strip) over a
 // hypercube quotient carrying 2 parallel links per neighboring pair.
 func Butterfly(m, l, nodeSide, workers int) (*layout.Layout, error) {
-	cfg, err := butterflyConfig(m, l, nodeSide)
+	cfg, err := ButterflyConfig(m, l, nodeSide)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +221,7 @@ func Butterfly(m, l, nodeSide, workers int) (*layout.Layout, error) {
 
 // ButterflyGeometry plans the butterfly layout's geometry.
 func ButterflyGeometry(m, l int) (core.Geometry, error) {
-	cfg, err := butterflyConfig(m, l, 0)
+	cfg, err := ButterflyConfig(m, l, 0)
 	if err != nil {
 		return core.Geometry{}, err
 	}
@@ -208,7 +232,9 @@ func ButterflyGeometry(m, l int) (core.Geometry, error) {
 	return core.Plan(spec)
 }
 
-func butterflyConfig(m, l, nodeSide int) (Config, error) {
+// ButterflyConfig assembles the wrapped-butterfly cluster configuration
+// without realizing it.
+func ButterflyConfig(m, l, nodeSide int) (Config, error) {
 	if m < 3 {
 		return Config{}, fmt.Errorf("Butterfly layout: need m >= 3, got %d", m)
 	}
@@ -228,41 +254,50 @@ func butterflyConfig(m, l, nodeSide int) (Config, error) {
 	}, nil
 }
 
-// ISN lays out the indirect swap network substitute (see DESIGN.md): like
-// the butterfly but with a single cross link per neighboring row pair, so
-// the quotient multiplicity is 1 — the property §4.3 uses to claim a
-// quarter of the butterfly's area and half its wire length.
-func ISN(m, l, nodeSide, workers int) (*layout.Layout, error) {
+// ISNConfig assembles the indirect swap network configuration (see
+// DESIGN.md): like the butterfly but with a single cross link per
+// neighboring row pair, so the quotient multiplicity is 1 — the property
+// §4.3 uses to claim a quarter of the butterfly's area and half its wire
+// length.
+func ISNConfig(m, l, nodeSide int) (Config, error) {
 	if m < 3 {
-		return nil, fmt.Errorf("ISN layout: need m >= 3, got %d", m)
+		return Config{}, fmt.Errorf("ISN layout: need m >= 3, got %d", m)
 	}
 	rows := 1 << uint(m)
-	cfg := Config{
-		Name:   fmt.Sprintf("ISN(%d) L=%d", m, l),
-		RowFac: track.Hypercube(m / 2),
-		ColFac: track.Hypercube((m + 1) / 2),
-		C:      m,
-		Intra:  track.Ring(m),
-		AttachRow: func(u, v, _ int) (int, int) {
-			l := bitIndex(u ^ v)
-			return l, (l + 1) % m
-		},
-		AttachCol: func(u, v, _ int) (int, int) {
-			l := bitIndex(u ^ v)
-			return l, (l + 1) % m
-		},
-		Label: func(w, lev int) int { return lev*rows + w },
-		L:     l, NodeSide: nodeSide, Workers: workers,
+	att := func(u, v, _ int) (int, int) {
+		l := bitIndex(u ^ v)
+		return l, (l + 1) % m
 	}
+	return Config{
+		Name:      fmt.Sprintf("ISN(%d) L=%d", m, l),
+		RowFac:    track.Hypercube(m / 2),
+		ColFac:    track.Hypercube((m + 1) / 2),
+		C:         m,
+		Intra:     track.Ring(m),
+		AttachRow: att,
+		AttachCol: att,
+		Label:     func(w, lev int) int { return lev*rows + w },
+		L:         l, NodeSide: nodeSide,
+	}, nil
+}
+
+// ISN lays out the indirect swap network substitute; see ISNConfig.
+func ISN(m, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := ISNConfig(m, l, nodeSide)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
 	return Build(cfg)
 }
 
-// KAryClusterC lays out a k-ary n-cube cluster-c (§3.2): the quotient is a
-// k-ary n-cube and each cluster a c-node hypercube; the quotient link of
-// dimension d attaches to member d mod c at both ends.
-func KAryClusterC(k, n, c, l, nodeSide, workers int) (*layout.Layout, error) {
+// KAryClusterCConfig assembles the k-ary n-cube cluster-c configuration
+// (§3.2): the quotient is a k-ary n-cube and each cluster a c-node
+// hypercube; the quotient link of dimension d attaches to member d mod c at
+// both ends.
+func KAryClusterCConfig(k, n, c, l, nodeSide int) (Config, error) {
 	if c < 2 || c&(c-1) != 0 {
-		return nil, fmt.Errorf("KAryClusterC: c=%d must be a power of two >= 2", c)
+		return Config{}, fmt.Errorf("KAryClusterC: c=%d must be a power of two >= 2", c)
 	}
 	logc := bits.TrailingZeros(uint(c))
 	attach := func(u, v, _ int) (int, int) {
@@ -278,7 +313,7 @@ func KAryClusterC(k, n, c, l, nodeSide, workers int) (*layout.Layout, error) {
 	if n/2 == 0 {
 		rowFac = &track.Collinear{Name: "trivial", N: 1}
 	}
-	cfg := Config{
+	return Config{
 		Name:      fmt.Sprintf("%d-ary %d-cube cluster-%d L=%d", k, n, c, l),
 		RowFac:    rowFac,
 		ColFac:    track.KAryNCube(k, (n+1)/2, false),
@@ -287,7 +322,16 @@ func KAryClusterC(k, n, c, l, nodeSide, workers int) (*layout.Layout, error) {
 		AttachRow: attach,
 		AttachCol: attach,
 		Label:     func(q, i int) int { return q*c + i },
-		L:         l, NodeSide: nodeSide, Workers: workers,
+		L:         l, NodeSide: nodeSide,
+	}, nil
+}
+
+// KAryClusterC lays out a k-ary n-cube cluster-c; see KAryClusterCConfig.
+func KAryClusterC(k, n, c, l, nodeSide, workers int) (*layout.Layout, error) {
+	cfg, err := KAryClusterCConfig(k, n, c, l, nodeSide)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Workers = workers
 	return Build(cfg)
 }

@@ -16,7 +16,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"mlvlsi/internal/grid"
@@ -67,6 +69,17 @@ type Spec struct {
 	// produces byte-identical layouts — rows, columns and bent edges are
 	// realized independently into preassigned wire slots.
 	Workers int
+	// Ctx, when non-nil, cancels the build cooperatively: the engine polls
+	// it between phases and every few wires inside the realize loop, and an
+	// expired context aborts the build with an error wrapping
+	// par.ErrCanceled. Nil means no cancellation.
+	Ctx context.Context
+	// MaxCells, when positive, bounds the planned grid occupancy: the
+	// number of grid vertices of the layout box across all layers,
+	// (Width+1)·(Height+1)·(L+1). A plan over budget aborts with a
+	// *layout.BudgetError before any wire is realized, so the overrun costs
+	// geometry planning only. Zero means unlimited.
+	MaxCells int
 	// Label maps grid position to node label (a bijection onto
 	// 0..Rows·Cols-1). Nil means row-major order.
 	Label func(row, col int) int
@@ -111,9 +124,25 @@ type key struct{ index, track int }
 // Build realizes the spec as a concrete multilayer layout. The returned
 // layout passes layout.Verify for every legal spec; Build itself validates
 // spec-level invariants (ranges, track interval disjointness, port
-// capacity).
-func Build(spec Spec) (*layout.Layout, error) {
-	lay, _, err := build(spec, true)
+// capacity). Robustness guarantees: an expired Spec.Ctx aborts the build
+// with an error wrapping par.ErrCanceled, a plan over Spec.MaxCells returns
+// a *layout.BudgetError, and a panic raised anywhere during the build —
+// in a parallel realize worker or by a user-supplied Label closure — is
+// returned as a *par.Panic error instead of crashing the process.
+func Build(spec Spec) (lay *layout.Layout, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, ok := v.(*par.Panic)
+			if !ok {
+				p = &par.Panic{Value: v, Stack: debug.Stack()}
+			}
+			lay, err = nil, p
+		}
+	}()
+	lay, _, err = build(spec, true)
+	if err != nil {
+		lay = nil
+	}
 	return lay, err
 }
 
@@ -129,11 +158,17 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	if label == nil {
 		label = func(r, c int) int { return r*spec.Cols + c }
 	}
+	if err := par.Canceled(spec.Ctx); err != nil {
+		return nil, geom, err
+	}
 	n := spec.Rows * spec.Cols
 	if err := checkLabels(spec, label, n); err != nil {
 		return nil, geom, err
 	}
 	if err := checkEdges(&spec); err != nil {
+		return nil, geom, err
+	}
+	if err := par.Canceled(spec.Ctx); err != nil {
 		return nil, geom, err
 	}
 
@@ -201,6 +236,15 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	}
 	if !realize {
 		return nil, geom, nil
+	}
+	if spec.MaxCells > 0 {
+		cells := (geom.Width + 1) * (geom.Height + 1) * (spec.L + 1)
+		if cells > spec.MaxCells {
+			return nil, geom, &layout.BudgetError{Name: spec.Name, Cells: cells, Budget: spec.MaxCells}
+		}
+	}
+	if err := par.Canceled(spec.Ctx); err != nil {
+		return nil, geom, err
 	}
 
 	// Port assignment. Each wire end at a node gets a distinct offset in
@@ -302,7 +346,7 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	}
 	nRow, nCol := len(spec.RowEdges), len(spec.ColEdges)
 	lay.Wires = make([]grid.Wire, nRow+nCol+len(spec.Bent))
-	par.ForEach(spec.Workers, len(lay.Wires), func(id int) {
+	err := par.ForEachCtx(spec.Ctx, spec.Workers, len(lay.Wires), func(id int) {
 		switch {
 		case id < nRow:
 			i := id
@@ -365,6 +409,9 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 			}}
 		}
 	})
+	if err != nil {
+		return nil, geom, err
+	}
 	return lay, geom, nil
 }
 

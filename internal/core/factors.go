@@ -47,11 +47,13 @@ func BuildProduct(name string, rowFac, colFac *track.Collinear, l, nodeSide, wor
 	return Build(spec)
 }
 
-// KAryNCube lays out a k-ary n-cube under L wiring layers following §3.1:
-// the row factor is a k-ary ⌊n/2⌋-cube and the column factor a k-ary
-// ⌈n/2⌉-cube, both as 2(k^m−1)/(k−1)-track collinear layouts (folded rings
-// when folded is set, which shortens the maximum wire to O(N/(Lk²))).
-func KAryNCube(k, n, l int, folded bool, nodeSide, workers int) (*layout.Layout, error) {
+// KAryNCubeSpec assembles the spec of the k-ary n-cube layout of §3.1
+// without realizing it: the row factor is a k-ary ⌊n/2⌋-cube and the column
+// factor a k-ary ⌈n/2⌉-cube, both as 2(k^m−1)/(k−1)-track collinear layouts
+// (folded rings when folded is set, which shortens the maximum wire to
+// O(N/(Lk²))). Callers may set Workers/Ctx/MaxCells on the result before
+// Build.
+func KAryNCubeSpec(k, n, l int, folded bool, nodeSide int) Spec {
 	rowFac := track.KAryNCube(k, n/2, folded)
 	colFac := track.KAryNCube(k, (n+1)/2, folded)
 	if n/2 == 0 {
@@ -61,42 +63,76 @@ func KAryNCube(k, n, l int, folded bool, nodeSide, workers int) (*layout.Layout,
 	if folded {
 		name += " folded"
 	}
-	return BuildProduct(name, rowFac, colFac, l, nodeSide, workers)
+	return FromFactors(name, rowFac, colFac, l, nodeSide)
+}
+
+// KAryNCube lays out a k-ary n-cube under L wiring layers following §3.1;
+// see KAryNCubeSpec.
+func KAryNCube(k, n, l int, folded bool, nodeSide, workers int) (*layout.Layout, error) {
+	spec := KAryNCubeSpec(k, n, l, folded, nodeSide)
+	spec.Workers = workers
+	return Build(spec)
+}
+
+// HypercubeSpec assembles the spec of the binary n-cube layout of §5.1
+// without realizing it: both factors are the ⌊2N/3⌋-track collinear
+// hypercube layouts.
+func HypercubeSpec(n, l, nodeSide int) Spec {
+	rowFac := track.Hypercube(n / 2)
+	colFac := track.Hypercube((n + 1) / 2)
+	return FromFactors(fmt.Sprintf("%d-cube L=%d", n, l), rowFac, colFac, l, nodeSide)
 }
 
 // Hypercube lays out the binary n-cube under L wiring layers following
-// §5.1: both factors are the ⌊2N/3⌋-track collinear hypercube layouts.
+// §5.1; see HypercubeSpec.
 func Hypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
-	rowFac := track.Hypercube(n / 2)
-	colFac := track.Hypercube((n + 1) / 2)
-	return BuildProduct(fmt.Sprintf("%d-cube L=%d", n, l), rowFac, colFac, l, nodeSide, workers)
+	spec := HypercubeSpec(n, l, nodeSide)
+	spec.Workers = workers
+	return Build(spec)
 }
 
-// GeneralizedHypercube lays out an n-dimensional mixed-radix generalized
-// hypercube under L wiring layers following §4.1: the low ⌊n/2⌋ dimensions
-// form the row factor and the high ⌈n/2⌉ dimensions the column factor, each
-// as the (N−1)⌊r²/4⌋/(r−1)-track collinear layout. radices[0] is least
-// significant.
-func GeneralizedHypercube(radices []int, l, nodeSide, workers int) (*layout.Layout, error) {
+// GeneralizedHypercubeSpec assembles the spec of the n-dimensional
+// mixed-radix generalized hypercube layout of §4.1 without realizing it:
+// the low ⌊n/2⌋ dimensions form the row factor and the high ⌈n/2⌉
+// dimensions the column factor, each as the (N−1)⌊r²/4⌋/(r−1)-track
+// collinear layout. radices[0] is least significant.
+func GeneralizedHypercubeSpec(radices []int, l, nodeSide int) Spec {
 	m := len(radices) / 2
 	rowFac := track.GeneralizedHypercube(radices[:m])
 	colFac := track.GeneralizedHypercube(radices[m:])
 	if m == 0 {
 		rowFac = &track.Collinear{Name: "trivial", N: 1}
 	}
-	return BuildProduct(fmt.Sprintf("GHC%v L=%d", radices, l), rowFac, colFac, l, nodeSide, workers)
+	return FromFactors(fmt.Sprintf("GHC%v L=%d", radices, l), rowFac, colFac, l, nodeSide)
 }
 
-// Mesh lays out an n-dimensional mesh under L wiring layers (§3.2's first
-// product-network example): the low ⌊n/2⌋ extents form the row factor and
-// the high ⌈n/2⌉ the column factor, each as a product-of-paths collinear
-// layout. dims[0] is least significant, matching topology.Mesh.
-func Mesh(dims []int, l, nodeSide, workers int) (*layout.Layout, error) {
+// GeneralizedHypercube lays out an n-dimensional mixed-radix generalized
+// hypercube under L wiring layers following §4.1; see
+// GeneralizedHypercubeSpec.
+func GeneralizedHypercube(radices []int, l, nodeSide, workers int) (*layout.Layout, error) {
+	spec := GeneralizedHypercubeSpec(radices, l, nodeSide)
+	spec.Workers = workers
+	return Build(spec)
+}
+
+// MeshSpec assembles the spec of the n-dimensional mesh layout (§3.2's
+// first product-network example) without realizing it: the low ⌊n/2⌋
+// extents form the row factor and the high ⌈n/2⌉ the column factor, each as
+// a product-of-paths collinear layout. dims[0] is least significant,
+// matching topology.Mesh.
+func MeshSpec(dims []int, l, nodeSide int) Spec {
 	m := len(dims) / 2
 	rowFac := track.MeshCollinear(dims[:m])
 	colFac := track.MeshCollinear(dims[m:])
 	if m == 0 {
 		rowFac = &track.Collinear{Name: "trivial", N: 1}
 	}
-	return BuildProduct(fmt.Sprintf("mesh%v L=%d", dims, l), rowFac, colFac, l, nodeSide, workers)
+	return FromFactors(fmt.Sprintf("mesh%v L=%d", dims, l), rowFac, colFac, l, nodeSide)
+}
+
+// Mesh lays out an n-dimensional mesh under L wiring layers; see MeshSpec.
+func Mesh(dims []int, l, nodeSide, workers int) (*layout.Layout, error) {
+	spec := MeshSpec(dims, l, nodeSide)
+	spec.Workers = workers
+	return Build(spec)
 }

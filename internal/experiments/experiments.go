@@ -29,7 +29,7 @@ type Table struct {
 }
 
 // Add appends a row of cells, formatting each with %v.
-func (t *Table) Add(cells ...interface{}) {
+func (t *Table) Add(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -43,7 +43,7 @@ func (t *Table) Add(cells ...interface{}) {
 }
 
 // Note appends an annotation printed under the table.
-func (t *Table) Note(format string, args ...interface{}) {
+func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 

@@ -31,11 +31,13 @@ func hypercubeSpec(n, l, nodeSide int, name string) (core.Spec, func(label int) 
 	return spec, locate
 }
 
-// FoldedHypercube lays out the folded n-cube: the ⌊2N/3⌋-track hypercube
-// layout plus one diameter link per complementary node pair.
-func FoldedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
+// FoldedHypercubeSpec assembles the folded n-cube spec without realizing
+// it: the ⌊2N/3⌋-track hypercube layout plus one diameter link per
+// complementary node pair. Callers may set Workers/Ctx/MaxCells on the
+// result before core.Build.
+func FoldedHypercubeSpec(n, l, nodeSide int) (core.Spec, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("FoldedHypercube: need n >= 1")
+		return core.Spec{}, fmt.Errorf("FoldedHypercube: need n >= 1")
 	}
 	spec, locate := hypercubeSpec(n, l, nodeSide, fmt.Sprintf("folded %d-cube L=%d", n, l))
 	mask := 1<<uint(n) - 1
@@ -48,17 +50,26 @@ func FoldedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
 		vr, vc := locate(v)
 		spec.AddDedicatedBent(ur, uc, vr, vc)
 	}
+	return spec, nil
+}
+
+// FoldedHypercube lays out the folded n-cube; see FoldedHypercubeSpec.
+func FoldedHypercube(n, l, nodeSide, workers int) (*layout.Layout, error) {
+	spec, err := FoldedHypercubeSpec(n, l, nodeSide)
+	if err != nil {
+		return nil, err
+	}
 	spec.Workers = workers
 	return core.Build(spec)
 }
 
-// EnhancedCube lays out Varvarigos's enhanced cube: the hypercube plus one
-// pseudo-random outgoing link per node, drawn from the same deterministic
-// stream as topology.EnhancedCube so the realized graph matches it exactly
-// for the same seed.
-func EnhancedCube(n int, seed uint64, l, nodeSide, workers int) (*layout.Layout, error) {
+// EnhancedCubeSpec assembles Varvarigos's enhanced-cube spec without
+// realizing it: the hypercube plus one pseudo-random outgoing link per
+// node, drawn from the same deterministic stream as topology.EnhancedCube
+// so the realized graph matches it exactly for the same seed.
+func EnhancedCubeSpec(n int, seed uint64, l, nodeSide int) (core.Spec, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("EnhancedCube: need n >= 1")
+		return core.Spec{}, fmt.Errorf("EnhancedCube: need n >= 1")
 	}
 	g := topology.EnhancedCube(n, seed)
 	spec, locate := hypercubeSpec(n, l, nodeSide, fmt.Sprintf("enhanced %d-cube L=%d", n, l))
@@ -67,6 +78,15 @@ func EnhancedCube(n int, seed uint64, l, nodeSide, workers int) (*layout.Layout,
 		ur, uc := locate(lk.U)
 		vr, vc := locate(lk.V)
 		spec.AddDedicatedBent(ur, uc, vr, vc)
+	}
+	return spec, nil
+}
+
+// EnhancedCube lays out Varvarigos's enhanced cube; see EnhancedCubeSpec.
+func EnhancedCube(n int, seed uint64, l, nodeSide, workers int) (*layout.Layout, error) {
+	spec, err := EnhancedCubeSpec(n, seed, l, nodeSide)
+	if err != nil {
+		return nil, err
 	}
 	spec.Workers = workers
 	return core.Build(spec)

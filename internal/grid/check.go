@@ -1,6 +1,11 @@
 package grid
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"mlvlsi/internal/par"
+)
 
 // CheckOptions configures the legality verifier.
 type CheckOptions struct {
@@ -38,6 +43,9 @@ type edgeKey struct {
 	a Axis
 }
 
+// ctxStride is how many wires the checkers process between context polls.
+const ctxStride = 64
+
 // Check verifies that a set of wires forms a legal multilayer layout:
 // every wire is a well-formed rectilinear path, no two wires share a unit
 // grid edge (the multilayer grid model requires edge-disjoint paths), the
@@ -48,10 +56,24 @@ type edgeKey struct {
 // The check is exact, not sampled: every unit grid edge of every wire is
 // hashed. Memory is proportional to total wire length.
 func Check(wires []Wire, opts CheckOptions) []Violation {
+	vs, _ := CheckCtx(nil, wires, opts)
+	return vs
+}
+
+// CheckCtx is Check with cooperative cancellation: the wire walk polls ctx
+// (which may be nil, meaning no cancellation) every few wires and returns a
+// nil violation slice plus an error wrapping par.ErrCanceled once the
+// context is done. On a nil error the violations are exactly Check's.
+func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
 	var violations []Violation
 	seen := make(map[edgeKey]int, totalLength(wires))
 
 	for wi := range wires {
+		if ctx != nil && wi%ctxStride == 0 {
+			if err := par.Canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		w := &wires[wi]
 		if err := w.Validate(); err != nil {
 			violations = append(violations, Violation{WireID: w.ID, OtherID: -1, Reason: err.Error()})
@@ -104,7 +126,7 @@ func Check(wires []Wire, opts CheckOptions) []Violation {
 			checkTerminal(w, w.Path[len(w.Path)-1], w.V, opts.Nodes, &violations)
 		}
 	}
-	return violations
+	return violations, nil
 }
 
 func checkTerminal(w *Wire, p Point, node int, nodes []Rect, violations *[]Violation) {

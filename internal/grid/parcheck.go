@@ -1,8 +1,10 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mlvlsi/internal/par"
 )
@@ -28,9 +30,22 @@ import (
 // CheckParallel hashes them, so it can attribute a conflict on those edges
 // that Check never sees. Legality verdicts always agree.
 func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
+	vs, _ := CheckParallelCtx(nil, wires, opts, workers)
+	return vs
+}
+
+// CheckParallelCtx is CheckParallel with cooperative cancellation: both the
+// sharded wire walk and the bucket merge poll ctx (which may be nil, meaning
+// no cancellation) and the call returns a nil violation slice plus an error
+// wrapping par.ErrCanceled once the context is done. On a nil error the
+// violations are exactly CheckParallel's.
+func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, workers int) ([]Violation, error) {
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	n := len(wires)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	w := par.Workers(workers)
 
@@ -38,7 +53,21 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 	if !ok {
 		// Coordinates too large to pack into 64 bits (beyond any layout this
 		// module can realistically build): fall back to the reference checker.
-		return Check(wires, opts)
+		return CheckCtx(ctx, wires, opts)
+	}
+	var stop atomic.Bool
+	canceled := func(counter int) bool {
+		if ctx == nil || counter%ctxStride != 0 {
+			return false
+		}
+		if stop.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			stop.Store(true)
+			return true
+		}
+		return false
 	}
 
 	// Phase 1: shard wires contiguously across workers. Each shard performs
@@ -64,9 +93,15 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 		res := &results[shard]
 		res.buckets = make([][]claim, buckets)
 		for wi := lo; wi < hi; wi++ {
+			if canceled(wi - lo) {
+				return
+			}
 			collectWire(&wires[wi], int32(wi), opts, enc, res.buckets, &res.violations)
 		}
 	})
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: merge each bucket across shards. The per-bucket edge map is
 	// the shard-local "seen" set of Check, now keyed by the packed encoding;
@@ -83,7 +118,12 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 		}
 		owner := make(map[uint64]int32, total)
 		var found []seqViolation
+		processed := 0
 		for s := range results {
+			if canceled(processed) {
+				return
+			}
+			processed++
 			for _, c := range results[s].buckets[b] {
 				if first, dup := owner[c.key]; dup {
 					found = append(found, seqViolation{
@@ -103,6 +143,9 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 		}
 		perBucket[b] = found
 	})
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
 
 	var all []seqViolation
 	for _, res := range results {
@@ -112,7 +155,7 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 		all = append(all, found...)
 	}
 	if len(all) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].wire != all[j].wire {
@@ -134,7 +177,7 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 		}
 		out = append(out, sv.v)
 	}
-	return out
+	return out, nil
 }
 
 // claim records one unit edge hashed by one wire: the packed edge key plus

@@ -25,11 +25,11 @@ type slot struct{ end, track int }
 
 type slotHeap []slot
 
-func (h slotHeap) Len() int            { return len(h) }
-func (h slotHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
-func (h *slotHeap) Pop() interface{} {
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)        { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

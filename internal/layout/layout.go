@@ -6,11 +6,30 @@
 package layout
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mlvlsi/internal/grid"
 )
+
+// BudgetError reports a build abandoned because the planned layout would
+// exceed the caller's cell budget (see Options.MaxCells at the module root).
+// It is returned before any wire is realized, so a budget overrun costs
+// geometry planning only, not memory proportional to the layout.
+type BudgetError struct {
+	// Name is the layout (family instance) whose plan overran the budget.
+	Name string
+	// Cells is the planned occupancy: grid vertices per layer times the
+	// number of layers (0..L inclusive).
+	Cells int
+	// Budget is the configured maximum.
+	Budget int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("layout %s needs %d grid cells, over the budget of %d", e.Name, e.Cells, e.Budget)
+}
 
 // Layout is a fully realized multilayer layout.
 type Layout struct {
@@ -114,6 +133,18 @@ func (l *Layout) Verify() []grid.Violation {
 // 1 = serial). The result is identical for every worker count.
 func (l *Layout) VerifyWorkers(workers int) []grid.Violation {
 	return grid.CheckParallel(l.Wires, grid.CheckOptions{
+		Layers:     l.L,
+		Discipline: true,
+		Nodes:      l.Nodes,
+	}, workers)
+}
+
+// VerifyContext is VerifyWorkers with cooperative cancellation: it returns
+// a nil violation slice plus an error wrapping par.ErrCanceled once ctx
+// (which may be nil, meaning no cancellation) is done. On a nil error the
+// violations are exactly Verify's.
+func (l *Layout) VerifyContext(ctx context.Context, workers int) ([]grid.Violation, error) {
+	return grid.CheckParallelCtx(ctx, l.Wires, grid.CheckOptions{
 		Layers:     l.L,
 		Discipline: true,
 		Nodes:      l.Nodes,

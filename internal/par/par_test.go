@@ -1,11 +1,14 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -107,6 +110,157 @@ func TestForEachErrJoinsAllInOrder(t *testing.T) {
 	}
 	if err := ForEachErr(4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("empty run returned %v", err)
+	}
+}
+
+func TestWorkersDegradesAbsurdRequests(t *testing.T) {
+	if got := Workers(maxWorkers); got != maxWorkers {
+		t.Errorf("Workers(maxWorkers) = %d, want %d", got, maxWorkers)
+	}
+	if got := Workers(maxWorkers + 1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(maxWorkers+1) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1 << 30); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(1<<30) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestChunksRethrowsWorkerPanicOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic was swallowed", workers)
+				}
+				p, ok := v.(*Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *Panic", workers, v)
+				}
+				if p.Value != "boom" {
+					t.Errorf("workers=%d: panic value %v, want boom", workers, p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Errorf("workers=%d: panic stack not captured", workers)
+				}
+			}()
+			Chunks(workers, 16, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 7 {
+						panic("boom")
+					}
+				}
+			})
+		}()
+	}
+}
+
+func TestPanicUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("worker failed")
+	err := ForEachErr(2, 8, func(i int) error {
+		if i == 3 {
+			panic(sentinel)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	var p *Panic
+	if !errors.As(err, &p) {
+		t.Fatalf("error %T is not a *Panic", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("panic with error value should unwrap to it; got %v", err)
+	}
+}
+
+func TestForEachErrReturnsPanicAsError(t *testing.T) {
+	err := ForEachErr(4, 100, func(i int) error {
+		if i == 50 {
+			panic("kaput")
+		}
+		return nil
+	})
+	var p *Panic
+	if !errors.As(err, &p) {
+		t.Fatalf("ForEachErr returned %v (%T), want *Panic", err, err)
+	}
+	if !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("panic message lost: %v", err)
+	}
+}
+
+func TestForEachCtxNilAndLiveContexts(t *testing.T) {
+	var count atomic.Int32
+	if err := ForEachCtx(nil, 4, 200, func(int) { count.Add(1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if count.Load() != 200 {
+		t.Errorf("nil ctx ran %d items, want 200", count.Load())
+	}
+	count.Store(0)
+	if err := ForEachCtx(context.Background(), 4, 200, func(int) { count.Add(1) }); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	if count.Load() != 200 {
+		t.Errorf("live ctx ran %d items, want 200", count.Load())
+	}
+}
+
+func TestForEachCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachCtx(ctx, 2, 50, func(int) { ran = true })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v should wrap context.Canceled", err)
+	}
+	if ran {
+		t.Error("pre-canceled context still ran items")
+	}
+}
+
+func TestForEachCtxStopsMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int32
+	const n = 1 << 20
+	err := ForEachCtx(ctx, 2, n, func(i int) {
+		if count.Add(1) == 100 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if c := count.Load(); int(c) >= n {
+		t.Errorf("cancellation did not stop the loop: ran all %d items", c)
+	}
+}
+
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := ForEachCtx(ctx, 2, 1<<20, func(int) { time.Sleep(10 * time.Microsecond) })
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestCanceledHelper(t *testing.T) {
+	if err := Canceled(nil); err != nil {
+		t.Errorf("Canceled(nil) = %v", err)
+	}
+	if err := Canceled(context.Background()); err != nil {
+		t.Errorf("Canceled(live) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Canceled(ctx); !errors.Is(err, ErrCanceled) {
+		t.Errorf("Canceled(done) = %v, want ErrCanceled", err)
 	}
 }
 

@@ -7,7 +7,9 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"mlvlsi/internal/layout"
 	"mlvlsi/internal/par"
@@ -36,6 +38,66 @@ func (g *WeightedGraph) Arcs(v int) []Arc {
 		out[i] = Arc{To: a.to, Wire: a.w}
 	}
 	return out
+}
+
+// Links returns every undirected link once, sorted by (u, v) with u < v.
+// The order is deterministic, so seeded fault plans that index into it are
+// reproducible.
+func (g *WeightedGraph) Links() [][2]int {
+	var out [][2]int
+	for u := range g.adj {
+		for _, a := range g.adj[u] {
+			if u < a.to {
+				out = append(out, [2]int{u, a.to})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// RemoveLink deletes the undirected link {u, v} (both arc directions) and
+// reports whether such a link existed.
+func (g *WeightedGraph) RemoveLink(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return false
+	}
+	removed := false
+	drop := func(from, to int) {
+		arcs := g.adj[from]
+		for i, a := range arcs {
+			if a.to == to {
+				g.adj[from] = append(arcs[:i], arcs[i+1:]...)
+				removed = true
+				return
+			}
+		}
+	}
+	drop(u, v)
+	drop(v, u)
+	return removed
+}
+
+// RemoveNode detaches node v, deleting every incident link, and returns the
+// number of links removed. The node itself stays in the index space,
+// isolated, so labels keep their meaning.
+func (g *WeightedGraph) RemoveNode(v int) int {
+	if v < 0 || v >= g.N {
+		return 0
+	}
+	neighbors := make([]int, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		neighbors[i] = a.to
+	}
+	for _, to := range neighbors {
+		g.RemoveLink(v, to)
+	}
+	return len(neighbors)
 }
 
 // FromLayout builds the weighted routing graph of a layout; parallel wires
@@ -119,9 +181,9 @@ func (h pairHeap) Less(i, j int) bool {
 	}
 	return h[i].wire < h[j].wire
 }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *pairHeap) Pop() interface{} {
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pqItem)) }
+func (h *pairHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -151,12 +213,34 @@ func sampleSources(n, sources int) []int {
 // and fan out across workers (0 = GOMAXPROCS, 1 = serial); the result is
 // identical for every worker count.
 func MaxPathWire(lay *layout.Layout, sources, workers int) int {
+	m, _ := MaxPathWireCtx(nil, lay, sources, workers)
+	return m
+}
+
+// MaxPathWireCtx is MaxPathWire with cooperative cancellation: the sweep
+// polls ctx (which may be nil, meaning no cancellation) before each
+// single-source run and returns an error wrapping par.ErrCanceled once the
+// context is done. On a nil error the result is exactly MaxPathWire's.
+func MaxPathWireCtx(ctx context.Context, lay *layout.Layout, sources, workers int) (int, error) {
+	if err := par.Canceled(ctx); err != nil {
+		return 0, err
+	}
 	g := FromLayout(lay)
 	srcs := sampleSources(g.N, sources)
+	var stop atomic.Bool
 	shardMax := make([]int, par.NumChunks(workers, len(srcs)))
 	par.Chunks(workers, len(srcs), func(shard, lo, hi int) {
 		max := 0
 		for _, s := range srcs[lo:hi] {
+			if ctx != nil {
+				if stop.Load() {
+					break
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					break
+				}
+			}
 			_, wire := g.ShortestPathWire(s)
 			for _, w := range wire {
 				if w != int(^uint(0)>>1) && w > max {
@@ -166,13 +250,16 @@ func MaxPathWire(lay *layout.Layout, sources, workers int) int {
 		}
 		shardMax[shard] = max
 	})
+	if err := par.Canceled(ctx); err != nil {
+		return 0, err
+	}
 	max := 0
 	for _, m := range shardMax {
 		if m > max {
 			max = m
 		}
 	}
-	return max
+	return max, nil
 }
 
 // AveragePathWire returns the mean total wire length along hop-shortest
@@ -181,13 +268,33 @@ func MaxPathWire(lay *layout.Layout, sources, workers int) int {
 // per-shard sums are integers, so the result is exactly the serial value
 // for every worker count.
 func AveragePathWire(lay *layout.Layout, sources, workers int) float64 {
+	avg, _ := AveragePathWireCtx(nil, lay, sources, workers)
+	return avg
+}
+
+// AveragePathWireCtx is AveragePathWire with cooperative cancellation,
+// mirroring MaxPathWireCtx.
+func AveragePathWireCtx(ctx context.Context, lay *layout.Layout, sources, workers int) (float64, error) {
+	if err := par.Canceled(ctx); err != nil {
+		return 0, err
+	}
 	g := FromLayout(lay)
 	srcs := sampleSources(g.N, sources)
+	var stop atomic.Bool
 	type sum struct{ total, count int }
 	sums := make([]sum, par.NumChunks(workers, len(srcs)))
 	par.Chunks(workers, len(srcs), func(shard, lo, hi int) {
 		var sh sum
 		for _, s := range srcs[lo:hi] {
+			if ctx != nil {
+				if stop.Load() {
+					break
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					break
+				}
+			}
 			_, wire := g.ShortestPathWire(s)
 			for v, w := range wire {
 				if v != s && w != int(^uint(0)>>1) {
@@ -198,13 +305,16 @@ func AveragePathWire(lay *layout.Layout, sources, workers int) float64 {
 		}
 		sums[shard] = sh
 	})
+	if err := par.Canceled(ctx); err != nil {
+		return 0, err
+	}
 	total, count := 0, 0
 	for _, sh := range sums {
 		total += sh.total
 		count += sh.count
 	}
 	if count == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(total) / float64(count)
+	return float64(total) / float64(count), nil
 }

@@ -75,6 +75,65 @@ type Config struct {
 	// tail streams pipelined behind the header.
 	Flits int
 	Seed  uint64
+	// Faults, when non-nil, degrades the network before traffic starts:
+	// dead nodes and links are removed from the routing graph, messages to
+	// or from dead nodes are dropped at injection, and messages whose
+	// destination becomes unreachable are dropped en route. Drops are
+	// counted in Result.Dropped.
+	Faults *FaultPlan
+}
+
+// FaultPlan describes a degraded network: explicit dead nodes and links
+// plus optional random faults drawn deterministically from Seed, so a
+// chaos sweep is reproducible.
+type FaultPlan struct {
+	// Nodes lists node labels that have failed outright (all incident
+	// links die with them).
+	Nodes []int
+	// Links lists failed undirected links by endpoint labels.
+	Links [][2]int
+	// RandomNodes and RandomLinks kill that many additional distinct
+	// random nodes/links, drawn deterministically from Seed over the
+	// layout's node and (surviving) link sets.
+	RandomNodes int
+	RandomLinks int
+	Seed        uint64
+}
+
+// apply removes the plan's faults from g and returns the dead-node set.
+// A nil plan is a no-op.
+func (p *FaultPlan) apply(g *route.WeightedGraph) map[int]bool {
+	dead := make(map[int]bool)
+	if p == nil {
+		return dead
+	}
+	for _, v := range p.Nodes {
+		if v >= 0 && v < g.N && !dead[v] {
+			dead[v] = true
+			g.RemoveNode(v)
+		}
+	}
+	for _, lk := range p.Links {
+		g.RemoveLink(lk[0], lk[1])
+	}
+	rng := newRand(p.Seed ^ 0x9E3779B97F4A7C15)
+	for killed := 0; killed < p.RandomNodes && len(dead) < g.N; {
+		v := rng.next(g.N)
+		if !dead[v] {
+			dead[v] = true
+			g.RemoveNode(v)
+			killed++
+		}
+	}
+	if p.RandomLinks > 0 {
+		links := g.Links()
+		for killed := 0; killed < p.RandomLinks && len(links) > 0; killed++ {
+			j := rng.next(len(links))
+			g.RemoveLink(links[j][0], links[j][1])
+			links = append(links[:j], links[j+1:]...)
+		}
+	}
+	return dead
 }
 
 // Result summarizes a run.
@@ -85,11 +144,19 @@ type Result struct {
 	MaxLatency int
 	// Makespan is the cycle at which the last message arrived.
 	Makespan int
+	// Dropped counts messages lost to faults: injected at or addressed to
+	// a dead node, or stranded when no route to the destination survives.
+	// Without a FaultPlan it is always zero.
+	Dropped int
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("delivered=%d avg-latency=%.1f max-latency=%d makespan=%d",
+	s := fmt.Sprintf("delivered=%d avg-latency=%.1f max-latency=%d makespan=%d",
 		r.Delivered, r.AvgLatency, r.MaxLatency, r.Makespan)
+	if r.Dropped > 0 {
+		s += fmt.Sprintf(" dropped=%d", r.Dropped)
+	}
+	return s
 }
 
 type event struct {
@@ -108,9 +175,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].msg < h[j].msg
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -145,6 +212,11 @@ func Run(lay *layout.Layout, cfg Config) Result {
 		cfg.Velocity = 1
 	}
 	g := route.FromLayout(lay)
+	// Faults are applied before routing tables are built, so surviving
+	// traffic reroutes around them; the traffic pattern itself is generated
+	// unchanged (same endpoints for the same Seed), which keeps faulty and
+	// healthy runs comparable message for message.
+	dead := cfg.Faults.apply(g)
 	rng := newRand(cfg.Seed)
 
 	// Message endpoints.
@@ -257,6 +329,10 @@ func Run(lay *layout.Layout, cfg Config) Result {
 	res := Result{}
 	var pq eventHeap
 	for i := range msgs {
+		if dead[msgs[i].src] || dead[msgs[i].dst] {
+			res.Dropped++
+			continue
+		}
 		heap.Push(&pq, event{time: 0, msg: i, node: msgs[i].src, hop: 0})
 	}
 	for pq.Len() > 0 {
@@ -281,7 +357,8 @@ func Run(lay *layout.Layout, cfg Config) Result {
 		}
 		nh := routeFrom(ev.node)[m.dst]
 		if nh < 0 {
-			continue // unreachable; drop
+			res.Dropped++ // no surviving route to the destination
+			continue
 		}
 		lat := linkLat(ev.node, nh)
 		lk := linkKey{ev.node, nh}

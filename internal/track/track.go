@@ -162,11 +162,11 @@ func (c *Collinear) MaxCut() int {
 // intervalHeap is a min-heap of (trackFreeAt, trackIndex).
 type intervalHeap [][2]int
 
-func (h intervalHeap) Len() int            { return len(h) }
-func (h intervalHeap) Less(i, j int) bool  { return h[i][0] < h[j][0] }
-func (h intervalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *intervalHeap) Push(x interface{}) { *h = append(*h, x.([2]int)) }
-func (h *intervalHeap) Pop() interface{} {
+func (h intervalHeap) Len() int           { return len(h) }
+func (h intervalHeap) Less(i, j int) bool { return h[i][0] < h[j][0] }
+func (h intervalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intervalHeap) Push(x any)        { *h = append(*h, x.([2]int)) }
+func (h *intervalHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -74,7 +74,7 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 1, Max: 20, Default: 4, Doc: "dimension; N = 2^n nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return core.Hypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+			return o.buildSpec(core.HypercubeSpec(p["n"], o.layers(), o.NodeSide))
 		},
 	},
 	{
@@ -85,7 +85,7 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 1, Max: 8, Default: 2, Doc: "dimensions; N = k^n nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return core.KAryNCube(p["k"], p["n"], o.layers(), o.FoldedRows, o.NodeSide, o.Workers)
+			return o.buildSpec(core.KAryNCubeSpec(p["k"], p["n"], o.layers(), o.FoldedRows, o.NodeSide))
 		},
 	},
 	{
@@ -100,7 +100,7 @@ var families = []FamilyInfo{
 			for i := range radices {
 				radices[i] = p["r"]
 			}
-			return core.GeneralizedHypercube(radices, o.layers(), o.NodeSide, o.Workers)
+			return o.buildSpec(core.GeneralizedHypercubeSpec(radices, o.layers(), o.NodeSide))
 		},
 	},
 	{
@@ -115,7 +115,7 @@ var families = []FamilyInfo{
 			for i := range dims {
 				dims[i] = p["n"]
 			}
-			return core.Mesh(dims, o.layers(), o.NodeSide, o.Workers)
+			return o.buildSpec(core.MeshSpec(dims, o.layers(), o.NodeSide))
 		},
 	},
 	{
@@ -125,7 +125,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 1, Max: 16, Default: 4, Doc: "dimension; N = 2^n nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return extra.FoldedHypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+			spec, err := extra.FoldedHypercubeSpec(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildSpec(spec)
 		},
 	},
 	{
@@ -136,7 +140,11 @@ var families = []FamilyInfo{
 			{Name: "seed", Min: 0, Max: 1 << 30, Default: 1, Doc: "random-stream seed"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return extra.EnhancedCube(p["n"], uint64(p["seed"]), o.layers(), o.NodeSide, o.Workers)
+			spec, err := extra.EnhancedCubeSpec(p["n"], uint64(p["seed"]), o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildSpec(spec)
 		},
 	},
 	{
@@ -146,7 +154,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 2, Max: 16, Default: 3, Doc: "cube dimension; N = n·2^n nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.CCC(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.CCCConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -159,7 +171,11 @@ var families = []FamilyInfo{
 			if !powerOfTwo(p["n"]) {
 				return nil, &ParamError{Family: "rh", Param: "n", Value: p["n"], Reason: "must be a power of two >= 2"}
 			}
-			return cluster.ReducedHypercube(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.ReducedHypercubeConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -170,7 +186,11 @@ var families = []FamilyInfo{
 			{Name: "r", Min: 2, Max: 16, Default: 3, Doc: "nucleus size; N = r^levels nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.HSN(p["levels"], p["r"], o.layers(), o.NodeSide, o.Workers, nil)
+			cfg, err := cluster.HSNConfig(p["levels"], p["r"], o.layers(), o.NodeSide, nil)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -181,7 +201,11 @@ var families = []FamilyInfo{
 			{Name: "m", Min: 1, Max: 5, Default: 2, Doc: "nucleus dimension; nuclei hold 2^m nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.HHN(p["levels"], p["m"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.HHNConfig(p["levels"], p["m"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -191,7 +215,11 @@ var families = []FamilyInfo{
 			{Name: "m", Min: 3, Max: 12, Default: 3, Doc: "levels; N = m·2^m nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.Butterfly(p["m"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.ButterflyConfig(p["m"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -201,7 +229,11 @@ var families = []FamilyInfo{
 			{Name: "m", Min: 3, Max: 12, Default: 3, Doc: "levels; N = m·2^m nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.ISN(p["m"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.ISNConfig(p["m"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -216,7 +248,11 @@ var families = []FamilyInfo{
 			if !powerOfTwo(p["c"]) {
 				return nil, &ParamError{Family: "clusterc", Param: "c", Value: p["c"], Reason: "must be a power of two >= 2"}
 			}
-			return cluster.KAryClusterC(p["k"], p["n"], p["c"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.KAryClusterCConfig(p["k"], p["n"], p["c"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -226,7 +262,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.Star(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.StarConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -236,7 +276,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.Pancake(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.PancakeConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -246,7 +290,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.BubbleSort(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.BubbleSortConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -256,7 +304,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 3, Max: 7, Default: 4, Doc: "symbols; N = n! nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.Transposition(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.TranspositionConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 	{
@@ -266,7 +318,11 @@ var families = []FamilyInfo{
 			{Name: "n", Min: 4, Max: 6, Default: 4, Doc: "symbols; N = n!·(n−1) nodes"},
 		},
 		build: func(p map[string]int, o Options) (*layout.Layout, error) {
-			return cluster.SCC(p["n"], o.layers(), o.NodeSide, o.Workers)
+			cfg, err := cluster.SCCConfig(p["n"], o.layers(), o.NodeSide)
+			if err != nil {
+				return nil, err
+			}
+			return o.buildCluster(cfg)
 		},
 	},
 }
