@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench chaos fuzz check clean
+.PHONY: all vet build test race bench benchjson chaos fuzz check clean
 
 all: check
 
@@ -19,8 +19,15 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
+# -count=3 repeats each benchmark so run-to-run noise is visible in the
+# output; pipe through benchstat externally if you want summaries.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -count=3 -run '^$$' .
+
+# Regenerate the committed benchmark trajectory (BENCH_3.json). CI runs the
+# same tool with -quick as a smoke test.
+benchjson:
+	$(GO) run ./cmd/benchjson -out BENCH_3.json
 
 # Chaos sweep: corrupt every registry family with every fault class and
 # require both verifiers to catch each corruption, under the race detector.

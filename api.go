@@ -9,6 +9,7 @@ import (
 	"mlvlsi/internal/extra"
 	"mlvlsi/internal/fold"
 	"mlvlsi/internal/generic"
+	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
 	"mlvlsi/internal/par"
 	"mlvlsi/internal/render"
@@ -59,6 +60,13 @@ type Options struct {
 	// (width+1)·(height+1)·(L+1); a layout that would exceed it fails fast
 	// with a *BudgetError before any wire is realized. Zero means no budget.
 	MaxCells int
+	// DenseCheckCells tunes the verifier's dense-occupancy threshold (used
+	// by VerifyLayout): zero adapts to the layout (the dense bit-grid is
+	// used whenever it is no larger than the hash map it replaces), a
+	// negative value forces the sparse hash path, and a positive value caps
+	// the dense grid's unit-edge slot count. Verification results are
+	// identical for every value; only speed and memory differ.
+	DenseCheckCells int
 }
 
 // maxNodeSide bounds Options.NodeSide: a node square beyond 2^20 grid units
@@ -111,6 +119,23 @@ func (o Options) buildCluster(cfg cluster.Config) (*Layout, error) {
 	cfg.Ctx = o.Context
 	cfg.MaxCells = o.MaxCells
 	return cluster.Build(cfg)
+}
+
+// Violation is one legality failure reported by the verifier: the offending
+// wire, the location, and a typed reason code (Violation.Reason formats the
+// human-readable cause; Violation.Error the full message).
+type Violation = grid.Violation
+
+// VerifyLayout verifies lay under the cross-cutting Options knobs: Workers
+// bounds the fan-out, Context cancels cooperatively, and DenseCheckCells
+// tunes the dense-occupancy threshold. A nil violation slice with a nil
+// error means the layout is legal; the violation set is identical for every
+// Options value.
+func VerifyLayout(lay *Layout, o Options) ([]Violation, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return lay.VerifyTuned(o.Context, o.Workers, o.DenseCheckCells)
 }
 
 // Robustness errors surfaced by the build and verify paths.

@@ -221,8 +221,8 @@ func BenchmarkAblationFoldedRows(b *testing.B) {
 	b.ReportMetric(float64(folded), "maxwire-folded")
 }
 
-// Ablation: cost of the exact legality verifier (hashes every unit wire
-// edge), the price of machine-checked layouts.
+// Ablation: cost of the exact legality verifier (marks every unit wire edge
+// in a dense occupancy bitset), the price of machine-checked layouts.
 func BenchmarkAblationVerifier(b *testing.B) {
 	lay := mustLay(b)(core.Hypercube(8, 4, 0, 0))
 	b.ResetTimer()
@@ -296,9 +296,11 @@ func BenchmarkE18GenericRouter(b *testing.B) {
 }
 
 // Serial-vs-parallel verification on the PR's acceptance workload: the
-// 12-cube under L=4 (24576 wires). The parallel checker's packed integer
-// edge keys and sharded maps beat the struct-keyed serial map even on a
-// single core; extra workers widen the gap on multicore machines.
+// 12-cube under L=4 (24576 wires). Both checkers run on a dense occupancy
+// bitset indexed by the layout's bounding box (pooled across calls, so the
+// legal path is allocation-free); the *Sparse variants force the retained
+// map-based fallback with DenseLimit < 0, which is also the pre-dense
+// baseline the README quotes.
 func benchCheckWires(b *testing.B) ([]grid.Wire, grid.CheckOptions) {
 	b.Helper()
 	lay := mustLay(b)(core.Hypercube(12, 4, 0, 0))
@@ -315,11 +317,38 @@ func BenchmarkCheckSerial(b *testing.B) {
 	}
 }
 
+func BenchmarkCheckSerialSparse(b *testing.B) {
+	wires, opts := benchCheckWires(b)
+	opts.DenseLimit = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := grid.Check(wires, opts); len(v) > 0 {
+			b.Fatal(v[0])
+		}
+	}
+}
+
 func BenchmarkCheckParallel(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			wires, opts := benchCheckWires(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := grid.CheckParallel(wires, opts, workers); len(v) > 0 {
+					b.Fatal(v[0])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheckParallelSparse(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			wires, opts := benchCheckWires(b)
+			opts.DenseLimit = -1
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if v := grid.CheckParallel(wires, opts, workers); len(v) > 0 {

@@ -1,0 +1,126 @@
+// Command benchjson runs the tier-1 verifier and builder benchmarks through
+// testing.Benchmark and writes the results as a JSON trajectory file, one
+// record per benchmark:
+//
+//	{"bench": "check/serial", "ns_op": ..., "allocs_op": ..., "bytes_op": ..., "workers": 0}
+//
+// The committed BENCH_3.json at the repo root is one such snapshot; CI runs
+// `benchjson -quick` as a smoke test and uploads the result as an artifact
+// (numbers from shared runners are noisy, so nothing gates on them). The
+// *-sparse records force the retained map-based checker (DenseLimit < 0),
+// which doubles as the pre-dense baseline, so every snapshot carries its own
+// before/after pair.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"mlvlsi/internal/core"
+	"mlvlsi/internal/grid"
+)
+
+// Record is one benchmark measurement. Workers is 0 for serial benchmarks.
+type Record struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	Workers  int     `json:"workers"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output file ('-' for stdout)")
+	quick := flag.Bool("quick", false, "run a small instance once (CI smoke test)")
+	flag.Parse()
+
+	// The full workload matches bench_test.go: the 12-cube at L=4 for the
+	// checkers, the 10-cube for the builders. -quick drops to an 8-cube so a
+	// complete run fits in a CI smoke budget.
+	checkDim, buildDim := 12, 10
+	if *quick {
+		checkDim, buildDim = 8, 6
+	}
+	lay, err := core.Hypercube(checkDim, 4, 0, 0)
+	if err != nil {
+		fatal(err)
+	}
+	opts := grid.CheckOptions{Layers: lay.L, Discipline: true, Nodes: lay.Nodes}
+	sparse := opts
+	sparse.DenseLimit = -1
+
+	var records []Record
+	run := func(name string, workers int, fn func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		rec := Record{
+			Bench:    name,
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: int64(r.AllocsPerOp()),
+			BytesOp:  int64(r.AllocedBytesPerOp()),
+			Workers:  workers,
+		}
+		records = append(records, rec)
+		fmt.Fprintf(os.Stderr, "%-28s %14.0f ns/op %10d B/op %8d allocs/op\n",
+			name, rec.NsOp, rec.BytesOp, rec.AllocsOp)
+	}
+	checkSerial := func(o grid.CheckOptions) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := grid.Check(lay.Wires, o); len(v) > 0 {
+					fatal(v[0])
+				}
+			}
+		}
+	}
+	checkParallel := func(o grid.CheckOptions, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := grid.CheckParallel(lay.Wires, o, workers); len(v) > 0 {
+					fatal(v[0])
+				}
+			}
+		}
+	}
+	build := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Hypercube(buildDim, 4, 0, workers); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+
+	run("check/serial", 0, checkSerial(opts))
+	run("check/serial-sparse", 0, checkSerial(sparse))
+	for _, w := range []int{1, 4} {
+		run("check/parallel", w, checkParallel(opts, w))
+		run("check/parallel-sparse", w, checkParallel(sparse, w))
+	}
+	run("build/hypercube", 1, build(1))
+	run("build/hypercube", 4, build(4))
+
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "benchjson:", v)
+	os.Exit(1)
+}

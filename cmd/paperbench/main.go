@@ -8,7 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mlvlsi/internal/cli"
@@ -20,10 +22,39 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and titles without running")
 	format := flag.String("format", "text", "output format: text | csv")
 	workers := flag.Int("workers", 0, "cap the scheduler's parallelism for all experiments (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all experiments) to this file")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" {
 		cli.Usagef("-format: unknown format %q; valid formats: text, csv", *format)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			cli.Usagef("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			cli.Usagef("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: -memprofile:", err)
+			}
+		}()
 	}
 	if *workers > 0 {
 		// The experiment generators run builds and verifies at the default

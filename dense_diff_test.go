@@ -1,0 +1,69 @@
+package mlvlsi
+
+import (
+	"reflect"
+	"testing"
+
+	"mlvlsi/internal/fault"
+	"mlvlsi/internal/grid"
+)
+
+// TestDenseMapDifferentialAllFamilies is the dense-vs-map differential
+// sweep: for every registered family — legal as built, and corrupted with
+// every fault class — the dense occupancy checker and the retained map
+// fallback (DenseLimit < 0) must report identical violation slices, for the
+// serial checker and for the sharded checker at several worker counts.
+// Together with the chaos sweep (which proves each corruption is detected)
+// this pins the two occupancy cores to each other edge for edge.
+func TestDenseMapDifferentialAllFamilies(t *testing.T) {
+	for _, fam := range Families() {
+		lay, err := BuildFamily(FamilySpec{Name: fam.Name}, Options{})
+		if err != nil {
+			t.Fatalf("%s: build: %v", fam.Name, err)
+		}
+		assertDenseMatchesMap(t, fam.Name+"/legal", lay.Wires, grid.CheckOptions{
+			Layers: lay.L, Discipline: true, Nodes: lay.Nodes,
+		}, true)
+		for _, c := range fault.Classes() {
+			bad, info, err := (fault.Injector{Seed: 11}).Apply(lay, c)
+			if err != nil {
+				t.Fatalf("%s: inject %s: %v", fam.Name, c, err)
+			}
+			name := fam.Name + "/" + c.String()
+			opts := grid.CheckOptions{Layers: bad.L, Discipline: true, Nodes: bad.Nodes}
+			assertDenseMatchesMap(t, name, bad.Wires, opts, false)
+			if vs := grid.Check(bad.Wires, opts); !c.Detected(vs) {
+				t.Errorf("%s: dense checker missed the corruption (%s)", name, info)
+			}
+		}
+	}
+}
+
+// assertDenseMatchesMap checks one wire set under both occupancy cores,
+// serially and sharded, and (when legal is set) that the layout verifies
+// clean everywhere.
+func assertDenseMatchesMap(t *testing.T, name string, wires []grid.Wire, opts grid.CheckOptions, legal bool) {
+	t.Helper()
+	sparse := opts
+	sparse.DenseLimit = -1
+	serialDense := grid.Check(wires, opts)
+	serialMap := grid.Check(wires, sparse)
+	if !reflect.DeepEqual(serialDense, serialMap) {
+		t.Errorf("%s: serial dense/map divergence\ndense: %v\nmap:   %v", name, serialDense, serialMap)
+	}
+	if legal && len(serialDense) != 0 {
+		t.Errorf("%s: legal layout reported %d violations: %v", name, len(serialDense), serialDense[0])
+	}
+	for _, workers := range []int{1, 4} {
+		parDense := grid.CheckParallel(wires, opts, workers)
+		parMap := grid.CheckParallel(wires, sparse, workers)
+		if !reflect.DeepEqual(parDense, parMap) {
+			t.Errorf("%s workers=%d: parallel dense/map divergence\ndense: %v\nmap:   %v",
+				name, workers, parDense, parMap)
+		}
+		if (len(parDense) == 0) != (len(serialDense) == 0) {
+			t.Errorf("%s workers=%d: verdicts diverge (serial %d, parallel %d)",
+				name, workers, len(serialDense), len(parDense))
+		}
+	}
+}

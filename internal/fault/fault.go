@@ -15,7 +15,6 @@ package fault
 
 import (
 	"fmt"
-	"strings"
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
@@ -105,12 +104,38 @@ func (c Class) Signatures() []string {
 	return nil
 }
 
+// Codes returns the typed violation reasons that count as detecting this
+// class — the same acceptance sets as Signatures, expressed over
+// grid.Reason so detection is a handful of integer compares instead of
+// substring scans over formatted messages.
+func (c Class) Codes() []grid.Reason {
+	switch c {
+	case Overlap, Duplicate:
+		return []grid.Reason{grid.ReasonSharedEdge}
+	case Detach:
+		return []grid.Reason{grid.ReasonTerminalOutsideNode}
+	case OutOfRange:
+		return []grid.Reason{grid.ReasonLayerRange}
+	case LayerOverflow:
+		// The lifting vias can retrace the wire's own via stack before the
+		// walk reaches layer L+1.
+		return []grid.Reason{grid.ReasonLayerRange, grid.ReasonSharedEdge}
+	case Discipline:
+		// Same: the parity-shifting vias can collide before the wrong-layer
+		// run is walked.
+		return []grid.Reason{grid.ReasonDisciplineX, grid.ReasonDisciplineY, grid.ReasonSharedEdge}
+	case DeleteLink:
+		return []grid.Reason{grid.ReasonShortPath}
+	}
+	return nil
+}
+
 // Detected reports whether the violation set contains a violation matching
-// one of the class's signatures.
+// one of the class's reason codes.
 func (c Class) Detected(vs []grid.Violation) bool {
 	for _, v := range vs {
-		for _, sig := range c.Signatures() {
-			if strings.Contains(v.Reason, sig) {
+		for _, code := range c.Codes() {
+			if v.Code == code {
 				return true
 			}
 		}

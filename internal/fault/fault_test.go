@@ -166,10 +166,12 @@ func TestClassStringsAndSignatures(t *testing.T) {
 	}
 }
 
-// FuzzCheckDifferential cross-checks the serial and sharded verifiers on
-// randomly corrupted layouts: same verdict and the same violation set, for
-// several worker counts. This is the differential oracle the parallel
-// checker's merge logic is held to.
+// FuzzCheckDifferential cross-checks every verifier variant on randomly
+// corrupted layouts: the serial and sharded checkers must agree on the
+// verdict and the violation set for several worker counts, and each of them
+// must be bit-identical between its dense-occupancy core and the forced
+// map-based fallback (DenseLimit < 0). This is the differential oracle both
+// the parallel merge logic and the dense bitset are held to.
 func FuzzCheckDifferential(f *testing.F) {
 	f.Add(uint64(0), byte(0))
 	f.Add(uint64(1), byte(3))
@@ -184,9 +186,17 @@ func FuzzCheckDifferential(f *testing.F) {
 			t.Skip()
 		}
 		opts := checkOpts(bad)
+		sparseOpts := opts
+		sparseOpts.DenseLimit = -1
 		serial := grid.Check(bad.Wires, opts)
 		if len(serial) == 0 {
 			t.Fatalf("%s: serial checker found nothing (%s)", c, info)
+		}
+		// The dense and map cores run the identical wire walk, so their
+		// violation slices must match element for element, not just as sets.
+		if sparse := grid.Check(bad.Wires, sparseOpts); !reflect.DeepEqual(serial, sparse) {
+			t.Fatalf("%s: serial dense/map divergence for %s\ndense: %v\nmap:   %v",
+				c, info, serial, sparse)
 		}
 		for _, workers := range []int{1, 2, 8} {
 			par := grid.CheckParallel(bad.Wires, opts, workers)
@@ -197,6 +207,10 @@ func FuzzCheckDifferential(f *testing.F) {
 			if !sameViolations(serial, par) {
 				t.Fatalf("%s workers=%d: violation sets diverge for %s\nserial:   %v\nparallel: %v",
 					c, workers, info, serial, par)
+			}
+			if parSparse := grid.CheckParallel(bad.Wires, sparseOpts, workers); !reflect.DeepEqual(par, parSparse) {
+				t.Fatalf("%s workers=%d: parallel dense/map divergence for %s\ndense: %v\nmap:   %v",
+					c, workers, info, par, parSparse)
 			}
 		}
 	})

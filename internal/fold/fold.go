@@ -155,12 +155,7 @@ type Stats struct {
 
 // Measure computes the folded layout's cost measures from its wires.
 func Measure(lay *layout.Layout) Stats {
-	b := grid.NewBoundingBox()
-	for i := range lay.Wires {
-		for _, p := range lay.Wires[i].Path {
-			b.AddPoint(p)
-		}
-	}
+	b := grid.Wires(lay.Wires).Bounds()
 	s := Stats{L: lay.L, Area: b.Area(), Volume: lay.L * b.Area()}
 	for i := range lay.Wires {
 		n := lay.Wires[i].PlanarLength()

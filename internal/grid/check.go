@@ -21,21 +21,100 @@ type CheckOptions struct {
 	// The verifier then checks that every wire with endpoint IDs >= 0
 	// starts and ends at Z = 0 inside the claimed endpoint node rectangles.
 	Nodes []Rect
+	// DenseLimit caps the dense occupancy grid: the checkers use the flat
+	// dense store only while the wire set's bounding-box cell count
+	// (3·W·H·D unit-edge slots) stays at or below the limit. Zero picks an
+	// adaptive default that admits the dense path whenever its bitset is no
+	// larger than the hash map it replaces (see defaultDenseCells); a
+	// negative value disables the dense path entirely, forcing the
+	// map-based reference implementation. Results are identical either way.
+	DenseLimit int
 }
 
-// A Violation describes one legality failure found by Check.
+// Reason is a typed violation cause. Codes are formatted lazily by
+// Violation.Error / Violation.Reason, so the checkers' hot paths never build
+// strings — under fault injection the layer-range and discipline branches
+// fire per unit edge, where a fmt.Sprintf per violation dominates.
+type Reason uint8
+
+const (
+	// ReasonNone is the zero value; no valid Violation carries it.
+	ReasonNone Reason = iota
+	// ReasonShortPath: the path has fewer than two vertices (Aux holds the
+	// vertex count).
+	ReasonShortPath
+	// ReasonBentHop: path hop Aux is not a straight axis-aligned segment
+	// (Where holds the hop's start vertex).
+	ReasonBentHop
+	// ReasonLayerRange: the edge leaves the wiring layer range [0, Aux].
+	ReasonLayerRange
+	// ReasonDisciplineX: an x-run on an even layer.
+	ReasonDisciplineX
+	// ReasonDisciplineY: a y-run on an odd layer.
+	ReasonDisciplineY
+	// ReasonSharedEdge: the unit EdgeAxis-edge at Where is already owned by
+	// wire OtherID.
+	ReasonSharedEdge
+	// ReasonEndpointRange: the wire claims endpoint node id Aux, which is
+	// out of range.
+	ReasonEndpointRange
+	// ReasonTerminalOffActive: a wire terminal is not on the active layer.
+	ReasonTerminalOffActive
+	// ReasonTerminalOutsideNode: a wire terminal lies outside node Aux's
+	// rectangle.
+	ReasonTerminalOutsideNode
+	// ReasonNodeInterior: a planar run passes through the interior of a
+	// foreign node rectangle (Thompson-strict clearance, CheckClearance).
+	ReasonNodeInterior
+)
+
+// A Violation describes one legality failure found by Check. The struct is
+// comparable and carries no strings; messages are formatted on demand.
 type Violation struct {
 	WireID  int
 	OtherID int // second wire for overlap violations, -1 otherwise
 	Where   Point
-	Reason  string
+	Code    Reason
+	// EdgeAxis is the axis of the shared edge for ReasonSharedEdge.
+	EdgeAxis Axis
+	// Aux is the code's numeric detail: layer bound, node id, vertex count
+	// or hop index (see the Reason constants).
+	Aux int32
+}
+
+// Reason returns the human-readable cause, matching the fault-injection
+// signatures in internal/fault.
+func (v Violation) Reason() string {
+	switch v.Code {
+	case ReasonShortPath:
+		return fmt.Sprintf("path has %d vertices, need at least 2", v.Aux)
+	case ReasonBentHop:
+		return fmt.Sprintf("hop %d is not a straight axis-aligned segment", v.Aux)
+	case ReasonLayerRange:
+		return fmt.Sprintf("leaves wiring layer range [0,%d]", v.Aux)
+	case ReasonDisciplineX:
+		return "x-run on an even layer violates direction discipline"
+	case ReasonDisciplineY:
+		return "y-run on an odd layer violates direction discipline"
+	case ReasonSharedEdge:
+		return fmt.Sprintf("shared unit %s-edge", v.EdgeAxis)
+	case ReasonEndpointRange:
+		return fmt.Sprintf("endpoint node id %d out of range", v.Aux)
+	case ReasonTerminalOffActive:
+		return "wire terminal is not on the active layer (z=0)"
+	case ReasonTerminalOutsideNode:
+		return fmt.Sprintf("wire terminal is outside node %d rectangle", v.Aux)
+	case ReasonNodeInterior:
+		return "planar run passes through the interior of a foreign node"
+	}
+	return fmt.Sprintf("reason(%d)", int(v.Code))
 }
 
 func (v Violation) Error() string {
 	if v.OtherID >= 0 {
-		return fmt.Sprintf("wire %d overlaps wire %d at %v: %s", v.WireID, v.OtherID, v.Where, v.Reason)
+		return fmt.Sprintf("wire %d overlaps wire %d at %v: %s", v.WireID, v.OtherID, v.Where, v.Reason())
 	}
-	return fmt.Sprintf("wire %d at %v: %s", v.WireID, v.Where, v.Reason)
+	return fmt.Sprintf("wire %d at %v: %s", v.WireID, v.Where, v.Reason())
 }
 
 type edgeKey struct {
@@ -46,6 +125,64 @@ type edgeKey struct {
 // ctxStride is how many wires the checkers process between context polls.
 const ctxStride = 64
 
+// structural returns the Violation describing the first structural defect of
+// the wire's path (too short, or a hop that is not axis-aligned), and whether
+// one was found. It is the coded core behind Wire.Validate.
+func (w *Wire) structural() (Violation, bool) {
+	if len(w.Path) < 2 {
+		return Violation{WireID: w.ID, OtherID: -1, Code: ReasonShortPath, Aux: int32(len(w.Path))}, true
+	}
+	for i := 1; i < len(w.Path); i++ {
+		a, b := w.Path[i-1], w.Path[i]
+		dx, dy, dz := b.X-a.X, b.Y-a.Y, b.Z-a.Z
+		nz := 0
+		if dx != 0 {
+			nz++
+		}
+		if dy != 0 {
+			nz++
+		}
+		if dz != 0 {
+			nz++
+		}
+		if nz != 1 {
+			return Violation{WireID: w.ID, OtherID: -1, Where: a, Code: ReasonBentHop, Aux: int32(i)}, true
+		}
+	}
+	return Violation{}, false
+}
+
+// edgeViolation applies the per-edge layer-range and discipline checks to one
+// unit edge, returning the violation (if any). It allocates nothing and is
+// shared by every checker variant.
+func edgeViolation(w *Wire, low Point, axis Axis, opts *CheckOptions) (Violation, bool) {
+	if opts.Layers > 0 {
+		zTop := low.Z
+		if axis == AxisZ {
+			zTop = low.Z + 1
+		}
+		if low.Z < 0 || zTop > opts.Layers {
+			return Violation{
+				WireID: w.ID, OtherID: -1, Where: low,
+				Code: ReasonLayerRange, Aux: int32(opts.Layers),
+			}, true
+		}
+	}
+	if opts.Discipline && low.Z > 0 {
+		if axis == AxisX && low.Z%2 == 0 {
+			return Violation{
+				WireID: w.ID, OtherID: -1, Where: low, Code: ReasonDisciplineX,
+			}, true
+		}
+		if axis == AxisY && low.Z%2 == 1 {
+			return Violation{
+				WireID: w.ID, OtherID: -1, Where: low, Code: ReasonDisciplineY,
+			}, true
+		}
+	}
+	return Violation{}, false
+}
+
 // Check verifies that a set of wires forms a legal multilayer layout:
 // every wire is a well-formed rectilinear path, no two wires share a unit
 // grid edge (the multilayer grid model requires edge-disjoint paths), the
@@ -54,7 +191,12 @@ const ctxStride = 64
 // violations found (nil means the layout is legal).
 //
 // The check is exact, not sampled: every unit grid edge of every wire is
-// hashed. Memory is proportional to total wire length.
+// recorded. Edge occupancy lives in a dense bitset over the wire set's
+// bounding box whenever that box is compact (the structure Thompson-model
+// layouts always have), falling back to a hash map on sparse or adversarial
+// inputs; see CheckOptions.DenseLimit. Memory on the dense path is one bit
+// per bounding-box edge slot; on the sparse path it is proportional to total
+// wire length.
 func Check(wires []Wire, opts CheckOptions) []Violation {
 	vs, _ := CheckCtx(nil, wires, opts)
 	return vs
@@ -65,8 +207,20 @@ func Check(wires []Wire, opts CheckOptions) []Violation {
 // nil violation slice plus an error wrapping par.ErrCanceled once the
 // context is done. On a nil error the violations are exactly Check's.
 func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
+	box, total := Wires(wires).measure()
+	if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {
+		return checkDense(ctx, wires, opts, ix)
+	}
+	return checkSparse(ctx, wires, opts, total)
+}
+
+// checkSparse is the retained map-based reference implementation: every unit
+// edge is hashed into a map keyed by (lower endpoint, axis). It handles
+// arbitrary geometry — unbounded coordinates, adversarially sparse wire sets
+// — at hashing cost per edge.
+func checkSparse(ctx context.Context, wires []Wire, opts CheckOptions, total int) ([]Violation, error) {
 	var violations []Violation
-	seen := make(map[edgeKey]int, totalLength(wires))
+	seen := make(map[edgeKey]int, total)
 
 	for wi := range wires {
 		if ctx != nil && wi%ctxStride == 0 {
@@ -75,45 +229,20 @@ func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation
 			}
 		}
 		w := &wires[wi]
-		if err := w.Validate(); err != nil {
-			violations = append(violations, Violation{WireID: w.ID, OtherID: -1, Reason: err.Error()})
+		if v, bad := w.structural(); bad {
+			violations = append(violations, v)
 			continue
 		}
 		w.UnitEdges(func(low Point, axis Axis) bool {
-			if opts.Layers > 0 {
-				zTop := low.Z
-				if axis == AxisZ {
-					zTop = low.Z + 1
-				}
-				if low.Z < 0 || zTop > opts.Layers {
-					violations = append(violations, Violation{
-						WireID: w.ID, OtherID: -1, Where: low,
-						Reason: fmt.Sprintf("leaves wiring layer range [0,%d]", opts.Layers),
-					})
-					return false
-				}
-			}
-			if opts.Discipline && low.Z > 0 {
-				if axis == AxisX && low.Z%2 == 0 {
-					violations = append(violations, Violation{
-						WireID: w.ID, OtherID: -1, Where: low,
-						Reason: "x-run on an even layer violates direction discipline",
-					})
-					return false
-				}
-				if axis == AxisY && low.Z%2 == 1 {
-					violations = append(violations, Violation{
-						WireID: w.ID, OtherID: -1, Where: low,
-						Reason: "y-run on an odd layer violates direction discipline",
-					})
-					return false
-				}
+			if v, bad := edgeViolation(w, low, axis, &opts); bad {
+				violations = append(violations, v)
+				return false
 			}
 			key := edgeKey{low, axis}
 			if other, dup := seen[key]; dup {
 				violations = append(violations, Violation{
 					WireID: w.ID, OtherID: other, Where: low,
-					Reason: fmt.Sprintf("shared unit %s-edge", axis),
+					Code: ReasonSharedEdge, EdgeAxis: axis,
 				})
 				return false
 			}
@@ -121,41 +250,40 @@ func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation
 			return true
 		})
 
-		if opts.Nodes != nil && w.U >= 0 && w.V >= 0 {
-			checkTerminal(w, w.Path[0], w.U, opts.Nodes, &violations)
-			checkTerminal(w, w.Path[len(w.Path)-1], w.V, opts.Nodes, &violations)
-		}
+		checkTerminals(w, opts.Nodes, &violations)
 	}
 	return violations, nil
+}
+
+// checkTerminals runs both endpoint checks of one wire, appending any
+// violations. Wires with auxiliary endpoints (U or V negative) are exempt,
+// as is the whole check when no node rectangles were supplied.
+func checkTerminals(w *Wire, nodes []Rect, violations *[]Violation) {
+	if nodes == nil || w.U < 0 || w.V < 0 || len(w.Path) == 0 {
+		return
+	}
+	checkTerminal(w, w.Path[0], w.U, nodes, violations)
+	checkTerminal(w, w.Path[len(w.Path)-1], w.V, nodes, violations)
 }
 
 func checkTerminal(w *Wire, p Point, node int, nodes []Rect, violations *[]Violation) {
 	if node < 0 || node >= len(nodes) {
 		*violations = append(*violations, Violation{
 			WireID: w.ID, OtherID: -1, Where: p,
-			Reason: fmt.Sprintf("endpoint node id %d out of range", node),
+			Code: ReasonEndpointRange, Aux: int32(node),
 		})
 		return
 	}
 	if p.Z != 0 {
 		*violations = append(*violations, Violation{
-			WireID: w.ID, OtherID: -1, Where: p,
-			Reason: "wire terminal is not on the active layer (z=0)",
+			WireID: w.ID, OtherID: -1, Where: p, Code: ReasonTerminalOffActive,
 		})
 		return
 	}
 	if !nodes[node].Contains(p.X, p.Y) {
 		*violations = append(*violations, Violation{
 			WireID: w.ID, OtherID: -1, Where: p,
-			Reason: fmt.Sprintf("wire terminal is outside node %d rectangle", node),
+			Code: ReasonTerminalOutsideNode, Aux: int32(node),
 		})
 	}
-}
-
-func totalLength(wires []Wire) int {
-	total := 0
-	for i := range wires {
-		total += wires[i].Length()
-	}
-	return total
 }

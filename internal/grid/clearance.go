@@ -42,7 +42,7 @@ func CheckClearance(wires []Wire, nodes []Rect) []Violation {
 			}
 			violations = append(violations, Violation{
 				WireID: w.ID, OtherID: -1, Where: low,
-				Reason: "planar run passes through the interior of a foreign node",
+				Code: ReasonNodeInterior, Aux: int32(node),
 			})
 			return false
 		})

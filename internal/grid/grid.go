@@ -60,27 +60,15 @@ type Wire struct {
 // Validate checks that the path is a well-formed rectilinear polyline:
 // at least two vertices and every hop axis-aligned with nonzero length.
 func (w *Wire) Validate() error {
-	if len(w.Path) < 2 {
+	v, bad := w.structural()
+	if !bad {
+		return nil
+	}
+	if v.Code == ReasonShortPath {
 		return fmt.Errorf("wire %d: path has %d vertices, need at least 2", w.ID, len(w.Path))
 	}
-	for i := 1; i < len(w.Path); i++ {
-		a, b := w.Path[i-1], w.Path[i]
-		dx, dy, dz := b.X-a.X, b.Y-a.Y, b.Z-a.Z
-		nz := 0
-		if dx != 0 {
-			nz++
-		}
-		if dy != 0 {
-			nz++
-		}
-		if dz != 0 {
-			nz++
-		}
-		if nz != 1 {
-			return fmt.Errorf("wire %d: hop %d from %v to %v is not a straight axis-aligned segment", w.ID, i, a, b)
-		}
-	}
-	return nil
+	i := int(v.Aux)
+	return fmt.Errorf("wire %d: hop %d from %v to %v is not a straight axis-aligned segment", w.ID, i, w.Path[i-1], w.Path[i])
 }
 
 // Length returns the total geometric length of the wire, including vias
@@ -152,6 +140,37 @@ func (w *Wire) UnitEdges(fn func(low Point, axis Axis) bool) {
 			}
 		}
 	}
+}
+
+// Wires is a set of wires with aggregate measurements.
+type Wires []Wire
+
+// Bounds returns the smallest bounding box containing every path vertex of
+// every wire in the set.
+func (ws Wires) Bounds() BoundingBox {
+	box, _ := ws.measure()
+	return box
+}
+
+// measure walks every path vertex exactly once, returning the vertex
+// bounding box together with the total unit-edge count (the sum of wire
+// lengths). The checkers use the box to size the dense occupancy grid and
+// the count to pre-size the sparse fallback's map, so neither needs a
+// second pass over the geometry.
+func (ws Wires) measure() (BoundingBox, int) {
+	box := NewBoundingBox()
+	total := 0
+	for i := range ws {
+		path := ws[i].Path
+		for j, p := range path {
+			box.AddPoint(p)
+			if j > 0 {
+				q := path[j-1]
+				total += absInt(p.X-q.X) + absInt(p.Y-q.Y) + absInt(p.Z-q.Z)
+			}
+		}
+	}
+	return box, total
 }
 
 // Rect is an axis-aligned rectangle on the active layer occupied by a node.

@@ -1,0 +1,197 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// occBox builds a bounding box from explicit corners.
+func occBox(minX, minY, minZ, maxX, maxY, maxZ int) BoundingBox {
+	b := NewBoundingBox()
+	b.AddPoint(Point{minX, minY, minZ})
+	b.AddPoint(Point{maxX, maxY, maxZ})
+	return b
+}
+
+func TestOccIndexerRoundTrip(t *testing.T) {
+	ix, ok := newOccIndexer(occBox(-3, 2, 0, 5, 9, 4), 0, 100)
+	if !ok {
+		t.Fatal("compact box rejected")
+	}
+	// Exhaustive: every slot index maps to a unique edge and back.
+	seen := make(map[int]bool, ix.cells)
+	for z := 0; z <= 4; z++ {
+		for y := 2; y <= 9; y++ {
+			for x := -3; x <= 5; x++ {
+				for _, a := range []Axis{AxisX, AxisY, AxisZ} {
+					low := Point{x, y, z}
+					idx := ix.index(low, a)
+					if idx < 0 || idx >= ix.cells {
+						t.Fatalf("index(%v, %v) = %d out of [0,%d)", low, a, idx, ix.cells)
+					}
+					if seen[idx] {
+						t.Fatalf("index(%v, %v) = %d collides with another edge", low, a, idx)
+					}
+					seen[idx] = true
+					gotP, gotA := ix.unindex(idx)
+					if gotP != low || gotA != a {
+						t.Fatalf("unindex(index(%v, %v)) = (%v, %v)", low, a, gotP, gotA)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != ix.cells {
+		t.Fatalf("covered %d of %d slots", len(seen), ix.cells)
+	}
+}
+
+func TestOccIndexerThresholds(t *testing.T) {
+	box := occBox(0, 0, 0, 9, 9, 2) // 10*10*3*3 = 900 slots
+	if _, ok := newOccIndexer(box, -1, 1000); ok {
+		t.Error("negative limit should force the sparse path")
+	}
+	if _, ok := newOccIndexer(box, 899, 1000); ok {
+		t.Error("limit below the slot count should reject the dense path")
+	}
+	if ix, ok := newOccIndexer(box, 900, 1000); !ok || ix.cells != 900 {
+		t.Errorf("limit at the slot count should admit: ok=%v cells=%d", ok, ix.cells)
+	}
+	if _, ok := newOccIndexer(box, 0, 1000); !ok {
+		t.Error("adaptive limit should admit a compact box")
+	}
+	// Adaptive rejection: a sparse wire set spanning a huge box. The extents
+	// here would overflow 3*w*h*d in int arithmetic, so this also checks the
+	// stepwise overflow guard.
+	huge := occBox(0, 0, 0, 1<<40, 1<<40, 4)
+	if _, ok := newOccIndexer(huge, 0, 10); ok {
+		t.Error("adaptive limit should reject a sparse gigantic box")
+	}
+	if _, ok := newOccIndexer(NewBoundingBox(), 0, 0); ok {
+		t.Error("empty box should not build an indexer")
+	}
+}
+
+// denseAndSparse runs Check with the dense path admitted and with the map
+// fallback forced, failing the test if the results diverge.
+func denseAndSparse(t *testing.T, wires []Wire, opts CheckOptions) []Violation {
+	t.Helper()
+	opts.DenseLimit = 0
+	dense := Check(wires, opts)
+	opts.DenseLimit = -1
+	sparse := Check(wires, opts)
+	if !reflect.DeepEqual(dense, sparse) {
+		t.Fatalf("dense/sparse divergence\ndense:  %v\nsparse: %v", dense, sparse)
+	}
+	return dense
+}
+
+func TestCheckDenseMatchesSparseRandom(t *testing.T) {
+	opts := CheckOptions{Layers: 4, Discipline: true}
+	for seed := int64(0); seed < 300; seed++ {
+		var wires []Wire
+		for i := 0; i < 6; i++ {
+			w := randomWire(seed*31 + int64(i))
+			w.ID = i
+			wires = append(wires, w)
+		}
+		denseAndSparse(t, wires, opts)
+	}
+}
+
+func TestCheckDenseSharedEdgeAttribution(t *testing.T) {
+	// Three wires fighting over the same unit edge: the first claimant owns
+	// it, both later wires are charged against wire 0 — and the dense path's
+	// replay must recover that attribution without owner storage.
+	edge := []Point{{1, 1, 1}, {2, 1, 1}}
+	wires := []Wire{
+		{ID: 0, U: -1, V: -1, Path: edge},
+		{ID: 1, U: -1, V: -1, Path: edge},
+		{ID: 2, U: -1, V: -1, Path: edge},
+	}
+	vs := denseAndSparse(t, wires, CheckOptions{Layers: 2, Discipline: true})
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	for i, v := range vs {
+		if v.Code != ReasonSharedEdge || v.OtherID != 0 || v.WireID != i+1 {
+			t.Errorf("violation %d = %+v, want wire %d charged against wire 0", i, v, i+1)
+		}
+	}
+
+	// Self-overlap: a wire that doubles back over its own edge must charge
+	// itself (OtherID == its own ID).
+	self := []Wire{{ID: 7, U: -1, V: -1, Path: []Point{
+		{0, 0, 1}, {3, 0, 1}, {3, 1, 1}, {3, 0, 1}, {5, 0, 1},
+	}}}
+	vs = denseAndSparse(t, self, CheckOptions{Layers: 2})
+	if len(vs) != 1 || vs[0].OtherID != 7 || vs[0].WireID != 7 {
+		t.Fatalf("self-overlap: %v, want one violation charging wire 7 against itself", vs)
+	}
+}
+
+func TestCheckDensePoolReuseAcrossSizes(t *testing.T) {
+	// Back-to-back checks of different-sized wire sets must not leak
+	// occupancy bits through the pool: a stale bit would surface as a
+	// phantom shared-edge violation on a legal layout.
+	small := []Wire{{ID: 0, U: -1, V: -1, Path: []Point{{0, 0, 1}, {4, 0, 1}}}}
+	big := []Wire{
+		{ID: 0, U: -1, V: -1, Path: []Point{{0, 0, 1}, {40, 0, 1}}},
+		{ID: 1, U: -1, V: -1, Path: []Point{{0, 1, 1}, {40, 1, 1}}},
+	}
+	for round := 0; round < 10; round++ {
+		if vs := Check(big, CheckOptions{Layers: 2}); len(vs) != 0 {
+			t.Fatalf("round %d: big layout reported %v", round, vs)
+		}
+		if vs := Check(small, CheckOptions{Layers: 2}); len(vs) != 0 {
+			t.Fatalf("round %d: small layout reported %v", round, vs)
+		}
+	}
+}
+
+func TestCheckParallelDenseMatchesSparse(t *testing.T) {
+	opts := CheckOptions{Layers: 4, Discipline: true}
+	for seed := int64(0); seed < 100; seed++ {
+		var wires []Wire
+		for i := 0; i < 8; i++ {
+			w := randomWire(seed*53 + int64(i)*7)
+			w.ID = i
+			wires = append(wires, w)
+		}
+		sparse := opts
+		sparse.DenseLimit = -1
+		for _, workers := range []int{1, 2, 4} {
+			d := CheckParallel(wires, opts, workers)
+			s := CheckParallel(wires, sparse, workers)
+			if !reflect.DeepEqual(d, s) {
+				t.Fatalf("seed %d workers %d: parallel dense/sparse divergence\ndense:  %v\nsparse: %v",
+					seed, workers, d, s)
+			}
+		}
+	}
+}
+
+func TestViolationMessages(t *testing.T) {
+	cases := []struct {
+		v    Violation
+		want string
+	}{
+		{Violation{WireID: 3, OtherID: 5, Where: Point{1, 2, 3}, Code: ReasonSharedEdge, EdgeAxis: AxisY},
+			"wire 3 overlaps wire 5 at (1,2,3): shared unit y-edge"},
+		{Violation{WireID: 2, OtherID: -1, Where: Point{0, 0, -1}, Code: ReasonLayerRange, Aux: 4},
+			"wire 2 at (0,0,-1): leaves wiring layer range [0,4]"},
+		{Violation{WireID: 1, OtherID: -1, Where: Point{9, 9, 2}, Code: ReasonDisciplineX},
+			"wire 1 at (9,9,2): x-run on an even layer violates direction discipline"},
+		{Violation{WireID: 1, OtherID: -1, Where: Point{9, 9, 1}, Code: ReasonDisciplineY},
+			"wire 1 at (9,9,1): y-run on an odd layer violates direction discipline"},
+		{Violation{WireID: 0, OtherID: -1, Code: ReasonShortPath, Aux: 1},
+			"wire 0 at (0,0,0): path has 1 vertices, need at least 2"},
+		{Violation{WireID: 4, OtherID: -1, Where: Point{2, 2, 0}, Code: ReasonTerminalOutsideNode, Aux: 9},
+			"wire 4 at (2,2,0): wire terminal is outside node 9 rectangle"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}

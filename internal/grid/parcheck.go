@@ -2,7 +2,7 @@ package grid
 
 import (
 	"context"
-	"fmt"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 
@@ -11,12 +11,17 @@ import (
 
 // CheckParallel is the sharded variant of Check: wires are partitioned into
 // contiguous shards across workers (workers <= 0 means GOMAXPROCS), each
-// shard walks its wires' unit edges into per-shard edge sets keyed by a
-// packed integer encoding, and the shards' sets are merged bucket by bucket
-// to find cross-shard conflicts. The check is exact — every unit grid edge
-// of every wire is still hashed, exactly as in Check — and the result is
-// deterministic: it does not depend on the worker count or on goroutine
-// scheduling.
+// shard walks its wires' unit edges into a shard-local occupancy store, and
+// the stores are merged to find cross-shard conflicts. The check is exact —
+// every unit grid edge of every wire is still recorded, exactly as in Check
+// — and the result is deterministic: it does not depend on the worker count
+// or on goroutine scheduling.
+//
+// Like Check, the edge stores are dense occupancy bitsets over the wire
+// set's bounding box whenever the box is compact (see
+// CheckOptions.DenseLimit); the merge is then a linear scan over the shards'
+// bitsets instead of a hash-map union. Sparse or adversarial inputs fall
+// back to per-shard hash maps keyed by a packed integer encoding.
 //
 // On a legal layout CheckParallel returns nil exactly when Check does, and
 // on any input the result is byte-identical for every worker count. Illegal
@@ -26,17 +31,17 @@ import (
 // violations carry Check's attribution rule (the wire earliest in slice
 // order owns the edge; the later wire is charged). The only divergence from
 // Check arises on layouts with several interacting violations, where Check's
-// serial early exit also stops hashing the rest of a violating wire's edges;
-// CheckParallel hashes them, so it can attribute a conflict on those edges
-// that Check never sees. Legality verdicts always agree.
+// serial early exit also stops recording the rest of a violating wire's
+// edges; CheckParallel records them, so it can attribute a conflict on those
+// edges that Check never sees. Legality verdicts always agree.
 func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 	vs, _ := CheckParallelCtx(nil, wires, opts, workers)
 	return vs
 }
 
 // CheckParallelCtx is CheckParallel with cooperative cancellation: both the
-// sharded wire walk and the bucket merge poll ctx (which may be nil, meaning
-// no cancellation) and the call returns a nil violation slice plus an error
+// sharded wire walk and the merge poll ctx (which may be nil, meaning no
+// cancellation) and the call returns a nil violation slice plus an error
 // wrapping par.ErrCanceled once the context is done. On a nil error the
 // violations are exactly CheckParallel's.
 func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, workers int) ([]Violation, error) {
@@ -49,35 +54,293 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 	}
 	w := par.Workers(workers)
 
-	enc, ok := newEdgeEncoder(wires, w)
+	box, total := parMeasure(wires, w)
+	if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {
+		return checkDenseParallel(ctx, wires, opts, ix, w)
+	}
+	enc, ok := newEdgeEncoderFromBox(box)
 	if !ok {
 		// Coordinates too large to pack into 64 bits (beyond any layout this
 		// module can realistically build): fall back to the reference checker.
 		return CheckCtx(ctx, wires, opts)
 	}
-	var stop atomic.Bool
-	canceled := func(counter int) bool {
-		if ctx == nil || counter%ctxStride != 0 {
-			return false
+	return checkSparseParallel(ctx, wires, opts, enc, w)
+}
+
+// parMeasure is Wires.measure sharded across the worker pool: one pass over
+// all path vertices yielding the joint bounding box and total edge count.
+func parMeasure(wires []Wire, workers int) (BoundingBox, int) {
+	shards := par.NumChunks(workers, len(wires))
+	boxes := make([]BoundingBox, shards)
+	totals := make([]int, shards)
+	par.Chunks(workers, len(wires), func(shard, lo, hi int) {
+		boxes[shard], totals[shard] = Wires(wires[lo:hi]).measure()
+	})
+	box := NewBoundingBox()
+	total := 0
+	for s := range boxes {
+		if !boxes[s].Empty() {
+			box.AddPoint(Point{boxes[s].MinX, boxes[s].MinY, boxes[s].MinZ})
+			box.AddPoint(Point{boxes[s].MaxX, boxes[s].MaxY, boxes[s].MaxZ})
 		}
-		if stop.Load() {
-			return true
-		}
-		if ctx.Err() != nil {
-			stop.Store(true)
-			return true
-		}
+		total += totals[s]
+	}
+	return box, total
+}
+
+// canceler wraps the cooperative-cancellation poll shared by the parallel
+// phases: cheap enough to call per item, polling the context only every
+// ctxStride items, with the verdict broadcast through an atomic so every
+// worker stops soon after the first one observes expiry.
+type canceler struct {
+	ctx  context.Context
+	stop atomic.Bool
+}
+
+func (c *canceler) hit(counter int) bool {
+	if c.ctx == nil || counter%ctxStride != 0 {
 		return false
 	}
+	if c.stop.Load() {
+		return true
+	}
+	if c.ctx.Err() != nil {
+		c.stop.Store(true)
+		return true
+	}
+	return false
+}
 
-	// Phase 1: shard wires contiguously across workers. Each shard performs
-	// the per-wire checks (path validity, layer range, direction discipline,
-	// terminals) and collects every hashed unit edge into hash-partitioned
-	// buckets. Within a shard, bucket entries are appended in (wire, edge)
-	// order; shards cover ascending wire ranges, so concatenating shard
-	// buckets in shard order keeps every bucket globally sorted by wire —
-	// which is what makes ownership deterministic in phase 2.
-	shards := par.NumChunks(w, n)
+// wordsPerLine is the occupancy-bitset alignment unit for the merge scan:
+// eight 64-bit words is one 64-byte cache line.
+const wordsPerLine = 8
+
+// checkDenseParallel is CheckParallelCtx's dense core.
+//
+// Phase 1 walks contiguous wire shards, each marking edges in its own pooled
+// occupancy bitset; a bit already set within a shard is recorded as a
+// contested slot (no owner lookup — the bitset stores presence only).
+// Phase 2 scans the shards' bitsets in cache-line-aligned ranges and ORs
+// them word by word; any bit set by two shards is another contested slot.
+// Only if contested slots exist does phase 3 replay the walk in global wire
+// order to attribute owners and emit the shared-edge violations — so the
+// legal path never hashes an edge, allocates per edge, or replays.
+func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix occIndexer, workers int) ([]Violation, error) {
+	n := len(wires)
+	words := ix.words()
+	shards := par.NumChunks(workers, n)
+	cancel := &canceler{ctx: ctx}
+
+	type shardResult struct {
+		buf        *occBuf
+		violations []seqViolation
+		contested  []int
+	}
+	results := make([]shardResult, shards)
+	defer func() {
+		for s := range results {
+			if results[s].buf != nil {
+				occPut(results[s].buf)
+			}
+		}
+	}()
+	par.Chunks(workers, n, func(shard, lo, hi int) {
+		res := &results[shard]
+		res.buf = occGet(words)
+		occ := res.buf.bits
+		for wi := lo; wi < hi; wi++ {
+			if cancel.hit(wi - lo) {
+				return
+			}
+			collectWireDense(&wires[wi], int32(wi), opts, ix, occ, &res.violations, &res.contested)
+		}
+	})
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
+
+	ncontested := 0
+	for s := range results {
+		ncontested += len(results[s].contested)
+	}
+	var crossed [][]int
+	if shards > 1 {
+		crossed = make([][]int, par.NumAlignedChunks(workers, words, wordsPerLine))
+		par.AlignedChunks(workers, words, wordsPerLine, func(chunk, lo, hi int) {
+			var found []int
+			for wd := lo; wd < hi; wd++ {
+				if cancel.hit(wd - lo) {
+					return
+				}
+				var acc, dup uint64
+				for s := range results {
+					b := results[s].buf.bits[wd]
+					dup |= acc & b
+					acc |= b
+				}
+				for dup != 0 {
+					bit := bits.TrailingZeros64(dup)
+					found = append(found, wd<<6|bit)
+					dup &^= 1 << bit
+				}
+			}
+			crossed[chunk] = found
+		})
+		if err := par.Canceled(ctx); err != nil {
+			return nil, err
+		}
+		for _, f := range crossed {
+			ncontested += len(f)
+		}
+	}
+
+	var all []seqViolation
+	for s := range results {
+		all = append(all, results[s].violations...)
+	}
+	if ncontested > 0 {
+		targets := make(map[int]int, ncontested)
+		for s := range results {
+			for _, idx := range results[s].contested {
+				targets[idx] = -1
+			}
+		}
+		for _, f := range crossed {
+			for _, idx := range f {
+				targets[idx] = -1
+			}
+		}
+		all = append(all, replayShared(wires, opts, ix, targets)...)
+	}
+	return canonicalize(wires, all), nil
+}
+
+// collectWireDense runs the per-wire checks of Check on one wire, marking
+// its unit edges in the shard's occupancy bitset. It mirrors Check's early
+// exits — a malformed path skips the walk entirely and a layer-range or
+// discipline violation stops the walk — except that a contested edge does
+// not stop it: ownership is global and resolved after the merge, so the
+// shard keeps recording (matching the previous hash-based phase split).
+func collectWireDense(w *Wire, wi int32, opts CheckOptions, ix occIndexer, occ []uint64, violations *[]seqViolation, contested *[]int) {
+	if v, bad := w.structural(); bad {
+		*violations = append(*violations, seqViolation{wire: wi, seq: seqValidate, v: v})
+		return
+	}
+	seq := int32(0)
+	w.UnitEdges(func(low Point, axis Axis) bool {
+		if v, bad := edgeViolation(w, low, axis, &opts); bad {
+			*violations = append(*violations, seqViolation{wire: wi, seq: seq, v: v})
+			return false
+		}
+		idx := ix.index(low, axis)
+		word, mask := idx>>6, uint64(1)<<(idx&63)
+		if occ[word]&mask != 0 {
+			*contested = append(*contested, idx)
+		} else {
+			occ[word] |= mask
+		}
+		seq++
+		return true
+	})
+	collectTerminals(w, wi, opts.Nodes, violations)
+}
+
+// collectTerminals appends the terminal violations of one wire tagged with
+// their canonical sort positions.
+func collectTerminals(w *Wire, wi int32, nodes []Rect, violations *[]seqViolation) {
+	if nodes == nil || w.U < 0 || w.V < 0 || len(w.Path) == 0 {
+		return
+	}
+	var tv []Violation
+	checkTerminal(w, w.Path[0], w.U, nodes, &tv)
+	for _, v := range tv {
+		*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalU, v: v})
+	}
+	tv = tv[:0]
+	checkTerminal(w, w.Path[len(w.Path)-1], w.V, nodes, &tv)
+	for _, v := range tv {
+		*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalV, v: v})
+	}
+}
+
+// replayShared rewalks every wire in global order, resolving each contested
+// slot to its first claimant (the owner, matching Check's attribution) and
+// emitting a shared-edge violation for every later claimant. The walk
+// repeats phase 1's early exits exactly, so claim order — and therefore
+// ownership — is identical to what a serial single-store pass would see.
+// targets maps contested slot indices to -1; cost is one map probe per edge,
+// paid only on illegal layouts.
+func replayShared(wires []Wire, opts CheckOptions, ix occIndexer, targets map[int]int) []seqViolation {
+	var out []seqViolation
+	for wi := range wires {
+		w := &wires[wi]
+		if _, bad := w.structural(); bad {
+			continue
+		}
+		seq := int32(0)
+		w.UnitEdges(func(low Point, axis Axis) bool {
+			if _, bad := edgeViolation(w, low, axis, &opts); bad {
+				return false
+			}
+			if owner, contested := targets[ix.index(low, axis)]; contested {
+				if owner < 0 {
+					targets[ix.index(low, axis)] = w.ID
+				} else {
+					out = append(out, seqViolation{wire: int32(wi), seq: seq, v: Violation{
+						WireID: w.ID, OtherID: owner, Where: low,
+						Code: ReasonSharedEdge, EdgeAxis: axis,
+					}})
+				}
+			}
+			seq++
+			return true
+		})
+	}
+	return out
+}
+
+// canonicalize sorts the tagged violations into Check's canonical order and
+// applies its per-wire walk truncation: Check stops walking a wire at its
+// first violation, so it reports at most one walk violation per wire; keep
+// only the earliest of ours (validate and terminal violations are outside
+// the walk and unaffected).
+func canonicalize(wires []Wire, all []seqViolation) []Violation {
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].wire != all[j].wire {
+			return all[i].wire < all[j].wire
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]Violation, 0, len(all))
+	walkDone := int32(-1) // last wire whose walk violation was emitted
+	for _, sv := range all {
+		if sv.seq >= 0 && sv.seq < seqTerminalU {
+			if sv.wire == walkDone {
+				continue
+			}
+			walkDone = sv.wire
+		}
+		out = append(out, sv.v)
+	}
+	return out
+}
+
+// checkSparseParallel is the retained hash-based parallel path for inputs
+// the dense grid rejects. Phase 1 shards wires contiguously across workers,
+// collecting every packed unit-edge key into hash-partitioned buckets;
+// phase 2 merges each bucket across shards through a per-bucket map, first
+// claimant in global wire order owning each edge — Check's attribution.
+// Within a shard, bucket entries are appended in (wire, edge) order; shards
+// cover ascending wire ranges, so concatenating shard buckets in shard
+// order keeps every bucket globally sorted by wire, which is what makes
+// ownership deterministic.
+func checkSparseParallel(ctx context.Context, wires []Wire, opts CheckOptions, enc edgeEncoder, workers int) ([]Violation, error) {
+	n := len(wires)
+	cancel := &canceler{ctx: ctx}
+	shards := par.NumChunks(workers, n)
 	// One merge task per shard keeps fan-out bounded; rounded up to a power
 	// of two so bucket selection is a mask instead of a modulo.
 	buckets := 1
@@ -89,11 +352,11 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		buckets    [][]claim
 	}
 	results := make([]shardResult, shards)
-	par.Chunks(w, n, func(shard, lo, hi int) {
+	par.Chunks(workers, n, func(shard, lo, hi int) {
 		res := &results[shard]
 		res.buckets = make([][]claim, buckets)
 		for wi := lo; wi < hi; wi++ {
-			if canceled(wi - lo) {
+			if cancel.hit(wi - lo) {
 				return
 			}
 			collectWire(&wires[wi], int32(wi), opts, enc, res.buckets, &res.violations)
@@ -103,12 +366,8 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		return nil, err
 	}
 
-	// Phase 2: merge each bucket across shards. The per-bucket edge map is
-	// the shard-local "seen" set of Check, now keyed by the packed encoding;
-	// the first claimant in global wire order owns an edge and every later
-	// claimant is a violation, matching Check's attribution.
 	perBucket := make([][]seqViolation, buckets)
-	par.ForEach(w, buckets, func(b int) {
+	par.ForEach(workers, buckets, func(b int) {
 		total := 0
 		for s := range results {
 			total += len(results[s].buckets[b])
@@ -120,7 +379,7 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		var found []seqViolation
 		processed := 0
 		for s := range results {
-			if canceled(processed) {
+			if cancel.hit(processed) {
 				return
 			}
 			processed++
@@ -130,10 +389,9 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 						wire: c.wire,
 						seq:  c.seq,
 						v: Violation{
-							WireID:  wires[c.wire].ID,
-							OtherID: wires[first].ID,
-							Where:   enc.unpack(c.key),
-							Reason:  fmt.Sprintf("shared unit %s-edge", Axis(c.key&3)),
+							WireID: wires[c.wire].ID, OtherID: wires[first].ID,
+							Where: enc.unpack(c.key),
+							Code:  ReasonSharedEdge, EdgeAxis: Axis(c.key & 3),
 						},
 					})
 				} else {
@@ -154,30 +412,7 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 	for _, found := range perBucket {
 		all = append(all, found...)
 	}
-	if len(all) == 0 {
-		return nil, nil
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].wire != all[j].wire {
-			return all[i].wire < all[j].wire
-		}
-		return all[i].seq < all[j].seq
-	})
-	// Check stops walking a wire at its first violation, so it reports at
-	// most one walk violation per wire; keep only the earliest of ours
-	// (validate and terminal violations are outside the walk and unaffected).
-	out := make([]Violation, 0, len(all))
-	walkDone := int32(-1) // last wire whose walk violation was emitted
-	for _, sv := range all {
-		if sv.seq >= 0 && sv.seq < seqTerminalU {
-			if sv.wire == walkDone {
-				continue
-			}
-			walkDone = sv.wire
-		}
-		out = append(out, sv.v)
-	}
-	return out, nil
+	return canonicalize(wires, all), nil
 }
 
 // claim records one unit edge hashed by one wire: the packed edge key plus
@@ -207,84 +442,32 @@ const (
 // violation stops the walk (so edges past it are not hashed, matching the
 // serial checker's early exit).
 func collectWire(w *Wire, wi int32, opts CheckOptions, enc edgeEncoder, buckets [][]claim, violations *[]seqViolation) {
-	if err := w.Validate(); err != nil {
+	if v, bad := w.structural(); bad {
 		// Matches Check's `continue`: a malformed path skips the walk and
 		// the terminal checks.
-		*violations = append(*violations, seqViolation{
-			wire: wi, seq: seqValidate,
-			v: Violation{WireID: w.ID, OtherID: -1, Reason: err.Error()},
-		})
+		*violations = append(*violations, seqViolation{wire: wi, seq: seqValidate, v: v})
 		return
 	}
-	{
-		seq := int32(0)
-		mask := uint64(len(buckets) - 1)
-		w.UnitEdges(func(low Point, axis Axis) bool {
-			if opts.Layers > 0 {
-				zTop := low.Z
-				if axis == AxisZ {
-					zTop = low.Z + 1
-				}
-				if low.Z < 0 || zTop > opts.Layers {
-					*violations = append(*violations, seqViolation{
-						wire: wi, seq: seq,
-						v: Violation{
-							WireID: w.ID, OtherID: -1, Where: low,
-							Reason: fmt.Sprintf("leaves wiring layer range [0,%d]", opts.Layers),
-						},
-					})
-					return false
-				}
-			}
-			if opts.Discipline && low.Z > 0 {
-				if axis == AxisX && low.Z%2 == 0 {
-					*violations = append(*violations, seqViolation{
-						wire: wi, seq: seq,
-						v: Violation{
-							WireID: w.ID, OtherID: -1, Where: low,
-							Reason: "x-run on an even layer violates direction discipline",
-						},
-					})
-					return false
-				}
-				if axis == AxisY && low.Z%2 == 1 {
-					*violations = append(*violations, seqViolation{
-						wire: wi, seq: seq,
-						v: Violation{
-							WireID: w.ID, OtherID: -1, Where: low,
-							Reason: "y-run on an odd layer violates direction discipline",
-						},
-					})
-					return false
-				}
-			}
-			key := enc.pack(low, axis)
-			b := int((key * 0x9E3779B97F4A7C15 >> 32) & mask)
-			buckets[b] = append(buckets[b], claim{key: key, wire: wi, seq: seq})
-			seq++
-			return true
-		})
-	}
-
-	if opts.Nodes != nil && w.U >= 0 && w.V >= 0 {
-		var tv []Violation
-		checkTerminal(w, w.Path[0], w.U, opts.Nodes, &tv)
-		for _, v := range tv {
-			*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalU, v: v})
+	seq := int32(0)
+	mask := uint64(len(buckets) - 1)
+	w.UnitEdges(func(low Point, axis Axis) bool {
+		if v, bad := edgeViolation(w, low, axis, &opts); bad {
+			*violations = append(*violations, seqViolation{wire: wi, seq: seq, v: v})
+			return false
 		}
-		tv = tv[:0]
-		checkTerminal(w, w.Path[len(w.Path)-1], w.V, opts.Nodes, &tv)
-		for _, v := range tv {
-			*violations = append(*violations, seqViolation{wire: wi, seq: seqTerminalV, v: v})
-		}
-	}
+		key := enc.pack(low, axis)
+		b := int((key * 0x9E3779B97F4A7C15 >> 32) & mask)
+		buckets[b] = append(buckets[b], claim{key: key, wire: wi, seq: seq})
+		seq++
+		return true
+	})
+	collectTerminals(w, wi, opts.Nodes, violations)
 }
 
 // edgeEncoder packs a unit edge (lower endpoint + axis) into a uint64:
 // 2 axis bits in the low word, then Z, Y, X fields sized to the wire set's
 // bounding box. Integer keys hash an order of magnitude faster than the
-// 32-byte struct key the serial checker uses, which is where most of
-// CheckParallel's single-core speedup comes from.
+// 32-byte struct key the sparse serial checker uses.
 type edgeEncoder struct {
 	minX, minY, minZ       int
 	shiftZ, shiftY, shiftX uint
@@ -294,24 +477,13 @@ type edgeEncoder struct {
 // bounding box and derives the field layout. ok is false when the spans do
 // not fit in 62 bits.
 func newEdgeEncoder(wires []Wire, workers int) (edgeEncoder, bool) {
-	shards := par.NumChunks(workers, len(wires))
-	boxes := make([]BoundingBox, shards)
-	par.Chunks(workers, len(wires), func(shard, lo, hi int) {
-		b := NewBoundingBox()
-		for wi := lo; wi < hi; wi++ {
-			for _, p := range wires[wi].Path {
-				b.AddPoint(p)
-			}
-		}
-		boxes[shard] = b
-	})
-	box := NewBoundingBox()
-	for _, b := range boxes {
-		if !b.Empty() {
-			box.AddPoint(Point{b.MinX, b.MinY, b.MinZ})
-			box.AddPoint(Point{b.MaxX, b.MaxY, b.MaxZ})
-		}
-	}
+	box, _ := parMeasure(wires, par.Workers(workers))
+	return newEdgeEncoderFromBox(box)
+}
+
+// newEdgeEncoderFromBox derives the packed field layout from an
+// already-computed bounding box.
+func newEdgeEncoderFromBox(box BoundingBox) (edgeEncoder, bool) {
 	if box.Empty() {
 		return edgeEncoder{}, true
 	}

@@ -45,14 +45,9 @@ type Layout struct {
 
 // Bounds returns the smallest upright box containing all nodes and wires.
 func (l *Layout) Bounds() grid.BoundingBox {
-	b := grid.NewBoundingBox()
+	b := grid.Wires(l.Wires).Bounds()
 	for _, r := range l.Nodes {
 		b.AddRect(r, 0)
-	}
-	for i := range l.Wires {
-		for _, p := range l.Wires[i].Path {
-			b.AddPoint(p)
-		}
 	}
 	return b
 }
@@ -132,11 +127,8 @@ func (l *Layout) Verify() []grid.Violation {
 // VerifyWorkers is Verify with an explicit fan-out bound (0 = GOMAXPROCS,
 // 1 = serial). The result is identical for every worker count.
 func (l *Layout) VerifyWorkers(workers int) []grid.Violation {
-	return grid.CheckParallel(l.Wires, grid.CheckOptions{
-		Layers:     l.L,
-		Discipline: true,
-		Nodes:      l.Nodes,
-	}, workers)
+	vs, _ := l.VerifyTuned(nil, workers, 0)
+	return vs
 }
 
 // VerifyContext is VerifyWorkers with cooperative cancellation: it returns
@@ -144,10 +136,20 @@ func (l *Layout) VerifyWorkers(workers int) []grid.Violation {
 // (which may be nil, meaning no cancellation) is done. On a nil error the
 // violations are exactly Verify's.
 func (l *Layout) VerifyContext(ctx context.Context, workers int) ([]grid.Violation, error) {
+	return l.VerifyTuned(ctx, workers, 0)
+}
+
+// VerifyTuned exposes every verifier knob: the fan-out bound, cooperative
+// cancellation, and the dense-occupancy threshold (denseLimit 0 adapts to
+// the layout, negative forces the sparse hash path, positive caps the dense
+// grid's slot count — see grid.CheckOptions.DenseLimit). Violations are
+// identical for every knob combination.
+func (l *Layout) VerifyTuned(ctx context.Context, workers, denseLimit int) ([]grid.Violation, error) {
 	return grid.CheckParallelCtx(ctx, l.Wires, grid.CheckOptions{
 		Layers:     l.L,
 		Discipline: true,
 		Nodes:      l.Nodes,
+		DenseLimit: denseLimit,
 	}, workers)
 }
 

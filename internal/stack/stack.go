@@ -185,16 +185,12 @@ func Build(spec Spec) (*Layout3D, error) {
 	return out, nil
 }
 
-// Area is the planar footprint (identical across boards).
+// Area is the planar footprint (identical across boards). Wire z-extents
+// don't matter here: BoundingBox.Area is width x height only.
 func (s *Layout3D) Area() int {
-	b := grid.NewBoundingBox()
+	b := grid.Wires(s.Wires).Bounds()
 	for _, n := range s.Nodes {
 		b.AddRect(n.Rect, 0)
-	}
-	for i := range s.Wires {
-		for _, p := range s.Wires[i].Path {
-			b.AddPoint(grid.Point{X: p.X, Y: p.Y})
-		}
 	}
 	return b.Area()
 }
