@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench benchjson chaos fuzz check clean
+.PHONY: all vet build test race lint bench benchjson chaos fuzz check clean
 
 all: check
 
@@ -13,21 +13,34 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with parallel paths (the par worker
-# pool, the sharded grid checker, the parallel realize loop, the routing
-# sweeps) plus everything else under internal/.
+# Race-detector pass over the whole module: the internal packages with
+# parallel paths (the par worker pool, the sharded grid checker, the
+# parallel realize loop, the routing sweeps) AND the root-package chaos,
+# integration, and dense-diff tests, which exercise the same machinery end
+# to end. Benchmarks don't run without -bench, so no -run filter is needed;
+# the full pass is under a minute.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+# Domain static analysis: go vet plus the repo's own invariant analyzers
+# (see internal/analyze and `go run ./cmd/repolint -list`). Fails on any
+# active finding; //mlvlsi:allow exceptions are reported on stderr.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/repolint ./...
 
 # -count=3 repeats each benchmark so run-to-run noise is visible in the
 # output; pipe through benchstat externally if you want summaries.
 bench:
 	$(GO) test -bench . -benchmem -count=3 -run '^$$' .
 
-# Regenerate the committed benchmark trajectory (BENCH_3.json). CI runs the
-# same tool with -quick as a smoke test.
+# Regenerate the committed benchmark trajectory. `make benchjson PR=4`
+# writes BENCH_4.json; without PR= the tool overwrites the highest-numbered
+# BENCH_<n>.json already present (the latest committed snapshot). CI runs
+# the same tool with -quick as a smoke test.
+PR ?=
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) run ./cmd/benchjson $(if $(PR),-pr $(PR))
 
 # Chaos sweep: corrupt every registry family with every fault class and
 # require both verifiers to catch each corruption, under the race detector.
@@ -40,7 +53,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
-check: vet build test race
+check: vet build test race lint
 
 clean:
 	$(GO) clean ./...

@@ -379,7 +379,8 @@ func FoldStats(lay *Layout) fold.Stats { return fold.Measure(lay) }
 // MaxPathWire returns the maximum total wire length along hop-shortest
 // routes (claim (4) of §2.2); sources <= 0 examines all sources.
 func MaxPathWire(lay *Layout, sources int) int {
-	return route.MaxPathWire(lay, sources, 0)
+	m, _ := MaxPathWireContext(nil, lay, sources)
+	return m
 }
 
 // MaxPathWireContext is MaxPathWire with cooperative cancellation: once ctx
@@ -392,7 +393,8 @@ func MaxPathWireContext(ctx context.Context, lay *Layout, sources int) (int, err
 // AveragePathWire returns the mean total wire length along hop-shortest
 // routes.
 func AveragePathWire(lay *Layout, sources int) float64 {
-	return route.AveragePathWire(lay, sources, 0)
+	avg, _ := AveragePathWireContext(nil, lay, sources)
+	return avg
 }
 
 // AveragePathWireContext is AveragePathWire with cooperative cancellation,

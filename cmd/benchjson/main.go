@@ -4,12 +4,17 @@
 //
 //	{"bench": "check/serial", "ns_op": ..., "allocs_op": ..., "bytes_op": ..., "workers": 0}
 //
-// The committed BENCH_3.json at the repo root is one such snapshot; CI runs
-// `benchjson -quick` as a smoke test and uploads the result as an artifact
-// (numbers from shared runners are noisy, so nothing gates on them). The
-// *-sparse records force the retained map-based checker (DenseLimit < 0),
-// which doubles as the pre-dense baseline, so every snapshot carries its own
-// before/after pair.
+// The committed BENCH_<n>.json files at the repo root are such snapshots,
+// one per PR that moved the numbers; CI runs `benchjson -quick` as a smoke
+// test and uploads the result as an artifact (numbers from shared runners
+// are noisy, so nothing gates on them). The *-sparse records force the
+// retained map-based checker (DenseLimit < 0), which doubles as the
+// pre-dense baseline, so every snapshot carries its own before/after pair.
+//
+// Output selection: -out names the file explicitly; otherwise -pr N writes
+// BENCH_N.json, and with neither flag the tool refreshes the
+// highest-numbered BENCH_<n>.json already present (BENCH_1.json in an
+// empty tree).
 package main
 
 import (
@@ -17,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"mlvlsi/internal/core"
@@ -33,9 +41,13 @@ type Record struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output file ('-' for stdout)")
+	out := flag.String("out", "", "output file ('-' for stdout; default derived from -pr or existing snapshots)")
+	pr := flag.Int("pr", 0, "PR number: write BENCH_<pr>.json unless -out is set")
 	quick := flag.Bool("quick", false, "run a small instance once (CI smoke test)")
 	flag.Parse()
+	if *out == "" {
+		*out = deriveOut(*pr)
+	}
 
 	// The full workload matches bench_test.go: the 12-cube at L=4 for the
 	// checkers, the 10-cube for the builders. -quick drops to an 8-cube so a
@@ -118,6 +130,31 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// deriveOut picks the snapshot filename when -out is not given: BENCH_<pr>.json
+// for an explicit PR number, otherwise the highest-numbered BENCH_<n>.json in
+// the current directory (so a bare rerun refreshes the latest snapshot rather
+// than silently clobbering an older one), or BENCH_1.json if none exist yet.
+func deriveOut(pr int) string {
+	if pr > 0 {
+		return fmt.Sprintf("BENCH_%d.json", pr)
+	}
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		fatal(err)
+	}
+	best := 0
+	for _, m := range matches {
+		num := strings.TrimSuffix(strings.TrimPrefix(m, "BENCH_"), ".json")
+		if n, err := strconv.Atoi(num); err == nil && n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		best = 1
+	}
+	return fmt.Sprintf("BENCH_%d.json", best)
 }
 
 func fatal(v any) {

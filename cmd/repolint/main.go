@@ -1,0 +1,144 @@
+// Command repolint runs this repo's domain static analyzers over the whole
+// module and fails (exit 1) on any active finding. It enforces the three
+// hard invariants the engine PRs earned — pool-only parallelism,
+// byte-identical verifier output across worker counts, and zero-alloc
+// //mlvlsi:hotpath functions — plus the ctxflow and violationcode API
+// contracts (see internal/analyze).
+//
+// Usage:
+//
+//	repolint [-json] [-list] [packages]
+//
+// The package argument is accepted for familiarity ("./...") but the tool
+// always analyzes the entire module containing the named directory (default
+// "."), because the invariants are module-wide properties. Findings print
+// as
+//
+//	file:line: analyzer: message
+//
+// with paths relative to the module root. Intentional exceptions carry a
+// "//mlvlsi:allow <analyzer>" comment in source; they are suppressed but
+// still counted and listed on stderr so exceptions stay visible. -json
+// emits every finding (active and suppressed) as a JSON array on stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlvlsi/internal/analyze"
+	"mlvlsi/internal/cli"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyze.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	start := "."
+	if args := flag.Args(); len(args) > 0 {
+		if len(args) > 1 {
+			cli.Usagef("repolint: at most one package argument (the module is always analyzed whole), got %d", len(args))
+		}
+		start = strings.TrimSuffix(args[0], "...")
+		start = strings.TrimSuffix(start, string(filepath.Separator))
+		start = strings.TrimSuffix(start, "/")
+		if start == "" {
+			start = "."
+		}
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		cli.Usagef("repolint: %v", err)
+	}
+
+	mod, err := analyze.Load(root)
+	if err != nil {
+		cli.Failf("repolint: %v", err)
+	}
+	for _, pkg := range mod.Packages {
+		for _, terr := range pkg.TypeErrors {
+			cli.Failf("repolint: type error in %s: %v", pkg.ImportPath, terr)
+		}
+	}
+
+	rep := analyze.Run(mod, analyze.Analyzers())
+	if *jsonOut {
+		emitJSON(rep)
+	} else {
+		emitText(rep)
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func emitText(rep analyze.Report) {
+	for _, f := range rep.Findings {
+		fmt.Printf("%s:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	for _, f := range rep.Suppressed {
+		fmt.Fprintf(os.Stderr, "repolint: suppressed: %s:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	fmt.Fprintf(os.Stderr, "repolint: %d findings, %d suppressed\n", len(rep.Findings), len(rep.Suppressed))
+}
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+func emitJSON(rep analyze.Report) {
+	out := make([]jsonFinding, 0, len(rep.Findings)+len(rep.Suppressed))
+	add := func(fs []Finding) {
+		for _, f := range fs {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Analyzer: f.Analyzer, Message: f.Message, Suppressed: f.Suppressed,
+			})
+		}
+	}
+	add(rep.Findings)
+	add(rep.Suppressed)
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		cli.Failf("repolint: %v", err)
+	}
+	os.Stdout.Write(append(buf, '\n'))
+}
+
+// Finding aliases the analyzer's finding type for the JSON emitter.
+type Finding = analyze.Finding

@@ -1,0 +1,206 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Pos locates the finding (filename is absolute at load time; Report
+	// rewrites it relative to the module root).
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the invariant breach and how to fix it.
+	Message string
+	// Suppressed marks findings covered by a //mlvlsi:allow directive; they
+	// are counted and reported but do not fail the lint.
+	Suppressed bool
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// An Analyzer checks one invariant across the whole module. Run reports
+// findings through report; suppression and ordering are handled by the
+// framework.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //mlvlsi:allow directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects the module and reports findings.
+	Run func(m *Module, report func(pos token.Pos, message string))
+}
+
+// Analyzers returns the full analyzer set, in name order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ctxflowAnalyzer,
+		goroutineAnalyzer,
+		hotpathAnalyzer,
+		mapDeterminismAnalyzer,
+		violationCodeAnalyzer,
+	}
+}
+
+// ByName resolves an analyzer by name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Report is the outcome of running analyzers over a module: the active
+// findings (which should fail a build) and the suppressed ones (declared
+// exceptions, reported for visibility).
+type Report struct {
+	// Findings holds the active findings in (file, line, analyzer) order.
+	Findings []Finding
+	// Suppressed holds the findings covered by //mlvlsi:allow directives.
+	Suppressed []Finding
+}
+
+// Run executes the analyzers over the module and splits the findings by
+// suppression state. Finding positions are rewritten relative to the module
+// root so output is stable across checkouts.
+func Run(m *Module, analyzers []*Analyzer) Report {
+	allow := m.allowDirectives()
+	var rep Report
+	for _, a := range analyzers {
+		name := a.Name
+		a.Run(m, func(pos token.Pos, message string) {
+			p := m.Fset.Position(pos)
+			f := Finding{Pos: p, Analyzer: name, Message: message}
+			if rel, err := filepath.Rel(m.Root, p.Filename); err == nil {
+				f.Pos.Filename = filepath.ToSlash(rel)
+			}
+			if allow.covers(f.Pos.Filename, f.Pos.Line, name) {
+				f.Suppressed = true
+				rep.Suppressed = append(rep.Suppressed, f)
+			} else {
+				rep.Findings = append(rep.Findings, f)
+			}
+		})
+	}
+	sortFindings(rep.Findings)
+	sortFindings(rep.Suppressed)
+	return rep
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos.Filename != fs[j].Pos.Filename {
+			return fs[i].Pos.Filename < fs[j].Pos.Filename
+		}
+		if fs[i].Pos.Line != fs[j].Pos.Line {
+			return fs[i].Pos.Line < fs[j].Pos.Line
+		}
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// Source directives. Both use the compiler-directive comment shape (no
+// space after //):
+//
+//	//mlvlsi:hotpath
+//	    marks the following function declaration as a zero-alloc hot path;
+//	    the hotpath analyzer bans allocation-prone constructs inside it.
+//
+//	//mlvlsi:allow <analyzer> [rationale...]
+//	    declares an intentional exception: findings of the named analyzer
+//	    on this comment's line or the line below are suppressed (counted
+//	    and reported, never silent).
+const (
+	hotpathDirective = "//mlvlsi:hotpath"
+	allowDirective   = "//mlvlsi:allow"
+)
+
+// isHotpath reports whether fn carries the //mlvlsi:hotpath directive in
+// its doc comment.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSet indexes //mlvlsi:allow directives: module-relative filename →
+// line → analyzer names allowed on that line.
+type allowSet map[string]map[int][]string
+
+// covers reports whether a finding of analyzer at file:line is suppressed:
+// an allow directive on the finding's own line (trailing comment) or on the
+// line directly above it (own-line comment) covers it.
+func (s allowSet) covers(file string, line int, analyzer string) bool {
+	lines := s[file]
+	for _, l := range [...]int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowDirectives scans every file's comments for //mlvlsi:allow.
+func (m *Module) allowDirectives() allowSet {
+	set := allowSet{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowDirective+" ")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					file := pos.Filename
+					if rel, err := filepath.Rel(m.Root, file); err == nil {
+						file = filepath.ToSlash(rel)
+					}
+					if set[file] == nil {
+						set[file] = map[int][]string{}
+					}
+					set[file][pos.Line] = append(set[file][pos.Line], fields[0])
+				}
+			}
+		}
+	}
+	return set
+}
+
+// eachFunc invokes fn for every function declaration in the package that
+// has a body.
+func eachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflowAnalyzer enforces the cancellation-plumbing contract earned in the
+// fault-injection PR: context-aware entry points must actually honor their
+// context, and convenience wrappers must stay wrappers.
+//
+//  1. Every exported function with a context.Context parameter must consult
+//     it — pass it to a callee, or call Done()/Err()/Value on it. A ctx
+//     that is accepted and dropped silently breaks end-to-end cancellation.
+//  2. For every exported Foo with a sibling FooCtx or FooContext (same
+//     receiver), one of the pair must call the other. Delegation in either
+//     direction keeps a single implementation; two disconnected bodies fork
+//     the logic and drift apart.
+var ctxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-taking exported functions must consult ctx; non-Ctx wrappers must delegate to their Ctx variants",
+	Run: func(m *Module, report func(pos token.Pos, message string)) {
+		for _, pkg := range m.Packages {
+			checkCtxUse(pkg, report)
+			checkCtxPairs(pkg, report)
+		}
+	},
+}
+
+// ctxSuffixes are the naming conventions for context-aware variants, in
+// the order they are tried.
+var ctxSuffixes = [...]string{"Ctx", "Context"}
+
+// checkCtxUse flags exported functions that take a context.Context but
+// never reference the parameter.
+func checkCtxUse(pkg *Package, report func(pos token.Pos, message string)) {
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if !fd.Name.IsExported() {
+			return
+		}
+		for _, field := range fd.Type.Params.List {
+			if !isContextType(pkg, field.Type) {
+				continue
+			}
+			if len(field.Names) == 0 {
+				report(field.Pos(), fmt.Sprintf("%s declares an unnamed context.Context parameter it cannot consult; name it and honor cancellation (or drop it)", fd.Name.Name))
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					report(name.Pos(), fmt.Sprintf("%s discards its context.Context parameter; consult it (pass it on, or check Done()/Err()) so cancellation flows end to end", fd.Name.Name))
+					continue
+				}
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !identUsed(pkg, fd.Body, obj) {
+					report(name.Pos(), fmt.Sprintf("%s never consults its context parameter %q; pass it to a callee or check Done()/Err() so cancellation flows end to end", fd.Name.Name, name.Name))
+				}
+			}
+		}
+	})
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(pkg *Package, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// checkCtxPairs flags exported Foo whose FooCtx/FooContext sibling exists
+// but where neither function's body references the other.
+func checkCtxPairs(pkg *Package, report func(pos token.Pos, message string)) {
+	type fn struct {
+		decl *ast.FuncDecl
+		obj  types.Object
+	}
+	decls := map[string]fn{}
+	key := func(fd *ast.FuncDecl) string {
+		recv := ""
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			recv = typeBaseName(fd.Recv.List[0].Type)
+		}
+		return recv + "." + fd.Name.Name
+	}
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		decls[key(fd)] = fn{decl: fd, obj: pkg.Info.Defs[fd.Name]}
+	})
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if !fd.Name.IsExported() {
+			return
+		}
+		name := fd.Name.Name
+		for _, suffix := range ctxSuffixes {
+			variant, ok := decls[key(fd)+suffix]
+			if !ok || variant.obj == nil {
+				continue
+			}
+			base := decls[key(fd)]
+			if identUsed(pkg, fd.Body, variant.obj) || (base.obj != nil && identUsed(pkg, variant.decl.Body, base.obj)) {
+				return
+			}
+			report(fd.Pos(), fmt.Sprintf("%s does not delegate to its context variant %s%s (and %s%s does not delegate back); forked implementations drift — one must call the other", name, name, suffix, name, suffix))
+			return
+		}
+	})
+}
+
+// typeBaseName returns the receiver base type name of a method receiver
+// expression ("*Layout" and "Layout" both yield "Layout").
+func typeBaseName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return typeBaseName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return typeBaseName(t.X)
+	case *ast.IndexListExpr:
+		return typeBaseName(t.X)
+	}
+	return ""
+}

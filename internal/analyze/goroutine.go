@@ -1,0 +1,36 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// poolPackageSuffix identifies the one package allowed to start goroutines:
+// the worker pool itself.
+const poolPackageSuffix = "internal/par"
+
+// goroutineAnalyzer enforces the first hard invariant: all parallelism
+// flows through the internal/par pool. A raw go statement anywhere else
+// escapes the pool's bounded fan-out, cooperative cancellation, and panic
+// containment (a panic on a bare goroutine kills the process no matter
+// what the caller recovers).
+var goroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "no raw go statements outside internal/par; use the par worker pool",
+	Run: func(m *Module, report func(pos token.Pos, message string)) {
+		for _, pkg := range m.Packages {
+			if strings.HasSuffix(pkg.ImportPath, poolPackageSuffix) {
+				continue
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						report(g.Pos(), "raw go statement outside internal/par; route fan-out through the par pool (par.Chunks/ForEach/ForEachCtx) so cancellation and panic containment stay total")
+					}
+					return true
+				})
+			}
+		}
+	},
+}

@@ -1,0 +1,105 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathAnalyzer enforces the zero-allocation property of functions marked
+// //mlvlsi:hotpath (the dense checker core, Wires.measure, the occupancy
+// indexer, the pool's chunking). The dense verifier's 35x win over the map
+// path is a constant-factor result — exactly the kind the source paper
+// fights for — and one fmt.Sprintf per edge erases it. Inside a marked
+// function (including nested function literals) the analyzer bans:
+//
+//   - calls into package fmt (every variant formats through reflection and
+//     allocates);
+//   - composite map and slice literals (each evaluation allocates; struct
+//     and array literals are fine);
+//   - string concatenation via + or += (allocates the joined string);
+//   - explicit conversions of non-interface values to interface types
+//     (boxes the value onto the heap).
+//
+// The directive is a contract, not a heuristic: annotate only functions
+// whose legal path must stay allocation-free, and keep cold error handling
+// in unannotated helpers.
+var hotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no fmt calls, map/slice literals, string concatenation, or interface conversions in //mlvlsi:hotpath functions",
+	Run: func(m *Module, report func(pos token.Pos, message string)) {
+		for _, pkg := range m.Packages {
+			eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+				if isHotpath(fd) {
+					checkHotBody(pkg, fd, report)
+				}
+			})
+		}
+	},
+}
+
+func checkHotBody(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, message string)) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+						report(n.Pos(), fmt.Sprintf("fmt.%s call in hotpath function %s allocates; format lazily outside the hot path (cf. Violation's coded reasons)", sel.Sel.Name, name))
+					}
+				}
+			}
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+				checkInterfaceConversion(pkg, n, name, report)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), fmt.Sprintf("map literal in hotpath function %s allocates; hoist it to a package variable or an unannotated cold path", name))
+				case *types.Slice:
+					report(n.Pos(), fmt.Sprintf("slice literal in hotpath function %s allocates; reuse a scratch buffer or move it off the hot path", name))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
+				report(n.Pos(), fmt.Sprintf("string concatenation in hotpath function %s allocates; use coded values and format lazily", name))
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				report(n.Pos(), fmt.Sprintf("string concatenation in hotpath function %s allocates; use coded values and format lazily", name))
+			}
+		}
+		return true
+	})
+}
+
+// checkInterfaceConversion flags explicit conversions T(x) where T is an
+// interface type and x is not already an interface.
+func checkInterfaceConversion(pkg *Package, call *ast.CallExpr, name string, report func(pos token.Pos, message string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	target, ok := pkg.Info.Types[call.Fun]
+	if !ok || target.Type == nil {
+		return
+	}
+	if !types.IsInterface(target.Type) {
+		return
+	}
+	arg, ok := pkg.Info.Types[call.Args[0]]
+	if ok && arg.Type != nil && !types.IsInterface(arg.Type) {
+		report(call.Pos(), fmt.Sprintf("conversion to interface type %s in hotpath function %s boxes its operand onto the heap; keep hot-path values concrete", target.Type.String(), name))
+	}
+}
+
+func isStringExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

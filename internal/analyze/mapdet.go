@@ -1,0 +1,146 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapDeterminismAnalyzer enforces the second hard invariant: verifier and
+// tooling output is byte-identical across worker counts and runs. Go map
+// iteration order is deliberately randomized, so a range over a map whose
+// body accumulates ordered output — appending to a slice (violation lists,
+// spec lines) or printing — produces a different byte stream every run
+// unless the function sorts afterwards. The analyzer flags such loops when
+// no sort.*/slices.Sort* call follows the loop in the same function.
+//
+// The canonical deterministic shape passes clean:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)               // or slices.Sort(keys)
+//
+// Order-insensitive bodies (summing, counting, building another map) are
+// never flagged.
+var mapDeterminismAnalyzer = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "ranging over a map to append or print requires a subsequent sort in the same function",
+	Run: func(m *Module, report func(pos token.Pos, message string)) {
+		for _, pkg := range m.Packages {
+			eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+				checkMapRanges(pkg, fd, report)
+			})
+		}
+	},
+}
+
+func checkMapRanges(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, message string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(pkg, rs.X) {
+			return true
+		}
+		kind, ok := orderSensitiveUse(pkg, rs.Body)
+		if !ok {
+			return true
+		}
+		if sortedAfter(pkg, fd.Body, rs.End()) {
+			return true
+		}
+		report(rs.Pos(), fmt.Sprintf("range over map %s %s in nondeterministic iteration order with no subsequent sort.* call in %s; collect and sort (or iterate sorted keys) so output is byte-identical across runs", exprString(rs.X), kind, fd.Name.Name))
+		return true
+	})
+}
+
+func isMapExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderSensitiveUse reports whether the loop body leaks iteration order:
+// appending to a slice or emitting output through fmt.
+func orderSensitiveUse(pkg *Package, body *ast.BlockStmt) (string, bool) {
+	kind, found := "", false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				kind, found = "appends", true
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" && strings.Contains(sel.Sel.Name, "rint") {
+					kind, found = "prints", true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return kind, found
+}
+
+// sortedAfter reports whether a call into package sort, or a slices.Sort*
+// call, appears after position end within the function body.
+func sortedAfter(pkg *Package, body *ast.BlockStmt, end token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= end {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(sel.Sel.Name, "Sort") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short source form of an expression for messages.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

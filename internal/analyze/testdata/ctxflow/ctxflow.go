@@ -1,0 +1,100 @@
+// Package ctxflow exercises the context-plumbing analyzer: exported
+// functions with a context.Context parameter must consult it, and an
+// exported Foo with a FooCtx/FooContext sibling must delegate to it (in
+// either direction).
+package ctxflow
+
+import "context"
+
+// SleepCtx accepts a context and ignores it: flagged.
+func SleepCtx(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// WorkCtx discards its context with a blank name: flagged.
+func WorkCtx(_ context.Context, n int) int {
+	return n * 3
+}
+
+// PollCtx cannot consult an unnamed context: flagged.
+func PollCtx(context.Context) {}
+
+// RunCtx consults its context: not flagged. It also delegates from Run, so
+// the pair is clean.
+func RunCtx(ctx context.Context, n int) (int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return n + 1, nil
+}
+
+// Run delegates to RunCtx: not flagged.
+func Run(n int) int {
+	v, _ := RunCtx(nil, n)
+	return v
+}
+
+// ScanCtx consults its context, but Scan forks the logic instead of
+// delegating: Scan is flagged.
+func ScanCtx(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for i, x := range xs {
+		if i%64 == 0 && ctx != nil && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// Scan duplicates ScanCtx's loop rather than calling it: flagged.
+func Scan(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Gather is the shared-core shape: GatherCtx delegates to Gather for the
+// nil-context fast path, so the pair is connected and neither is flagged.
+func Gather(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// GatherCtx wraps Gather with cancellation: not flagged.
+func GatherCtx(ctx context.Context, xs []int) (int, error) {
+	if ctx == nil {
+		return Gather(xs), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return Gather(xs), nil
+}
+
+// EmitContext covers the Context naming convention; Emit delegates to it:
+// not flagged.
+func EmitContext(ctx context.Context, n int) (int, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, ctx.Err()
+	}
+	return n, nil
+}
+
+// Emit delegates to EmitContext: not flagged.
+func Emit(n int) int {
+	v, _ := EmitContext(nil, n)
+	return v
+}
+
+// helperCtx is unexported: the consult rule applies to exported API only.
+func helperCtx(ctx context.Context, n int) int {
+	return n
+}

@@ -1,0 +1,12 @@
+// Package a spawns a goroutine outside the pool: flagged.
+package a
+
+// Spawn leaks a goroutine with no cancellation or panic containment.
+func Spawn(fn func()) {
+	go fn()
+}
+
+// Serial is ordinary code: not flagged.
+func Serial(fn func()) {
+	fn()
+}

@@ -1,0 +1,10 @@
+// Package grid mirrors the seeded regression from the issue: a careless
+// raw go statement in the verifier package must be caught.
+package grid
+
+// CheckAsync forks the verifier outside the pool: flagged.
+func CheckAsync(done chan<- bool) {
+	go func() {
+		done <- true
+	}()
+}

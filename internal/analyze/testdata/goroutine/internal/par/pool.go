@@ -1,0 +1,16 @@
+// Package par is the worker pool: the one place raw go statements are
+// allowed.
+package par
+
+import "sync"
+
+// Go runs fn on a bare goroutine; legal here and only here.
+func Go(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+// Package hotpath exercises the zero-alloc hot-path analyzer: inside a
+// //mlvlsi:hotpath function, fmt calls, map/slice literals, string
+// concatenation, and interface conversions are flagged; the same code in
+// an unannotated function is not.
+package hotpath
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+// HotBad violates every ban at least once. The seeded regression shape —
+// a fmt.Sprintf in a hotpath function — is the first line.
+//
+//mlvlsi:hotpath
+func HotBad(n int) string {
+	s := fmt.Sprintf("%d", n)
+	err := fmt.Errorf("n = %d", n)
+	_ = err
+	xs := []int{1, 2}
+	m := map[int]int{1: 2}
+	_, _ = xs, m
+	s = s + "!"
+	s += "?"
+	var v any = any(n)
+	_ = v
+	return s
+}
+
+// HotClean uses only allocation-free (or pooled/reused) constructs: struct
+// literals, make, append, arithmetic. Not flagged.
+//
+//mlvlsi:hotpath
+func HotClean(xs []int) int {
+	p := pair{a: 1, b: 2}
+	buf := make([]int, 0, len(xs))
+	buf = append(buf, p.a)
+	for _, x := range xs {
+		buf[0] += x
+	}
+	var e error = nil
+	_ = e
+	return buf[0] + p.b
+}
+
+// ColdOK does everything HotBad does without the directive: not flagged.
+func ColdOK(n int) string {
+	s := fmt.Sprintf("%d", n)
+	xs := []int{1, 2}
+	_ = xs
+	return s + "!"
+}

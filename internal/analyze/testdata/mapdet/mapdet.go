@@ -1,0 +1,65 @@
+// Package mapdet exercises the map-iteration determinism analyzer: ranging
+// over a map to append or print is flagged unless a sort follows in the
+// same function.
+package mapdet
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// FlagAppend leaks map order into a slice and never sorts: flagged. This is
+// the seeded regression shape — an unsorted map-range emit.
+func FlagAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FlagPrint leaks map order straight to output: flagged.
+func FlagPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// OKSorted is the canonical deterministic shape: not flagged.
+func OKSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OKSlices sorts with the slices package: not flagged.
+func OKSlices(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// OKSum is order-insensitive: not flagged.
+func OKSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// OKSliceRange ranges over a slice, not a map: not flagged.
+func OKSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

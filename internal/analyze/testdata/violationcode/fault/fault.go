@@ -1,0 +1,24 @@
+// Package fault mirrors the corruption harness's Class→Codes mapping.
+package fault
+
+import "fix/grid"
+
+// Class enumerates corruption classes.
+type Class int
+
+// Overlap and Detach are the two wired-up classes.
+const (
+	Overlap Class = iota
+	Detach
+)
+
+// Codes returns the violation reasons that count as detecting the class.
+func (c Class) Codes() []grid.Reason {
+	switch c {
+	case Overlap:
+		return []grid.Reason{grid.ReasonOverlap}
+	case Detach:
+		return []grid.Reason{grid.ReasonDetach}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package grid mirrors the verifier's typed violation reasons.
+package grid
+
+// Reason is a typed violation cause.
+type Reason uint8
+
+const (
+	// ReasonNone is the zero sentinel: exempt from the mapping rule.
+	ReasonNone Reason = iota
+	// ReasonOverlap is claimed by a fault class: not flagged.
+	ReasonOverlap
+	// ReasonDetach is claimed by a fault class: not flagged.
+	ReasonDetach
+	// ReasonMissing is emitted by the checker but claimed by no fault
+	// class: flagged.
+	ReasonMissing
+	// ReasonWaived is unclaimed but carries a declared exception:
+	// suppressed, counted, reported.
+	ReasonWaived //mlvlsi:allow violationcode (never emitted by the standard checkers)
+)

@@ -1,0 +1,108 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// violationCodeAnalyzer closes the loop between the verifier's violation
+// vocabulary and the fault-injection harness: every reason code the grid
+// checkers can emit must be claimed by some corruption class in the
+// internal/fault Class→Codes mapping, or the chaos sweep can never prove
+// the checkers catch it. Adding a Reason constant without teaching the
+// harness about it is exactly the silent gap this analyzer exists to stop.
+//
+// Detection is structural, not name-bound: the analyzer finds every method
+// named Codes returning a slice of a named constant type declared in this
+// module, gathers that type's nonzero constants, and requires each to be
+// referenced somewhere in a Codes body. Zero values (ReasonNone-style
+// sentinels) are exempt; genuinely unreachable codes carry an explicit
+// //mlvlsi:allow violationcode directive at their declaration.
+var violationCodeAnalyzer = &Analyzer{
+	Name: "violationcode",
+	Doc:  "every nonzero violation reason constant must appear in a Class→Codes mapping",
+	Run: func(m *Module, report func(pos token.Pos, message string)) {
+		used := map[types.Object]bool{}
+		targets := map[*types.TypeName]string{}
+		for _, pkg := range m.Packages {
+			eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+				elem := codesElemType(pkg, fd)
+				if elem == nil || !m.declares(elem) {
+					return
+				}
+				recv := ""
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					recv = typeBaseName(fd.Recv.List[0].Type)
+				}
+				targets[elem] = recv + "." + fd.Name.Name
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if c, ok := pkg.Info.Uses[id].(*types.Const); ok && isNamedBy(c.Type(), elem) {
+							used[c] = true
+						}
+					}
+					return true
+				})
+			})
+		}
+		for _, pkg := range m.Packages {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok {
+					continue
+				}
+				for elem, mapping := range targets {
+					if !isNamedBy(c.Type(), elem) || used[c] || isZeroConst(c) {
+						continue
+					}
+					report(c.Pos(), fmt.Sprintf("%s is not claimed by any corruption class in the %s mapping; add a fault class covering it (or declare the exception) so the chaos sweep proves the checkers catch it", c.Name(), mapping))
+				}
+			}
+		}
+	},
+}
+
+// codesElemType returns the named element type of a method/function named
+// Codes returning a single slice of a named type, or nil.
+func codesElemType(pkg *Package, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Name.Name != "Codes" || fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[fd.Type.Results.List[0].Type]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	named, ok := slice.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// declares reports whether the type name belongs to a package of this
+// module (as opposed to the standard library).
+func (m *Module) declares(tn *types.TypeName) bool {
+	return tn.Pkg() != nil && (tn.Pkg().Path() == m.Path || strings.HasPrefix(tn.Pkg().Path(), m.Path+"/"))
+}
+
+// isNamedBy reports whether t is the named type declared by tn.
+func isNamedBy(t types.Type, tn *types.TypeName) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == tn
+}
+
+// isZeroConst reports whether the constant's value is exactly zero (the
+// ReasonNone-style sentinel no valid violation carries).
+func isZeroConst(c *types.Const) bool {
+	v, ok := constant.Int64Val(c.Val())
+	return ok && v == 0
+}

@@ -1,0 +1,214 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mlvlsi"
+)
+
+// TestMain doubles as the subprocess body for the exit-code tests: when
+// CLI_HELPER is set, the process runs the named helper (which calls
+// os.Exit) instead of the test suite. See TestUsagefExitCode.
+func TestMain(m *testing.M) {
+	switch os.Getenv("CLI_HELPER") {
+	case "":
+		os.Exit(m.Run())
+	case "usage":
+		Usagef("bad flag: %s", "-network")
+	case "fail":
+		Failf("runtime failure: %v", fmt.Errorf("boom"))
+	case "unknown-family":
+		// The real tool path: an unknown -network value is a usage error
+		// whose message lists the registry, then exit 2.
+		if err := CheckFamily("nosuch"); err != nil {
+			Usagef("%v", err)
+		}
+		os.Exit(0)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown CLI_HELPER")
+		os.Exit(99)
+	}
+}
+
+// runHelper re-executes the test binary with CLI_HELPER set and returns the
+// exit code and captured stderr.
+func runHelper(t *testing.T, helper string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMain")
+	cmd.Env = append(os.Environ(), "CLI_HELPER="+helper)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper %s: %v", helper, err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+func TestUsagefExitCode(t *testing.T) {
+	code, stderr := runHelper(t, "usage")
+	if code != 2 {
+		t.Errorf("Usagef exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bad flag: -network") {
+		t.Errorf("Usagef stderr = %q, want the formatted diagnostic", stderr)
+	}
+}
+
+func TestFailfExitCode(t *testing.T) {
+	code, stderr := runHelper(t, "fail")
+	if code != 1 {
+		t.Errorf("Failf exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "runtime failure: boom") {
+		t.Errorf("Failf stderr = %q, want the formatted diagnostic", stderr)
+	}
+}
+
+// TestUnknownFamilyExits exercises the full bad -network path end to end:
+// exit 2 with every registered family named on stderr, so the fix is a
+// copy-paste away.
+func TestUnknownFamilyExits(t *testing.T) {
+	code, stderr := runHelper(t, "unknown-family")
+	if code != 2 {
+		t.Errorf("unknown family exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown network family "nosuch"`) {
+		t.Errorf("stderr = %q, want the unknown-family diagnostic", stderr)
+	}
+	for _, name := range FamilyNames() {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr does not list registered family %q:\n%s", name, stderr)
+		}
+	}
+}
+
+func TestFamilyNamesSorted(t *testing.T) {
+	names := FamilyNames()
+	if len(names) == 0 {
+		t.Fatal("no registered families")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("FamilyNames not strictly sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestCheckFamily(t *testing.T) {
+	for _, f := range mlvlsi.Families() {
+		if err := CheckFamily(f.Name); err != nil {
+			t.Errorf("CheckFamily(%q) = %v, want nil", f.Name, err)
+		}
+	}
+	err := CheckFamily("bogus")
+	if err == nil {
+		t.Fatal("CheckFamily(bogus) = nil, want error")
+	}
+	for _, name := range FamilyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list family %q", err, name)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("-dims", " 2, 4 ,8,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 4, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseInts = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", " , ", "2,x", "2.5"} {
+		if _, err := ParseInts("-dims", bad); err == nil {
+			t.Errorf("ParseInts(%q) = nil error, want failure", bad)
+		} else if !strings.Contains(err.Error(), "-dims") {
+			t.Errorf("ParseInts(%q) error %q does not name the flag", bad, err)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	got, err := ParseParams("-params", "k=4, n = 3 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := map[string]int{"k": 4, "n": 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseParams = %v, want %v", got, want)
+	}
+	if got, err := ParseParams("-params", ""); err != nil || len(got) != 0 {
+		t.Errorf("ParseParams(empty) = %v, %v; want empty map, nil", got, err)
+	}
+	for _, bad := range []string{"k", "k=x"} {
+		if _, err := ParseParams("-params", bad); err == nil {
+			t.Errorf("ParseParams(%q) = nil error, want failure", bad)
+		} else if !strings.Contains(err.Error(), "-params") {
+			t.Errorf("ParseParams(%q) error %q does not name the flag", bad, err)
+		}
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("nodes=0,5; links=0-1,2-3; random-nodes=2; random-links=3; seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &mlvlsi.SimFaultPlan{
+		Nodes:       []int{0, 5},
+		Links:       [][2]int{{0, 1}, {2, 3}},
+		RandomNodes: 2,
+		RandomLinks: 3,
+		Seed:        9,
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("ParseFaultPlan = %+v, want %+v", plan, want)
+	}
+	if plan, err := ParseFaultPlan("  "); err != nil || plan != nil {
+		t.Errorf("ParseFaultPlan(blank) = %v, %v; want nil, nil", plan, err)
+	}
+	for _, bad := range []string{
+		"nodes",           // not name=value
+		"nodes=x",         // not integers
+		"links=0",         // not u-v
+		"links=0-x",       // non-integer endpoint
+		"random-nodes=-1", // negative count
+		"random-links=eh", // not a count
+		"seed=-3",         // not unsigned
+		"volts=9",         // unknown field
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	ctx, cancel := Timeout(0)
+	cancel()
+	if ctx != nil {
+		t.Errorf("Timeout(0) context = %v, want nil (no polling overhead)", ctx)
+	}
+	ctx, cancel = Timeout(time.Minute)
+	defer cancel()
+	if ctx == nil {
+		t.Fatal("Timeout(1m) = nil context, want deadline context")
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("Timeout(1m) context has no deadline")
+	}
+	if until := time.Until(dl); until <= 0 || until > time.Minute {
+		t.Errorf("deadline %v from now, want within (0, 1m]", until)
+	}
+}

@@ -45,6 +45,15 @@ const (
 	// DeleteLink destroys a wire's path (truncating it below two
 	// vertices), simulating a required link that was never realized.
 	DeleteLink
+	// Bend inserts a diagonal kink into a wire's path, breaking the
+	// rectilinear-polyline structure (a hop that changes two coordinates).
+	Bend
+	// BadEndpoint rewrites a wire's claimed endpoint node ID to one past
+	// the node table, simulating a link against a node that does not exist.
+	BadEndpoint
+	// Float lifts a wire terminal off the active layer onto wiring layer 1,
+	// so the wire no longer lands on its port.
+	Float
 
 	numClasses
 )
@@ -74,6 +83,12 @@ func (c Class) String() string {
 		return "duplicate"
 	case DeleteLink:
 		return "delete-link"
+	case Bend:
+		return "bend"
+	case BadEndpoint:
+		return "bad-endpoint"
+	case Float:
+		return "float-terminal"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -100,6 +115,12 @@ func (c Class) Signatures() []string {
 		return []string{"violates direction discipline", "shared unit"}
 	case DeleteLink:
 		return []string{"need at least 2"}
+	case Bend:
+		return []string{"not a straight axis-aligned segment"}
+	case BadEndpoint:
+		return []string{"out of range"}
+	case Float:
+		return []string{"not on the active layer"}
 	}
 	return nil
 }
@@ -126,6 +147,17 @@ func (c Class) Codes() []grid.Reason {
 		return []grid.Reason{grid.ReasonDisciplineX, grid.ReasonDisciplineY, grid.ReasonSharedEdge}
 	case DeleteLink:
 		return []grid.Reason{grid.ReasonShortPath}
+	case Bend:
+		// The structural check runs before the edge walk and the terminal
+		// checks, so the bent hop is always reported as itself.
+		return []grid.Reason{grid.ReasonBentHop}
+	case BadEndpoint:
+		return []grid.Reason{grid.ReasonEndpointRange}
+	case Float:
+		// The terminal checks run unconditionally after the edge walk, so
+		// the lifted terminal is always reported even when the inserted via
+		// also collides with existing geometry.
+		return []grid.Reason{grid.ReasonTerminalOffActive}
 	}
 	return nil
 }
@@ -371,6 +403,46 @@ func (inj Injector) Apply(lay *layout.Layout, c Class) (*layout.Layout, Injectio
 		info.Wire = w.ID
 		info.Note = fmt.Sprintf("destroyed the path of wire %d (link %d-%d no longer realized)", w.ID, w.U, w.V)
 		w.Path = w.Path[:1]
+
+	case Bend:
+		wi := pickWire(rng, out.Wires, func(w *grid.Wire) bool { return len(w.Path) >= 2 })
+		if wi < 0 {
+			return nil, info, fmt.Errorf("fault %s: no wire with a path", c)
+		}
+		w := &out.Wires[wi]
+		// Inserting a +(1,1,0) neighbor after the first vertex makes hop 1
+		// change two coordinates at once; the kink cannot coincide with the
+		// next vertex, which differs from Path[0] in exactly one coordinate.
+		a := w.Path[0]
+		kink := a.Add(1, 1, 0)
+		info.Wire = w.ID
+		info.Note = fmt.Sprintf("inserted diagonal kink %v after %v in wire %d", kink, a, w.ID)
+		w.Path = append([]grid.Point{a, kink}, w.Path[1:]...)
+
+	case BadEndpoint:
+		wi := pickWire(rng, out.Wires, func(w *grid.Wire) bool { return w.U >= 0 && w.V >= 0 })
+		if wi < 0 {
+			return nil, info, fmt.Errorf("fault %s: no wire claiming node endpoints", c)
+		}
+		w := &out.Wires[wi]
+		bad := len(out.Nodes)
+		info.Wire = w.ID
+		info.Note = fmt.Sprintf("rewrote U-endpoint of wire %d from node %d to nonexistent node %d", w.ID, w.U, bad)
+		w.U = bad
+
+	case Float:
+		wi := pickWire(rng, out.Wires, func(w *grid.Wire) bool {
+			return w.U >= 0 && w.V >= 0 && len(w.Path) >= 2 && w.Path[0].Z == 0
+		})
+		if wi < 0 {
+			return nil, info, fmt.Errorf("fault %s: no wire terminating on the active layer", c)
+		}
+		w := &out.Wires[wi]
+		p0 := w.Path[0]
+		lifted := grid.Point{X: p0.X, Y: p0.Y, Z: 1}
+		info.Wire = w.ID
+		info.Note = fmt.Sprintf("lifted U-terminal of wire %d to %v, off the active layer", w.ID, lifted)
+		w.Path = append([]grid.Point{lifted}, w.Path...)
 
 	default:
 		return nil, info, fmt.Errorf("fault: unknown class %d", int(c))

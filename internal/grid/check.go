@@ -65,7 +65,10 @@ const (
 	ReasonTerminalOutsideNode
 	// ReasonNodeInterior: a planar run passes through the interior of a
 	// foreign node rectangle (Thompson-strict clearance, CheckClearance).
-	ReasonNodeInterior
+	// Only the opt-in CheckClearance emits it — Check/CheckParallel never do
+	// — so the chaos sweep, which drives the standard checkers, cannot
+	// observe it and no fault class claims it.
+	ReasonNodeInterior //mlvlsi:allow violationcode (clearance-only; outside the chaos sweep)
 )
 
 // A Violation describes one legality failure found by Check. The struct is
@@ -155,6 +158,8 @@ func (w *Wire) structural() (Violation, bool) {
 // edgeViolation applies the per-edge layer-range and discipline checks to one
 // unit edge, returning the violation (if any). It allocates nothing and is
 // shared by every checker variant.
+//
+//mlvlsi:hotpath
 func edgeViolation(w *Wire, low Point, axis Axis, opts *CheckOptions) (Violation, bool) {
 	if opts.Layers > 0 {
 		zTop := low.Z

@@ -113,6 +113,8 @@ func (w *Wire) Segments(fn func(start Point, axis Axis, length int)) {
 // UnitEdges calls fn for every unit grid edge traversed by the wire. Each
 // edge is identified by its lower endpoint (the endpoint with the smaller
 // coordinate on the edge's axis) and its axis. Returning false stops the walk.
+//
+//mlvlsi:hotpath
 func (w *Wire) UnitEdges(fn func(low Point, axis Axis) bool) {
 	for i := 1; i < len(w.Path); i++ {
 		a, b := w.Path[i-1], w.Path[i]
@@ -157,6 +159,8 @@ func (ws Wires) Bounds() BoundingBox {
 // lengths). The checkers use the box to size the dense occupancy grid and
 // the count to pre-size the sparse fallback's map, so neither needs a
 // second pass over the geometry.
+//
+//mlvlsi:hotpath
 func (ws Wires) measure() (BoundingBox, int) {
 	box := NewBoundingBox()
 	total := 0

@@ -68,6 +68,10 @@ func newOccIndexer(box BoundingBox, limit, total int) (occIndexer, bool) {
 	}, true
 }
 
+// index is the dense checker's per-edge multiply-add; it must stay
+// allocation- and call-free.
+//
+//mlvlsi:hotpath
 func (ix occIndexer) index(low Point, axis Axis) int {
 	return 3*(((low.Z-ix.minZ)*ix.h+(low.Y-ix.minY))*ix.w+(low.X-ix.minX)) + int(axis)
 }
@@ -95,6 +99,8 @@ var occPool sync.Pool
 
 // occGet returns a zeroed bitset of the given word count, reusing pooled
 // backing storage when it is large enough.
+//
+//mlvlsi:hotpath
 func occGet(words int) *occBuf {
 	b, _ := occPool.Get().(*occBuf)
 	if b == nil {
@@ -116,6 +122,8 @@ func occPut(b *occBuf) { occPool.Put(b) }
 // replaced by a bitset test-and-set. Shared-edge violations found here lack
 // the owning wire's identity (the bitset stores presence, not owners); when
 // any occur, resolveOwners replays the walk to fill in OtherID.
+//
+//mlvlsi:hotpath
 func checkDense(ctx context.Context, wires []Wire, opts CheckOptions, ix occIndexer) ([]Violation, error) {
 	buf := occGet(ix.words())
 	defer occPut(buf)

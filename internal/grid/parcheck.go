@@ -124,7 +124,11 @@ const wordsPerLine = 8
 // them word by word; any bit set by two shards is another contested slot.
 // Only if contested slots exist does phase 3 replay the walk in global wire
 // order to attribute owners and emit the shared-edge violations — so the
-// legal path never hashes an edge, allocates per edge, or replays.
+// legal path never hashes an edge, allocates per edge, or replays. The
+// hotpath directive covers the whole function, including the cache-line
+// shard merge scan.
+//
+//mlvlsi:hotpath
 func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix occIndexer, workers int) ([]Violation, error) {
 	n := len(wires)
 	words := ix.words()
@@ -221,6 +225,8 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 // discipline violation stops the walk — except that a contested edge does
 // not stop it: ownership is global and resolved after the merge, so the
 // shard keeps recording (matching the previous hash-based phase split).
+//
+//mlvlsi:hotpath
 func collectWireDense(w *Wire, wi int32, opts CheckOptions, ix occIndexer, occ []uint64, violations *[]seqViolation, contested *[]int) {
 	if v, bad := w.structural(); bad {
 		*violations = append(*violations, seqViolation{wire: wi, seq: seqValidate, v: v})

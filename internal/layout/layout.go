@@ -121,7 +121,8 @@ type WireLength struct {
 // It runs the sharded checker at full fan-out; use VerifyWorkers to bound
 // the worker count.
 func (l *Layout) Verify() []grid.Violation {
-	return l.VerifyWorkers(0)
+	vs, _ := l.VerifyContext(nil, 0)
+	return vs
 }
 
 // VerifyWorkers is Verify with an explicit fan-out bound (0 = GOMAXPROCS,

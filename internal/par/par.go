@@ -139,6 +139,8 @@ func Chunks(workers, n int, fn func(shard, lo, hi int)) {
 // the final range — are multiples of align. The dense verifier hands each
 // worker whole cache lines of a flat occupancy array this way, so no two
 // shards' ranges straddle a line. align < 2 degrades to Chunks.
+//
+//mlvlsi:hotpath
 func AlignedChunks(workers, n, align int, fn func(chunk, lo, hi int)) {
 	if align < 2 {
 		Chunks(workers, n, fn)

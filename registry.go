@@ -363,7 +363,16 @@ func BuildFamily(spec FamilySpec, o Options) (*Layout, error) {
 	for _, ps := range fam.Params {
 		p[ps.Name] = ps.Default
 	}
-	for name, v := range spec.Params {
+	// Validate in sorted name order: spec.Params is a map, and with several
+	// bad parameters the returned *ParamError must not depend on iteration
+	// order.
+	names := make([]string, 0, len(spec.Params))
+	for name := range spec.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := spec.Params[name]
 		ps := fam.paramSpec(name)
 		if ps == nil {
 			return nil, &ParamError{Family: fam.Name, Param: name, Value: v,
