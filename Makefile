@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race lint bench benchjson chaos fuzz check clean
+.PHONY: all vet build test race lint bench benchjson trace-smoke chaos fuzz check clean
 
 all: check
 
@@ -42,6 +42,14 @@ PR ?=
 benchjson:
 	$(GO) run ./cmd/benchjson $(if $(PR),-pr $(PR))
 
+# Observability smoke: build and verify a layout with -trace, then validate
+# the Chrome-trace file against the schema tracelint enforces (span events
+# with resolvable parents plus a complete counter snapshot).
+TRACE ?= /tmp/mlvlsi-trace-smoke.json
+trace-smoke:
+	$(GO) run ./cmd/layoutgen -network hypercube -n 6 -L 4 -trace $(TRACE) > /dev/null
+	$(GO) run ./cmd/tracelint $(TRACE)
+
 # Chaos sweep: corrupt every registry family with every fault class and
 # require both verifiers to catch each corruption, under the race detector.
 chaos:
@@ -53,7 +61,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
-check: vet build test race lint
+check: vet build test race lint trace-smoke
 
 clean:
 	$(GO) clean ./...

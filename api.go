@@ -3,6 +3,7 @@ package mlvlsi
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"mlvlsi/internal/cluster"
 	"mlvlsi/internal/core"
@@ -67,6 +68,15 @@ type Options struct {
 	// the dense grid's unit-edge slot count. Verification results are
 	// identical for every value; only speed and memory differ.
 	DenseCheckCells int
+	// Observer, when non-nil, receives hierarchical spans over the build
+	// and verify phases (placement, routing, realization, verify and their
+	// sub-steps) plus typed counters, fanned out to the sinks it was
+	// created with — see NewObserver, NewTraceSink, and NewMetricsSink.
+	// Nil (the default) disables observation at zero cost: the hot paths
+	// stay allocation-free and no instrumentation work happens. The
+	// constructed layouts and all verification results are identical with
+	// and without an observer.
+	Observer *Observer
 }
 
 // maxNodeSide bounds Options.NodeSide: a node square beyond 2^20 grid units
@@ -104,12 +114,13 @@ func (o Options) validate() error {
 	return nil
 }
 
-// buildSpec applies the cross-cutting Options (Workers, Context, MaxCells)
-// to an assembled engine spec and realizes it.
+// buildSpec applies the cross-cutting Options (Workers, Context, MaxCells,
+// Observer) to an assembled engine spec and realizes it.
 func (o Options) buildSpec(spec core.Spec) (*Layout, error) {
 	spec.Workers = o.Workers
 	spec.Ctx = o.Context
 	spec.MaxCells = o.MaxCells
+	spec.Obs = o.Observer
 	return core.Build(spec)
 }
 
@@ -118,6 +129,7 @@ func (o Options) buildCluster(cfg cluster.Config) (*Layout, error) {
 	cfg.Workers = o.Workers
 	cfg.Ctx = o.Context
 	cfg.MaxCells = o.MaxCells
+	cfg.Obs = o.Observer
 	return cluster.Build(cfg)
 }
 
@@ -127,15 +139,16 @@ func (o Options) buildCluster(cfg cluster.Config) (*Layout, error) {
 type Violation = grid.Violation
 
 // VerifyLayout verifies lay under the cross-cutting Options knobs: Workers
-// bounds the fan-out, Context cancels cooperatively, and DenseCheckCells
-// tunes the dense-occupancy threshold. A nil violation slice with a nil
-// error means the layout is legal; the violation set is identical for every
-// Options value.
+// bounds the fan-out, Context cancels cooperatively, DenseCheckCells tunes
+// the dense-occupancy threshold, and Observer (when non-nil) receives a
+// "verify" span plus the verifier counters. A nil violation slice with a
+// nil error means the layout is legal; the violation set is identical for
+// every Options value.
 func VerifyLayout(lay *Layout, o Options) ([]Violation, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return lay.VerifyTuned(o.Context, o.Workers, o.DenseCheckCells)
+	return lay.VerifyObserved(o.Context, o.Workers, o.DenseCheckCells, o.Observer)
 }
 
 // Robustness errors surfaced by the build and verify paths.
@@ -160,10 +173,24 @@ func KAryNCube(k, n int, o Options) (*Layout, error) {
 }
 
 // Mesh lays out an n-dimensional mesh (dims[0] least significant) as a
-// product of paths (§3.2).
+// product of paths (§3.2). Uniform extents go through the "mesh" registry
+// family; mixed extents are validated against the same registry ranges and
+// built directly, so both shapes reject bad parameters with the identical
+// *ParamError the registry reports.
 func Mesh(dims []int, o Options) (*Layout, error) {
+	if uniformInts(dims) {
+		return BuildFamily(FamilySpec{Name: "mesh", Params: map[string]int{"d": len(dims), "n": dims[0]}}, o)
+	}
 	if err := o.validate(); err != nil {
 		return nil, err
+	}
+	if err := registryRange("mesh", "d", len(dims)); err != nil {
+		return nil, err
+	}
+	for _, n := range dims {
+		if err := registryRange("mesh", "n", n); err != nil {
+			return nil, err
+		}
 	}
 	return o.buildSpec(core.MeshSpec(dims, o.layers(), o.NodeSide))
 }
@@ -175,10 +202,23 @@ func Hypercube(n int, o Options) (*Layout, error) {
 }
 
 // GeneralizedHypercube lays out a mixed-radix generalized hypercube
-// (radices[0] least significant) (§4.1).
+// (radices[0] least significant) (§4.1). Uniform radices go through the
+// "ghc" registry family; mixed radices are validated against the same
+// registry ranges and built directly.
 func GeneralizedHypercube(radices []int, o Options) (*Layout, error) {
+	if uniformInts(radices) {
+		return BuildFamily(FamilySpec{Name: "ghc", Params: map[string]int{"r": radices[0], "n": len(radices)}}, o)
+	}
 	if err := o.validate(); err != nil {
 		return nil, err
+	}
+	if err := registryRange("ghc", "n", len(radices)); err != nil {
+		return nil, err
+	}
+	for _, r := range radices {
+		if err := registryRange("ghc", "r", r); err != nil {
+			return nil, err
+		}
 	}
 	return o.buildSpec(core.GeneralizedHypercubeSpec(radices, o.layers(), o.NodeSide))
 }
@@ -190,9 +230,18 @@ func FoldedHypercube(n int, o Options) (*Layout, error) {
 }
 
 // EnhancedCube lays out the hypercube plus one pseudo-random extra link per
-// node (§5.3); seed selects the random stream.
+// node (§5.3); seed selects the random stream. Seeds within the registry's
+// integer range go through the "enhanced" family; larger seeds validate n
+// against the same registry range and build directly, so every uint64 seed
+// keeps working.
 func EnhancedCube(n int, seed uint64, o Options) (*Layout, error) {
+	if max := registryParam("enhanced", "seed").Max; seed <= uint64(max) {
+		return BuildFamily(FamilySpec{Name: "enhanced", Params: map[string]int{"n": n, "seed": int(seed)}}, o)
+	}
 	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := registryRange("enhanced", "n", n); err != nil {
 		return nil, err
 	}
 	spec, err := extra.EnhancedCubeSpec(n, seed, o.layers(), o.NodeSide)
@@ -321,16 +370,60 @@ func CombineFactors(g, h *Collinear) *Collinear { return track.Product(g, h) }
 // layout, with inter-board links as via columns.
 type Layout3D = stack.Layout3D
 
+// stackKnobs converts the cross-cutting Options into the stack package's
+// knob set. MaxCells bounds the WHOLE stack's planned occupancy.
+func (o Options) stackKnobs() stack.Knobs {
+	return stack.Knobs{
+		NodeSide: o.NodeSide,
+		Workers:  o.Workers,
+		Ctx:      o.Context,
+		MaxCells: o.MaxCells,
+		Obs:      o.Observer,
+	}
+}
+
+// stackErr maps the stack package's typed side failure onto the module's
+// *ParamError so callers see one error vocabulary for rejected parameters.
+func stackErr(err error) error {
+	var se *stack.SideError
+	if errors.As(err, &se) {
+		return &ParamError{Param: "NodeSide", Value: se.Got,
+			Reason: fmt.Sprintf("cannot host the stack's elevator columns, needs >= %d", se.Need)}
+	}
+	return err
+}
+
 // Hypercube3D lays out the binary n-cube in the 3-D model with nz
-// dimensions across boards (2^nz active layers).
+// dimensions across boards (2^nz active layers). All cross-cutting Options
+// apply (MaxCells budgets the whole stack); FoldedRows has no meaning for
+// the binary cube and is rejected with a *ParamError.
 func Hypercube3D(n, nz int, o Options) (*Layout3D, error) {
-	return stack.Hypercube3D(n, nz, o.layers())
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.FoldedRows {
+		return nil, &ParamError{Param: "FoldedRows", Value: 1,
+			Reason: "has no effect on the binary hypercube; it selects the folded k-ary ordering (use KAryNCube3D)"}
+	}
+	lay, err := stack.Hypercube3D(n, nz, o.layers(), o.stackKnobs())
+	if err != nil {
+		return nil, stackErr(err)
+	}
+	return lay, nil
 }
 
 // KAryNCube3D lays out a k-ary n-cube in the 3-D model with nz dimensions
-// across boards (k^nz active layers).
+// across boards (k^nz active layers). All cross-cutting Options apply
+// (MaxCells budgets the whole stack).
 func KAryNCube3D(k, n, nz int, o Options) (*Layout3D, error) {
-	return stack.KAryNCube3D(k, n, nz, o.layers(), o.FoldedRows)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	lay, err := stack.KAryNCube3D(k, n, nz, o.layers(), o.FoldedRows, o.stackKnobs())
+	if err != nil {
+		return nil, stackErr(err)
+	}
+	return lay, nil
 }
 
 // GenericGraph re-exports the topology graph type for GenericLayout.
@@ -343,9 +436,20 @@ func NewGraph(name string, n int) *GenericGraph { return topology.New(name, n) }
 // GenericLayout routes an arbitrary graph under the multilayer grid model
 // using the §2.3 grid scheme (every link as a bent edge with optimally
 // shared tracks). Slower-area than the structured constructions — see
-// experiment E18 — but works for any topology.
+// experiment E18 — but works for any topology. All cross-cutting Options
+// (Workers, Context, MaxCells, Observer) apply.
 func GenericLayout(g *GenericGraph, o Options) (*Layout, error) {
-	return generic.Layout(g, generic.Config{L: o.layers(), NodeSide: o.NodeSide})
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return generic.Layout(g, generic.Config{
+		L:        o.layers(),
+		NodeSide: o.NodeSide,
+		Workers:  o.Workers,
+		Ctx:      o.Context,
+		MaxCells: o.MaxCells,
+		Obs:      o.Observer,
+	})
 }
 
 // Baselines (§2.2).
@@ -355,12 +459,27 @@ func GenericLayout(g *GenericGraph, o Options) (*Layout, error) {
 // improves on.
 func Fold(lay *Layout, l int) (*Layout, error) { return fold.Fold(lay, l) }
 
-// VerifyFolded checks a folded layout (terminal checks skipped: folded
-// nodes sit on raised active layers). All violations are reported, joined
-// with errors.Join; errors.As with *grid.Violation (or unwrapping the join)
-// recovers the individual findings.
+// VerifyFoldedViolations checks a folded layout (terminal checks skipped:
+// folded nodes sit on raised active layers) and reports the findings in
+// VerifyLayout's shape: a typed violation slice plus an error for
+// cancellation. The cross-cutting Options knobs apply exactly as in
+// VerifyLayout — Workers, Context, DenseCheckCells, Observer.
+func VerifyFoldedViolations(lay *Layout, o Options) ([]Violation, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return fold.VerifyObserved(o.Context, lay, o.Workers, o.DenseCheckCells, o.Observer)
+}
+
+// VerifyFolded checks a folded layout with default options and joins all
+// violations with errors.Join; errors.As with *grid.Violation (or unwrapping
+// the join) recovers the individual findings. VerifyFoldedViolations is the
+// typed, tunable form.
 func VerifyFolded(lay *Layout) error {
-	v := fold.Verify(lay)
+	v, err := VerifyFoldedViolations(lay, Options{})
+	if err != nil {
+		return err
+	}
 	if len(v) == 0 {
 		return nil
 	}

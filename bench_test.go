@@ -256,7 +256,7 @@ func BenchmarkE15Cayley(b *testing.B) {
 func BenchmarkE16Stack3D(b *testing.B) {
 	var area int
 	for i := 0; i < b.N; i++ {
-		s, err := stack.Hypercube3D(8, 2, 4)
+		s, err := stack.Hypercube3D(8, 2, 4, stack.Knobs{})
 		if err != nil {
 			b.Fatal(err)
 		}

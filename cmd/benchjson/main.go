@@ -29,15 +29,21 @@ import (
 
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/grid"
+	"mlvlsi/internal/obs"
 )
 
 // Record is one benchmark measurement. Workers is 0 for serial benchmarks.
+// The phase/* and counters records come from one observed build+verify run
+// (not a testing.Benchmark loop): phase records carry the span duration in
+// NsOp, and the counters record carries the full observability counter
+// snapshot keyed by counter name.
 type Record struct {
-	Bench    string  `json:"bench"`
-	NsOp     float64 `json:"ns_op"`
-	AllocsOp int64   `json:"allocs_op"`
-	BytesOp  int64   `json:"bytes_op"`
-	Workers  int     `json:"workers"`
+	Bench    string           `json:"bench"`
+	NsOp     float64          `json:"ns_op"`
+	AllocsOp int64            `json:"allocs_op"`
+	BytesOp  int64            `json:"bytes_op"`
+	Workers  int              `json:"workers"`
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -117,6 +123,7 @@ func main() {
 	}
 	run("build/hypercube", 1, build(1))
 	run("build/hypercube", 4, build(4))
+	records = append(records, observed(buildDim)...)
 
 	buf, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -130,6 +137,51 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// observed runs one instrumented build+verify of the buildDim hypercube at
+// Workers=4 and folds the observability layer's output into the snapshot:
+// one phase/<name> record per pipeline phase span (duration in ns_op) and a
+// final counters record with the full counter snapshot.
+func observed(buildDim int) []Record {
+	const workers = 4
+	sink := obs.NewMetricsSink()
+	ob := obs.New(sink)
+	spec := core.HypercubeSpec(buildDim, 4, 0)
+	spec.Workers = workers
+	spec.Obs = ob
+	lay, err := core.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if v, err := lay.VerifyObserved(nil, workers, 0, ob); err != nil {
+		fatal(err)
+	} else if len(v) > 0 {
+		fatal(v[0])
+	}
+	m := ob.Flush()
+
+	var records []Record
+	for _, phase := range []string{"placement", "routing", "realization", "verify"} {
+		rec, ok := sink.Span(phase)
+		if !ok {
+			fatal(fmt.Sprintf("observed run produced no %q span", phase))
+		}
+		records = append(records, Record{
+			Bench:   "phase/" + phase,
+			NsOp:    float64(rec.Dur.Nanoseconds()),
+			Workers: workers,
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %14.0f ns (one observed run)\n",
+			"phase/"+phase, float64(rec.Dur.Nanoseconds()))
+	}
+	counters := make(map[string]int64, obs.NumCounters)
+	for c := obs.Counter(0); int(c) < obs.NumCounters; c++ {
+		counters[c.String()] = m.Get(c)
+		fmt.Fprintf(os.Stderr, "%-28s %14d\n", "counter/"+c.String(), m.Get(c))
+	}
+	records = append(records, Record{Bench: "counters", Workers: workers, Counters: counters})
+	return records
 }
 
 // deriveOut picks the snapshot filename when -out is not given: BENCH_<pr>.json

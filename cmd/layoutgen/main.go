@@ -65,6 +65,7 @@ func main() {
 	list := flag.Bool("list", false, "list the registered families and their parameters")
 	timeout := flag.Duration("timeout", 0, "abort build and verify after this long (0 = no deadline)")
 	maxCells := flag.Int("max-cells", 0, "fail fast if the planned grid exceeds this many cells (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome-trace (chrome://tracing) span file of the build and verify phases")
 	flag.Parse()
 
 	if *list {
@@ -95,8 +96,12 @@ func main() {
 
 	ctx, cancel := cli.Timeout(*timeout)
 	defer cancel()
+	obsv, traceDone, err := cli.Trace(*tracePath)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
 	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded,
-		Workers: *workers, Context: ctx, MaxCells: *maxCells}
+		Workers: *workers, Context: ctx, MaxCells: *maxCells, Observer: obsv}
 	start := time.Now()
 	lay, err := mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
 	if err != nil {
@@ -104,7 +109,7 @@ func main() {
 	}
 
 	if !*skipVerify {
-		v, err := lay.VerifyContext(ctx, *workers)
+		v, err := mlvlsi.VerifyLayout(lay, o)
 		if err != nil {
 			cli.Failf("verify: %v (after %v)", err, time.Since(start).Round(time.Millisecond))
 		}
@@ -135,5 +140,11 @@ func main() {
 			cli.Failf("svg: %v", err)
 		}
 		fmt.Println("wrote", *svgPath)
+	}
+	if err := traceDone(); err != nil {
+		cli.Failf("%v", err)
+	}
+	if *tracePath != "" {
+		fmt.Println("wrote", *tracePath)
 	}
 }

@@ -24,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "cap the scheduler's parallelism for all experiments (0 = all cores)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all experiments) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome-trace (chrome://tracing) span file with one span per experiment run")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" {
@@ -62,6 +63,11 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	obsv, traceDone, err := cli.Trace(*tracePath)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+
 	all := experiments.Registry()
 
 	if *list {
@@ -90,7 +96,9 @@ func main() {
 			}
 		}
 		matched = true
+		sp := obsv.StartSpan("experiment/" + e.ID)
 		tab := e.Run()
+		sp.End()
 		if *format == "csv" {
 			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		} else {
@@ -103,5 +111,8 @@ func main() {
 			ids[i] = e.ID
 		}
 		cli.Usagef("-only: no experiment matches %q; valid ids: %s", *only, strings.Join(ids, ", "))
+	}
+	if err := traceDone(); err != nil {
+		cli.Failf("%v", err)
 	}
 }

@@ -50,6 +50,7 @@ func main() {
 	faults := flag.String("faults", "", `degrade the network first, e.g. "nodes=0,5;links=0-1;random-links=3;seed=9"`)
 	workers := flag.Int("workers", 0, "parallel build/verify workers (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort build and verify after this long (0 = no deadline)")
+	tracePath := flag.String("trace", "", "write a Chrome-trace (chrome://tracing) span file of the build and verify phases")
 	flag.Parse()
 
 	if err := cli.CheckFamily(*network); err != nil {
@@ -81,13 +82,20 @@ func main() {
 
 	ctx, cancel := cli.Timeout(*timeout)
 	defer cancel()
+	obsv, traceDone, err := cli.Trace(*tracePath)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
 
-	build := func(l int) (*mlvlsi.Layout, error) {
-		o := mlvlsi.Options{Layers: l, Workers: *workers, Context: ctx}
+	options := func(l int) mlvlsi.Options {
+		o := mlvlsi.Options{Layers: l, Workers: *workers, Context: ctx, Observer: obsv}
 		if *network == "kary" {
 			o.FoldedRows = true
 		}
-		return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
+		return o
+	}
+	build := func(l int) (*mlvlsi.Layout, error) {
+		return mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, options(l))
 	}
 
 	fmt.Printf("%3s  %-14s  %-17s  %9s  %8s  %11s  %8s\n",
@@ -97,7 +105,7 @@ func main() {
 		if err != nil {
 			cli.Failf("L=%d: %v", l, err)
 		}
-		v, err := lay.VerifyContext(ctx, *workers)
+		v, err := mlvlsi.VerifyLayout(lay, options(l))
 		if err != nil {
 			cli.Failf("L=%d: verify: %v", l, err)
 		}
@@ -115,5 +123,8 @@ func main() {
 					l, pattern, sw, res.Delivered, res.Dropped, res.AvgLatency, res.Makespan)
 			}
 		}
+	}
+	if err := traceDone(); err != nil {
+		cli.Failf("%v", err)
 	}
 }

@@ -1,0 +1,40 @@
+// Command tracelint validates Chrome-trace files written by the -trace
+// flags of the mlvlsi tools: a JSON event array whose span events carry ids
+// with resolvable parent links and whose counter snapshot names every
+// defined counter. It is the schema gate behind `make trace-smoke`; exit
+// code 1 means at least one file failed validation.
+//
+//	tracelint build.trace verify.trace
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mlvlsi"
+	"mlvlsi/internal/cli"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		cli.Usagef("usage: tracelint FILE...")
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+			failed = true
+			continue
+		}
+		if err := mlvlsi.ValidateTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

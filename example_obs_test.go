@@ -1,0 +1,37 @@
+package mlvlsi_test
+
+import (
+	"fmt"
+
+	"mlvlsi"
+)
+
+// ExampleOptions_observer attaches an in-memory metrics sink to a build and
+// verify run. The same Observer can feed a TraceSink writing Chrome-trace
+// JSON (see the -trace flag on the command-line tools); a nil Observer —
+// the default — costs nothing.
+func ExampleOptions_observer() {
+	sink := mlvlsi.NewMetricsSink()
+	o := mlvlsi.Options{Layers: 4, Observer: mlvlsi.NewObserver(sink)}
+
+	lay, err := mlvlsi.Hypercube(6, o)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := mlvlsi.VerifyLayout(lay, o); err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := o.Observer.Flush()
+
+	_, sawBuild := sink.Span("build")
+	_, sawVerify := sink.Span("verify")
+	fmt.Println("spans recorded:", sawBuild && sawVerify)
+	fmt.Println("wires realized:", m.Get(mlvlsi.CounterWiresRealized) == int64(len(lay.Wires)))
+	fmt.Println("dense checks:", m.Get(mlvlsi.CounterDenseChecks))
+	// Output:
+	// spans recorded: true
+	// wires realized: true
+	// dense checks: 1
+}

@@ -164,6 +164,35 @@ func ParseFaultPlan(spec string) (*mlvlsi.SimFaultPlan, error) {
 	return plan, nil
 }
 
+// Trace turns a -trace flag value into an observer writing a Chrome-trace
+// file. An empty path returns a nil observer (observation disabled at zero
+// cost) and a no-op closer. Otherwise the returned done function must run
+// after the observed work: it flushes the counter snapshot, terminates the
+// JSON array, and closes the file, reporting the first write error.
+func Trace(path string) (*mlvlsi.Observer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trace: %w", err)
+	}
+	sink := mlvlsi.NewTraceSink(f)
+	obsv := mlvlsi.NewObserver(sink)
+	done := func() error {
+		obsv.Flush()
+		if err := sink.Err(); err != nil {
+			f.Close()
+			return fmt.Errorf("-trace %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-trace %s: %w", path, err)
+		}
+		return nil
+	}
+	return obsv, done, nil
+}
+
 // Timeout turns a -timeout flag value into a context: zero means no
 // deadline (a nil context, which the library treats as "no cancellation"),
 // so unbounded runs pay no polling overhead.

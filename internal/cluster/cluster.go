@@ -23,6 +23,7 @@ import (
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/intervals"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/track"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	// a *layout.BudgetError). See core.Spec.
 	Ctx      context.Context
 	MaxCells int
+	// Obs receives build spans and counters; the spec assembly itself is
+	// reported as an "assemble" span and the engine's "build" span follows.
+	// Nil disables observation at zero cost. See internal/obs.
+	Obs *obs.Observer
 }
 
 // interval aliases the shared half-position interval type; see the
@@ -89,8 +94,11 @@ func Build(cfg Config) (*layout.Layout, error) {
 }
 
 // BuildSpec assembles the engine spec for a PN-cluster layout without
-// realizing it (useful for geometry planning).
+// realizing it (useful for geometry planning). The assembly — interval
+// coloring and edge emission — is reported as an "assemble" span on cfg.Obs.
 func BuildSpec(cfg Config) (core.Spec, error) {
+	asm := cfg.Obs.StartSpan("assemble")
+	defer asm.End()
 	if cfg.C < 1 {
 		return core.Spec{}, fmt.Errorf("%s: cluster size %d < 1", cfg.Name, cfg.C)
 	}
@@ -136,6 +144,7 @@ func BuildSpec(cfg Config) (core.Spec, error) {
 		Workers:  cfg.Workers,
 		Ctx:      cfg.Ctx,
 		MaxCells: cfg.MaxCells,
+		Obs:      cfg.Obs,
 	}
 
 	// --- Row channels -----------------------------------------------------

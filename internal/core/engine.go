@@ -23,6 +23,7 @@ import (
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
 )
 
@@ -80,6 +81,13 @@ type Spec struct {
 	// *layout.BudgetError before any wire is realized, so the overrun costs
 	// geometry planning only. Zero means unlimited.
 	MaxCells int
+	// Obs, when non-nil, receives build telemetry: a "build" span with
+	// placement, routing, and realization children plus the typed counters
+	// (wires realized, cells planned, budget headroom, worker count). Nil —
+	// the default — disables instrumentation entirely; the realize loop is
+	// untouched either way, since spans and counters live on the phase
+	// boundaries, not in per-wire code.
+	Obs *obs.Observer
 	// Label maps grid position to node label (a bijection onto
 	// 0..Rows·Cols-1). Nil means row-major order.
 	Label func(row, col int) int
@@ -161,6 +169,15 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	if err := par.Canceled(spec.Ctx); err != nil {
 		return nil, geom, err
 	}
+	root := spec.Obs.StartSpan("build")
+	root.SetAttr("rows", int64(spec.Rows)).SetAttr("cols", int64(spec.Cols)).SetAttr("layers", int64(spec.L))
+	defer root.End()
+
+	// Placement phase: validate the node grid and edge lists, then derive
+	// the per-node port demand and the node side. (Phase spans are ended on
+	// the success path only; a failed build reports just the enclosing
+	// "build" span.)
+	place := root.Child("placement")
 	n := spec.Rows * spec.Cols
 	if err := checkLabels(spec, label, n); err != nil {
 		return nil, geom, err
@@ -171,11 +188,6 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	if err := par.Canceled(spec.Ctx); err != nil {
 		return nil, geom, err
 	}
-
-	gH := (spec.L + 1) / 2 // horizontal track groups, on odd layers 1,3,…
-	gV := spec.L / 2       // vertical track groups, on even layers 2,4,…
-
-	assignment, hSlots, wSlots := assignTracks(&spec, gH, gV)
 
 	// Port demand per node.
 	top := make([]int, n)   // ports on the node's top edge
@@ -208,6 +220,15 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	} else if side < need {
 		return nil, geom, fmt.Errorf("%s: node side %d < required port count %d", spec.Name, side, need)
 	}
+	place.End()
+
+	// Routing phase: distribute tracks over layer groups and fix the grid
+	// geometry.
+	route := root.Child("routing")
+	gH := (spec.L + 1) / 2 // horizontal track groups, on odd layers 1,3,…
+	gV := spec.L / 2       // vertical track groups, on even layers 2,4,…
+
+	assignment, hSlots, wSlots := assignTracks(&spec, gH, gV)
 
 	// Grid coordinates.
 	rowY := make([]int, spec.Rows+1)
@@ -234,11 +255,14 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	for _, h := range hSlots {
 		geom.ChannelHeight += h
 	}
+	route.End()
 	if !realize {
 		return nil, geom, nil
 	}
+	cells := (geom.Width + 1) * (geom.Height + 1) * (spec.L + 1)
+	spec.Obs.Add(obs.CellsPlanned, int64(cells))
 	if spec.MaxCells > 0 {
-		cells := (geom.Width + 1) * (geom.Height + 1) * (spec.L + 1)
+		spec.Obs.Set(obs.BudgetHeadroom, int64(spec.MaxCells-cells))
 		if cells > spec.MaxCells {
 			return nil, geom, &layout.BudgetError{Name: spec.Name, Cells: cells, Budget: spec.MaxCells}
 		}
@@ -247,6 +271,7 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 		return nil, geom, err
 	}
 
+	real := root.Child("realization")
 	// Port assignment. Each wire end at a node gets a distinct offset in
 	// [0, side). Ends are sorted so that, on a shared track, the end of the
 	// edge arriving from the lower side precedes the end of the edge
@@ -346,6 +371,7 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	}
 	nRow, nCol := len(spec.RowEdges), len(spec.ColEdges)
 	lay.Wires = make([]grid.Wire, nRow+nCol+len(spec.Bent))
+	spec.Obs.Set(obs.WorkerCount, int64(par.Workers(spec.Workers)))
 	err := par.ForEachCtx(spec.Ctx, spec.Workers, len(lay.Wires), func(id int) {
 		switch {
 		case id < nRow:
@@ -412,6 +438,8 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	if err != nil {
 		return nil, geom, err
 	}
+	spec.Obs.Add(obs.WiresRealized, int64(len(lay.Wires)))
+	real.SetAttr("wires", int64(len(lay.Wires))).End()
 	return lay, geom, nil
 }
 

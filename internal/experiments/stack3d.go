@@ -33,7 +33,7 @@ func E16Stack3D() *Table {
 		fs := checkedStats(t, flat)
 		t.Add(flat.Name, "2-D", 1, tc.l, fs.Area, fs.Volume, fs.MaxWire, 1.0)
 		for _, nz := range []int{1, 2, 3} {
-			s, err := stack.Hypercube3D(tc.n, nz, tc.l)
+			s, err := stack.Hypercube3D(tc.n, nz, tc.l, stack.Knobs{})
 			if err != nil {
 				t.Note("3D build failed nz=%d: %v", nz, err)
 				continue
@@ -49,7 +49,7 @@ func E16Stack3D() *Table {
 		}
 		fs := checkedStats(t, flat)
 		t.Add(flat.Name, "2-D", 1, tc.l, fs.Area, fs.Volume, fs.MaxWire, 1.0)
-		s, err := stack.KAryNCube3D(tc.k, tc.n, tc.nz, tc.l, false)
+		s, err := stack.KAryNCube3D(tc.k, tc.n, tc.nz, tc.l, false, stack.Knobs{})
 		if err != nil {
 			t.Note("3D kary build failed: %v", err)
 			continue

@@ -17,10 +17,12 @@
 package fold
 
 import (
+	"context"
 	"fmt"
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/track"
 )
 
@@ -142,7 +144,28 @@ func gutterX(edgeX int) int {
 // the direction discipline (terminal checks are skipped: folded nodes live
 // on raised active layers).
 func Verify(lay *layout.Layout) []grid.Violation {
-	return grid.Check(lay.Wires, grid.CheckOptions{Layers: lay.L, Discipline: true})
+	vs, _ := VerifyObserved(nil, lay, 1, 0, nil)
+	return vs
+}
+
+// VerifyObserved is Verify with every verifier knob exposed — cooperative
+// cancellation, worker fan-out, dense-occupancy threshold — plus
+// observation: the check is reported as a "verify" span on o and the
+// verifier counters accumulate there, exactly as Layout.VerifyObserved does
+// for engine-built layouts. Terminal checks stay skipped. A nil observer
+// disables observation at zero cost; violations are identical for every
+// knob combination.
+func VerifyObserved(ctx context.Context, lay *layout.Layout, workers, denseLimit int, o *obs.Observer) ([]grid.Violation, error) {
+	sp := o.StartSpan("verify")
+	sp.SetAttr("wires", int64(len(lay.Wires)))
+	vs, err := grid.CheckParallelCtx(ctx, lay.Wires, grid.CheckOptions{
+		Layers:     lay.L,
+		Discipline: true,
+		DenseLimit: denseLimit,
+		Span:       sp,
+	}, workers)
+	sp.SetAttr("violations", int64(len(vs))).End()
+	return vs, err
 }
 
 // Stats summarizes a folded layout against its source, the comparison §2.2

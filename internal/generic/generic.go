@@ -14,12 +14,14 @@
 package generic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/intervals"
 	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/topology"
 )
 
@@ -36,6 +38,15 @@ type Config struct {
 	Place func(label, rows, cols int) (row, col int)
 	// Rows/Cols force grid dimensions (0 = ⌈√N⌉ near-square).
 	Rows, Cols int
+	// Workers, Ctx and MaxCells forward to the engine spec: realization
+	// fan-out bound, cooperative cancellation, and the planned-cell budget.
+	// See core.Spec.
+	Workers  int
+	Ctx      context.Context
+	MaxCells int
+	// Obs receives a "generic-plan" span over placement and coloring plus
+	// the engine's build spans and counters; nil disables observation.
+	Obs *obs.Observer
 }
 
 // Layout routes the graph under the multilayer grid model.
@@ -46,6 +57,9 @@ func Layout(g *topology.Graph, cfg Config) (*layout.Layout, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("generic(%s) L=%d", g.Name, cfg.L)
 	}
+	plan := cfg.Obs.StartSpan("generic-plan")
+	plan.SetAttr("nodes", int64(g.N)).SetAttr("links", int64(len(g.Links)))
+	defer plan.End() // idempotent: ended explicitly before the engine runs
 	rows, cols := cfg.Rows, cfg.Cols
 	if rows == 0 || cols == 0 {
 		cols = int(math.Ceil(math.Sqrt(float64(g.N))))
@@ -152,7 +166,11 @@ func Layout(g *topology.Graph, cfg Config) (*layout.Layout, error) {
 		Name: cfg.Name,
 		Rows: rows, Cols: cols,
 		L: cfg.L, NodeSide: cfg.NodeSide,
-		Label: func(r, c int) int { return cellLabel[[2]int{r, c}] },
+		Label:    func(r, c int) int { return cellLabel[[2]int{r, c}] },
+		Workers:  cfg.Workers,
+		Ctx:      cfg.Ctx,
+		MaxCells: cfg.MaxCells,
+		Obs:      cfg.Obs,
 	}
 	for i, lk := range links {
 		spec.Bent = append(spec.Bent, core.BentEdge{
@@ -162,5 +180,6 @@ func Layout(g *topology.Graph, cfg Config) (*layout.Layout, error) {
 			VTrack: vTrack[i],
 		})
 	}
+	plan.End()
 	return core.Build(spec)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
 )
 
@@ -29,6 +30,13 @@ type CheckOptions struct {
 	// negative value disables the dense path entirely, forcing the
 	// map-based reference implementation. Results are identical either way.
 	DenseLimit int
+	// Span, when non-nil, is the parent span the checkers hang their phase
+	// spans off (measure, walk, merge, resolve); counters go to the span's
+	// observer. Nil disables instrumentation. Either way the per-edge hot
+	// loops are untouched: instrumentation happens at phase granularity on
+	// the coordinator path, using aggregates the check computes anyway, so
+	// results and allocation behavior are identical.
+	Span *obs.Span
 }
 
 // Reason is a typed violation cause. Codes are formatted lazily by
@@ -212,11 +220,23 @@ func Check(wires []Wire, opts CheckOptions) []Violation {
 // nil violation slice plus an error wrapping par.ErrCanceled once the
 // context is done. On a nil error the violations are exactly Check's.
 func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
+	ms := opts.Span.Child("measure")
 	box, total := Wires(wires).measure()
+	ms.End()
+	ob := opts.Span.Observer()
+	ob.Add(obs.UnitEdgesChecked, int64(total))
+	wk := opts.Span.Child("walk")
 	if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {
-		return checkDense(ctx, wires, opts, ix)
+		ob.Add(obs.DenseChecks, 1)
+		ob.Add(obs.CellsAllocated, int64(ix.cells))
+		vs, err := checkDense(ctx, wires, opts, ix)
+		wk.End()
+		return vs, err
 	}
-	return checkSparse(ctx, wires, opts, total)
+	ob.Add(obs.SparseChecks, 1)
+	vs, err := checkSparse(ctx, wires, opts, total)
+	wk.End()
+	return vs, err
 }
 
 // checkSparse is the retained map-based reference implementation: every unit

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
 )
 
@@ -53,17 +54,31 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		return nil, nil
 	}
 	w := par.Workers(workers)
+	ob := opts.Span.Observer()
+	ob.Set(obs.WorkerCount, int64(w))
 
+	ms := opts.Span.Child("measure")
 	box, total := parMeasure(wires, w)
+	ms.End()
 	if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {
+		ob.Add(obs.UnitEdgesChecked, int64(total))
+		ob.Add(obs.DenseChecks, 1)
+		ob.Add(obs.CellsAllocated, int64(ix.cells))
 		return checkDenseParallel(ctx, wires, opts, ix, w)
 	}
 	enc, ok := newEdgeEncoderFromBox(box)
 	if !ok {
 		// Coordinates too large to pack into 64 bits (beyond any layout this
-		// module can realistically build): fall back to the reference checker.
-		return CheckCtx(ctx, wires, opts)
+		// module can realistically build): fall back to the reference checker,
+		// which re-measures and maintains the counters itself.
+		fallback := opts
+		fallback.Span = opts.Span.Child("fallback-serial")
+		vs, err := CheckCtx(ctx, wires, fallback)
+		fallback.Span.End()
+		return vs, err
 	}
+	ob.Add(obs.UnitEdgesChecked, int64(total))
+	ob.Add(obs.SparseChecks, 1)
 	return checkSparseParallel(ctx, wires, opts, enc, w)
 }
 
@@ -148,6 +163,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 			}
 		}
 	}()
+	walk := opts.Span.Child("walk")
 	par.Chunks(workers, n, func(shard, lo, hi int) {
 		res := &results[shard]
 		res.buf = occGet(words)
@@ -159,6 +175,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 			collectWireDense(&wires[wi], int32(wi), opts, ix, occ, &res.violations, &res.contested)
 		}
 	})
+	walk.End()
 	if err := par.Canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -169,6 +186,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 	}
 	var crossed [][]int
 	if shards > 1 {
+		merge := opts.Span.Child("merge")
 		crossed = make([][]int, par.NumAlignedChunks(workers, words, wordsPerLine))
 		par.AlignedChunks(workers, words, wordsPerLine, func(chunk, lo, hi int) {
 			var found []int
@@ -190,6 +208,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 			}
 			crossed[chunk] = found
 		})
+		opts.Span.Observer().Add(obs.MergeNanos, int64(merge.End()))
 		if err := par.Canceled(ctx); err != nil {
 			return nil, err
 		}
@@ -203,6 +222,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 		all = append(all, results[s].violations...)
 	}
 	if ncontested > 0 {
+		resolve := opts.Span.Child("resolve")
 		targets := make(map[int]int, ncontested)
 		for s := range results {
 			for _, idx := range results[s].contested {
@@ -215,6 +235,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 			}
 		}
 		all = append(all, replayShared(wires, opts, ix, targets)...)
+		resolve.End()
 	}
 	return canonicalize(wires, all), nil
 }
@@ -358,6 +379,7 @@ func checkSparseParallel(ctx context.Context, wires []Wire, opts CheckOptions, e
 		buckets    [][]claim
 	}
 	results := make([]shardResult, shards)
+	walk := opts.Span.Child("walk")
 	par.Chunks(workers, n, func(shard, lo, hi int) {
 		res := &results[shard]
 		res.buckets = make([][]claim, buckets)
@@ -368,10 +390,12 @@ func checkSparseParallel(ctx context.Context, wires []Wire, opts CheckOptions, e
 			collectWire(&wires[wi], int32(wi), opts, enc, res.buckets, &res.violations)
 		}
 	})
+	walk.End()
 	if err := par.Canceled(ctx); err != nil {
 		return nil, err
 	}
 
+	merge := opts.Span.Child("merge")
 	perBucket := make([][]seqViolation, buckets)
 	par.ForEach(workers, buckets, func(b int) {
 		total := 0
@@ -407,6 +431,7 @@ func checkSparseParallel(ctx context.Context, wires []Wire, opts CheckOptions, e
 		}
 		perBucket[b] = found
 	})
+	opts.Span.Observer().Add(obs.MergeNanos, int64(merge.End()))
 	if err := par.Canceled(ctx); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"mlvlsi/internal/grid"
+	"mlvlsi/internal/obs"
 )
 
 // BudgetError reports a build abandoned because the planned layout would
@@ -146,12 +147,27 @@ func (l *Layout) VerifyContext(ctx context.Context, workers int) ([]grid.Violati
 // grid's slot count — see grid.CheckOptions.DenseLimit). Violations are
 // identical for every knob combination.
 func (l *Layout) VerifyTuned(ctx context.Context, workers, denseLimit int) ([]grid.Violation, error) {
-	return grid.CheckParallelCtx(ctx, l.Wires, grid.CheckOptions{
+	return l.VerifyObserved(ctx, workers, denseLimit, nil)
+}
+
+// VerifyObserved is VerifyTuned with observation: the whole check is
+// reported as a "verify" root span on o (with measure/walk/merge/resolve
+// children from the sharded checker) and the verifier counters — unit edges
+// checked, dense vs. sparse path, cells allocated — accumulate on o. A nil
+// observer disables observation at zero cost; violations are identical
+// either way.
+func (l *Layout) VerifyObserved(ctx context.Context, workers, denseLimit int, o *obs.Observer) ([]grid.Violation, error) {
+	sp := o.StartSpan("verify")
+	sp.SetAttr("wires", int64(len(l.Wires)))
+	vs, err := grid.CheckParallelCtx(ctx, l.Wires, grid.CheckOptions{
 		Layers:     l.L,
 		Discipline: true,
 		Nodes:      l.Nodes,
 		DenseLimit: denseLimit,
+		Span:       sp,
 	}, workers)
+	sp.SetAttr("violations", int64(len(vs))).End()
+	return vs, err
 }
 
 // VerifyStrict performs Verify plus the Thompson-strict clearance check:

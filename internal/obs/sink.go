@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceEvent is one line of the Chrome trace event format
+// (chrome://tracing, also readable by Perfetto). Spans are "X" (complete)
+// events with microsecond timestamps; the counter snapshot is a single "C"
+// event written at flush time.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	ID   uint64           `json:"id,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// micros converts a duration to the trace format's microsecond unit,
+// keeping sub-microsecond resolution as a fraction.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// TraceSink writes spans as a Chrome-trace JSON array, one event per line,
+// suitable for loading into chrome://tracing or Perfetto. Events stream out
+// as spans end; Flush appends the counter snapshot as a "C" event and the
+// closing bracket, making the file a strictly valid JSON document. A file
+// from an aborted run that never flushed lacks the bracket but still loads:
+// the trace format explicitly tolerates a missing terminator.
+type TraceSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	wrote  bool // array bracket and at least one event written
+	closed bool
+	lastTs float64
+}
+
+// NewTraceSink wraps a writer. The caller owns the writer's lifetime:
+// call Observer.Flush before closing it, then check Err.
+func NewTraceSink(w io.Writer) *TraceSink { return &TraceSink{w: w} }
+
+// SpanEnd writes one complete event. Attributes become args entries, and
+// the parent link is preserved as args.parent so tools (and ValidateTrace)
+// can rebuild the span tree.
+func (t *TraceSink) SpanEnd(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	var args map[string]int64
+	if rec.Parent != 0 || len(rec.Attrs) > 0 {
+		args = make(map[string]int64, len(rec.Attrs)+1)
+		if rec.Parent != 0 {
+			args["parent"] = int64(rec.Parent)
+		}
+		for _, a := range rec.Attrs {
+			args[a.Key] = a.Val
+		}
+	}
+	ts := micros(rec.Start)
+	if end := ts + micros(rec.Dur); end > t.lastTs {
+		t.lastTs = end
+	}
+	t.event(traceEvent{
+		Name: rec.Name, Cat: "mlvlsi", Ph: "X",
+		Ts: ts, Dur: micros(rec.Dur),
+		Pid: 1, Tid: 1, ID: rec.ID, Args: args,
+	})
+}
+
+// Flush writes the counter snapshot as a "C" event followed by the closing
+// bracket; the sink ignores any events after it.
+func (t *TraceSink) Flush(m Metrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	args := make(map[string]int64, NumCounters)
+	for c := Counter(0); c < numCounters; c++ {
+		args[c.String()] = m.Get(c)
+	}
+	t.event(traceEvent{Name: "counters", Ph: "C", Ts: t.lastTs, Pid: 1, Tid: 1, Args: args})
+	t.write("\n]\n")
+	t.closed = true
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *TraceSink) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// event encodes one trace event onto its own line. Callers hold t.mu.
+func (t *TraceSink) event(ev traceEvent) {
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if !t.wrote {
+		t.write("[\n")
+		t.wrote = true
+	} else {
+		t.write(",\n")
+	}
+	t.write(string(buf))
+}
+
+func (t *TraceSink) write(s string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := io.WriteString(t.w, s); err != nil {
+		t.err = err
+	}
+}
+
+// MetricsSink retains completed spans in memory and the counter snapshot
+// delivered at flush time. It is the in-process counterpart of TraceSink,
+// used by cmd/benchjson to fold phase timings and counters into benchmark
+// snapshots, and by tests to assert on span trees.
+type MetricsSink struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	metrics Metrics
+	flushed bool
+}
+
+// NewMetricsSink returns an empty in-memory sink.
+func NewMetricsSink() *MetricsSink { return &MetricsSink{} }
+
+// SpanEnd retains the span.
+func (m *MetricsSink) SpanEnd(rec SpanRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spans = append(m.spans, rec)
+}
+
+// Flush retains the counter snapshot.
+func (m *MetricsSink) Flush(met Metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = met
+	m.flushed = true
+}
+
+// Spans returns a copy of the retained spans, in end order (children
+// precede their parents).
+func (m *MetricsSink) Spans() []SpanRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SpanRecord(nil), m.spans...)
+}
+
+// Span returns the first retained span with the given name and whether one
+// exists.
+func (m *MetricsSink) Span(name string) (SpanRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// Metrics returns the snapshot delivered by the last flush and whether a
+// flush happened yet.
+func (m *MetricsSink) Metrics() (Metrics, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics, m.flushed
+}
+
+// ValidateTrace checks that data is a well-formed trace file as TraceSink
+// writes it: a JSON array of events, each with a name, a known phase, and
+// non-negative timestamps; at least one complete ("X") span event whose
+// parent references (args.parent) resolve to other span events; and at
+// least one counter ("C") event carrying every defined counter. It is the
+// schema gate behind cmd/tracelint and `make trace-smoke`.
+func ValidateTrace(data []byte) error {
+	var events []traceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace is not a JSON event array: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	spanIDs := make(map[uint64]bool)
+	for _, ev := range events {
+		if ev.Ph == "X" && ev.ID != 0 {
+			spanIDs[ev.ID] = true
+		}
+	}
+	nspans, ncounters := 0, 0
+	for i, ev := range events {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return fmt.Errorf("event %d (%s): negative timestamp", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			nspans++
+			if ev.ID == 0 {
+				return fmt.Errorf("event %d (%s): span event without id", i, ev.Name)
+			}
+			if parent, ok := ev.Args["parent"]; ok && !spanIDs[uint64(parent)] {
+				return fmt.Errorf("event %d (%s): parent %d is not a span in this trace", i, ev.Name, parent)
+			}
+		case "C":
+			ncounters++
+			for c := Counter(0); c < numCounters; c++ {
+				if _, ok := ev.Args[c.String()]; !ok {
+					return fmt.Errorf("event %d (%s): counter snapshot missing %q", i, ev.Name, c.String())
+				}
+			}
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if nspans == 0 {
+		return fmt.Errorf("trace has no span events")
+	}
+	if ncounters == 0 {
+		return fmt.Errorf("trace has no counter snapshot (was the observer flushed?)")
+	}
+	return nil
+}

@@ -16,10 +16,14 @@
 package stack
 
 import (
+	"context"
 	"fmt"
 
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/grid"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
 	"mlvlsi/internal/track"
 )
 
@@ -36,6 +40,52 @@ type Spec struct {
 	// Label combines a board-factor label and an in-board label into the
 	// global node label. Nil means boardLabel·boardNodes + inBoard.
 	Label func(boardLabel, inBoard int) int
+}
+
+// Knobs carries the cross-cutting build options of the 3-D constructors —
+// the same set the 2-D engines take, interpreted stack-wide.
+type Knobs struct {
+	// NodeSide fixes the node square side (0 = minimal). An explicit side
+	// too small for the stack's elevator columns is a *SideError; zero is
+	// raised automatically as before.
+	NodeSide int
+	// Workers bounds the board realization fan-out (0 = GOMAXPROCS); the
+	// realized stack is identical for every value.
+	Workers int
+	// Ctx cancels the build cooperatively (error wraps par.ErrCanceled);
+	// replication and elevator allocation poll it between boards.
+	Ctx context.Context
+	// MaxCells bounds the planned grid occupancy of the WHOLE stack —
+	// (width+1)·(height+1)·boards·(L+1) — not of a single board; overruns
+	// return a *layout.BudgetError before any wire is realized.
+	MaxCells int
+	// Obs receives a "stack" span with replicate/elevators children plus
+	// the board engine's build spans and counters; nil disables observation.
+	Obs *obs.Observer
+}
+
+// apply copies the knobs onto a board spec. Build reinterprets the board
+// spec's MaxCells as the stack-wide budget and enforces it against the
+// whole-stack cell count, clearing it before the per-board engine runs.
+func (k Knobs) apply(s core.Spec) core.Spec {
+	s.NodeSide = k.NodeSide
+	s.Workers = k.Workers
+	s.Ctx = k.Ctx
+	s.MaxCells = k.MaxCells
+	s.Obs = k.Obs
+	return s
+}
+
+// SideError reports an explicit node side too small to host the stack's
+// elevator columns. Got is the requested side; Need is the minimum side
+// whose square fits the elevator block.
+type SideError struct {
+	Name      string
+	Got, Need int
+}
+
+func (e *SideError) Error() string {
+	return fmt.Sprintf("stack %s: node side %d cannot host the elevator columns, needs >= %d", e.Name, e.Got, e.Need)
 }
 
 // Layout3D is a realized stacked layout.
@@ -66,7 +116,11 @@ type BoardRect struct {
 // bandBase returns the z of board b's active layer.
 func bandBase(b, layersPerBoard int) int { return b * (layersPerBoard + 1) }
 
-// Build realizes the stacked layout.
+// Build realizes the stacked layout. The board spec's MaxCells, if set, is
+// the budget for the WHOLE stack (see Knobs.MaxCells); its Ctx is polled
+// between boards during replication and elevator allocation; its Obs gets a
+// "stack" span with replicate/elevators children alongside the board
+// engine's own build span.
 func Build(spec Spec) (*Layout3D, error) {
 	boards := spec.BoardFac.N
 	if boards < 1 {
@@ -75,6 +129,10 @@ func Build(spec Spec) (*Layout3D, error) {
 	if spec.Board.L < 2 {
 		return nil, fmt.Errorf("%s: board spec needs L >= 2", spec.Name)
 	}
+	ob := spec.Board.Obs
+	root := ob.StartSpan("stack")
+	root.SetAttr("boards", int64(boards))
+	defer root.End()
 	// Elevator capacity: two columns per board-factor track, arranged in a
 	// square block inside each node; the node side must fit the block and
 	// the board spec's own ports.
@@ -84,10 +142,19 @@ func Build(spec Spec) (*Layout3D, error) {
 		sideNeed++
 	}
 	boardSpec := spec.Board
+	budget := boardSpec.MaxCells
+	boardSpec.MaxCells = 0 // enforced stack-wide below, not per board
+	if boardSpec.NodeSide > 0 && boardSpec.NodeSide < sideNeed {
+		return nil, &SideError{Name: spec.Name, Got: boardSpec.NodeSide, Need: sideNeed}
+	}
+	// Planning passes run unobserved: only the realizing build below should
+	// contribute spans and counters.
+	planSpec := boardSpec
+	planSpec.Obs = nil
 	if boardSpec.NodeSide < sideNeed {
 		// Let the board spec recompute with at least the elevator demand;
 		// Plan tells us the port-driven minimum.
-		geom, err := core.Plan(boardSpec)
+		geom, err := core.Plan(planSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -95,6 +162,18 @@ func Build(spec Spec) (*Layout3D, error) {
 			sideNeed = geom.Side
 		}
 		boardSpec.NodeSide = sideNeed
+		planSpec.NodeSide = sideNeed
+	}
+	if budget > 0 {
+		geom, err := core.Plan(planSpec)
+		if err != nil {
+			return nil, err
+		}
+		cells := (geom.Width + 1) * (geom.Height + 1) * boards * (spec.Board.L + 1)
+		ob.Set(obs.BudgetHeadroom, int64(budget-cells))
+		if cells > budget {
+			return nil, &layout.BudgetError{Name: spec.Name, Cells: cells, Budget: budget}
+		}
 	}
 	boardLay, err := core.Build(boardSpec)
 	if err != nil {
@@ -122,8 +201,12 @@ func Build(spec Spec) (*Layout3D, error) {
 	}
 
 	// Replicate board wires into each band.
+	rep := root.Child("replicate")
 	wireID := 0
 	for b := 0; b < boards; b++ {
+		if err := par.Canceled(boardSpec.Ctx); err != nil {
+			return nil, err
+		}
 		base := bandBase(b, l)
 		bl := spec.BoardFac.Label(b)
 		for i := range boardLay.Wires {
@@ -142,16 +225,21 @@ func Build(spec Spec) (*Layout3D, error) {
 		}
 	}
 	out.boardWireCount = len(out.Wires)
+	rep.SetAttr("wires", int64(out.boardWireCount)).End()
 
 	// Elevators: allocate per-track column pairs; edges on one track are
 	// interval-disjoint, and alternating columns keep touching intervals
 	// off each other's terminal points.
+	elev := root.Child("elevators")
 	side := boardLay.Nodes[0].W
 	perTrackIdx := make(map[int]int) // track -> next alternation bit
 	type colKey struct{ track, alt int }
 	colOf := make(map[colKey]int)
 	nextCol := 0
 	for _, e := range spec.BoardFac.Edges {
+		if err := par.Canceled(boardSpec.Ctx); err != nil {
+			return nil, err
+		}
 		alt := perTrackIdx[e.Track] % 2
 		perTrackIdx[e.Track]++
 		k := colKey{e.Track, alt}
@@ -182,6 +270,10 @@ func Build(spec Spec) (*Layout3D, error) {
 			out.Wires = append(out.Wires, w)
 		}
 	}
+	elev.SetAttr("wires", int64(len(out.Wires)-out.boardWireCount)).End()
+	// The board engine counted one board's worth; top up so the total
+	// matches the wires the stack actually realized.
+	ob.Add(obs.WiresRealized, int64(len(out.Wires)-len(boardLay.Wires)))
 	return out, nil
 }
 
@@ -271,8 +363,9 @@ func (st Stats) String() string {
 // KAryNCube3D lays out a k-ary n-cube in the 3-D model: nz dimensions run
 // across boards (k^nz boards), the rest split over the per-board 2-D
 // layout. Node labels match topology.KAryNCube: the board digits are the
-// most significant.
-func KAryNCube3D(k, n, nz, l int, folded bool) (*Layout3D, error) {
+// most significant. The knobs thread the cross-cutting build options
+// through the board engine; Knobs{} reproduces the default build.
+func KAryNCube3D(k, n, nz, l int, folded bool, kn Knobs) (*Layout3D, error) {
 	if nz < 1 || nz >= n {
 		return nil, fmt.Errorf("KAryNCube3D: need 1 <= nz < n")
 	}
@@ -283,7 +376,7 @@ func KAryNCube3D(k, n, nz, l int, folded bool) (*Layout3D, error) {
 	}
 	colFac := track.KAryNCube(k, (planar+1)/2, folded)
 	boardFac := track.KAryNCube(k, nz, folded)
-	boardSpec := core.FromFactors("board", rowFac, colFac, l, 0)
+	boardSpec := kn.apply(core.FromFactors("board", rowFac, colFac, l, 0))
 	inBoard := rowFac.N * colFac.N
 	return Build(Spec{
 		Name:     fmt.Sprintf("%d-ary %d-cube 3D(nz=%d) L=%d", k, n, nz, l),
@@ -296,7 +389,9 @@ func KAryNCube3D(k, n, nz, l int, folded bool) (*Layout3D, error) {
 }
 
 // Hypercube3D lays out the binary n-cube with nz dimensions across boards.
-func Hypercube3D(n, nz, l int) (*Layout3D, error) {
+// The knobs thread the cross-cutting build options through the board
+// engine; Knobs{} reproduces the default build.
+func Hypercube3D(n, nz, l int, kn Knobs) (*Layout3D, error) {
 	if nz < 1 || nz >= n {
 		return nil, fmt.Errorf("Hypercube3D: need 1 <= nz < n")
 	}
@@ -304,7 +399,7 @@ func Hypercube3D(n, nz, l int) (*Layout3D, error) {
 	rowFac := track.Hypercube(planar / 2)
 	colFac := track.Hypercube((planar + 1) / 2)
 	boardFac := track.Hypercube(nz)
-	boardSpec := core.FromFactors("board", rowFac, colFac, l, 0)
+	boardSpec := kn.apply(core.FromFactors("board", rowFac, colFac, l, 0))
 	inBoard := rowFac.N * colFac.N
 	return Build(Spec{
 		Name:     fmt.Sprintf("%d-cube 3D(nz=%d) L=%d", n, nz, l),

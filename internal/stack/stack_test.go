@@ -56,7 +56,7 @@ func TestHypercube3DLegalAndCorrect(t *testing.T) {
 	for _, tc := range []struct{ n, nz, l int }{
 		{3, 1, 2}, {4, 1, 2}, {4, 2, 2}, {5, 2, 4}, {6, 2, 4}, {6, 3, 2},
 	} {
-		s := mustBuild(t)(Hypercube3D(tc.n, tc.nz, tc.l))
+		s := mustBuild(t)(Hypercube3D(tc.n, tc.nz, tc.l, Knobs{}))
 		sameGraph(t, s, topology.Hypercube(tc.n))
 	}
 }
@@ -65,7 +65,7 @@ func TestKAry3DLegalAndCorrect(t *testing.T) {
 	for _, tc := range []struct{ k, n, nz, l int }{
 		{3, 2, 1, 2}, {4, 3, 1, 2}, {3, 3, 1, 4}, {4, 3, 2, 2},
 	} {
-		s := mustBuild(t)(KAryNCube3D(tc.k, tc.n, tc.nz, tc.l, false))
+		s := mustBuild(t)(KAryNCube3D(tc.k, tc.n, tc.nz, tc.l, false, Knobs{}))
 		sameGraph(t, s, topology.KAryNCube(tc.k, tc.n))
 	}
 }
@@ -77,7 +77,7 @@ func TestStackingShrinksFootprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stacked := mustBuild(t)(Hypercube3D(8, 2, 4)) // 4 boards
+	stacked := mustBuild(t)(Hypercube3D(8, 2, 4, Knobs{})) // 4 boards
 	fa, sa := flat.Area(), stacked.Area()
 	if sa >= fa {
 		t.Fatalf("stacked footprint %d not below flat %d", sa, fa)
@@ -100,7 +100,7 @@ func TestStackingShortensWires(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stacked := mustBuild(t)(Hypercube3D(8, 2, 4))
+	stacked := mustBuild(t)(Hypercube3D(8, 2, 4, Knobs{}))
 	if stacked.MaxWireLength() >= flat.MaxWireLength() {
 		t.Errorf("stacked max wire %d not below flat %d",
 			stacked.MaxWireLength(), flat.MaxWireLength())
@@ -108,7 +108,7 @@ func TestStackingShortensWires(t *testing.T) {
 }
 
 func TestStackStatsConsistency(t *testing.T) {
-	s := mustBuild(t)(Hypercube3D(5, 1, 2))
+	s := mustBuild(t)(Hypercube3D(5, 1, 2, Knobs{}))
 	st := s.Stats()
 	if st.Boards != 2 || st.N != 32 {
 		t.Errorf("stats = %+v", st)
@@ -122,13 +122,13 @@ func TestStackStatsConsistency(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Hypercube3D(4, 0, 2); err == nil {
+	if _, err := Hypercube3D(4, 0, 2, Knobs{}); err == nil {
 		t.Error("nz=0 accepted")
 	}
-	if _, err := Hypercube3D(4, 4, 2); err == nil {
+	if _, err := Hypercube3D(4, 4, 2, Knobs{}); err == nil {
 		t.Error("nz=n accepted")
 	}
-	if _, err := KAryNCube3D(3, 2, 2, 2, false); err == nil {
+	if _, err := KAryNCube3D(3, 2, 2, 2, false, Knobs{}); err == nil {
 		t.Error("nz=n accepted for kary")
 	}
 	bad := Spec{
@@ -190,7 +190,7 @@ func TestStackPropertyBoardFactors(t *testing.T) {
 }
 
 func TestStackOddLayersPerBoard(t *testing.T) {
-	s := mustBuild(t)(Hypercube3D(5, 1, 3))
+	s := mustBuild(t)(Hypercube3D(5, 1, 3, Knobs{}))
 	if s.LayersPerBoard != 3 || s.TotalLayers != 2*4-1 {
 		t.Errorf("odd-L stack: %d layers/board, %d total", s.LayersPerBoard, s.TotalLayers)
 	}

@@ -1,0 +1,357 @@
+package mlvlsi_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"mlvlsi"
+)
+
+// observedRun builds and verifies the 10-cube at L=4 with an in-memory
+// sink attached, returning the sink and the flushed counter snapshot.
+func observedRun(t *testing.T, workers int) (*mlvlsi.MetricsSink, mlvlsi.ObsMetrics, *mlvlsi.Layout) {
+	t.Helper()
+	sink := mlvlsi.NewMetricsSink()
+	o := mlvlsi.Options{Layers: 4, Workers: workers, Observer: mlvlsi.NewObserver(sink)}
+	lay, err := mlvlsi.Hypercube(10, o)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	v, err := mlvlsi.VerifyLayout(lay, o)
+	if err != nil || len(v) > 0 {
+		t.Fatalf("verify: %v, %d violations", err, len(v))
+	}
+	return sink, o.Observer.Flush(), lay
+}
+
+// TestObserverSpanTree is the tentpole acceptance check: an observed
+// Hypercube(10, L=4) run produces a span tree covering every pipeline
+// phase, with children correctly linked to their parents.
+func TestObserverSpanTree(t *testing.T) {
+	sink, m, lay := observedRun(t, 0)
+
+	span := func(name string) mlvlsi.SpanRecord {
+		s, ok := sink.Span(name)
+		if !ok {
+			t.Fatalf("no %q span in %d recorded spans", name, len(sink.Spans()))
+		}
+		return s
+	}
+	build, verify := span("build"), span("verify")
+	if build.Parent != 0 || verify.Parent != 0 {
+		t.Errorf("build/verify are not roots: parents %d, %d", build.Parent, verify.Parent)
+	}
+	for _, phase := range []string{"placement", "routing", "realization"} {
+		if got := span(phase).Parent; got != build.ID {
+			t.Errorf("%s parent = %d, want build's id %d", phase, got, build.ID)
+		}
+	}
+	for _, phase := range []string{"measure", "walk"} {
+		if got := span(phase).Parent; got != verify.ID {
+			t.Errorf("%s parent = %d, want verify's id %d", phase, got, verify.ID)
+		}
+	}
+	// Phase spans nest inside their parents in time as well as by link.
+	for _, phase := range []string{"placement", "routing", "realization"} {
+		s := span(phase)
+		if s.Start < build.Start || s.Start+s.Dur > build.Start+build.Dur {
+			t.Errorf("%s [%v, +%v] escapes build [%v, +%v]", phase, s.Start, s.Dur, build.Start, build.Dur)
+		}
+	}
+
+	if got := m.Get(mlvlsi.CounterWiresRealized); got != int64(len(lay.Wires)) {
+		t.Errorf("wires_realized = %d, want %d", got, len(lay.Wires))
+	}
+	if m.Get(mlvlsi.CounterUnitEdgesChecked) == 0 {
+		t.Errorf("unit_edges_checked = 0 after a verify")
+	}
+	if d, s := m.Get(mlvlsi.CounterDenseChecks), m.Get(mlvlsi.CounterSparseChecks); d+s != 1 {
+		t.Errorf("dense+sparse checks = %d+%d, want exactly one path taken", d, s)
+	}
+	if m.Get(mlvlsi.CounterCellsPlanned) == 0 {
+		t.Errorf("cells_planned = 0 after a build")
+	}
+}
+
+// TestCounterTotalsDeterministicAcrossWorkers pins the ClassWork contract:
+// work-derived counter totals are identical for every worker count, while
+// the worker_count gauge reflects the configuration.
+func TestCounterTotalsDeterministicAcrossWorkers(t *testing.T) {
+	_, m1, _ := observedRun(t, 1)
+	_, m4, _ := observedRun(t, 4)
+
+	for _, c := range []mlvlsi.Counter{
+		mlvlsi.CounterWiresRealized,
+		mlvlsi.CounterUnitEdgesChecked,
+		mlvlsi.CounterDenseChecks,
+		mlvlsi.CounterSparseChecks,
+		mlvlsi.CounterCellsPlanned,
+		mlvlsi.CounterCellsAllocated,
+	} {
+		if m1.Get(c) != m4.Get(c) {
+			t.Errorf("%s: workers=1 gives %d, workers=4 gives %d", c, m1.Get(c), m4.Get(c))
+		}
+	}
+	if m1.Get(mlvlsi.CounterWorkerCount) != 1 {
+		t.Errorf("worker_count with Workers=1 is %d", m1.Get(mlvlsi.CounterWorkerCount))
+	}
+	if m4.Get(mlvlsi.CounterWorkerCount) != 4 {
+		t.Errorf("worker_count with Workers=4 is %d", m4.Get(mlvlsi.CounterWorkerCount))
+	}
+}
+
+// TestTraceSinkEndToEnd writes a trace through the public API and checks it
+// against the validator that gates the -trace flags.
+func TestTraceSinkEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	sink := mlvlsi.NewTraceSink(&sb)
+	o := mlvlsi.Options{Layers: 4, Observer: mlvlsi.NewObserver(sink)}
+	lay, err := mlvlsi.Hypercube(6, o)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if v, err := mlvlsi.VerifyLayout(lay, o); err != nil || len(v) > 0 {
+		t.Fatalf("verify: %v, %d violations", err, len(v))
+	}
+	o.Observer.Flush()
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if err := mlvlsi.ValidateTrace([]byte(sb.String())); err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, sb.String())
+	}
+}
+
+// TestObserverDoesNotChangeResults: the same layout and violations with and
+// without an observer attached.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	plain, err := mlvlsi.Hypercube(8, mlvlsi.Options{Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := mlvlsi.Options{Layers: 4, Observer: mlvlsi.NewObserver()}
+	observed, err := mlvlsi.Hypercube(8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats() != observed.Stats() {
+		t.Fatalf("observer changed the layout: %v vs %v", plain.Stats(), observed.Stats())
+	}
+	for i := range plain.Wires {
+		if len(plain.Wires[i].Path) != len(observed.Wires[i].Path) {
+			t.Fatalf("observer changed wire %d", i)
+		}
+	}
+}
+
+// TestRegistryWrapperFamilies pins the satellite API contract: the typed
+// Mesh / GeneralizedHypercube / EnhancedCube constructors are thin wrappers
+// over the mesh / ghc / enhanced registry families.
+func TestRegistryWrapperFamilies(t *testing.T) {
+	o := mlvlsi.Options{Layers: 4}
+
+	viaMesh, err := mlvlsi.Mesh([]int{3, 3}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFam, err := mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "mesh", Params: map[string]int{"d": 2, "n": 3}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMesh.Stats() != viaFam.Stats() {
+		t.Errorf("Mesh != registry mesh: %v vs %v", viaMesh.Stats(), viaFam.Stats())
+	}
+
+	viaGHC, err := mlvlsi.GeneralizedHypercube([]int{4, 4}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFam, err = mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "ghc", Params: map[string]int{"r": 4, "n": 2}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaGHC.Stats() != viaFam.Stats() {
+		t.Errorf("GeneralizedHypercube != registry ghc: %v vs %v", viaGHC.Stats(), viaFam.Stats())
+	}
+
+	viaEnh, err := mlvlsi.EnhancedCube(5, 7, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFam, err = mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: "enhanced", Params: map[string]int{"n": 5, "seed": 7}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaEnh.Stats() != viaFam.Stats() {
+		t.Errorf("EnhancedCube != registry enhanced: %v vs %v", viaEnh.Stats(), viaFam.Stats())
+	}
+
+	// Out-of-range parameters reject with the registry's *ParamError even on
+	// the wrapper paths the uniform families cannot express.
+	var pe *mlvlsi.ParamError
+	if _, err := mlvlsi.Mesh([]int{3, 100}, o); !errors.As(err, &pe) || pe.Family != "mesh" || pe.Param != "n" {
+		t.Errorf("Mesh mixed out-of-range: %v", err)
+	}
+	if _, err := mlvlsi.Mesh(nil, o); !errors.As(err, &pe) || pe.Family != "mesh" || pe.Param != "d" {
+		t.Errorf("Mesh empty dims: %v", err)
+	}
+	if _, err := mlvlsi.GeneralizedHypercube([]int{3, 99}, o); !errors.As(err, &pe) || pe.Family != "ghc" || pe.Param != "r" {
+		t.Errorf("GHC mixed out-of-range: %v", err)
+	}
+	if _, err := mlvlsi.EnhancedCube(99, 1, o); !errors.As(err, &pe) || pe.Family != "enhanced" || pe.Param != "n" {
+		t.Errorf("EnhancedCube bad n: %v", err)
+	}
+	// Mixed shapes and huge seeds still build via the direct paths.
+	if _, err := mlvlsi.Mesh([]int{2, 3, 4}, o); err != nil {
+		t.Errorf("mixed mesh: %v", err)
+	}
+	if _, err := mlvlsi.GeneralizedHypercube([]int{2, 3}, o); err != nil {
+		t.Errorf("mixed ghc: %v", err)
+	}
+	if _, err := mlvlsi.EnhancedCube(5, 1<<40, o); err != nil {
+		t.Errorf("huge-seed enhanced cube: %v", err)
+	}
+	// The huge-seed path rejects bad n the same way.
+	if _, err := mlvlsi.EnhancedCube(99, 1<<40, o); !errors.As(err, &pe) || pe.Family != "enhanced" || pe.Param != "n" {
+		t.Errorf("huge-seed EnhancedCube bad n: %v", err)
+	}
+}
+
+// TestStack3DKnobs pins the satellite threading contract on the 3-D
+// constructors: Workers/Context/MaxCells apply, and unsupported combos are
+// rejected with a typed *ParamError.
+func TestStack3DKnobs(t *testing.T) {
+	var pe *mlvlsi.ParamError
+
+	// FoldedRows has no meaning for the binary cube.
+	if _, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{Layers: 4, FoldedRows: true}); !errors.As(err, &pe) || pe.Param != "FoldedRows" {
+		t.Errorf("FoldedRows on Hypercube3D: %v", err)
+	}
+	// An explicit node side too small for the elevator columns.
+	if _, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{Layers: 4, NodeSide: 1}); !errors.As(err, &pe) || pe.Param != "NodeSide" {
+		t.Errorf("tiny NodeSide on Hypercube3D: %v", err)
+	}
+	// A canceled context aborts the build.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{Layers: 4, Context: ctx}); !errors.Is(err, mlvlsi.ErrCanceled) {
+		t.Errorf("canceled Hypercube3D: %v", err)
+	}
+	if _, err := mlvlsi.KAryNCube3D(3, 3, 1, mlvlsi.Options{Layers: 2, Context: ctx}); !errors.Is(err, mlvlsi.ErrCanceled) {
+		t.Errorf("canceled KAryNCube3D: %v", err)
+	}
+	// MaxCells budgets the whole stack.
+	var be *mlvlsi.BudgetError
+	if _, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{Layers: 4, MaxCells: 10}); !errors.As(err, &be) {
+		t.Fatalf("tiny stack budget: %v", err)
+	}
+	if be.Cells <= 0 || be.Budget != 10 {
+		t.Errorf("budget error fields: %+v", be)
+	}
+	// A generous budget, explicit workers, and an observer build fine and
+	// match the default build.
+	sink := mlvlsi.NewMetricsSink()
+	s, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{
+		Layers: 4, Workers: 2, MaxCells: be.Cells, Observer: mlvlsi.NewObserver(sink),
+	})
+	if err != nil {
+		t.Fatalf("knobbed Hypercube3D: %v", err)
+	}
+	plain, err := mlvlsi.Hypercube3D(6, 2, mlvlsi.Options{Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats() != plain.Stats() {
+		t.Errorf("knobs changed the stack: %v vs %v", s.Stats(), plain.Stats())
+	}
+	if _, ok := sink.Span("stack"); !ok {
+		t.Errorf("no stack span recorded")
+	}
+	if v := s.Verify(); len(v) > 0 {
+		t.Errorf("knobbed stack illegal: %v", v[0])
+	}
+}
+
+// TestGenericLayoutKnobs: the generic router honors the cross-cutting
+// options too.
+func TestGenericLayoutKnobs(t *testing.T) {
+	ring := func() *mlvlsi.GenericGraph {
+		g := mlvlsi.NewGraph("ring16", 16)
+		for i := 0; i < 16; i++ {
+			g.AddLink(i, (i+1)%16)
+		}
+		return g
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mlvlsi.GenericLayout(ring(), mlvlsi.Options{Layers: 4, Context: ctx}); !errors.Is(err, mlvlsi.ErrCanceled) {
+		t.Errorf("canceled GenericLayout: %v", err)
+	}
+	var be *mlvlsi.BudgetError
+	if _, err := mlvlsi.GenericLayout(ring(), mlvlsi.Options{Layers: 4, MaxCells: 5}); !errors.As(err, &be) {
+		t.Errorf("tiny generic budget: %v", err)
+	}
+	var pe *mlvlsi.ParamError
+	if _, err := mlvlsi.GenericLayout(ring(), mlvlsi.Options{Layers: 4, Workers: -1}); !errors.As(err, &pe) || pe.Param != "Workers" {
+		t.Errorf("bad Workers on GenericLayout: %v", err)
+	}
+	sink := mlvlsi.NewMetricsSink()
+	lay, err := mlvlsi.GenericLayout(ring(), mlvlsi.Options{Layers: 4, Workers: 2, Observer: mlvlsi.NewObserver(sink)})
+	if err != nil {
+		t.Fatalf("knobbed GenericLayout: %v", err)
+	}
+	if v, err := mlvlsi.VerifyLayout(lay, mlvlsi.Options{}); err != nil || len(v) > 0 {
+		t.Fatalf("generic layout illegal: %v, %d violations", err, len(v))
+	}
+	if _, ok := sink.Span("generic-plan"); !ok {
+		t.Errorf("no generic-plan span recorded")
+	}
+	if _, ok := sink.Span("build"); !ok {
+		t.Errorf("no build span recorded for the generic engine run")
+	}
+}
+
+// TestVerifyFoldedViolations: the typed folded verifier matches VerifyLayout's
+// shape and agrees with the error-joining VerifyFolded.
+func TestVerifyFoldedViolations(t *testing.T) {
+	base, err := mlvlsi.Hypercube(6, mlvlsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := mlvlsi.Fold(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mlvlsi.VerifyFoldedViolations(folded, mlvlsi.Options{Workers: 2})
+	if err != nil || len(v) != 0 {
+		t.Fatalf("legal fold: %v, %d violations", err, len(v))
+	}
+	if err := mlvlsi.VerifyFolded(folded); err != nil {
+		t.Fatalf("VerifyFolded disagrees: %v", err)
+	}
+
+	// Corrupt one wire onto another's path and require both forms to report.
+	folded.Wires[0].Path = folded.Wires[1].Path
+	v, err = mlvlsi.VerifyFoldedViolations(folded, mlvlsi.Options{})
+	if err != nil || len(v) == 0 {
+		t.Fatalf("corrupted fold not caught: %v, %d violations", err, len(v))
+	}
+	if err := mlvlsi.VerifyFolded(folded); err == nil {
+		t.Fatalf("VerifyFolded missed the corruption")
+	}
+
+	// Options validation applies here as everywhere.
+	var pe *mlvlsi.ParamError
+	if _, err := mlvlsi.VerifyFoldedViolations(folded, mlvlsi.Options{Workers: -1}); !errors.As(err, &pe) {
+		t.Errorf("bad Options accepted: %v", err)
+	}
+	// And cancellation surfaces as an error, not a clean pass.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mlvlsi.VerifyFoldedViolations(folded, mlvlsi.Options{Context: ctx}); !errors.Is(err, mlvlsi.ErrCanceled) {
+		t.Errorf("canceled folded verify: %v", err)
+	}
+}

@@ -387,6 +387,49 @@ func BuildFamily(spec FamilySpec, o Options) (*Layout, error) {
 	return fam.build(p, o)
 }
 
+// uniformInts reports whether vs is non-empty with every element equal, in
+// which case a (value, count) pair loses no information — the shape the
+// uniform registry families take.
+func uniformInts(vs []int) bool {
+	if len(vs) == 0 {
+		return false
+	}
+	for _, v := range vs[1:] {
+		if v != vs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// registryParam returns a registered family's parameter spec. Both names
+// must exist — the callers are the typed wrappers over registered families,
+// so a miss is a programming error, not an input error.
+func registryParam(family, param string) *ParamSpec {
+	for i := range families {
+		if families[i].Name == family {
+			if ps := families[i].paramSpec(param); ps != nil {
+				return ps
+			}
+			break
+		}
+	}
+	panic(fmt.Sprintf("mlvlsi: no registered parameter %s.%s", family, param))
+}
+
+// registryRange checks v against a registered parameter's range, reporting
+// violations with the identical *ParamError BuildFamily would return. The
+// typed wrappers use it for argument shapes the uniform registry families
+// cannot express (mixed mesh extents, mixed GHC radices, huge seeds).
+func registryRange(family, param string, v int) error {
+	ps := registryParam(family, param)
+	if v < ps.Min || v > ps.Max {
+		return &ParamError{Family: family, Param: param, Value: v,
+			Reason: fmt.Sprintf("outside range [%d, %d]", ps.Min, ps.Max)}
+	}
+	return nil
+}
+
 func (f *FamilyInfo) paramSpec(name string) *ParamSpec {
 	for i := range f.Params {
 		if f.Params[i].Name == name {
