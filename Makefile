@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race lint bench benchjson trace-smoke chaos fuzz check clean
+.PHONY: all vet build test race lint bench benchjson trace-smoke serve-smoke loadgen chaos fuzz check clean
 
 all: check
 
@@ -50,6 +50,17 @@ trace-smoke:
 	$(GO) run ./cmd/layoutgen -network hypercube -n 6 -L 4 -trace $(TRACE) > /dev/null
 	$(GO) run ./cmd/tracelint $(TRACE)
 
+# Serving smoke: an in-process layoutd driven over real HTTP — MISS then
+# HIT on one content key under two request spellings, the typed param error
+# envelope, and the cache counters in /metricsz.
+serve-smoke:
+	$(GO) run ./cmd/loadgen -smoke
+
+# Replay the mixed-family load sweep against an in-process server and
+# refresh the committed serving trajectory (latency/throughput/hit-rate).
+loadgen:
+	$(GO) run ./cmd/loadgen -rates 100,300,1000,3000 -duration 3s -conns 2 -out BENCH_6.json
+
 # Chaos sweep: corrupt every registry family with every fault class and
 # require both verifiers to catch each corruption, under the race detector.
 chaos:
@@ -61,7 +72,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
-check: vet build test race lint trace-smoke
+check: vet build test race lint trace-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

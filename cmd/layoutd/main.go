@@ -1,0 +1,78 @@
+// Command layoutd serves the mlvlsi registry engines over HTTP: POST a
+// canonical BuildRequest to /v1/build, /v1/verify, or /v1/svg and the daemon
+// builds the layout — or returns it from a content-addressed cache when the
+// same geometry was already built, however the request spelled it. Errors
+// leave as one JSON envelope with a stable kind (param/budget/canceled/
+// request/internal) and the typed error's fields.
+//
+// Endpoints:
+//
+//	POST /v1/build     build (or fetch) a layout, return key + stats
+//	POST /v1/verify    build through the same cache, run the verifier
+//	POST /v1/svg       build and render (?scale=1..64, default 4)
+//	GET  /v1/families  the family registry with parameter ranges
+//	GET  /healthz      liveness
+//	GET  /metricsz     the full observability counter snapshot
+//
+// Example:
+//
+//	layoutd -addr :8080 -cache-mb 256 -max-cells 200000000 &
+//	curl -s localhost:8080/v1/build -d '{"family":{"name":"hypercube","params":{"n":8}},"layers":4}'
+//
+// The cache is keyed on the canonicalized request (defaults resolved, params
+// sorted), so execution knobs — workers, max_cells, deadlines — never split
+// the cache. -timeout bounds every request server-side on top of the
+// client's own disconnect cancellation; SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlvlsi/internal/cli"
+	"mlvlsi/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (:0 picks an ephemeral port)")
+	cacheMB := flag.Int("cache-mb", 256, "build cache byte budget in MiB (0 = unlimited retention)")
+	maxCells := flag.Int("max-cells", 0, "admission ceiling on planned grid cells per request (0 = admit everything)")
+	workers := flag.Int("workers", 0, "clamp per-request build/verify workers (0 = requests choose, up to GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 = none)")
+	tracePath := flag.String("trace", "", "write a Chrome-trace span file on shutdown (spans + counter snapshot)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("layoutd takes no positional arguments (got %q)", flag.Args())
+	}
+
+	obsv, traceDone, err := cli.Trace(*tracePath)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+	s := serve.New(serve.Config{
+		CacheBytes: int64(*cacheMB) << 20,
+		MaxCells:   *maxCells,
+		Workers:    *workers,
+		Timeout:    *timeout,
+		Obs:        obsv,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = s.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "layoutd listening on %s\n", a)
+	})
+	if err != nil {
+		cli.Failf("layoutd: %v", err)
+	}
+	if err := traceDone(); err != nil {
+		cli.Failf("%v", err)
+	}
+}

@@ -100,10 +100,19 @@ func main() {
 	if err != nil {
 		cli.Usagef("%v", err)
 	}
-	o := mlvlsi.Options{Layers: *layers, NodeSide: *nodeSide, FoldedRows: *folded,
-		Workers: *workers, Context: ctx, MaxCells: *maxCells, Observer: obsv}
+	// The same request shape layoutd serves: the content key printed below
+	// is the layoutd cache key for this exact geometry.
+	req := mlvlsi.BuildRequest{
+		Family:   mlvlsi.FamilySpec{Name: *network, Params: p},
+		Layers:   *layers,
+		NodeSide: *nodeSide, FoldedRows: *folded,
+		Workers: *workers, MaxCells: *maxCells,
+	}
+	o := req.Options()
+	o.Context = ctx
+	o.Observer = obsv
 	start := time.Now()
-	lay, err := mlvlsi.BuildFamily(mlvlsi.FamilySpec{Name: *network, Params: p}, o)
+	lay, err := mlvlsi.BuildSpecObserved(ctx, req, obsv)
 	if err != nil {
 		cli.Failf("build: %v", err)
 	}
@@ -126,6 +135,7 @@ func main() {
 		}
 	}
 	fmt.Println(lay.Stats())
+	fmt.Printf("key: %s\n", req.Key())
 	fmt.Println(lay.WireDistribution())
 	fmt.Printf("max path wire (sampled): %d\n", mlvlsi.MaxPathWire(lay, 16))
 

@@ -1,0 +1,403 @@
+// Command loadgen replays a mixed-family request stream against a layoutd
+// server and reports the latency, throughput, and cache-hit trajectory. It
+// is the measurement half of the serving layer: the committed BENCH_6.json
+// snapshot is its -out file, and `loadgen -smoke` is the serve smoke test
+// `make serve-smoke` and CI run.
+//
+// With -addr it targets a running daemon; without, it starts an in-process
+// server on an ephemeral port and drives that over real HTTP, so the
+// numbers include the wire. Requests fire at the scheduled rate across
+// -conns workers (global open-loop pacing: request i is due at its
+// schedule offset regardless of which worker fires it), cycling through a
+// fixed family mix anchored on Hypercube(10)/L=4 — the class the cache-hit
+// acceptance ratio is measured on. -rates sweeps several rates in one run
+// against one warming cache, which is the committed trajectory: hit rate
+// climbs as the mix is absorbed, and hit latency approaches the HTTP floor
+// once the rate keeps the connections hot. Every worker, including the
+// in-process server's accept loop, runs on the par pool; there are no raw
+// goroutines.
+//
+// Examples:
+//
+//	loadgen -rates 100,300,1000,3000 -duration 3s -out BENCH_6.json
+//	loadgen -addr localhost:8080 -rps 500 -duration 10s
+//	loadgen -smoke
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mlvlsi"
+	"mlvlsi/internal/cli"
+	"mlvlsi/internal/par"
+	"mlvlsi/internal/serve"
+)
+
+// mix is the replayed request stream, cycled by request index. The
+// Hypercube(10) entry leads so its cold build is the first request and
+// every later occurrence is a cache hit; the rest spread load across
+// families and sizes. All spellings are canonical-equivalent to what
+// layoutd hashes, so repeats hit regardless of how a client phrases them.
+var mix = []mlvlsi.BuildRequest{
+	{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 10}}, Layers: 4},
+	{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 8}}, Layers: 4},
+	{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 6}}, Layers: 2},
+	{Family: mlvlsi.FamilySpec{Name: "kary", Params: map[string]int{"k": 4, "n": 3}}, Layers: 4},
+	{Family: mlvlsi.FamilySpec{Name: "butterfly", Params: map[string]int{"m": 5}}, Layers: 4},
+	{Family: mlvlsi.FamilySpec{Name: "ccc", Params: map[string]int{"n": 5}}, Layers: 2},
+	{Family: mlvlsi.FamilySpec{Name: "mesh", Params: map[string]int{"n": 16, "d": 2}}, Layers: 2},
+	{Family: mlvlsi.FamilySpec{Name: "star", Params: map[string]int{"n": 5}}, Layers: 2},
+}
+
+// sample is one completed request.
+type sample struct {
+	ns      int64
+	outcome string // "HIT", "MISS", "INFLIGHT", or "ERR:<status>"
+	key     string
+	window  int // index into the rate schedule
+}
+
+// window is one constant-rate segment of the replay schedule.
+type window struct {
+	rps      float64
+	duration time.Duration
+	lo, hi   int // sample index range [lo, hi)
+}
+
+// record matches cmd/benchjson's trajectory schema so BENCH_6.json reads
+// like every earlier BENCH_<n>.json: one JSON object per measurement.
+type record struct {
+	Bench    string           `json:"bench"`
+	NsOp     float64          `json:"ns_op"`
+	AllocsOp int64            `json:"allocs_op"`
+	BytesOp  int64            `json:"bytes_op"`
+	Workers  int              `json:"workers"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target server host:port (empty = start an in-process server)")
+	rps := flag.Float64("rps", 100, "request rate when -rates is not given")
+	rates := flag.String("rates", "", "comma-separated rate sweep (e.g. 100,300,1000); each rate runs for -duration")
+	duration := flag.Duration("duration", 5*time.Second, "length of each constant-rate window")
+	conns := flag.Int("conns", 4, "concurrent client workers")
+	cacheMB := flag.Int("cache-mb", 256, "in-process server cache budget in MiB")
+	out := flag.String("out", "", "write benchjson-style records to this file ('-' for stdout)")
+	smoke := flag.Bool("smoke", false, "run the serve smoke test (in-process, sub-second) and exit")
+	flag.Parse()
+
+	if *smoke {
+		runSmoke()
+		return
+	}
+	if *duration <= 0 || *conns < 1 {
+		cli.Usagef("-duration and -conns must be positive")
+	}
+	sweep := []float64{*rps}
+	if *rates != "" {
+		ints, err := cli.ParseInts("-rates", *rates)
+		if err != nil {
+			cli.Usagef("%v", err)
+		}
+		sweep = sweep[:0]
+		for _, r := range ints {
+			sweep = append(sweep, float64(r))
+		}
+	}
+	windows := make([]window, len(sweep))
+	due := []time.Duration{}
+	offset := time.Duration(0)
+	for w, r := range sweep {
+		if r <= 0 {
+			cli.Usagef("rates must be positive (got %v)", r)
+		}
+		count := int(r * duration.Seconds())
+		if count < 1 {
+			count = 1
+		}
+		interval := time.Duration(float64(time.Second) / r)
+		windows[w] = window{rps: r, duration: *duration, lo: len(due), hi: len(due) + count}
+		for i := 0; i < count; i++ {
+			due = append(due, offset+time.Duration(i)*interval)
+		}
+		offset += *duration
+	}
+	samples := run(*addr, int64(*cacheMB)<<20, *conns, due, windows, nil)
+	report(samples, windows, *conns, *out)
+}
+
+// run fires the scheduled requests from conns workers and returns one
+// sample per schedule slot. With addr empty it also runs an in-process
+// server: shard 0 of the same par.Chunks call serves, and the last client
+// shard to finish cancels its context. extra, when non-nil, runs after the
+// paced windows on the worker that finishes last (the smoke test's script).
+func run(addr string, cacheBytes int64, conns int, due []time.Duration, windows []window, extra func(base string)) []sample {
+	samples := make([]sample, len(due))
+	bodies := make([][]byte, len(mix))
+	for i, req := range mix {
+		b, err := json.Marshal(req)
+		if err != nil {
+			cli.Failf("loadgen: encoding request: %v", err)
+		}
+		bodies[i] = b
+	}
+	serverShards := 0
+	var srv *serve.Server
+	var ln net.Listener
+	if addr == "" {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cli.Failf("loadgen: %v", err)
+		}
+		srv = serve.New(serve.Config{CacheBytes: cacheBytes})
+		addr = ln.Addr().String()
+		serverShards = 1
+	}
+	base := "http://" + addr
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	remaining := int32(conns)
+	// The default transport keeps only two idle connections per host; with
+	// many paced workers that means constant re-dialing, and the dial cost
+	// would dominate the hit latencies being measured.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = conns + 2
+	client := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+	start := time.Now()
+	par.Chunks(conns+serverShards, conns+serverShards, func(shard, lo, hi int) {
+		if serverShards == 1 && shard == 0 {
+			if err := srv.Serve(ctx, ln); err != nil {
+				cli.Failf("loadgen server: %v", err)
+			}
+			return
+		}
+		worker := shard - serverShards
+		defer func() {
+			if atomic.AddInt32(&remaining, -1) == 0 {
+				if extra != nil {
+					extra(base)
+				}
+				cancel()
+			}
+		}()
+		w := 0
+		for i := worker; i < len(due); i += conns {
+			if d := time.Until(start.Add(due[i])); d > 0 {
+				time.Sleep(d)
+			}
+			for i >= windows[w].hi {
+				w++
+			}
+			samples[i] = fire(client, base, bodies[i%len(bodies)])
+			samples[i].window = w
+		}
+	})
+	return samples
+}
+
+// fire posts one pre-marshaled build request and classifies the response.
+func fire(client *http.Client, base string, body []byte) sample {
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{ns: time.Since(t0).Nanoseconds(), outcome: "ERR:transport"}
+	}
+	var br struct {
+		Key   string `json:"key"`
+		Cache string `json:"cache"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	decErr := dec.Decode(&br)
+	resp.Body.Close()
+	ns := time.Since(t0).Nanoseconds()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		return sample{ns: ns, outcome: fmt.Sprintf("ERR:%d", resp.StatusCode)}
+	}
+	return sample{ns: ns, outcome: br.Cache, key: br.Key}
+}
+
+// report prints the per-window and overall summary and, with -out, writes
+// the trajectory records. The acceptance ratio — cache-hit p50 vs cold
+// build on the Hypercube(10) anchor — uses the anchor's first (cold) MISS
+// and its hit p50 within each window; the sweep shows the trajectory from
+// pacing-dominated to HTTP-floor hits as the rate rises.
+func report(samples []sample, windows []window, conns int, out string) {
+	anchor := mix[0].Key()
+	var coldNs int64
+	for _, s := range samples {
+		if s.key == anchor && s.outcome == "MISS" {
+			coldNs = s.ns
+			break
+		}
+	}
+	var records []record
+	var totalErrs, totalHits, totalServed int64
+	for w, win := range windows {
+		var hit, miss, inflight, anchorHits []int64
+		var errs int64
+		for _, s := range samples[win.lo:win.hi] {
+			switch {
+			case strings.HasPrefix(s.outcome, "ERR"):
+				errs++
+				continue
+			case s.outcome == "HIT":
+				hit = append(hit, s.ns)
+			case s.outcome == "MISS":
+				miss = append(miss, s.ns)
+			default:
+				inflight = append(inflight, s.ns)
+			}
+			if s.key == anchor && s.outcome == "HIT" {
+				anchorHits = append(anchorHits, s.ns)
+			}
+		}
+		served := int64(win.hi-win.lo) - errs
+		totalErrs += errs
+		totalHits += int64(len(hit))
+		totalServed += served
+		sort.Slice(hit, func(i, j int) bool { return hit[i] < hit[j] })
+		sort.Slice(anchorHits, func(i, j int) bool { return anchorHits[i] < anchorHits[j] })
+		hitRate := 100 * int64(len(hit)) / max64(served, 1)
+		fmt.Printf("%6.0f req/s: served %-6d errors %-3d hit-rate %3d%%  hit p50 %-12v p95 %-12v p99 %v\n",
+			win.rps, served, errs, hitRate,
+			time.Duration(pct(hit, 50)), time.Duration(pct(hit, 95)), time.Duration(pct(hit, 99)))
+		rec := record{
+			Bench: fmt.Sprintf("serve/rate/%.0frps", win.rps), NsOp: float64(pct(hit, 50)), Workers: conns,
+			Counters: map[string]int64{
+				"offered_rps": int64(win.rps), "served": served, "errors": errs,
+				"hits": int64(len(hit)), "misses": int64(len(miss)), "inflight": int64(len(inflight)),
+				"hit_rate_pct": hitRate, "hit_p95_ns": pct(hit, 95), "hit_p99_ns": pct(hit, 99),
+			},
+		}
+		if len(anchorHits) > 0 && coldNs > 0 {
+			p50 := pct(anchorHits, 50)
+			rec.Counters["hypercube10_hit_p50_ns"] = p50
+			rec.Counters["hypercube10_speedup_x"] = coldNs / max64(p50, 1)
+			fmt.Printf("         hypercube10 hit p50 %v vs cold %v: %dx\n",
+				time.Duration(p50), time.Duration(coldNs), coldNs/max64(p50, 1))
+		}
+		records = append(records, rec)
+		_ = w
+	}
+	records = append(records,
+		record{Bench: "serve/cold/hypercube10", NsOp: float64(coldNs), Workers: conns},
+		record{Bench: "serve/summary", NsOp: 0, Workers: conns,
+			Counters: map[string]int64{
+				"requests": int64(len(samples)), "served": totalServed, "errors": totalErrs,
+				"hits": totalHits, "hit_rate_pct": 100 * totalHits / max64(totalServed, 1),
+			}})
+	if out != "" {
+		writeRecords(out, records)
+	}
+}
+
+func writeRecords(path string, records []record) {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		cli.Failf("loadgen: %v", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		cli.Failf("loadgen: %v", err)
+	}
+	fmt.Println("wrote", path)
+}
+
+// pct reads the p-th percentile from an ascending latency slice.
+func pct(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runSmoke drives a fixed script against an in-process server and fails
+// loudly on any deviation: MISS then HIT on the same content under two
+// spellings, a typed param rejection in the 400 envelope, and the cache
+// counters visible in /metricsz. It reuses run()'s server/client shard
+// machinery with a one-request schedule (a small warm-up build).
+func runSmoke() {
+	failed := false
+	script := func(base string) {
+		client := &http.Client{Timeout: time.Minute}
+		small := `{"family":{"name":"hypercube","params":{"n":5}},"layers":4}`
+		respell := `{"family":{"name":"hypercube","params":{"n":5}},"layers":4,"workers":2}`
+		first := fire(client, base, []byte(small))
+		second := fire(client, base, []byte(respell))
+		if first.outcome != "MISS" || second.outcome != "HIT" || first.key != second.key {
+			fmt.Fprintf(os.Stderr, "serve-smoke: want MISS then HIT on one key, got %s/%s keys %s/%s\n",
+				first.outcome, second.outcome, first.key, second.key)
+			failed = true
+		}
+		resp, err := client.Post(base+"/v1/build", "application/json",
+			strings.NewReader(`{"family":{"name":"hypercube","params":{"bogus":1}}}`))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke: %v\n", err)
+			failed = true
+			return
+		}
+		var envelope struct {
+			Error struct {
+				Kind string `json:"kind"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&envelope)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusBadRequest || envelope.Error.Kind != "param" {
+			fmt.Fprintf(os.Stderr, "serve-smoke: bad param envelope: status %d kind %q err %v\n",
+				resp.StatusCode, envelope.Error.Kind, err)
+			failed = true
+		}
+		resp, err = client.Get(base + "/metricsz")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke: %v\n", err)
+			failed = true
+			return
+		}
+		var metrics map[string]int64
+		err = json.NewDecoder(resp.Body).Decode(&metrics)
+		resp.Body.Close()
+		if err != nil || metrics["cache_hits"] < 1 || metrics["cache_misses"] < 1 {
+			fmt.Fprintf(os.Stderr, "serve-smoke: metrics missing cache counters: %v (err %v)\n", metrics, err)
+			failed = true
+		}
+	}
+	saved := mix
+	mix = []mlvlsi.BuildRequest{{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 4}}, Layers: 2}}
+	samples := run("", 64<<20, 1, []time.Duration{0}, []window{{rps: 1, duration: 0, lo: 0, hi: 1}}, script)
+	mix = saved
+	for _, s := range samples {
+		if strings.HasPrefix(s.outcome, "ERR") {
+			fmt.Fprintf(os.Stderr, "serve-smoke: warm-up request failed: %s\n", s.outcome)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: MISS→HIT, param envelope, and cache counters all verified over HTTP")
+}

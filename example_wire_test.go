@@ -1,0 +1,50 @@
+package mlvlsi_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mlvlsi"
+)
+
+// ExampleBuildRequest builds a layout from the canonical wire form — the
+// request shape cmd/layoutd serves and cmd/layoutgen constructs. The
+// content key is a hash of the resolved request (defaults applied, params
+// sorted), so every spelling of the same geometry shares one key: it is
+// the layoutd cache key, and execution knobs like Workers or MaxCells
+// never change it.
+func ExampleBuildRequest() {
+	var req mlvlsi.BuildRequest
+	wire := `{"family":{"name":"kary","params":{"n":2,"k":4}},"layers":4,"workers":2}`
+	if err := json.Unmarshal([]byte(wire), &req); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	lay, err := mlvlsi.BuildSpec(nil, req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("nodes:", len(lay.Nodes))
+
+	// A different spelling of the same geometry: params reordered, defaults
+	// written out, execution knobs dropped.
+	respelled := mlvlsi.BuildRequest{
+		Family: mlvlsi.FamilySpec{Name: "kary", Params: map[string]int{"k": 4, "n": 2}},
+		Layers: 4,
+	}
+	fmt.Println("same key:", req.Key() == respelled.Key())
+
+	canon, err := req.Canonical()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, _ := json.Marshal(canon.Family)
+	fmt.Println("canonical family:", string(out))
+	// Output:
+	// nodes: 16
+	// same key: true
+	// canonical family: {"name":"kary","params":{"k":4,"n":2}}
+}

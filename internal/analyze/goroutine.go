@@ -3,34 +3,92 @@ package analyze
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
-// poolPackageSuffix identifies the one package allowed to start goroutines:
-// the worker pool itself.
+// poolPackageSuffix identifies the one package allowed to start arbitrary
+// goroutines: the worker pool itself.
 const poolPackageSuffix = "internal/par"
+
+// httpOwnedPackageSuffix identifies the serving layer, where one narrow
+// exception applies: a goroutine that drives a *net/http.Server (its accept
+// loop) is owned by net/http — Shutdown/Close join it, the http server
+// recovers handler panics, and request contexts carry cancellation — so the
+// pool's guarantees are provided by the standard library instead. Any other
+// goroutine there is still flagged.
+const httpOwnedPackageSuffix = "internal/serve"
 
 // goroutineAnalyzer enforces the first hard invariant: all parallelism
 // flows through the internal/par pool. A raw go statement anywhere else
 // escapes the pool's bounded fan-out, cooperative cancellation, and panic
 // containment (a panic on a bare goroutine kills the process no matter
-// what the caller recovers).
+// what the caller recovers). The single exception is the serving layer's
+// http accept loop — see httpOwnedPackageSuffix.
 var goroutineAnalyzer = &Analyzer{
 	Name: "goroutine",
-	Doc:  "no raw go statements outside internal/par; use the par worker pool",
+	Doc:  "no raw go statements outside internal/par; use the par worker pool (internal/serve may spawn goroutines a *net/http.Server owns)",
 	Run: func(m *Module, report func(pos token.Pos, message string)) {
 		for _, pkg := range m.Packages {
 			if strings.HasSuffix(pkg.ImportPath, poolPackageSuffix) {
 				continue
 			}
+			httpOwned := strings.HasSuffix(pkg.ImportPath, httpOwnedPackageSuffix)
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
-					if g, ok := n.(*ast.GoStmt); ok {
-						report(g.Pos(), "raw go statement outside internal/par; route fan-out through the par pool (par.Chunks/ForEach/ForEachCtx) so cancellation and panic containment stay total")
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
 					}
+					if httpOwned {
+						if callsHTTPServer(pkg, g) {
+							return true
+						}
+						report(g.Pos(), "raw go statement in internal/serve that no *net/http.Server owns; drive the http server (Serve/Shutdown join it) or route fan-out through the par pool")
+						return true
+					}
+					report(g.Pos(), "raw go statement outside internal/par; route fan-out through the par pool (par.Chunks/ForEach/ForEachCtx) so cancellation and panic containment stay total")
 					return true
 				})
 			}
 		}
 	},
+}
+
+// callsHTTPServer reports whether the go statement's subtree calls a method
+// on net/http's Server type — the signature of an accept-loop goroutine the
+// http server owns and joins.
+func callsHTTPServer(pkg *Package, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(g, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo, ok := pkg.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		recv := selInfo.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			found = true
+		}
+		return true
+	})
+	return found
 }

@@ -1,0 +1,27 @@
+// Package serve mirrors the serving layer: a goroutine that drives a
+// *net/http.Server is owned by net/http (Shutdown joins it) and is allowed;
+// any other goroutine here is still flagged.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// Graceful runs the accept loop on a goroutine the http server owns: not
+// flagged, because Shutdown joins it and net/http contains handler panics.
+func Graceful(ctx context.Context, hs *http.Server, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	<-ctx.Done()
+	if err := hs.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	return <-errc
+}
+
+// Spawn leaks an unowned goroutine: flagged even in this package.
+func Spawn(fn func()) {
+	go fn()
+}

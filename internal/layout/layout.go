@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/obs"
@@ -42,6 +43,27 @@ type Layout struct {
 	// Wires holds one realized path per network link; Wire.U/V are node
 	// labels.
 	Wires []grid.Wire
+}
+
+// MemBytes estimates the bytes the layout retains on the heap: the node and
+// wire slice backing arrays plus every wire's path vertices (counted at
+// capacity, since that is what the allocator holds). The serving cache uses
+// it as the unit of its byte budget, so the estimate leans exact for the
+// dominant term — path vertices — and flat for the fixed-size headers.
+func (l *Layout) MemBytes() int64 {
+	const (
+		pointSize  = int64(unsafe.Sizeof(grid.Point{}))
+		rectSize   = int64(unsafe.Sizeof(grid.Rect{}))
+		wireSize   = int64(unsafe.Sizeof(grid.Wire{}))
+		layoutSize = int64(unsafe.Sizeof(Layout{}))
+	)
+	b := layoutSize + int64(len(l.Name))
+	b += int64(cap(l.Nodes)) * rectSize
+	b += int64(cap(l.Wires)) * wireSize
+	for i := range l.Wires {
+		b += int64(cap(l.Wires[i].Path)) * pointSize
+	}
+	return b
 }
 
 // Bounds returns the smallest upright box containing all nodes and wires.

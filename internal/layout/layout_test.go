@@ -133,3 +133,29 @@ func TestLayerUsage(t *testing.T) {
 		t.Errorf("layer usage = %v, want [10 4]", u)
 	}
 }
+
+func TestMemBytes(t *testing.T) {
+	empty := &Layout{Name: "e", L: 2}
+	if b := empty.MemBytes(); b <= 0 {
+		t.Fatalf("empty MemBytes = %d, want > 0 (the struct itself retains memory)", b)
+	}
+	lay := &Layout{
+		Name:  "m",
+		L:     2,
+		Nodes: []grid.Rect{{X: 0, Y: 0, W: 1, H: 1}, {X: 4, Y: 0, W: 1, H: 1}},
+		Wires: []grid.Wire{{ID: 0, U: 0, V: 1, Path: []grid.Point{{X: 1, Y: 0, Z: 1}, {X: 4, Y: 0, Z: 1}}}},
+	}
+	small := lay.MemBytes()
+	if small <= empty.MemBytes() {
+		t.Fatalf("MemBytes = %d not above the empty layout's", small)
+	}
+	// Growing the geometry must grow the estimate: path vertices dominate.
+	big := &Layout{Name: "m", L: 2, Nodes: lay.Nodes}
+	for i := 0; i < 100; i++ {
+		big.Wires = append(big.Wires, grid.Wire{ID: i, U: 0, V: 1,
+			Path: make([]grid.Point, 50)})
+	}
+	if bb := big.MemBytes(); bb < small+100*50*24 {
+		t.Fatalf("big MemBytes = %d, want at least %d more than %d for the added vertices", bb, 100*50*24, small)
+	}
+}

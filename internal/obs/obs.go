@@ -58,6 +58,23 @@ const (
 	// MergeNanos accumulates wall time of the parallel verifier's shard
 	// merge scans, in nanoseconds (ClassTiming).
 	MergeNanos
+	// CacheHits counts serving-cache lookups answered from memory
+	// (ClassServe).
+	CacheHits
+	// CacheMisses counts serving-cache lookups that had to build — exactly
+	// one per singleflight group, however many requests piled onto it
+	// (ClassServe).
+	CacheMisses
+	// CacheEvictions counts entries evicted to hold the cache under its byte
+	// budget (ClassServe).
+	CacheEvictions
+	// CacheInflightWaits counts lookups that found an identical build already
+	// in flight and waited for its result instead of building again
+	// (ClassServe).
+	CacheInflightWaits
+	// CacheBytes gauges the retained bytes of the serving cache after the
+	// most recent insert or eviction (ClassServe, written with Set).
+	CacheBytes
 
 	numCounters
 )
@@ -88,6 +105,16 @@ func (c Counter) String() string {
 		return "worker_count"
 	case MergeNanos:
 		return "merge_ns"
+	case CacheHits:
+		return "cache_hits"
+	case CacheMisses:
+		return "cache_misses"
+	case CacheEvictions:
+		return "cache_evictions"
+	case CacheInflightWaits:
+		return "cache_inflight_waits"
+	case CacheBytes:
+		return "cache_bytes"
 	}
 	return "counter_unknown"
 }
@@ -104,6 +131,11 @@ const (
 	ClassConfig
 	// ClassTiming counters are wall-clock derived and never reproduce.
 	ClassTiming
+	// ClassServe counters belong to the serving layer's cache: their totals
+	// depend on request arrival order and interleaving (a lookup is a hit,
+	// a miss, or an in-flight wait depending on what raced it there), so
+	// they reproduce only for serial request streams.
+	ClassServe
 )
 
 // Class returns the counter's reproducibility class.
@@ -113,6 +145,8 @@ func (c Counter) Class() Class {
 		return ClassConfig
 	case MergeNanos:
 		return ClassTiming
+	case CacheHits, CacheMisses, CacheEvictions, CacheInflightWaits, CacheBytes:
+		return ClassServe
 	}
 	return ClassWork
 }

@@ -200,9 +200,14 @@ func TestCounterNamesAndClasses(t *testing.T) {
 		SparseChecks:     ClassWork,
 		CellsPlanned:     ClassWork,
 		CellsAllocated:   ClassWork,
-		BudgetHeadroom:   ClassConfig,
-		WorkerCount:      ClassConfig,
-		MergeNanos:       ClassTiming,
+		BudgetHeadroom:     ClassConfig,
+		WorkerCount:        ClassConfig,
+		MergeNanos:         ClassTiming,
+		CacheHits:          ClassServe,
+		CacheMisses:        ClassServe,
+		CacheEvictions:     ClassServe,
+		CacheInflightWaits: ClassServe,
+		CacheBytes:         ClassServe,
 	} {
 		if c.Class() != want {
 			t.Errorf("%s.Class() = %d, want %d", c, c.Class(), want)

@@ -1,0 +1,209 @@
+// Package serve is the layout-as-a-service layer: a content-addressed build
+// cache and an HTTP/JSON server over the registry engines, the front door
+// the earlier PRs built toward (typed ParamErrors, cancellation and MaxCells
+// admission, the fast verifier, the zero-overhead observer).
+//
+// The constructions are pure functions of the canonical request
+// (mlvlsi.BuildRequest.Key), so identical requests are served from memory:
+// concurrent misses collapse onto one build (hand-rolled singleflight),
+// completed layouts are retained LRU under a byte budget
+// (Layout.MemBytes accounting), and every cache event flows through the
+// internal/obs counters so -trace and /metricsz see hits, misses,
+// evictions, in-flight waits, and retained bytes.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"mlvlsi"
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+// Outcome classifies how a cache lookup was satisfied.
+type Outcome uint8
+
+const (
+	// Miss: this lookup ran the build (exactly one per singleflight group).
+	Miss Outcome = iota
+	// Hit: answered from a completed cached layout, no build ran.
+	Hit
+	// Inflight: an identical build was already running; this lookup waited
+	// for its result instead of building again.
+	Inflight
+)
+
+// String returns the outcome in X-Cache header casing.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "HIT"
+	case Inflight:
+		return "INFLIGHT"
+	}
+	return "MISS"
+}
+
+// BuildFunc runs one cache miss. It must honor ctx and return either a
+// layout or an error; the cache never retains errors, so a failed build is
+// retried by the next request for the same key.
+type BuildFunc func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error)
+
+// Result is a completed build as the cache retains it: the layout plus the
+// derived values every response needs. Stats and MemBytes walk all wires
+// (O(total wire length)), so they are computed once when the build lands
+// rather than on every hit — on a big layout that walk costs more than the
+// whole HTTP round trip.
+type Result struct {
+	Layout   *mlvlsi.Layout
+	Stats    mlvlsi.Stats
+	MemBytes int64
+}
+
+// entry is one cache slot. ready is closed once res/err are final; res and
+// err are written exactly once, before the close, and never after, so
+// readers that observed the close may read them without the cache lock.
+// elem is the entry's LRU position — nil while the build is in flight and
+// again after eviction (eviction never invalidates handed-out results:
+// *Layout is immutable by convention, holders just keep it alive).
+type entry struct {
+	key   string
+	ready chan struct{}
+	res   *Result
+	err   error
+	elem  *list.Element
+}
+
+// Cache is a content-addressed layout cache: singleflight-deduplicated
+// misses, LRU eviction under a byte budget, counters through internal/obs.
+// The zero value is not usable; create one with NewCache. All methods are
+// safe for concurrent use.
+type Cache struct {
+	budget int64
+	obs    *obs.Observer
+
+	mu      sync.Mutex
+	used    int64
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; element values are *entry
+}
+
+// NewCache creates a cache retaining at most budget bytes of completed
+// layouts (MemBytes accounting); budget <= 0 means unlimited. Counters
+// accumulate on o, which may be nil (disabled, the usual obs contract).
+func NewCache(budget int64, o *obs.Observer) *Cache {
+	return &Cache{
+		budget:  budget,
+		obs:     o,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the result for req's content key, building it with build on a
+// miss. Concurrent callers with the same key collapse onto one build: the
+// first caller runs build, the rest wait on its result (or their own ctx).
+// A build error is returned to the leader and every waiter, then forgotten —
+// the next request retries. ctx may be nil (no cancellation while waiting).
+func (c *Cache) Get(ctx context.Context, req mlvlsi.BuildRequest, build BuildFunc) (*Result, Outcome, error) {
+	return c.GetKeyed(ctx, req.Key(), req, build)
+}
+
+// GetKeyed is Get for callers that already hold req's content key (the
+// server computes it once per request and reuses it in the response);
+// passing a key that is not req.Key() silently poisons the cache, so only
+// ever pass the canonical one.
+func (c *Cache) GetKeyed(ctx context.Context, key string, req mlvlsi.BuildRequest, build BuildFunc) (*Result, Outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			// Completed entries in the map are always successes (finish
+			// removes failures before closing ready), so this is a hit.
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.obs.Add(obs.CacheHits, 1)
+			return e.res, Hit, nil
+		default:
+		}
+		c.mu.Unlock()
+		c.obs.Add(obs.CacheInflightWaits, 1)
+		if err := waitReady(ctx, e.ready); err != nil {
+			return nil, Inflight, err
+		}
+		return e.res, Inflight, e.err
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.obs.Add(obs.CacheMisses, 1)
+	lay, err := build(ctx, req)
+	if err != nil {
+		e.err = err
+	} else {
+		// The derived values are computed here, outside the lock and once
+		// per build, so hits and waiters read them for free.
+		e.res = &Result{Layout: lay, Stats: lay.Stats(), MemBytes: lay.MemBytes()}
+	}
+	c.finish(e)
+	close(e.ready)
+	return e.res, Miss, e.err
+}
+
+// waitReady blocks until ready closes or ctx (which may be nil) is done.
+func waitReady(ctx context.Context, ready <-chan struct{}) error {
+	if ctx == nil {
+		<-ready
+		return nil
+	}
+	select {
+	case <-ready:
+		return nil
+	case <-ctx.Done():
+		return par.Canceled(ctx)
+	}
+}
+
+// finish publishes a completed build under the lock: failures leave the map
+// (so the key retries), successes join the LRU and the byte accounting, and
+// the cache evicts from the cold end until it is back under budget. It runs
+// before e.ready closes, so no reader ever sees a success missing from the
+// LRU or a failure still occupying its key.
+func (c *Cache) finish(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.err != nil {
+		delete(c.entries, e.key)
+		return
+	}
+	c.used += e.res.MemBytes
+	e.elem = c.lru.PushFront(e)
+	if c.budget > 0 {
+		for c.used > c.budget && c.lru.Len() > 0 {
+			oldest := c.lru.Back().Value.(*entry)
+			c.lru.Remove(oldest.elem)
+			oldest.elem = nil
+			delete(c.entries, oldest.key)
+			c.used -= oldest.res.MemBytes
+			c.obs.Add(obs.CacheEvictions, 1)
+		}
+	}
+	c.obs.Set(obs.CacheBytes, c.used)
+}
+
+// Len and UsedBytes report the current retained state (completed entries
+// only; in-flight builds are not counted).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

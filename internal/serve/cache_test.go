@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvlsi"
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+// hyperReq names a hypercube build; n selects the content key.
+func hyperReq(n int) mlvlsi.BuildRequest {
+	return mlvlsi.BuildRequest{
+		Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": n}},
+		Layers: 2,
+	}
+}
+
+// realBuild is the production build path without observation.
+func realBuild(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+	return mlvlsi.BuildSpec(ctx, req)
+}
+
+func counters(o *obs.Observer) (hits, misses, evicts, waits int64) {
+	m := o.Snapshot()
+	return m.Get(obs.CacheHits), m.Get(obs.CacheMisses), m.Get(obs.CacheEvictions), m.Get(obs.CacheInflightWaits)
+}
+
+func TestCacheHitReturnsSameLayout(t *testing.T) {
+	o := obs.New()
+	c := NewCache(0, o)
+	first, out, err := c.Get(nil, hyperReq(4), realBuild)
+	if err != nil || out != Miss {
+		t.Fatalf("first Get = outcome %v err %v, want Miss nil", out, err)
+	}
+	second, out, err := c.Get(nil, hyperReq(4), realBuild)
+	if err != nil || out != Hit {
+		t.Fatalf("second Get = outcome %v err %v, want Hit nil", out, err)
+	}
+	if first != second || first.Layout != second.Layout {
+		t.Fatalf("hit returned a different result")
+	}
+	if first.MemBytes != first.Layout.MemBytes() || first.Stats != first.Layout.Stats() {
+		t.Fatalf("cached derived values diverge from the layout's own")
+	}
+	if hits, misses, _, _ := counters(o); hits != 1 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 1 and 1", hits, misses)
+	}
+	if c.UsedBytes() != first.MemBytes {
+		t.Fatalf("UsedBytes = %d, want MemBytes %d", c.UsedBytes(), first.MemBytes)
+	}
+}
+
+// TestCacheSingleflight piles concurrent identical requests onto a cold key
+// and asserts exactly one build ran: the obs counters record one miss and
+// len-1 in-flight waits, and every caller gets the one layout.
+func TestCacheSingleflight(t *testing.T) {
+	const callers = 8
+	o := obs.New()
+	c := NewCache(0, o)
+	var builds int64
+	var mu sync.Mutex
+	build := func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		// A slow build holds the singleflight window open so every other
+		// caller lands in it.
+		time.Sleep(100 * time.Millisecond)
+		return realBuild(ctx, req)
+	}
+	results := make([]*Result, callers)
+	par.Chunks(callers, callers, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res, _, err := c.Get(nil, hyperReq(5), build)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}
+	})
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want exactly 1", builds)
+	}
+	hits, misses, _, waits := counters(o)
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if hits+waits != callers-1 {
+		t.Errorf("hits+waits = %d+%d, want %d", hits, waits, callers-1)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+}
+
+// TestCacheLRUEviction fills a two-entry byte budget with three layouts and
+// asserts the coldest was evicted, then proves hit-after-evict rebuilds.
+func TestCacheLRUEviction(t *testing.T) {
+	sizeOf := func(n int) int64 {
+		lay, err := realBuild(nil, hyperReq(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lay.MemBytes()
+	}
+	a, b, cc := sizeOf(4), sizeOf(5), sizeOf(6)
+	o := obs.New()
+	cache := NewCache(b+cc, o) // exactly room for the two newest
+	for _, n := range []int{4, 5, 6} {
+		if _, _, err := cache.Get(nil, hyperReq(n), realBuild); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("after overflow Len = %d, want 2", got)
+	}
+	if used := cache.UsedBytes(); used != b+cc {
+		t.Fatalf("UsedBytes = %d, want %d (a=%d evicted)", used, b+cc, a)
+	}
+	if _, _, evicts, _ := counters(o); evicts != 1 {
+		t.Fatalf("evictions = %d, want 1", evicts)
+	}
+	// The newest entries are hits...
+	if _, out, _ := cache.Get(nil, hyperReq(6), realBuild); out != Hit {
+		t.Fatalf("n=6 outcome %v, want Hit", out)
+	}
+	// ...and the evicted key misses, rebuilds, and re-enters the cache
+	// (evicting the now-coldest survivor to stay under budget).
+	if _, out, err := cache.Get(nil, hyperReq(4), realBuild); out != Miss || err != nil {
+		t.Fatalf("evicted key outcome %v err %v, want Miss nil", out, err)
+	}
+	if _, out, _ := cache.Get(nil, hyperReq(4), realBuild); out != Hit {
+		t.Fatalf("rebuilt key did not re-enter the cache")
+	}
+}
+
+// TestCacheOversizedEntry: a layout bigger than the whole budget is served
+// but not retained.
+func TestCacheOversizedEntry(t *testing.T) {
+	o := obs.New()
+	cache := NewCache(1, o)
+	lay, out, err := cache.Get(nil, hyperReq(4), realBuild)
+	if err != nil || out != Miss || lay == nil {
+		t.Fatalf("oversized Get = %v %v %v", lay, out, err)
+	}
+	if cache.Len() != 0 || cache.UsedBytes() != 0 {
+		t.Fatalf("oversized entry retained: len=%d used=%d", cache.Len(), cache.UsedBytes())
+	}
+}
+
+// TestCacheErrorNotCached: failures are returned but never retained, so the
+// next request retries the build.
+func TestCacheErrorNotCached(t *testing.T) {
+	o := obs.New()
+	cache := NewCache(0, o)
+	boom := errors.New("boom")
+	calls := 0
+	build := func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return realBuild(ctx, req)
+	}
+	if _, _, err := cache.Get(nil, hyperReq(4), build); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want boom", err)
+	}
+	lay, out, err := cache.Get(nil, hyperReq(4), build)
+	if err != nil || out != Miss || lay == nil {
+		t.Fatalf("retry Get = %v %v %v, want a fresh Miss build", lay, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build calls = %d, want 2", calls)
+	}
+}
+
+// TestCacheWaiterCancellation: a waiter whose context dies while an
+// identical build is in flight unblocks with ErrCanceled instead of
+// waiting out the build.
+func TestCacheWaiterCancellation(t *testing.T) {
+	o := obs.New()
+	cache := NewCache(0, o)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	build := func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		close(started)
+		<-release
+		return realBuild(ctx, req)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cache.Get(nil, hyperReq(4), build)
+		done <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := cache.Get(ctx, hyperReq(4), realBuild)
+	if out != Inflight || !errors.Is(err, par.ErrCanceled) {
+		t.Fatalf("canceled waiter = outcome %v err %v, want Inflight ErrCanceled", out, err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+}

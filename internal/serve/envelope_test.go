@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"mlvlsi"
+)
+
+// These tests are the typed-error audit the envelope depends on: every
+// engine behind the registry — the core single-network builder, the
+// cluster composer, the stacking combinators, and the generic group
+// builder — must surface *ParamError, *BudgetError, and ErrCanceled
+// through BuildSpec with their types intact, including through additional
+// %w wrap layers a caller may add. If any engine path flattened a typed
+// error with %v, the server would answer 500 internal instead of the
+// contract's 400/413/504, and these tests would catch it at the envelope.
+
+// engineFamilies picks one registry family per engine.
+var engineFamilies = []struct {
+	engine string
+	spec   mlvlsi.FamilySpec
+	layers int
+}{
+	{"core", mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 6}}, 4},
+	{"cluster", mlvlsi.FamilySpec{Name: "clusterc", Params: map[string]int{"k": 4, "n": 2, "c": 4}}, 4},
+	{"stack", mlvlsi.FamilySpec{Name: "butterfly", Params: map[string]int{"m": 4}}, 4},
+	{"group", mlvlsi.FamilySpec{Name: "star", Params: map[string]int{"n": 5}}, 2},
+}
+
+func TestParamErrorSurvivesEveryEngine(t *testing.T) {
+	for _, tc := range engineFamilies {
+		t.Run(tc.engine, func(t *testing.T) {
+			spec := mlvlsi.FamilySpec{Name: tc.spec.Name, Params: map[string]int{"nonsense": 1}}
+			_, err := mlvlsi.BuildSpec(nil, mlvlsi.BuildRequest{Family: spec, Layers: tc.layers})
+			var pe *mlvlsi.ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unknown param error is not a *ParamError: %v", err)
+			}
+			if pe.Family != tc.spec.Name || pe.Param != "nonsense" {
+				t.Errorf("ParamError fields = %q/%q, want %q/nonsense", pe.Family, pe.Param, tc.spec.Name)
+			}
+			// A caller wrapping the error must not hide it from the envelope.
+			wrapped := fmt.Errorf("request failed: %w", fmt.Errorf("retry 1: %w", err))
+			if info := envelope(wrapped); info.Status != http.StatusBadRequest || info.Kind != "param" {
+				t.Errorf("wrapped ParamError envelope = %+v, want 400 param", info)
+			}
+		})
+	}
+}
+
+func TestBudgetErrorSurvivesEveryEngine(t *testing.T) {
+	for _, tc := range engineFamilies {
+		t.Run(tc.engine, func(t *testing.T) {
+			req := mlvlsi.BuildRequest{Family: tc.spec, Layers: tc.layers, MaxCells: 1}
+			_, err := mlvlsi.BuildSpec(nil, req)
+			var be *mlvlsi.BudgetError
+			if !errors.As(err, &be) {
+				t.Fatalf("over-budget build error is not a *BudgetError: %v", err)
+			}
+			if be.Budget != 1 || be.Cells <= 1 {
+				t.Errorf("BudgetError fields = cells %d budget %d, want cells > budget 1", be.Cells, be.Budget)
+			}
+			wrapped := fmt.Errorf("serve: %w", err)
+			if info := envelope(wrapped); info.Status != http.StatusRequestEntityTooLarge || info.Kind != "budget" {
+				t.Errorf("wrapped BudgetError envelope = %+v, want 413 budget", info)
+			}
+		})
+	}
+}
+
+func TestCancellationSurvivesEveryEngine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range engineFamilies {
+		t.Run(tc.engine, func(t *testing.T) {
+			req := mlvlsi.BuildRequest{Family: tc.spec, Layers: tc.layers}
+			_, err := mlvlsi.BuildSpec(ctx, req)
+			if !errors.Is(err, mlvlsi.ErrCanceled) {
+				t.Fatalf("pre-canceled build error is not ErrCanceled: %v", err)
+			}
+			wrapped := fmt.Errorf("serve: %w", err)
+			if info := envelope(wrapped); info.Status != http.StatusGatewayTimeout || info.Kind != "canceled" {
+				t.Errorf("wrapped cancellation envelope = %+v, want 504 canceled", info)
+			}
+		})
+	}
+}
+
+// TestEnvelopeInternalFallback pins the catch-all: an untyped error maps to
+// 500 internal, never to one of the typed kinds.
+func TestEnvelopeInternalFallback(t *testing.T) {
+	info := envelope(errors.New("disk on fire"))
+	if info.Status != http.StatusInternalServerError || info.Kind != "internal" {
+		t.Fatalf("envelope = %+v, want 500 internal", info)
+	}
+}

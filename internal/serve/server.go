@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mlvlsi"
+	"mlvlsi/internal/obs"
+)
+
+// Config tunes the server. Every field has a serving-safe zero value.
+type Config struct {
+	// CacheBytes is the build cache's byte budget (Layout.MemBytes
+	// accounting); <= 0 means unlimited retention.
+	CacheBytes int64
+	// MaxCells is the admission ceiling: every request's cell budget is
+	// clamped to it (a request asking for more, or for no budget at all,
+	// gets this one). 0 admits everything.
+	MaxCells int
+	// Workers clamps per-request build/verify fan-out; 0 leaves requests at
+	// their own setting (which itself degrades to GOMAXPROCS).
+	Workers int
+	// Timeout is the per-request deadline, layered over the client's own
+	// disconnect cancellation. 0 means no server-side deadline.
+	Timeout time.Duration
+	// Obs receives cache counters and build/verify spans. Nil gets a
+	// fresh sink-less observer so /metricsz always has counters to report.
+	Obs *obs.Observer
+}
+
+// Server serves build/verify/render requests over the registry engines with
+// a content-addressed cache in front. Create one with New; it is an
+// http.Handler factory (Handler) plus a graceful Serve loop.
+type Server struct {
+	cfg   Config
+	obs   *obs.Observer
+	cache *Cache
+	mux   *http.ServeMux
+}
+
+// New creates a server with its cache and routes installed.
+func New(cfg Config) *Server {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	s := &Server{
+		cfg:   cfg,
+		obs:   cfg.Obs,
+		cache: NewCache(cfg.CacheBytes, cfg.Obs),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/build", s.handleBuild)
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/svg", s.handleSVG)
+	s.mux.HandleFunc("/v1/families", s.handleFamilies)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metricsz", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the build cache (tests and the replay driver read its
+// occupancy).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Serve accepts connections on ln until ctx is done, then shuts down
+// gracefully (in-flight requests get five seconds to drain). A nil ctx
+// serves until the listener closes. The accept loop runs on a goroutine
+// whose lifetime net/http owns — Shutdown joins it — which is why the
+// repolint goroutine analyzer admits it (see internal/analyze).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	if ctx == nil {
+		return serveResult(<-errc)
+	}
+	select {
+	case err := <-errc:
+		return serveResult(err)
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shctx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		return err
+	}
+}
+
+// ListenAndServe binds addr and serves until ctx is done. The ready
+// callback, when non-nil, receives the bound address before serving starts
+// (addr ":0" binds an ephemeral port).
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return s.Serve(ctx, ln)
+}
+
+// serveResult normalizes http.Server's sentinel: a closed listener is a
+// clean exit, not an error.
+func serveResult(err error) error {
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// The error envelope. Every failure leaves the server as one JSON shape
+// with a stable kind and the typed error's fields, so clients switch on
+// kind/status instead of parsing prose:
+//
+//	{"error":{"status":400,"kind":"param","message":"...","family":"kary","param":"k"}}
+//
+// Mapping: *ParamError → 400 param, *BudgetError → 413 budget,
+// cancellation/deadline → 504 canceled, malformed requests → 400 request,
+// anything else → 500 internal (which the envelope audit in
+// envelope_test.go proves unreachable for the engines' typed rejections).
+type errorInfo struct {
+	Status  int    `json:"status"`
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Family  string `json:"family,omitempty"`
+	Param   string `json:"param,omitempty"`
+	Cells   int    `json:"cells,omitempty"`
+	Budget  int    `json:"budget,omitempty"`
+}
+
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+// envelope maps an error onto the wire envelope.
+func envelope(err error) errorInfo {
+	var pe *mlvlsi.ParamError
+	var be *mlvlsi.BudgetError
+	switch {
+	case errors.As(err, &pe):
+		return errorInfo{Status: http.StatusBadRequest, Kind: "param",
+			Message: pe.Error(), Family: pe.Family, Param: pe.Param}
+	case errors.As(err, &be):
+		return errorInfo{Status: http.StatusRequestEntityTooLarge, Kind: "budget",
+			Message: be.Error(), Family: be.Name, Cells: be.Cells, Budget: be.Budget}
+	case errors.Is(err, mlvlsi.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return errorInfo{Status: http.StatusGatewayTimeout, Kind: "canceled", Message: err.Error()}
+	}
+	return errorInfo{Status: http.StatusInternalServerError, Kind: "internal", Message: err.Error()}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	info := envelope(err)
+	writeJSON(w, info.Status, errorBody{Error: info})
+}
+
+// badRequest reports a malformed request (undecodable body, wrong method)
+// without consulting the typed mapping.
+func badRequest(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: errorInfo{
+		Status: status, Kind: "request", Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	// Encoding errors past WriteHeader can only be client disconnects;
+	// nothing useful to do with them.
+	_ = enc.Encode(v)
+}
+
+// requestContext layers the server's deadline over the client's disconnect
+// cancellation.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// build runs one request through the cache under its precomputed key.
+func (s *Server) build(ctx context.Context, key string, req mlvlsi.BuildRequest) (*Result, Outcome, error) {
+	return s.cache.GetKeyed(ctx, key, req, func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		return mlvlsi.BuildSpecObserved(ctx, req, s.obs)
+	})
+}
+
+// buildResponse is the /v1/build success body.
+type buildResponse struct {
+	Key      string       `json:"key"`
+	Cache    string       `json:"cache"`
+	Stats    mlvlsi.Stats `json:"stats"`
+	MemBytes int64        `json:"mem_bytes"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	req, key, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, out, err := s.build(ctx, key, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", out.String())
+	writeJSON(w, http.StatusOK, buildResponse{
+		Key:      key,
+		Cache:    out.String(),
+		Stats:    res.Stats,
+		MemBytes: res.MemBytes,
+	})
+}
+
+// verifyResponse is the /v1/verify success body. Violations carry the
+// verifier's formatted findings; Legal is their absence.
+type verifyResponse struct {
+	Key        string   `json:"key"`
+	Cache      string   `json:"cache"`
+	Legal      bool     `json:"legal"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	req, key, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, out, err := s.build(ctx, key, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	o := req.Options()
+	o.Context = ctx
+	o.Observer = s.obs
+	vs, err := mlvlsi.VerifyLayout(res.Layout, o)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := verifyResponse{Key: key, Cache: out.String(), Legal: len(vs) == 0}
+	for _, v := range vs {
+		resp.Violations = append(resp.Violations, v.Error())
+	}
+	w.Header().Set("X-Cache", out.String())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request) {
+	req, key, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	scale := 4
+	if v := r.URL.Query().Get("scale"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 64 {
+			badRequest(w, http.StatusBadRequest, "scale %q is not an integer in [1, 64]", v)
+			return
+		}
+		scale = n
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, out, err := s.build(ctx, key, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", out.String())
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(mlvlsi.RenderSVG(res.Layout, scale)))
+}
+
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		badRequest(w, http.StatusMethodNotAllowed, "%s is GET-only", r.URL.Path)
+		return
+	}
+	writeJSON(w, http.StatusOK, mlvlsi.Families())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		badRequest(w, http.StatusMethodNotAllowed, "%s is GET-only", r.URL.Path)
+		return
+	}
+	m := s.obs.Snapshot()
+	counters := make(map[string]int64, obs.NumCounters)
+	for c := obs.Counter(0); int(c) < obs.NumCounters; c++ {
+		counters[c.String()] = m.Get(c)
+	}
+	writeJSON(w, http.StatusOK, counters)
+}
+
+// decode reads, canonicalizes, and admission-clamps a request, returning it
+// with its content key (computed once here; the handlers reuse it for the
+// cache lookup and the response).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (mlvlsi.BuildRequest, string, bool) {
+	if r.Method != http.MethodPost {
+		badRequest(w, http.StatusMethodNotAllowed, "%s needs POST with a JSON BuildRequest body", r.URL.Path)
+		return mlvlsi.BuildRequest{}, "", false
+	}
+	var req mlvlsi.BuildRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		badRequest(w, http.StatusBadRequest, "decoding BuildRequest: %v", err)
+		return mlvlsi.BuildRequest{}, "", false
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		writeError(w, err)
+		return mlvlsi.BuildRequest{}, "", false
+	}
+	return s.admit(canon), canon.Key(), true
+}
+
+// admit applies the server's admission clamps: a request never runs wider
+// than Config.Workers nor bigger than Config.MaxCells, whatever it asked
+// for. Clamped fields are execution knobs, so the content key is unchanged.
+func (s *Server) admit(req mlvlsi.BuildRequest) mlvlsi.BuildRequest {
+	if s.cfg.Workers > 0 && (req.Workers == 0 || req.Workers > s.cfg.Workers) {
+		req.Workers = s.cfg.Workers
+	}
+	if s.cfg.MaxCells > 0 && (req.MaxCells == 0 || req.MaxCells > s.cfg.MaxCells) {
+		req.MaxCells = s.cfg.MaxCells
+	}
+	return req
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// post sends a JSON body and decodes the JSON response into out (when out
+// is non-nil), returning the raw response.
+func post(t *testing.T, ts *httptest.Server, path, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading %s response: %v", path, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", path, buf.String(), err)
+		}
+	}
+	resp.Body.Close()
+	resp.Request = nil
+	resp.Body = nil
+	return resp
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestBuildEndpointCachesByContent(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var first buildResponse
+	resp := post(t, ts, "/v1/build", `{"family":{"name":"hypercube","params":{"n":5}},"layers":4}`, &first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if first.Cache != "MISS" || resp.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("first response cache = %q, want MISS", first.Cache)
+	}
+	if first.Stats.N != 32 || first.Stats.L != 4 || first.MemBytes <= 0 {
+		t.Errorf("stats = %+v mem=%d, want a 32-node 4-layer hypercube", first.Stats, first.MemBytes)
+	}
+	// A differently-spelled identical request — execution knobs set, same
+	// geometry — must hit the same slot.
+	var second buildResponse
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube","params":{"n":5}},"layers":4,"workers":2,"max_cells":99999999}`, &second)
+	if second.Cache != "HIT" {
+		t.Errorf("respelled request cache = %q, want HIT", second.Cache)
+	}
+	if second.Key != first.Key || second.Stats != first.Stats {
+		t.Errorf("respelled request key/stats diverged: %+v vs %+v", second, first)
+	}
+	// Defaults spelled out match defaults omitted.
+	var third buildResponse
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube"},"layers":2}`, &third)
+	var fourth buildResponse
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube","params":{"n":4}}}`, &fourth)
+	if third.Cache != "MISS" || fourth.Cache != "HIT" || third.Key != fourth.Key {
+		t.Errorf("default resolution broke content addressing: %+v vs %+v", third, fourth)
+	}
+}
+
+// TestErrorEnvelope drives every envelope class through the handler: typed
+// rejections keep their status, kind, and fields.
+func TestErrorEnvelope(t *testing.T) {
+	ts := newTestServer(t, Config{MaxCells: 50})
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+		kind   string
+		frag   string
+	}{
+		{"unknown family", "/v1/build", `{"family":{"name":"zzz"}}`,
+			400, "param", "is not a registered family"},
+		{"unknown param", "/v1/build", `{"family":{"name":"hypercube","params":{"zz":1}}}`,
+			400, "param", "is not a parameter of this family"},
+		{"out of range", "/v1/verify", `{"family":{"name":"hypercube","params":{"n":99}}}`,
+			400, "param", "outside range"},
+		{"bad option", "/v1/build", `{"family":{"name":"hypercube"},"layers":1}`,
+			400, "param", "one wiring layer"},
+		{"unknown field", "/v1/build", `{"family":{"name":"hypercube"},"layerz":4}`,
+			400, "request", "unknown field"},
+		{"malformed body", "/v1/build", `{"family":`,
+			400, "request", "decoding BuildRequest"},
+		{"over budget", "/v1/build", `{"family":{"name":"hypercube","params":{"n":6}}}`,
+			413, "budget", "over the budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body errorBody
+			resp := post(t, ts, tc.path, tc.body, &body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%+v)", resp.StatusCode, tc.status, body)
+			}
+			if body.Error.Kind != tc.kind || body.Error.Status != tc.status {
+				t.Errorf("envelope = %+v, want kind %q status %d", body.Error, tc.kind, tc.status)
+			}
+			if !strings.Contains(body.Error.Message, tc.frag) {
+				t.Errorf("message %q missing %q", body.Error.Message, tc.frag)
+			}
+		})
+	}
+
+	// Field checks: the typed errors' structure reaches the wire.
+	var pe errorBody
+	post(t, ts, "/v1/build", `{"family":{"name":"kary","params":{"k":999}}}`, &pe)
+	if pe.Error.Family != "kary" || pe.Error.Param != "k" {
+		t.Errorf("param envelope fields = %+v, want family=kary param=k", pe.Error)
+	}
+	var be errorBody
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube","params":{"n":6}}}`, &be)
+	if be.Error.Budget != 50 || be.Error.Cells <= 50 {
+		t.Errorf("budget envelope fields = %+v, want budget=50 cells>50", be.Error)
+	}
+}
+
+func TestDeadlineMapsTo504(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+	var body errorBody
+	resp := post(t, ts, "/v1/build", `{"family":{"name":"hypercube","params":{"n":10}},"layers":4}`, &body)
+	if resp.StatusCode != http.StatusGatewayTimeout || body.Error.Kind != "canceled" {
+		t.Fatalf("deadline response = %d %+v, want 504 canceled", resp.StatusCode, body.Error)
+	}
+}
+
+func TestMethodDiscipline(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/build = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var v verifyResponse
+	resp := post(t, ts, "/v1/verify", `{"family":{"name":"kary","params":{"k":4,"n":2}},"layers":4}`, &v)
+	if resp.StatusCode != http.StatusOK || !v.Legal || len(v.Violations) != 0 {
+		t.Fatalf("verify = %d %+v, want 200 legal", resp.StatusCode, v)
+	}
+	if v.Cache != "MISS" {
+		t.Errorf("first verify cache = %q, want MISS", v.Cache)
+	}
+	// The verify endpoint shares the build cache with /v1/build.
+	var b buildResponse
+	post(t, ts, "/v1/build", `{"family":{"name":"kary","params":{"k":4,"n":2}},"layers":4}`, &b)
+	if b.Cache != "HIT" {
+		t.Errorf("build after verify = %q, want HIT (shared cache)", b.Cache)
+	}
+}
+
+func TestFamiliesAndHealthAndMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/families")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name string `json:"Name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fams); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(fams) < 10 || fams[0].Name == "" {
+		t.Fatalf("families = %d entries, want the registry", len(fams))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube"}}`, nil)
+	post(t, ts, "/v1/build", `{"family":{"name":"hypercube"}}`, nil)
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics["cache_misses"] != 1 || metrics["cache_hits"] != 1 {
+		t.Fatalf("metrics = %v, want cache_misses=1 cache_hits=1", metrics)
+	}
+	if metrics["wires_realized"] <= 0 || metrics["cache_bytes"] <= 0 {
+		t.Fatalf("metrics = %v, want build counters flowing through the same observer", metrics)
+	}
+}
+
+func TestSVGEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/svg?scale=2", "application/json",
+		strings.NewReader(`{"family":{"name":"hypercube","params":{"n":3}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("svg = %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatalf("svg body does not look like SVG: %.80s", buf.String())
+	}
+}
+
+// TestAdmissionClamp: the server's MaxCells ceiling applies even when the
+// request asks for more (or for no budget), and the clamp does not change
+// the content key.
+func TestAdmissionClamp(t *testing.T) {
+	s := New(Config{MaxCells: 100, Workers: 2})
+	req, err := hyperReq(6).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unclamped := req.Key()
+	admitted := s.admit(req)
+	if admitted.MaxCells != 100 || admitted.Workers != 2 {
+		t.Fatalf("admit = max_cells %d workers %d, want 100 and 2", admitted.MaxCells, admitted.Workers)
+	}
+	req.MaxCells = 1 << 40
+	req.Workers = 512
+	if got := s.admit(req); got.MaxCells != 100 || got.Workers != 2 {
+		t.Fatalf("admit left oversized knobs = %d/%d, want 100/2", got.MaxCells, got.Workers)
+	}
+	if admitted.Key() != unclamped {
+		t.Fatalf("admission clamp changed the content key")
+	}
+}
+
+// TestServeGraceful: Serve accepts real connections and exits cleanly when
+// its context is canceled.
+func TestServeGraceful(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(Config{})
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	url := fmt.Sprintf("http://%s/healthz", ln.Addr())
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}

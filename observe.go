@@ -48,6 +48,18 @@ const (
 	CounterBudgetHeadroom   = obs.BudgetHeadroom
 	CounterWorkerCount      = obs.WorkerCount
 	CounterMergeNanos       = obs.MergeNanos
+
+	// Serving-cache counters, maintained by the layoutd daemon's
+	// content-addressed build cache (internal/serve): lookups answered from
+	// memory, lookups that built, entries evicted under the byte budget,
+	// lookups that waited on an identical in-flight build, and the retained
+	// byte gauge. Their totals depend on request arrival order, so they
+	// reproduce only for serial request streams.
+	CounterCacheHits          = obs.CacheHits
+	CounterCacheMisses        = obs.CacheMisses
+	CounterCacheEvictions     = obs.CacheEvictions
+	CounterCacheInflightWaits = obs.CacheInflightWaits
+	CounterCacheBytes         = obs.CacheBytes
 )
 
 // NumCounters is the number of defined counters; every Counter* constant is

@@ -341,6 +341,48 @@ func Families() []FamilyInfo {
 	return out
 }
 
+// familyByName returns the registered family, or nil for an unknown name.
+func familyByName(name string) *FamilyInfo {
+	for i := range families {
+		if families[i].Name == name {
+			return &families[i]
+		}
+	}
+	return nil
+}
+
+// resolveParams applies the family's defaults to the assigned parameters and
+// validates every assignment, returning the complete parameter map (one
+// entry per registered parameter). Unknown names and out-of-range values are
+// rejected with a *ParamError. Validation runs in sorted name order: params
+// is a map, and with several bad parameters the returned error must not
+// depend on iteration order.
+func (f *FamilyInfo) resolveParams(params map[string]int) (map[string]int, error) {
+	p := make(map[string]int, len(f.Params))
+	for _, ps := range f.Params {
+		p[ps.Name] = ps.Default
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := params[name]
+		ps := f.paramSpec(name)
+		if ps == nil {
+			return nil, &ParamError{Family: f.Name, Param: name, Value: v,
+				Reason: fmt.Sprintf("is not a parameter of this family (has %s)", f.paramNames())}
+		}
+		if v < ps.Min || v > ps.Max {
+			return nil, &ParamError{Family: f.Name, Param: name, Value: v,
+				Reason: fmt.Sprintf("outside range [%d, %d]", ps.Min, ps.Max)}
+		}
+		p[name] = v
+	}
+	return p, nil
+}
+
 // BuildFamily constructs a layout by registry name. Parameters omitted from
 // spec.Params take their defaults; unknown families, unknown parameter
 // names, out-of-range values, and invalid Options are rejected with a
@@ -349,40 +391,13 @@ func BuildFamily(spec FamilySpec, o Options) (*Layout, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	var fam *FamilyInfo
-	for i := range families {
-		if families[i].Name == spec.Name {
-			fam = &families[i]
-			break
-		}
-	}
+	fam := familyByName(spec.Name)
 	if fam == nil {
 		return nil, &ParamError{Family: spec.Name, Reason: "is not a registered family; see Families()"}
 	}
-	p := make(map[string]int, len(fam.Params))
-	for _, ps := range fam.Params {
-		p[ps.Name] = ps.Default
-	}
-	// Validate in sorted name order: spec.Params is a map, and with several
-	// bad parameters the returned *ParamError must not depend on iteration
-	// order.
-	names := make([]string, 0, len(spec.Params))
-	for name := range spec.Params {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		v := spec.Params[name]
-		ps := fam.paramSpec(name)
-		if ps == nil {
-			return nil, &ParamError{Family: fam.Name, Param: name, Value: v,
-				Reason: fmt.Sprintf("is not a parameter of this family (has %s)", fam.paramNames())}
-		}
-		if v < ps.Min || v > ps.Max {
-			return nil, &ParamError{Family: fam.Name, Param: name, Value: v,
-				Reason: fmt.Sprintf("outside range [%d, %d]", ps.Min, ps.Max)}
-		}
-		p[name] = v
+	p, err := fam.resolveParams(spec.Params)
+	if err != nil {
+		return nil, err
 	}
 	return fam.build(p, o)
 }

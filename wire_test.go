@@ -1,0 +1,193 @@
+package mlvlsi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFamilySpecCanonicalAppliesDefaults(t *testing.T) {
+	c, err := FamilySpec{Name: "clusterc", Params: map[string]int{"k": 4}}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	want := map[string]int{"k": 4, "n": 2, "c": 2}
+	if len(c.Params) != len(want) {
+		t.Fatalf("canonical params = %v, want %v", c.Params, want)
+	}
+	for name, v := range want {
+		if c.Params[name] != v {
+			t.Errorf("canonical %s = %d, want %d", name, c.Params[name], v)
+		}
+	}
+}
+
+func TestFamilySpecCanonicalRejections(t *testing.T) {
+	cases := []struct {
+		spec FamilySpec
+		frag string
+	}{
+		{FamilySpec{Name: "nosuch"}, "is not a registered family"},
+		{FamilySpec{Name: "hypercube", Params: map[string]int{"zz": 1}}, "is not a parameter of this family"},
+		{FamilySpec{Name: "hypercube", Params: map[string]int{"n": 99}}, "outside range"},
+	}
+	for _, tc := range cases {
+		_, err := tc.spec.Canonical()
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Canonical(%v) error %v, want *ParamError", tc.spec, err)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Canonical(%v) error %q, want fragment %q", tc.spec, err, tc.frag)
+		}
+		// The rejection must be word-for-word what BuildFamily says, so the
+		// wire layer and the library speak one error vocabulary.
+		_, berr := BuildFamily(tc.spec, Options{})
+		if berr == nil || berr.Error() != err.Error() {
+			t.Errorf("Canonical error %q != BuildFamily error %q", err, berr)
+		}
+	}
+}
+
+// TestFamilySpecKeyStable proves the content hash does not depend on map
+// iteration order or on spelling: re-built param maps, explicit defaults,
+// and repeated hashing all land on one key.
+func TestFamilySpecKeyStable(t *testing.T) {
+	base := FamilySpec{Name: "clusterc", Params: map[string]int{"k": 4, "n": 2, "c": 2}}
+	key := base.Key()
+	if len(key) != 32 {
+		t.Fatalf("Key length = %d, want 32 hex chars", len(key))
+	}
+	for i := 0; i < 100; i++ {
+		// A fresh map each round: Go randomizes iteration order per map, so
+		// 100 rounds would almost surely catch an order-dependent encoding.
+		p := map[string]int{}
+		for name, v := range base.Params {
+			p[name] = v
+		}
+		if got := (FamilySpec{Name: base.Name, Params: p}).Key(); got != key {
+			t.Fatalf("round %d: Key = %s, want %s", i, got, key)
+		}
+	}
+	// Omitted parameters hash like explicit defaults (k=4 carries n, c).
+	if got := (FamilySpec{Name: "clusterc", Params: map[string]int{"k": 4}}).Key(); got != key {
+		t.Errorf("defaulted Key = %s, want %s", got, key)
+	}
+	if got := (FamilySpec{Name: "clusterc", Params: map[string]int{"k": 5}}).Key(); got == key {
+		t.Errorf("different params produced the same key %s", key)
+	}
+	// Invalid specs still hash deterministically, and never like a valid one.
+	bad := FamilySpec{Name: "clusterc", Params: map[string]int{"zz": 1}}
+	if bad.Key() != bad.Key() {
+		t.Errorf("invalid spec key is not deterministic")
+	}
+	if bad.Key() == key {
+		t.Errorf("invalid spec collides with canonical key")
+	}
+}
+
+func TestFamilySpecJSONRoundTrip(t *testing.T) {
+	spec := FamilySpec{Name: "kary", Params: map[string]int{"k": 4, "n": 3}}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"name":"kary","params":{"k":4,"n":3}}`; string(data) != want {
+		t.Errorf("Marshal = %s, want %s", data, want)
+	}
+	var back FamilySpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != spec.Name || len(back.Params) != 2 || back.Params["k"] != 4 || back.Params["n"] != 3 {
+		t.Errorf("round trip = %+v, want %+v", back, spec)
+	}
+	if err := json.Unmarshal([]byte(`{"name":"kary","paramz":{}}`), &back); err == nil {
+		t.Errorf("unknown field accepted")
+	}
+}
+
+func TestBuildRequestKeyIgnoresExecutionKnobs(t *testing.T) {
+	base := BuildRequest{Family: FamilySpec{Name: "hypercube", Params: map[string]int{"n": 6}}, Layers: 4}
+	key := base.Key()
+	same := base
+	same.Workers, same.MaxCells, same.DenseCheckCells = 7, 1 << 30, -1
+	if same.Key() != key {
+		t.Errorf("execution knobs changed the key")
+	}
+	// Layers 0 is the 2-layer default, so it keys like an explicit 2.
+	a := BuildRequest{Family: base.Family}
+	b := BuildRequest{Family: base.Family, Layers: 2}
+	if a.Key() != b.Key() {
+		t.Errorf("Layers 0 and 2 key differently")
+	}
+	geo := base
+	geo.NodeSide = 5
+	if geo.Key() == key {
+		t.Errorf("NodeSide did not change the key")
+	}
+	lay := base
+	lay.Layers = 6
+	if lay.Key() == key {
+		t.Errorf("Layers did not change the key")
+	}
+}
+
+func TestBuildRequestJSONRoundTrip(t *testing.T) {
+	req := BuildRequest{
+		Family:   FamilySpec{Name: "kary", Params: map[string]int{"n": 3, "k": 4}},
+		Layers:   4,
+		Workers:  2,
+		MaxCells: 1000,
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BuildRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != req.Key() || back.Layers != 4 || back.Workers != 2 || back.MaxCells != 1000 {
+		t.Errorf("round trip = %+v, want %+v", back, req)
+	}
+}
+
+func TestBuildSpecMatchesBuildFamily(t *testing.T) {
+	req := BuildRequest{Family: FamilySpec{Name: "hypercube", Params: map[string]int{"n": 5}}, Layers: 4}
+	lay, err := BuildSpec(context.Background(), req)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	direct, err := BuildFamily(req.Family, Options{Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Stats() != direct.Stats() {
+		t.Errorf("BuildSpec stats %v != BuildFamily stats %v", lay.Stats(), direct.Stats())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildSpec(ctx, req); !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled BuildSpec error = %v, want ErrCanceled", err)
+	}
+}
+
+func TestBuildRequestCanonical(t *testing.T) {
+	c, err := BuildRequest{Family: FamilySpec{Name: "hypercube"}}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Layers != 2 || c.Family.Params["n"] != 4 {
+		t.Errorf("canonical request = %+v, want Layers=2 n=4", c)
+	}
+	if _, err := (BuildRequest{Family: FamilySpec{Name: "hypercube"}, Layers: 1}).Canonical(); err == nil {
+		t.Errorf("Layers=1 accepted")
+	}
+	var pe *ParamError
+	if _, err := (BuildRequest{Family: FamilySpec{Name: "zzz"}}).Canonical(); !errors.As(err, &pe) {
+		t.Errorf("unknown family error = %v, want *ParamError", err)
+	}
+}
