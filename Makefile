@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race lint bench benchjson trace-smoke serve-smoke loadgen chaos fuzz check clean
+.PHONY: all vet build test race lint bench benchjson trace-smoke serve-smoke soak-smoke loadgen chaos fuzz check clean
 
 all: check
 
@@ -56,10 +56,20 @@ trace-smoke:
 serve-smoke:
 	$(GO) run ./cmd/loadgen -smoke
 
-# Replay the mixed-family load sweep against an in-process server and
-# refresh the committed serving trajectory (latency/throughput/hit-rate).
+# Network-chaos soak: the full resilience sweep — every fault class at a 20%
+# injection rate through resilience.Client against the admission-queued
+# server, >= 99% convergence, queue bound held, zero leaked goroutines —
+# under the race detector.
+soak-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSweepConverges|TestCacheLeaderCancellation|TestPanicRecovery' ./internal/serve/
+
+# Replay the mixed-family load sweep against an in-process server (clean,
+# then under all-class network chaos) and refresh the committed serving
+# trajectory (latency/throughput/hit-rate plus the error breakdown).
 loadgen:
-	$(GO) run ./cmd/loadgen -rates 100,300,1000,3000 -duration 3s -conns 2 -out BENCH_6.json
+	$(GO) run ./cmd/loadgen -rates 100,300,1000,3000 -duration 3s -conns 2 -out /tmp/loadgen-clean.json
+	$(GO) run ./cmd/loadgen -chaos all -chaos-rate 0.05 -rps 300 -duration 3s -conns 2 -out /tmp/loadgen-chaos.json
+	$(GO) run ./cmd/benchjson -norun -pr 7 -merge /tmp/loadgen-clean.json -merge /tmp/loadgen-chaos.json
 
 # Chaos sweep: corrupt every registry family with every fault class and
 # require both verifiers to catch each corruption, under the race detector.
@@ -72,7 +82,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
-check: vet build test race lint trace-smoke serve-smoke
+check: vet build test race lint trace-smoke serve-smoke soak-smoke
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,12 @@
 // BENCH_N.json, and with neither flag the tool refreshes the
 // highest-numbered BENCH_<n>.json already present (BENCH_1.json in an
 // empty tree).
+//
+// -merge appends records from other JSON files in the same schema — in
+// particular cmd/loadgen's -out files, whose rate and error-breakdown
+// records become part of the committed snapshot this way — and -norun skips
+// the benchmark runs entirely, emitting only the merged records (how
+// BENCH_7.json collects the clean and chaos loadgen runs).
 package main
 
 import (
@@ -46,13 +52,33 @@ type Record struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
+// fileList collects a repeatable flag.
+type fileList []string
+
+func (f *fileList) String() string     { return strings.Join(*f, ",") }
+func (f *fileList) Set(v string) error { *f = append(*f, v); return nil }
+
 func main() {
 	out := flag.String("out", "", "output file ('-' for stdout; default derived from -pr or existing snapshots)")
 	pr := flag.Int("pr", 0, "PR number: write BENCH_<pr>.json unless -out is set")
 	quick := flag.Bool("quick", false, "run a small instance once (CI smoke test)")
+	norun := flag.Bool("norun", false, "skip the benchmark runs; emit only -merge records")
+	var merges fileList
+	flag.Var(&merges, "merge", "append records from this benchjson/loadgen JSON file (repeatable); loadgen's breakdown and rate records land in the snapshot this way")
 	flag.Parse()
 	if *out == "" {
 		*out = deriveOut(*pr)
+	}
+	merged, err := mergeRecords(merges)
+	if err != nil {
+		fatal(err)
+	}
+	if *norun {
+		if len(merged) == 0 {
+			fatal("-norun with nothing to -merge would write an empty snapshot")
+		}
+		writeOut(*out, merged)
+		return
 	}
 
 	// The full workload matches bench_test.go: the 12-cube at L=4 for the
@@ -124,17 +150,39 @@ func main() {
 	run("build/hypercube", 1, build(1))
 	run("build/hypercube", 4, build(4))
 	records = append(records, observed(buildDim)...)
+	records = append(records, merged...)
+	writeOut(*out, records)
+}
 
+// mergeRecords reads each file as a benchjson-schema record list (loadgen's
+// -out files use the same shape) and concatenates them in argument order.
+func mergeRecords(files []string) ([]Record, error) {
+	var all []Record
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		all = append(all, recs...)
+	}
+	return all, nil
+}
+
+func writeOut(out string, records []Record) {
 	buf, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		fatal(err)
 	}
 }

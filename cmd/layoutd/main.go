@@ -2,8 +2,8 @@
 // canonical BuildRequest to /v1/build, /v1/verify, or /v1/svg and the daemon
 // builds the layout — or returns it from a content-addressed cache when the
 // same geometry was already built, however the request spelled it. Errors
-// leave as one JSON envelope with a stable kind (param/budget/canceled/
-// request/internal) and the typed error's fields.
+// leave as one JSON envelope with a stable kind (param/budget/overload/
+// canceled/request/internal) and the typed error's fields.
 //
 // Endpoints:
 //
@@ -11,7 +11,8 @@
 //	POST /v1/verify    build through the same cache, run the verifier
 //	POST /v1/svg       build and render (?scale=1..64, default 4)
 //	GET  /v1/families  the family registry with parameter ranges
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (alias /livez)
+//	GET  /readyz       readiness: 503 while draining or the queue is full
 //	GET  /metricsz     the full observability counter snapshot
 //
 // Example:
@@ -22,8 +23,18 @@
 // The cache is keyed on the canonicalized request (defaults resolved, params
 // sorted), so execution knobs — workers, max_cells, deadlines — never split
 // the cache. -timeout bounds every request server-side on top of the
-// client's own disconnect cancellation; SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// client's own disconnect cancellation.
+//
+// Overload protection: at most -max-concurrent builds run at once (-family-
+// limits caps individual families), at most -max-queue more wait, and
+// everything beyond that — or whose deadline cannot cover the predicted
+// wait — is shed with a 429/503 "overload" envelope carrying a Retry-After
+// hint. With -degrade, a shed build is answered from a retained coarser
+// layout of the same network when one exists, marked degraded.
+//
+// Shutdown is two-phase: SIGINT/SIGTERM first flips /readyz to 503 and sheds
+// new builds (ReasonDraining) so a fronting balancer routes away, then after
+// -drain-grace the listener closes and in-flight requests drain.
 package main
 
 import (
@@ -33,6 +44,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,10 +59,19 @@ func main() {
 	maxCells := flag.Int("max-cells", 0, "admission ceiling on planned grid cells per request (0 = admit everything)")
 	workers := flag.Int("workers", 0, "clamp per-request build/verify workers (0 = requests choose, up to GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 = none)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent build/verify slots (0 = available parallelism)")
+	maxQueue := flag.Int("max-queue", 0, "admission waiters beyond the slots (0 = 4x slots, negative = no waiting)")
+	familyLimits := flag.String("family-limits", "", "per-family concurrency caps, e.g. hypercube=2,kary=1")
+	degrade := flag.Bool("degrade", false, "answer shed builds from a retained coarser layout when one exists")
+	drainGrace := flag.Duration("drain-grace", time.Second, "time between flipping readiness off and closing the listener on SIGTERM")
 	tracePath := flag.String("trace", "", "write a Chrome-trace span file on shutdown (spans + counter snapshot)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("layoutd takes no positional arguments (got %q)", flag.Args())
+	}
+	limits, err := parseFamilyLimits(*familyLimits)
+	if err != nil {
+		cli.Usagef("%v", err)
 	}
 
 	obsv, traceDone, err := cli.Trace(*tracePath)
@@ -57,16 +79,35 @@ func main() {
 		cli.Usagef("%v", err)
 	}
 	s := serve.New(serve.Config{
-		CacheBytes: int64(*cacheMB) << 20,
-		MaxCells:   *maxCells,
-		Workers:    *workers,
-		Timeout:    *timeout,
-		Obs:        obsv,
+		CacheBytes:    int64(*cacheMB) << 20,
+		MaxCells:      *maxCells,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		FamilyLimits:  limits,
+		Degrade:       *degrade,
+		Obs:           obsv,
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err = s.ListenAndServe(ctx, *addr, func(a net.Addr) {
+	// Two-phase drain: the signal flips readiness off immediately; the
+	// listener only closes after the grace period, giving a fronting balancer
+	// time to observe /readyz and route away. context.AfterFunc owns the
+	// goroutine, so no raw go statement leaves this package.
+	serveCtx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
+	grace := *drainGrace
+	stopAfter := context.AfterFunc(sigCtx, func() {
+		s.BeginDrain()
+		fmt.Fprintf(os.Stderr, "layoutd: draining (readiness off), closing listener in %v\n", grace)
+		time.Sleep(grace)
+		cancelServe()
+	})
+	defer stopAfter()
+
+	err = s.ListenAndServe(serveCtx, *addr, func(a net.Addr) {
 		fmt.Fprintf(os.Stderr, "layoutd listening on %s\n", a)
 	})
 	if err != nil {
@@ -75,4 +116,25 @@ func main() {
 	if err := traceDone(); err != nil {
 		cli.Failf("%v", err)
 	}
+}
+
+// parseFamilyLimits parses "name=cap,name=cap" into the serve config map;
+// "" means no caps.
+func parseFamilyLimits(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	limits := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-family-limits entry %q is not name=cap", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-family-limits cap %q for %s is not a positive integer", val, name)
+		}
+		limits[name] = n
+	}
+	return limits, nil
 }

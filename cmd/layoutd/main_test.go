@@ -1,0 +1,21 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseFamilyLimits(t *testing.T) {
+	got, err := parseFamilyLimits("hypercube=2, kary=1")
+	if err != nil || !reflect.DeepEqual(got, map[string]int{"hypercube": 2, "kary": 1}) {
+		t.Fatalf("parseFamilyLimits = %v, %v", got, err)
+	}
+	if got, err := parseFamilyLimits(""); err != nil || got != nil {
+		t.Fatalf("empty limits = %v, %v, want nil", got, err)
+	}
+	for _, bad := range []string{"hypercube", "hypercube=0", "hypercube=x", "=3"} {
+		if _, err := parseFamilyLimits(bad); err == nil {
+			t.Errorf("parseFamilyLimits(%q) accepted", bad)
+		}
+	}
+}

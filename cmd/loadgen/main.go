@@ -1,8 +1,8 @@
 // Command loadgen replays a mixed-family request stream against a layoutd
-// server and reports the latency, throughput, and cache-hit trajectory. It
-// is the measurement half of the serving layer: the committed BENCH_6.json
-// snapshot is its -out file, and `loadgen -smoke` is the serve smoke test
-// `make serve-smoke` and CI run.
+// server and reports the latency, throughput, cache-hit trajectory, and a
+// full error breakdown. It is the measurement half of the serving layer: the
+// committed BENCH snapshots are its -out files, and `loadgen -smoke` is the
+// serve smoke test `make serve-smoke` and CI run.
 //
 // With -addr it targets a running daemon; without, it starts an in-process
 // server on an ephemeral port and drives that over real HTTP, so the
@@ -11,23 +11,29 @@
 // schedule offset regardless of which worker fires it), cycling through a
 // fixed family mix anchored on Hypercube(10)/L=4 — the class the cache-hit
 // acceptance ratio is measured on. -rates sweeps several rates in one run
-// against one warming cache, which is the committed trajectory: hit rate
-// climbs as the mix is absorbed, and hit latency approaches the HTTP floor
-// once the rate keeps the connections hot. Every worker, including the
-// in-process server's accept loop, runs on the par pool; there are no raw
-// goroutines.
+// against one warming cache. Every worker, including the in-process
+// server's accept loop, runs on the par pool; there are no raw goroutines.
+//
+// Requests go through resilience.Client — capped-jittered retries, a
+// circuit breaker, response validation — so loadgen is also the reference
+// consumer of the retry contract. -chaos injects seeded network faults
+// (resilience.Chaos classes; "all" or e.g. "reset,garble") at -chaos-rate
+// between the client and the wire, and the report's breakdown section shows
+// what the resilience machinery absorbed: per-envelope-kind errors,
+// retries, sheds, timeouts, degraded responses, breaker opens.
 //
 // Examples:
 //
-//	loadgen -rates 100,300,1000,3000 -duration 3s -out BENCH_6.json
+//	loadgen -rates 100,300,1000,3000 -duration 3s -out BENCH_7.json
+//	loadgen -chaos all -chaos-rate 0.2 -rps 300 -duration 3s
 //	loadgen -addr localhost:8080 -rps 500 -duration 10s
 //	loadgen -smoke
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -40,7 +46,9 @@ import (
 
 	"mlvlsi"
 	"mlvlsi/internal/cli"
+	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
+	"mlvlsi/internal/resilience"
 	"mlvlsi/internal/serve"
 )
 
@@ -62,10 +70,13 @@ var mix = []mlvlsi.BuildRequest{
 
 // sample is one completed request.
 type sample struct {
-	ns      int64
-	outcome string // "HIT", "MISS", "INFLIGHT", or "ERR:<status>"
-	key     string
-	window  int // index into the rate schedule
+	ns       int64
+	outcome  string // "HIT", "MISS", "INFLIGHT", "DEGRADED", or "ERR:<kind>"
+	kind     string // failure class for errors: envelope kind, "timeout", "breaker", "transport"
+	key      string
+	attempts int
+	degraded bool
+	window   int // index into the rate schedule
 }
 
 // window is one constant-rate segment of the replay schedule.
@@ -75,8 +86,8 @@ type window struct {
 	lo, hi   int // sample index range [lo, hi)
 }
 
-// record matches cmd/benchjson's trajectory schema so BENCH_6.json reads
-// like every earlier BENCH_<n>.json: one JSON object per measurement.
+// record matches cmd/benchjson's trajectory schema so BENCH_<n>.json reads
+// the same across PRs: one JSON object per measurement.
 type record struct {
 	Bench    string           `json:"bench"`
 	NsOp     float64          `json:"ns_op"`
@@ -86,6 +97,17 @@ type record struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
+// runConfig carries one replay's knobs through run().
+type runConfig struct {
+	addr       string
+	cacheBytes int64
+	conns      int
+	chaos      []resilience.Fault
+	chaosRate  float64
+	seed       int64
+	obs        *obs.Observer
+}
+
 func main() {
 	addr := flag.String("addr", "", "target server host:port (empty = start an in-process server)")
 	rps := flag.Float64("rps", 100, "request rate when -rates is not given")
@@ -93,6 +115,9 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "length of each constant-rate window")
 	conns := flag.Int("conns", 4, "concurrent client workers")
 	cacheMB := flag.Int("cache-mb", 256, "in-process server cache budget in MiB")
+	chaos := flag.String("chaos", "", "inject network faults: comma-separated classes (latency,5xx,reset,truncate,garble) or \"all\"")
+	chaosRate := flag.Float64("chaos-rate", 0.2, "per-class injection probability for -chaos")
+	seed := flag.Int64("seed", 1, "seed for chaos injection and retry jitter")
 	out := flag.String("out", "", "write benchjson-style records to this file ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "run the serve smoke test (in-process, sub-second) and exit")
 	flag.Parse()
@@ -103,6 +128,13 @@ func main() {
 	}
 	if *duration <= 0 || *conns < 1 {
 		cli.Usagef("-duration and -conns must be positive")
+	}
+	faults, err := resilience.ParseFaults(*chaos)
+	if err != nil {
+		cli.Usagef("%v", err)
+	}
+	if *chaosRate < 0 || *chaosRate > 1 {
+		cli.Usagef("-chaos-rate must be in [0, 1] (got %v)", *chaosRate)
 	}
 	sweep := []float64{*rps}
 	if *rates != "" {
@@ -133,16 +165,30 @@ func main() {
 		}
 		offset += *duration
 	}
-	samples := run(*addr, int64(*cacheMB)<<20, *conns, due, windows, nil)
-	report(samples, windows, *conns, *out)
+	cfg := runConfig{
+		addr: *addr, cacheBytes: int64(*cacheMB) << 20, conns: *conns,
+		chaos: faults, chaosRate: *chaosRate, seed: *seed, obs: obs.New(),
+	}
+	samples, metrics := run(cfg, due, windows, nil)
+	label := "serve"
+	if len(faults) > 0 {
+		names := make([]string, len(faults))
+		for i, f := range faults {
+			names[i] = f.String()
+		}
+		label = "serve/chaos/" + strings.Join(names, "+")
+	}
+	report(samples, windows, cfg, metrics, label, *out)
 }
 
 // run fires the scheduled requests from conns workers and returns one
-// sample per schedule slot. With addr empty it also runs an in-process
-// server: shard 0 of the same par.Chunks call serves, and the last client
-// shard to finish cancels its context. extra, when non-nil, runs after the
-// paced windows on the worker that finishes last (the smoke test's script).
-func run(addr string, cacheBytes int64, conns int, due []time.Duration, windows []window, extra func(base string)) []sample {
+// sample per schedule slot plus the server's final /metricsz snapshot
+// (scraped through a fault-free transport before the in-process server
+// stops). With addr empty it also runs an in-process server: shard 0 of the
+// same par.Chunks call serves, and the last client shard to finish cancels
+// its context. extra, when non-nil, runs after the paced windows on the
+// worker that finishes last (the smoke test's script).
+func run(cfg runConfig, due []time.Duration, windows []window, extra func(base string, client *resilience.Client)) ([]sample, map[string]int64) {
 	samples := make([]sample, len(due))
 	bodies := make([][]byte, len(mix))
 	for i, req := range mix {
@@ -155,28 +201,44 @@ func run(addr string, cacheBytes int64, conns int, due []time.Duration, windows 
 	serverShards := 0
 	var srv *serve.Server
 	var ln net.Listener
+	addr := cfg.addr
 	if addr == "" {
 		var err error
 		ln, err = net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			cli.Failf("loadgen: %v", err)
 		}
-		srv = serve.New(serve.Config{CacheBytes: cacheBytes})
+		srv = serve.New(serve.Config{CacheBytes: cfg.cacheBytes, Timeout: time.Minute, Degrade: true})
 		addr = ln.Addr().String()
 		serverShards = 1
 	}
 	base := "http://" + addr
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	remaining := int32(conns)
+	remaining := int32(cfg.conns)
 	// The default transport keeps only two idle connections per host; with
 	// many paced workers that means constant re-dialing, and the dial cost
 	// would dominate the hit latencies being measured.
 	transport := http.DefaultTransport.(*http.Transport).Clone()
-	transport.MaxIdleConnsPerHost = conns + 2
-	client := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+	transport.MaxIdleConnsPerHost = cfg.conns + 2
+	var rt http.RoundTripper = transport
+	if len(cfg.chaos) > 0 {
+		rates := make(map[resilience.Fault]float64, len(cfg.chaos))
+		for _, f := range cfg.chaos {
+			rates[f] = cfg.chaosRate
+		}
+		rt = resilience.NewChaos(resilience.ChaosConfig{
+			Rates: rates, Seed: cfg.seed, Base: transport, Obs: cfg.obs,
+		})
+	}
+	client := resilience.NewClient(&http.Client{Timeout: 5 * time.Minute, Transport: rt},
+		resilience.Policy{MaxAttempts: 6, BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff: 250 * time.Millisecond, Seed: cfg.seed}, cfg.obs)
+	// The metrics scrape bypasses chaos: it measures the server, not the wire.
+	clean := &http.Client{Timeout: time.Minute, Transport: transport}
+	metrics := make(map[string]int64)
 	start := time.Now()
-	par.Chunks(conns+serverShards, conns+serverShards, func(shard, lo, hi int) {
+	par.Chunks(cfg.conns+serverShards, cfg.conns+serverShards, func(shard, lo, hi int) {
 		if serverShards == 1 && shard == 0 {
 			if err := srv.Serve(ctx, ln); err != nil {
 				cli.Failf("loadgen server: %v", err)
@@ -187,13 +249,14 @@ func run(addr string, cacheBytes int64, conns int, due []time.Duration, windows 
 		defer func() {
 			if atomic.AddInt32(&remaining, -1) == 0 {
 				if extra != nil {
-					extra(base)
+					extra(base, client)
 				}
+				scrapeMetrics(clean, base, metrics)
 				cancel()
 			}
 		}()
 		w := 0
-		for i := worker; i < len(due); i += conns {
+		for i := worker; i < len(due); i += cfg.conns {
 			if d := time.Until(start.Add(due[i])); d > 0 {
 				time.Sleep(d)
 			}
@@ -204,36 +267,96 @@ func run(addr string, cacheBytes int64, conns int, due []time.Duration, windows 
 			samples[i].window = w
 		}
 	})
-	return samples
+	return samples, metrics
 }
 
-// fire posts one pre-marshaled build request and classifies the response.
-func fire(client *http.Client, base string, body []byte) sample {
-	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/build", "application/json", bytes.NewReader(body))
+// scrapeMetrics fills m from the server's /metricsz. Best-effort: a scrape
+// failure leaves m empty rather than failing the run.
+func scrapeMetrics(client *http.Client, base string, m map[string]int64) {
+	resp, err := client.Get(base + "/metricsz")
 	if err != nil {
-		return sample{ns: time.Since(t0).Nanoseconds(), outcome: "ERR:transport"}
+		return
 	}
-	var br struct {
-		Key   string `json:"key"`
-		Cache string `json:"cache"`
-	}
-	dec := json.NewDecoder(resp.Body)
-	decErr := dec.Decode(&br)
-	resp.Body.Close()
-	ns := time.Since(t0).Nanoseconds()
-	if resp.StatusCode != http.StatusOK || decErr != nil {
-		return sample{ns: ns, outcome: fmt.Sprintf("ERR:%d", resp.StatusCode)}
-	}
-	return sample{ns: ns, outcome: br.Cache, key: br.Key}
+	defer resp.Body.Close()
+	_ = json.NewDecoder(resp.Body).Decode(&m)
 }
 
-// report prints the per-window and overall summary and, with -out, writes
-// the trajectory records. The acceptance ratio — cache-hit p50 vs cold
-// build on the Hypercube(10) anchor — uses the anchor's first (cold) MISS
-// and its hit p50 within each window; the sweep shows the trajectory from
-// pacing-dominated to HTTP-floor hits as the rate rises.
-func report(samples []sample, windows []window, conns int, out string) {
+// buildBody is the part of the /v1/build success body loadgen reads.
+type buildBody struct {
+	Key      string `json:"key"`
+	Cache    string `json:"cache"`
+	Degraded bool   `json:"degraded"`
+}
+
+// validateBuild rejects 200s whose body is not a parseable build response —
+// the check that turns garbled and truncated bodies into retries inside the
+// client instead of corrupt samples out here.
+func validateBuild(status int, body []byte) error {
+	var br buildBody
+	if err := json.Unmarshal(body, &br); err != nil {
+		return err
+	}
+	if br.Key == "" {
+		return fmt.Errorf("build response without key")
+	}
+	return nil
+}
+
+// fire posts one pre-marshaled build request through the resilience client
+// and classifies the result.
+func fire(client *resilience.Client, base string, body []byte) sample {
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := client.Post(ctx, base+"/v1/build", body, validateBuild)
+	ns := time.Since(t0).Nanoseconds()
+	attempts := 0
+	if resp != nil {
+		attempts = resp.Attempts
+	}
+	if err != nil {
+		kind := classify(resp, err)
+		return sample{ns: ns, outcome: "ERR:" + kind, kind: kind, attempts: attempts}
+	}
+	var br buildBody
+	_ = json.Unmarshal(resp.Body, &br) // validated inside the retry loop
+	return sample{ns: ns, outcome: br.Cache, key: br.Key, attempts: attempts, degraded: br.Degraded}
+}
+
+// classify names a failed request's class: our own exhausted deadline is a
+// "timeout", an open breaker is "breaker", a server rejection is its
+// envelope kind, and anything else is "transport".
+func classify(resp *resilience.Response, err error) string {
+	var boe *resilience.BreakerOpenError
+	switch {
+	case errors.As(err, &boe):
+		return "breaker"
+	case errors.Is(err, par.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return "timeout"
+	}
+	if resp != nil && len(resp.Body) > 0 {
+		var eb struct {
+			Error struct {
+				Kind string `json:"kind"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(resp.Body, &eb) == nil && eb.Error.Kind != "" {
+			return eb.Error.Kind
+		}
+	}
+	if resp != nil {
+		return fmt.Sprintf("http_%d", resp.Status)
+	}
+	return "transport"
+}
+
+// report prints the per-window and overall summary, the error breakdown,
+// and, with -out, writes the trajectory records. The acceptance ratio —
+// cache-hit p50 vs cold build on the Hypercube(10) anchor — uses the
+// anchor's first (cold) MISS and its hit p50 within each window.
+func report(samples []sample, windows []window, cfg runConfig, metrics map[string]int64, label, out string) {
 	anchor := mix[0].Key()
 	var coldNs int64
 	for _, s := range samples {
@@ -245,7 +368,7 @@ func report(samples []sample, windows []window, conns int, out string) {
 	var records []record
 	var totalErrs, totalHits, totalServed int64
 	for w, win := range windows {
-		var hit, miss, inflight, anchorHits []int64
+		var hit, miss, other, anchorHits []int64
 		var errs int64
 		for _, s := range samples[win.lo:win.hi] {
 			switch {
@@ -256,8 +379,8 @@ func report(samples []sample, windows []window, conns int, out string) {
 				hit = append(hit, s.ns)
 			case s.outcome == "MISS":
 				miss = append(miss, s.ns)
-			default:
-				inflight = append(inflight, s.ns)
+			default: // INFLIGHT, DEGRADED
+				other = append(other, s.ns)
 			}
 			if s.key == anchor && s.outcome == "HIT" {
 				anchorHits = append(anchorHits, s.ns)
@@ -274,10 +397,10 @@ func report(samples []sample, windows []window, conns int, out string) {
 			win.rps, served, errs, hitRate,
 			time.Duration(pct(hit, 50)), time.Duration(pct(hit, 95)), time.Duration(pct(hit, 99)))
 		rec := record{
-			Bench: fmt.Sprintf("serve/rate/%.0frps", win.rps), NsOp: float64(pct(hit, 50)), Workers: conns,
+			Bench: fmt.Sprintf("%s/rate/%.0frps", label, win.rps), NsOp: float64(pct(hit, 50)), Workers: cfg.conns,
 			Counters: map[string]int64{
 				"offered_rps": int64(win.rps), "served": served, "errors": errs,
-				"hits": int64(len(hit)), "misses": int64(len(miss)), "inflight": int64(len(inflight)),
+				"hits": int64(len(hit)), "misses": int64(len(miss)), "other": int64(len(other)),
 				"hit_rate_pct": hitRate, "hit_p95_ns": pct(hit, 95), "hit_p99_ns": pct(hit, 99),
 			},
 		}
@@ -291,15 +414,74 @@ func report(samples []sample, windows []window, conns int, out string) {
 		records = append(records, rec)
 		_ = w
 	}
+	bd := breakdownCounters(samples, metrics, cfg.obs)
+	printBreakdown(bd)
 	records = append(records,
-		record{Bench: "serve/cold/hypercube10", NsOp: float64(coldNs), Workers: conns},
-		record{Bench: "serve/summary", NsOp: 0, Workers: conns,
+		record{Bench: label + "/cold/hypercube10", NsOp: float64(coldNs), Workers: cfg.conns},
+		record{Bench: label + "/breakdown", NsOp: 0, Workers: cfg.conns, Counters: bd},
+		record{Bench: label + "/summary", NsOp: 0, Workers: cfg.conns,
 			Counters: map[string]int64{
 				"requests": int64(len(samples)), "served": totalServed, "errors": totalErrs,
 				"hits": totalHits, "hit_rate_pct": 100 * totalHits / max64(totalServed, 1),
 			}})
 	if out != "" {
 		writeRecords(out, records)
+	}
+}
+
+// breakdownCounters assembles the error-breakdown record: what failed (one
+// err_<kind> counter per failure class), what the client absorbed (retries,
+// breaker opens, injected chaos), and what the server deflected (sheds by
+// reason from /metricsz, degraded responses, recovered panics). The fixed
+// keys are always present — zero is information here — which is the shape
+// -smoke asserts.
+func breakdownCounters(samples []sample, metrics map[string]int64, o *obs.Observer) map[string]int64 {
+	bd := map[string]int64{
+		"served": 0, "errors": 0, "degraded": 0, "attempts": 0,
+		"retries": 0, "timeouts": 0, "shed": 0,
+		"breaker_opens": 0, "chaos_injected": 0, "panics_recovered": 0,
+	}
+	for _, s := range samples {
+		bd["attempts"] += int64(s.attempts)
+		if s.kind != "" {
+			bd["errors"]++
+			bd["err_"+s.kind]++
+			if s.kind == "timeout" {
+				bd["timeouts"]++
+			}
+			continue
+		}
+		bd["served"]++
+		if s.degraded {
+			bd["degraded"]++
+		}
+	}
+	if o != nil {
+		snap := o.Snapshot()
+		bd["retries"] = snap.Get(obs.ClientRetries)
+		bd["breaker_opens"] = snap.Get(obs.BreakerOpens)
+		bd["chaos_injected"] = snap.Get(obs.ChaosInjected)
+	}
+	bd["shed"] = metrics["shed_queue_full"] + metrics["shed_deadline"] + metrics["shed_draining"]
+	bd["panics_recovered"] = metrics["panics_recovered"]
+	return bd
+}
+
+// printBreakdown renders the breakdown, error kinds sorted for stable
+// output.
+func printBreakdown(bd map[string]int64) {
+	var kinds []string
+	for k := range bd {
+		if strings.HasPrefix(k, "err_") {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+	fmt.Printf("breakdown: served %d errors %d retries %d shed %d timeouts %d degraded %d breaker-opens %d chaos-injected %d\n",
+		bd["served"], bd["errors"], bd["retries"], bd["shed"], bd["timeouts"], bd["degraded"],
+		bd["breaker_opens"], bd["chaos_injected"])
+	for _, k := range kinds {
+		fmt.Printf("           %s: %d\n", k, bd[k])
 	}
 }
 
@@ -337,67 +519,68 @@ func max64(a, b int64) int64 {
 
 // runSmoke drives a fixed script against an in-process server and fails
 // loudly on any deviation: MISS then HIT on the same content under two
-// spellings, a typed param rejection in the 400 envelope, and the cache
-// counters visible in /metricsz. It reuses run()'s server/client shard
-// machinery with a one-request schedule (a small warm-up build).
+// spellings, a typed param rejection in the 400 envelope (classified into
+// the breakdown), the cache counters visible in /metricsz, and the
+// breakdown record carrying its full fixed shape. It reuses run()'s
+// server/client shard machinery with a one-request schedule.
 func runSmoke() {
 	failed := false
-	script := func(base string) {
-		client := &http.Client{Timeout: time.Minute}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "serve-smoke: "+format+"\n", args...)
+		failed = true
+	}
+	var scripted []sample
+	script := func(base string, client *resilience.Client) {
 		small := `{"family":{"name":"hypercube","params":{"n":5}},"layers":4}`
 		respell := `{"family":{"name":"hypercube","params":{"n":5}},"layers":4,"workers":2}`
 		first := fire(client, base, []byte(small))
 		second := fire(client, base, []byte(respell))
 		if first.outcome != "MISS" || second.outcome != "HIT" || first.key != second.key {
-			fmt.Fprintf(os.Stderr, "serve-smoke: want MISS then HIT on one key, got %s/%s keys %s/%s\n",
+			fail("want MISS then HIT on one key, got %s/%s keys %s/%s",
 				first.outcome, second.outcome, first.key, second.key)
-			failed = true
 		}
-		resp, err := client.Post(base+"/v1/build", "application/json",
-			strings.NewReader(`{"family":{"name":"hypercube","params":{"bogus":1}}}`))
+		bad := fire(client, base, []byte(`{"family":{"name":"hypercube","params":{"bogus":1}}}`))
+		if bad.kind != "param" || bad.attempts != 1 {
+			fail("bad param request classified %q after %d attempts, want param after 1", bad.kind, bad.attempts)
+		}
+		scripted = append(scripted, first, second, bad)
+		hc := &http.Client{Timeout: time.Minute}
+		resp, err := hc.Get(base + "/metricsz")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serve-smoke: %v\n", err)
-			failed = true
+			fail("%v", err)
 			return
 		}
-		var envelope struct {
-			Error struct {
-				Kind string `json:"kind"`
-			} `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&envelope)
+		var m map[string]int64
+		err = json.NewDecoder(resp.Body).Decode(&m)
 		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusBadRequest || envelope.Error.Kind != "param" {
-			fmt.Fprintf(os.Stderr, "serve-smoke: bad param envelope: status %d kind %q err %v\n",
-				resp.StatusCode, envelope.Error.Kind, err)
-			failed = true
-		}
-		resp, err = client.Get(base + "/metricsz")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "serve-smoke: %v\n", err)
-			failed = true
-			return
-		}
-		var metrics map[string]int64
-		err = json.NewDecoder(resp.Body).Decode(&metrics)
-		resp.Body.Close()
-		if err != nil || metrics["cache_hits"] < 1 || metrics["cache_misses"] < 1 {
-			fmt.Fprintf(os.Stderr, "serve-smoke: metrics missing cache counters: %v (err %v)\n", metrics, err)
-			failed = true
+		if err != nil || m["cache_hits"] < 1 || m["cache_misses"] < 1 {
+			fail("metrics missing cache counters: %v (err %v)", m, err)
 		}
 	}
 	saved := mix
 	mix = []mlvlsi.BuildRequest{{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 4}}, Layers: 2}}
-	samples := run("", 64<<20, 1, []time.Duration{0}, []window{{rps: 1, duration: 0, lo: 0, hi: 1}}, script)
+	cfg := runConfig{cacheBytes: 64 << 20, conns: 1, seed: 1, obs: obs.New()}
+	samples, metrics := run(cfg, []time.Duration{0}, []window{{rps: 1, duration: 0, lo: 0, hi: 1}}, script)
 	mix = saved
 	for _, s := range samples {
 		if strings.HasPrefix(s.outcome, "ERR") {
-			fmt.Fprintf(os.Stderr, "serve-smoke: warm-up request failed: %s\n", s.outcome)
-			failed = true
+			fail("warm-up request failed: %s", s.outcome)
 		}
+	}
+	// The breakdown must carry its full fixed shape plus the scripted param
+	// rejection, whatever the run looked like.
+	bd := breakdownCounters(append(samples, scripted...), metrics, cfg.obs)
+	for _, key := range []string{"served", "errors", "retries", "shed", "timeouts",
+		"degraded", "attempts", "breaker_opens", "chaos_injected", "panics_recovered"} {
+		if _, ok := bd[key]; !ok {
+			fail("breakdown missing fixed key %q: %v", key, bd)
+		}
+	}
+	if bd["err_param"] != 1 || bd["errors"] != 1 || bd["served"] != 3 {
+		fail("breakdown miscounted the script: %v", bd)
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("serve-smoke: MISS→HIT, param envelope, and cache counters all verified over HTTP")
+	fmt.Println("serve-smoke: MISS→HIT, param envelope, cache counters, and breakdown shape all verified over HTTP")
 }

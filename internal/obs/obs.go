@@ -75,6 +75,39 @@ const (
 	// CacheBytes gauges the retained bytes of the serving cache after the
 	// most recent insert or eviction (ClassServe, written with Set).
 	CacheBytes
+	// QueueDepth gauges the admission queue's current waiter count
+	// (ClassServe, written with Set).
+	QueueDepth
+	// QueueMaxDepth gauges the admission queue's high-water waiter count
+	// since process start; the chaos sweep asserts it never exceeds the
+	// configured bound (ClassServe, written with Set).
+	QueueMaxDepth
+	// ShedQueueFull counts requests shed because the admission queue was at
+	// its bound (ClassServe).
+	ShedQueueFull
+	// ShedDeadline counts requests shed because their remaining deadline
+	// could not cover the predicted queue wait (ClassServe).
+	ShedDeadline
+	// ShedDraining counts requests shed because the server was draining for
+	// shutdown (ClassServe).
+	ShedDraining
+	// DegradedServed counts overloaded requests answered with a cached
+	// coarser layout carrying an explicit degraded marker instead of a shed
+	// rejection (ClassServe).
+	DegradedServed
+	// PanicsRecovered counts handler panics the recover middleware mapped to
+	// the 500 internal envelope instead of killing the connection
+	// (ClassServe).
+	PanicsRecovered
+	// ClientRetries counts retry attempts issued by resilience.Client after
+	// a retryable failure (ClassServe).
+	ClientRetries
+	// BreakerOpens counts circuit-breaker transitions to the open state in
+	// resilience.Client (ClassServe).
+	BreakerOpens
+	// ChaosInjected counts network faults injected by the resilience chaos
+	// transport (ClassServe).
+	ChaosInjected
 
 	numCounters
 )
@@ -115,6 +148,26 @@ func (c Counter) String() string {
 		return "cache_inflight_waits"
 	case CacheBytes:
 		return "cache_bytes"
+	case QueueDepth:
+		return "queue_depth"
+	case QueueMaxDepth:
+		return "queue_max_depth"
+	case ShedQueueFull:
+		return "shed_queue_full"
+	case ShedDeadline:
+		return "shed_deadline"
+	case ShedDraining:
+		return "shed_draining"
+	case DegradedServed:
+		return "degraded_served"
+	case PanicsRecovered:
+		return "panics_recovered"
+	case ClientRetries:
+		return "client_retries"
+	case BreakerOpens:
+		return "breaker_opens"
+	case ChaosInjected:
+		return "chaos_injected"
 	}
 	return "counter_unknown"
 }
@@ -145,7 +198,9 @@ func (c Counter) Class() Class {
 		return ClassConfig
 	case MergeNanos:
 		return ClassTiming
-	case CacheHits, CacheMisses, CacheEvictions, CacheInflightWaits, CacheBytes:
+	case CacheHits, CacheMisses, CacheEvictions, CacheInflightWaits, CacheBytes,
+		QueueDepth, QueueMaxDepth, ShedQueueFull, ShedDeadline, ShedDraining,
+		DegradedServed, PanicsRecovered, ClientRetries, BreakerOpens, ChaosInjected:
 		return ClassServe
 	}
 	return ClassWork

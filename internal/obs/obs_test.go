@@ -208,6 +208,16 @@ func TestCounterNamesAndClasses(t *testing.T) {
 		CacheEvictions:     ClassServe,
 		CacheInflightWaits: ClassServe,
 		CacheBytes:         ClassServe,
+		QueueDepth:         ClassServe,
+		QueueMaxDepth:      ClassServe,
+		ShedQueueFull:      ClassServe,
+		ShedDeadline:       ClassServe,
+		ShedDraining:       ClassServe,
+		DegradedServed:     ClassServe,
+		PanicsRecovered:    ClassServe,
+		ClientRetries:      ClassServe,
+		BreakerOpens:       ClassServe,
+		ChaosInjected:      ClassServe,
 	} {
 		if c.Class() != want {
 			t.Errorf("%s.Class() = %d, want %d", c, c.Class(), want)

@@ -1,0 +1,259 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mlvlsi/internal/obs"
+)
+
+// Fault enumerates the network-level fault classes the chaos transport can
+// inject — the internal/fault treatment applied at the HTTP boundary
+// instead of the layout geometry.
+type Fault uint8
+
+const (
+	// FaultLatency injects added latency before the exchange.
+	FaultLatency Fault = iota
+	// Fault5xx short-circuits the exchange with a synthesized 502 (the
+	// request never reaches the server, as from a broken intermediary).
+	Fault5xx
+	// FaultReset fails the exchange with a connection-reset transport error.
+	FaultReset
+	// FaultTruncate cuts the response body short mid-read.
+	FaultTruncate
+	// FaultGarble flips bits in the response body, breaking its JSON while
+	// keeping the HTTP framing intact.
+	FaultGarble
+
+	numFaults
+)
+
+// Faults returns every fault class, in declaration order.
+func Faults() []Fault {
+	out := make([]Fault, numFaults)
+	for i := range out {
+		out[i] = Fault(i)
+	}
+	return out
+}
+
+func (f Fault) String() string {
+	switch f {
+	case FaultLatency:
+		return "latency"
+	case Fault5xx:
+		return "5xx"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	case FaultGarble:
+		return "garble"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ParseFaults parses a comma-separated fault class list ("reset,garble");
+// "all" means every class, "" means none.
+func ParseFaults(s string) ([]Fault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return Faults(), nil
+	}
+	byName := make(map[string]Fault, numFaults)
+	for _, f := range Faults() {
+		byName[f.String()] = f
+	}
+	var out []Fault
+	for _, name := range strings.Split(s, ",") {
+		f, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault class %q (have %v, or \"all\")", name, Faults())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ChaosConfig tunes the injector.
+type ChaosConfig struct {
+	// Rates maps each fault class to its per-request injection probability
+	// in [0, 1]; absent classes never fire. Each class draws independently,
+	// so one exchange can suffer several faults (latency then a reset, say).
+	Rates map[Fault]float64
+	// Seed seeds the injection RNG; 0 means 1. Equal seeds over equal
+	// request sequences inject identical fault schedules.
+	Seed int64
+	// Latency is the injected-latency magnitude ceiling; <= 0 means 5ms.
+	// The draw is uniform in [Latency/2, Latency].
+	Latency time.Duration
+	// Base performs the real exchanges; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Obs (nil disables) receives chaos_injected.
+	Obs *obs.Observer
+}
+
+// Chaos is a fault-injecting http.RoundTripper. Wrap any transport —
+// httptest clients, the default transport, another Chaos — and every
+// exchange rolls each configured fault class at its seeded rate. Safe for
+// concurrent use.
+type Chaos struct {
+	cfg  ChaosConfig
+	base http.RoundTripper
+	obs  *obs.Observer
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected [numFaults]int64
+}
+
+// NewChaos creates an injector from cfg.
+func NewChaos(cfg ChaosConfig) *Chaos {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	base := cfg.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 5 * time.Millisecond
+	}
+	return &Chaos{cfg: cfg, base: base, obs: cfg.Obs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Injected returns per-class injection counts so far.
+func (c *Chaos) Injected() map[Fault]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Fault]int64, numFaults)
+	for f, n := range c.injected {
+		if n > 0 {
+			out[Fault(f)] = n
+		}
+	}
+	return out
+}
+
+// roll draws this exchange's fault set and, when latency fires, its
+// magnitude. One lock hold per exchange keeps draws ordered and replayable.
+func (c *Chaos) roll() (fire [numFaults]bool, latency time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for f := Fault(0); f < numFaults; f++ {
+		rate := c.cfg.Rates[f]
+		if rate > 0 && c.rng.Float64() < rate {
+			fire[f] = true
+			c.injected[f]++
+			c.obs.Add(obs.ChaosInjected, 1)
+		}
+	}
+	if fire[FaultLatency] {
+		half := c.cfg.Latency / 2
+		latency = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	}
+	return fire, latency
+}
+
+// RoundTrip applies the drawn faults around one real exchange.
+func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	fire, latency := c.roll()
+	if fire[FaultLatency] {
+		t := time.NewTimer(latency)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if fire[FaultReset] {
+		closeBody(req)
+		return nil, fmt.Errorf("chaos: injected reset: %w", syscall.ECONNRESET)
+	}
+	if fire[Fault5xx] {
+		closeBody(req)
+		return &http.Response{
+			Status:     "502 Bad Gateway (chaos)",
+			StatusCode: http.StatusBadGateway,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:        http.Header{"X-Chaos": []string{"5xx"}},
+			Body:          io.NopCloser(strings.NewReader("chaos: injected 502\n")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	resp, err := c.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if fire[FaultTruncate] {
+		resp.Body = &truncatingBody{rc: resp.Body, remaining: 12}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	} else if fire[FaultGarble] {
+		resp.Body = &garblingBody{rc: resp.Body}
+	}
+	return resp, nil
+}
+
+// closeBody releases a request body the exchange will never send.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// truncatingBody yields the first remaining bytes, then fails the read the
+// way a torn connection does.
+type truncatingBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (t *truncatingBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.rc.Read(p)
+	t.remaining -= n
+	if err == io.EOF && t.remaining > 0 {
+		// The real body was shorter than the cut: pass the clean EOF on.
+		return n, err
+	}
+	if t.remaining <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncatingBody) Close() error { return t.rc.Close() }
+
+// garblingBody XORs every read byte, corrupting content while preserving
+// length and framing.
+type garblingBody struct {
+	rc io.ReadCloser
+}
+
+func (g *garblingBody) Read(p []byte) (int, error) {
+	n, err := g.rc.Read(p)
+	for i := 0; i < n; i++ {
+		p[i] ^= 0x5a
+	}
+	return n, err
+}
+
+func (g *garblingBody) Close() error { return g.rc.Close() }

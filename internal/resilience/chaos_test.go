@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosTarget serves a fixed JSON body.
+func chaosTarget() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"key":"abcdef0123456789","cache":"HIT","stats":{"area":12345678}}`)
+	}))
+}
+
+func chaosGet(t *testing.T, c *Chaos, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	hc := &http.Client{Transport: c, Timeout: 5 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func TestChaosReset(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	c := NewChaos(ChaosConfig{Rates: map[Fault]float64{FaultReset: 1}, Base: ts.Client().Transport})
+	_, _, err := chaosGet(t, c, ts.URL)
+	if err == nil || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want an injected connection reset", err)
+	}
+}
+
+func TestChaos5xx(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	c := NewChaos(ChaosConfig{Rates: map[Fault]float64{Fault5xx: 1}, Base: ts.Client().Transport})
+	resp, _, err := chaosGet(t, c, ts.URL)
+	if err != nil || resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("resp = %v err = %v, want synthesized 502", resp, err)
+	}
+}
+
+func TestChaosTruncate(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	c := NewChaos(ChaosConfig{Rates: map[Fault]float64{FaultTruncate: 1}, Base: ts.Client().Transport})
+	_, body, err := chaosGet(t, c, ts.URL)
+	if err == nil && len(body) >= 20 {
+		t.Fatalf("truncated read returned %d clean bytes: %q", len(body), body)
+	}
+}
+
+func TestChaosGarble(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	c := NewChaos(ChaosConfig{Rates: map[Fault]float64{FaultGarble: 1}, Base: ts.Client().Transport})
+	resp, body, err := chaosGet(t, c, ts.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("garble broke framing: %v %v", resp, err)
+	}
+	if strings.HasPrefix(string(body), `{"key"`) {
+		t.Fatalf("body came through ungarbled: %q", body)
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	c := NewChaos(ChaosConfig{Rates: map[Fault]float64{FaultLatency: 1},
+		Latency: 50 * time.Millisecond, Base: ts.Client().Transport})
+	start := time.Now()
+	_, _, err := chaosGet(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 25*time.Millisecond {
+		t.Fatalf("exchange took %v, want >= 25ms injected latency", took)
+	}
+	// Injected latency must respect the request's own deadline.
+	hc := &http.Client{Transport: c}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("latency injection ignored the request deadline")
+	}
+}
+
+// TestChaosSeededDeterminism: equal seeds produce identical fault
+// schedules over identical request sequences, the property every committed
+// chaos result depends on.
+func TestChaosSeededDeterminism(t *testing.T) {
+	ts := chaosTarget()
+	defer ts.Close()
+	rates := map[Fault]float64{Fault5xx: 0.3, FaultGarble: 0.3, FaultTruncate: 0.2}
+	run := func(seed int64) map[Fault]int64 {
+		c := NewChaos(ChaosConfig{Rates: rates, Seed: seed, Base: ts.Client().Transport})
+		for i := 0; i < 60; i++ {
+			if resp, _, err := chaosGet(t, c, ts.URL); err == nil {
+				_ = resp
+			}
+		}
+		return c.Injected()
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	other := run(7)
+	if reflect.DeepEqual(a, other) {
+		t.Fatalf("different seeds produced identical schedules %v (suspicious)", a)
+	}
+	total := int64(0)
+	for _, n := range a {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no faults injected at 30/30/20% rates over 60 requests")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	if fs, err := ParseFaults("all"); err != nil || len(fs) != len(Faults()) {
+		t.Fatalf("ParseFaults(all) = %v, %v", fs, err)
+	}
+	if fs, err := ParseFaults(""); err != nil || fs != nil {
+		t.Fatalf("ParseFaults(empty) = %v, %v", fs, err)
+	}
+	fs, err := ParseFaults("reset, garble")
+	if err != nil || len(fs) != 2 || fs[0] != FaultReset || fs[1] != FaultGarble {
+		t.Fatalf("ParseFaults(reset, garble) = %v, %v", fs, err)
+	}
+	if _, err := ParseFaults("bogus"); err == nil {
+		t.Fatal("ParseFaults accepted an unknown class")
+	}
+}

@@ -1,0 +1,425 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+// RetryAfterMillisHeader carries the server's retry hint at millisecond
+// resolution, alongside the standard (whole-second) Retry-After header that
+// fronting proxies understand. The client prefers it when present.
+const RetryAfterMillisHeader = "X-Retry-After-Ms"
+
+// Policy tunes Client. Every field has a serving-safe zero value.
+type Policy struct {
+	// MaxAttempts bounds total attempts per request, the first included;
+	// <= 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter backoff of the first retry; it doubles
+	// per retry up to MaxBackoff. <= 0 means 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the pre-jitter backoff; <= 0 means 2s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is the consecutive attempt-failure count that opens
+	// the circuit breaker; <= 0 means 8.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a half-open
+	// probe; <= 0 means 250ms.
+	BreakerCooldown time.Duration
+	// Seed seeds the jitter RNG; 0 means 1, so runs are deterministic by
+	// default (pass something varying for production spread).
+	Seed int64
+}
+
+func (p Policy) maxAttempts() int { return defInt(p.MaxAttempts, 4) }
+func (p Policy) base() time.Duration {
+	return defDur(p.BaseBackoff, 25*time.Millisecond)
+}
+func (p Policy) cap() time.Duration      { return defDur(p.MaxBackoff, 2*time.Second) }
+func (p Policy) threshold() int          { return defInt(p.BreakerThreshold, 8) }
+func (p Policy) cooldown() time.Duration { return defDur(p.BreakerCooldown, 250*time.Millisecond) }
+
+func defInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func defDur(v, d time.Duration) time.Duration {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Request is one logical HTTP exchange the client will see through.
+type Request struct {
+	// Method and URL name the exchange; Method defaults to GET (POST when
+	// Body is non-nil).
+	Method string
+	URL    string
+	// Body is sent verbatim on every attempt (the client never retries a
+	// half-sent stream — the body is a byte slice precisely so replays are
+	// exact).
+	Body []byte
+	// ContentType defaults to application/json when Body is non-nil.
+	ContentType string
+	// Idempotent declares that re-sending after an ambiguous transport
+	// failure (connection reset, truncated response) is safe. Only
+	// idempotent requests are retried on such failures; definite rejections
+	// (4xx other than 429) are never retried either way.
+	Idempotent bool
+	// Validate, when non-nil, inspects a 2xx response; an error marks the
+	// attempt failed-retryable (the wire can garble a body without breaking
+	// HTTP framing, so callers that parse should validate here, inside the
+	// retry loop).
+	Validate func(status int, body []byte) error
+}
+
+// Response is a completed exchange: the final attempt's status, headers,
+// and fully-read body, plus how many attempts the request took.
+type Response struct {
+	Status   int
+	Header   http.Header
+	Body     []byte
+	Attempts int
+}
+
+// StatusError reports a non-2xx HTTP response as an error.
+type StatusError struct {
+	Status    int
+	Retryable bool
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("resilience: http status %d (retryable=%t)", e.Status, e.Retryable)
+}
+
+// BreakerOpenError reports a request refused (or abandoned) because the
+// circuit breaker was open and the deadline could not cover the reopen wait.
+type BreakerOpenError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit breaker open, retry after %v", e.RetryAfter)
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Client is a retrying HTTP client: capped exponential backoff with full
+// jitter, budget-aware (no retry ever sleeps past the request deadline, no
+// non-idempotent ambiguous failure is retried), plus a consecutive-failure
+// circuit breaker with half-open probing. Create one with NewClient; all
+// methods are safe for concurrent use and one Client should be shared by
+// all workers talking to one server, so the breaker sees the whole stream.
+type Client struct {
+	httpc  *http.Client
+	policy Policy
+	obs    *obs.Observer
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	consecutive int
+	state       int
+	reopenAt    time.Time
+	probing     bool
+}
+
+// NewClient wraps h (nil means http.DefaultClient) with the policy. The
+// observer (nil disables) receives client_retries and breaker_opens.
+func NewClient(h *http.Client, p Policy, o *obs.Observer) *Client {
+	if h == nil {
+		h = http.DefaultClient
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{httpc: h, policy: p, obs: o, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Post runs an idempotent JSON POST through the retry loop. Idempotency is
+// the layoutd contract: every endpoint is a pure function of the canonical
+// request (DESIGN §8), so replaying after an ambiguous failure cannot
+// double-apply anything.
+func (c *Client) Post(ctx context.Context, url string, body []byte, validate func(int, []byte) error) (*Response, error) {
+	return c.Do(ctx, Request{Method: http.MethodPost, URL: url, Body: body,
+		Idempotent: true, Validate: validate})
+}
+
+// Do sees req through: attempts, classifies, backs off, and retries until
+// success, a definite rejection, exhausted attempts, or an exhausted
+// deadline. The returned Response is the final attempt's (nil when no
+// attempt produced one); on failure the error classifies it — *StatusError,
+// *BreakerOpenError, a cancellation wrapping par.ErrCanceled, or the
+// transport's own error.
+func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
+	var lastResp *Response
+	var lastErr error
+	for attempt := 0; attempt < c.policy.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			c.obs.Add(obs.ClientRetries, 1)
+		}
+		if err := c.breakerAllow(ctx); err != nil {
+			if lastErr != nil {
+				return lastResp, lastErr
+			}
+			return lastResp, err
+		}
+		resp, err, retryable := c.attempt(ctx, req)
+		if resp != nil {
+			resp.Attempts = attempt + 1
+			lastResp = resp
+		}
+		if err == nil {
+			return lastResp, nil
+		}
+		lastErr = err
+		if cerr := par.Canceled(ctx); cerr != nil {
+			return lastResp, cerr
+		}
+		if !retryable {
+			return lastResp, lastErr
+		}
+		if !c.sleepBackoff(ctx, attempt, retryAfterHint(resp)) {
+			return lastResp, lastErr
+		}
+	}
+	return lastResp, lastErr
+}
+
+// attempt runs one exchange and classifies the outcome: (resp, nil, _) on
+// success, else the error and whether the failure class is retryable for
+// this request. It also feeds the breaker: transport failures, 5xx other
+// than the overload statuses, and validation failures count as breaker
+// failures ("server broken"); clean responses — including explicit
+// backpressure (429/503, which carry their own retry discipline) and
+// definite rejections — count as contact.
+func (c *Client) attempt(ctx context.Context, req Request) (*Response, error, bool) {
+	method := req.Method
+	if method == "" {
+		method = http.MethodGet
+		if req.Body != nil {
+			method = http.MethodPost
+		}
+	}
+	hr, err := http.NewRequestWithContext(orBackground(ctx), method, req.URL, bytes.NewReader(req.Body))
+	if err != nil {
+		return nil, err, false
+	}
+	if req.Body != nil {
+		ct := req.ContentType
+		if ct == "" {
+			ct = "application/json"
+		}
+		hr.Header.Set("Content-Type", ct)
+	}
+	raw, err := c.httpc.Do(hr)
+	if err != nil {
+		if cerr := par.Canceled(ctx); cerr != nil {
+			// The caller's own deadline or cancellation, not the server's
+			// fault: no breaker damage, no retry.
+			return nil, cerr, false
+		}
+		c.record(true)
+		return nil, err, req.Idempotent
+	}
+	body, readErr := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	resp := &Response{Status: raw.StatusCode, Header: raw.Header, Body: body}
+	if readErr != nil {
+		// The response broke mid-body: framing-wise this is the same
+		// ambiguity as a connection reset.
+		c.record(true)
+		return resp, fmt.Errorf("resilience: reading response body: %w", readErr), req.Idempotent
+	}
+	switch {
+	case raw.StatusCode == http.StatusTooManyRequests,
+		raw.StatusCode == http.StatusServiceUnavailable:
+		// Explicit backpressure: retry after the server's hint, but do not
+		// count a deliberate shed as breaker damage.
+		c.record(false)
+		return resp, &StatusError{Status: raw.StatusCode, Retryable: true}, true
+	case raw.StatusCode >= 500:
+		c.record(true)
+		return resp, &StatusError{Status: raw.StatusCode, Retryable: true}, true
+	case raw.StatusCode >= 400:
+		// A definite rejection (param, budget, malformed): retrying cannot
+		// change the answer.
+		c.record(false)
+		return resp, &StatusError{Status: raw.StatusCode, Retryable: false}, false
+	}
+	if req.Validate != nil {
+		if verr := req.Validate(raw.StatusCode, body); verr != nil {
+			c.record(true)
+			return resp, fmt.Errorf("resilience: response failed validation: %w", verr), true
+		}
+	}
+	c.record(false)
+	return resp, nil, false
+}
+
+// breakerAllow gates one attempt on the breaker. Closed passes immediately;
+// half-open admits exactly one probe and parks the rest; open waits for the
+// reopen instant when the deadline affords it (converging instead of
+// failing fast under paced load) and otherwise fails with
+// *BreakerOpenError.
+func (c *Client) breakerAllow(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		now := time.Now()
+		if c.state == breakerOpen && !now.Before(c.reopenAt) {
+			c.state = breakerHalfOpen
+			c.probing = false
+		}
+		switch c.state {
+		case breakerClosed:
+			c.mu.Unlock()
+			return nil
+		case breakerHalfOpen:
+			if !c.probing {
+				c.probing = true
+				c.mu.Unlock()
+				return nil
+			}
+			c.mu.Unlock()
+			// Another attempt holds the probe; poll for its verdict.
+			if !c.sleep(ctx, c.policy.cooldown()/4) {
+				return &BreakerOpenError{RetryAfter: c.policy.cooldown() / 4}
+			}
+		default: // breakerOpen
+			wait := c.reopenAt.Sub(now)
+			c.mu.Unlock()
+			if !c.sleep(ctx, wait) {
+				return &BreakerOpenError{RetryAfter: wait}
+			}
+		}
+	}
+}
+
+// record feeds one attempt outcome to the breaker.
+func (c *Client) record(failure bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !failure {
+		c.consecutive = 0
+		if c.state == breakerHalfOpen {
+			c.state = breakerClosed
+			c.probing = false
+		}
+		return
+	}
+	c.consecutive++
+	switch {
+	case c.state == breakerHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		c.state = breakerOpen
+		c.reopenAt = time.Now().Add(c.policy.cooldown())
+		c.probing = false
+		c.obs.Add(obs.BreakerOpens, 1)
+	case c.state == breakerClosed && c.consecutive >= c.policy.threshold():
+		c.state = breakerOpen
+		c.reopenAt = time.Now().Add(c.policy.cooldown())
+		c.obs.Add(obs.BreakerOpens, 1)
+	}
+}
+
+// State returns the breaker state as a string (tests and reports).
+func (c *Client) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// sleepBackoff sleeps the capped-exponential-full-jitter backoff for the
+// given retry ordinal, floored at the server's Retry-After hint. It returns
+// false — without sleeping — when the remaining deadline cannot cover the
+// sleep, which is the budget-aware stop: better to hand the caller the last
+// error while it still has time to act than to burn the budget waiting.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) bool {
+	ceil := c.policy.base() << attempt
+	if max := c.policy.cap(); ceil > max || ceil <= 0 {
+		ceil = max
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	if d < hint {
+		d = hint
+	}
+	return c.sleep(ctx, d)
+}
+
+// sleep waits d under ctx (which may be nil), returning false without
+// sleeping when the deadline cannot cover d, and false on cancellation.
+func (c *Client) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if deadline, ok := deadlineOf(ctx); ok && time.Until(deadline) < d {
+		return false
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryAfterHint extracts the server's retry hint from a response, if any:
+// X-Retry-After-Ms at millisecond resolution, else the standard
+// whole-second Retry-After.
+func retryAfterHint(resp *Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if ms := resp.Header.Get(RetryAfterMillisHeader); ms != "" {
+		if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 0
+}
+
+// orBackground substitutes the background context for nil.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlvlsi/internal/obs"
+)
+
+// flakyHandler fails the first failures requests with status, then serves
+// {"ok":true}.
+func flakyHandler(failures int64, status int) (http.HandlerFunc, *atomic.Int64) {
+	var n atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= failures {
+			http.Error(w, "flaky", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	}, &n
+}
+
+func jsonValidate(_ int, body []byte) error {
+	var v map[string]any
+	return json.Unmarshal(body, &v)
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	h, _ := flakyHandler(2, http.StatusBadGateway)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	o := obs.New()
+	c := NewClient(ts.Client(), Policy{BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}, o)
+	resp, err := c.Post(context.Background(), ts.URL, []byte(`{}`), jsonValidate)
+	if err != nil {
+		t.Fatalf("Do = %v, want success after retries", err)
+	}
+	if resp.Status != 200 || resp.Attempts != 3 {
+		t.Fatalf("status %d attempts %d, want 200 after 3 attempts", resp.Status, resp.Attempts)
+	}
+	if got := o.Snapshot().Get(obs.ClientRetries); got != 2 {
+		t.Fatalf("client_retries = %d, want 2", got)
+	}
+}
+
+func TestClientNeverRetriesDefiniteRejections(t *testing.T) {
+	h, hits := flakyHandler(1000, http.StatusBadRequest)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.Client(), Policy{BaseBackoff: time.Millisecond}, nil)
+	resp, err := c.Post(context.Background(), ts.URL, []byte(`{}`), jsonValidate)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 400 || se.Retryable {
+		t.Fatalf("err = %v, want permanent StatusError 400", err)
+	}
+	if resp == nil || resp.Attempts != 1 || hits.Load() != 1 {
+		t.Fatalf("400 was retried: attempts %v, hits %d", resp, hits.Load())
+	}
+}
+
+func TestClientRespectsRetryAfterHint(t *testing.T) {
+	var n atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if n.Add(1) == 1 {
+			w.Header().Set(RetryAfterMillisHeader, "80")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.Client(), Policy{BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}, nil)
+	if _, err := c.Post(context.Background(), ts.URL, []byte(`{}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if g := time.Duration(gap.Load()); g < 75*time.Millisecond {
+		t.Fatalf("retry came %v after the 503, want the 80ms Retry-After floor respected", g)
+	}
+}
+
+func TestClientBudgetAwareNoRetryPastDeadline(t *testing.T) {
+	h, hits := flakyHandler(1000, http.StatusBadGateway)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.Client(), Policy{BaseBackoff: 300 * time.Millisecond, MaxBackoff: 300 * time.Millisecond, MaxAttempts: 10}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Post(ctx, ts.URL, []byte(`{}`), nil)
+	if err == nil {
+		t.Fatal("want failure against an always-502 server")
+	}
+	// The client must give up without sleeping the 300ms backoff it cannot
+	// afford, and without burning attempts it has no budget for.
+	if took := time.Since(start); took > 250*time.Millisecond {
+		t.Fatalf("Do took %v, want it to stop before the un-affordable backoff", took)
+	}
+	if hits.Load() > 5 {
+		t.Fatalf("server saw %d attempts inside a 100ms budget with 300ms backoff", hits.Load())
+	}
+}
+
+func TestClientNonIdempotentAmbiguousFailureNotRetried(t *testing.T) {
+	h, hits := flakyHandler(0, 0)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	// Reset every exchange at the transport.
+	chaos := NewChaos(ChaosConfig{Rates: map[Fault]float64{FaultReset: 1}, Base: ts.Client().Transport})
+	hc := &http.Client{Transport: chaos}
+	c := NewClient(hc, Policy{BaseBackoff: time.Millisecond}, nil)
+
+	_, err := c.Do(context.Background(), Request{Method: http.MethodPost, URL: ts.URL,
+		Body: []byte(`{}`), Idempotent: false})
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("request reached the server despite the reset")
+	}
+	if injected := chaos.Injected()[FaultReset]; injected != 1 {
+		t.Fatalf("non-idempotent request was retried: %d resets injected", injected)
+	}
+	// The same failure on an idempotent request is retried.
+	_, _ = c.Do(context.Background(), Request{Method: http.MethodPost, URL: ts.URL,
+		Body: []byte(`{}`), Idempotent: true})
+	if injected := chaos.Injected()[FaultReset]; injected != 5 {
+		t.Fatalf("idempotent request attempts = %d resets total, want 5 (1 + MaxAttempts 4)", injected)
+	}
+}
+
+func TestClientValidationFailureRetries(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			fmt.Fprint(w, `{"truncated...`)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.Client(), Policy{BaseBackoff: time.Millisecond}, nil)
+	resp, err := c.Post(context.Background(), ts.URL, []byte(`{}`), jsonValidate)
+	if err != nil || resp.Attempts != 2 {
+		t.Fatalf("Do = %v attempts %v, want success on attempt 2", err, resp)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var broken atomic.Bool
+	broken.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	o := obs.New()
+	c := NewClient(ts.Client(), Policy{
+		MaxAttempts: 1, BaseBackoff: time.Millisecond,
+		BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond,
+	}, o)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Post(context.Background(), ts.URL, []byte(`{}`), nil); err == nil {
+			t.Fatal("want failure from broken server")
+		}
+	}
+	if c.State() != "open" {
+		t.Fatalf("breaker state after %d consecutive failures = %q, want open", 3, c.State())
+	}
+	if got := o.Snapshot().Get(obs.BreakerOpens); got != 1 {
+		t.Fatalf("breaker_opens = %d, want 1", got)
+	}
+	// While open, a request with a tight deadline fails fast with the typed
+	// error instead of hammering the server.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	_, err := c.Post(ctx, ts.URL, []byte(`{}`), nil)
+	cancel()
+	var be *BreakerOpenError
+	if !errors.As(err, &be) {
+		t.Fatalf("open-breaker short-deadline err = %v, want BreakerOpenError", err)
+	}
+	// Heal the server; a patient request waits out the cooldown, probes, and
+	// closes the breaker.
+	broken.Store(false)
+	resp, err := c.Post(context.Background(), ts.URL, []byte(`{}`), nil)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("post-recovery request = %v %v, want 200", resp, err)
+	}
+	if c.State() != "closed" {
+		t.Fatalf("breaker state after successful probe = %q, want closed", c.State())
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	h, _ := flakyHandler(1<<40, http.StatusInternalServerError)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	o := obs.New()
+	c := NewClient(ts.Client(), Policy{
+		MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: 30 * time.Millisecond,
+	}, o)
+	for i := 0; i < 2; i++ {
+		_, _ = c.Post(context.Background(), ts.URL, []byte(`{}`), nil)
+	}
+	if c.State() != "open" {
+		t.Fatalf("state = %q, want open", c.State())
+	}
+	time.Sleep(40 * time.Millisecond)
+	// The probe fails against the still-broken server: back to open.
+	_, _ = c.Post(context.Background(), ts.URL, []byte(`{}`), nil)
+	if c.State() != "open" {
+		t.Fatalf("state after failed probe = %q, want open again", c.State())
+	}
+	if got := o.Snapshot().Get(obs.BreakerOpens); got != 2 {
+		t.Fatalf("breaker_opens = %d, want 2 (initial + reopen)", got)
+	}
+}

@@ -1,0 +1,291 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+// QueueConfig tunes admission. The zero value is serving-safe: GOMAXPROCS
+// concurrent slots, a queue bound of four waiters per slot, no per-family
+// caps, no observation.
+type QueueConfig struct {
+	// MaxConcurrent bounds simultaneously running acquisitions; <= 0 means
+	// par.Workers(0) (the available parallelism).
+	MaxConcurrent int
+	// MaxQueue bounds waiters beyond the concurrent slots: an acquisition
+	// arriving with MaxQueue waiters already queued is shed immediately.
+	// 0 means 4× the resolved MaxConcurrent; negative means no waiting at
+	// all (shed whenever no slot is free).
+	MaxQueue int
+	// FamilyLimits caps concurrent acquisitions per family name, under the
+	// global MaxConcurrent. Families absent from the map are uncapped. A
+	// waiter whose family is at its cap is skipped (FIFO with skips), so one
+	// expensive family cannot starve the rest of the mix.
+	FamilyLimits map[string]int
+	// Obs receives the queue gauges and shed counters; nil disables.
+	Obs *obs.Observer
+}
+
+// Queue is bounded admission with deadline-aware load shedding: Acquire
+// either grants a slot (possibly after a FIFO wait), or fails fast with a
+// typed *OverloadError when the queue is at its bound, the server is
+// draining, or the caller's remaining deadline cannot cover the predicted
+// wait. All methods are safe for concurrent use; create one with NewQueue.
+type Queue struct {
+	maxConcurrent int
+	maxQueue      int
+	familyLimits  map[string]int
+	obs           *obs.Observer
+
+	mu           sync.Mutex
+	active       int
+	familyActive map[string]int
+	waiters      *list.List // front = oldest; element values are *waiter
+	draining     bool
+	maxDepth     int
+	// ewmaNs estimates one acquisition's hold time (exponentially weighted,
+	// α=0.2), the basis of the predicted queue wait.
+	ewmaNs float64
+}
+
+// waiter is one queued acquisition. granted and the list position are
+// guarded by Queue.mu; ready is closed exactly once, after granted is set.
+type waiter struct {
+	family  string
+	ready   chan struct{}
+	granted bool
+	elem    *list.Element
+	grantAt time.Time
+}
+
+// NewQueue creates a queue from cfg, resolving defaulted bounds.
+func NewQueue(cfg QueueConfig) *Queue {
+	mc := cfg.MaxConcurrent
+	if mc <= 0 {
+		mc = par.Workers(0)
+	}
+	mq := cfg.MaxQueue
+	switch {
+	case mq == 0:
+		mq = 4 * mc
+	case mq < 0:
+		mq = 0
+	}
+	return &Queue{
+		maxConcurrent: mc,
+		maxQueue:      mq,
+		familyLimits:  cfg.FamilyLimits,
+		obs:           cfg.Obs,
+		familyActive:  make(map[string]int),
+		waiters:       list.New(),
+	}
+}
+
+// Acquire obtains a slot for one acquisition of the given family, blocking
+// in FIFO order while the queue has room, and returns the release function
+// that must be called (once) when the work completes. It fails with a typed
+// *OverloadError — never by blocking indefinitely — when the queue is at its
+// bound, the server is draining, or ctx's remaining deadline cannot cover
+// the predicted wait; and with a cancellation error when ctx (which may be
+// nil) expires while waiting.
+func (q *Queue) Acquire(ctx context.Context, family string) (func(), error) {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		q.obs.Add(obs.ShedDraining, 1)
+		return nil, &OverloadError{Reason: ReasonDraining, RetryAfter: time.Second}
+	}
+	if q.slotFree(family) {
+		q.grantLocked(family)
+		q.mu.Unlock()
+		start := time.Now()
+		return q.releaseFunc(family, start), nil
+	}
+	depth := q.waiters.Len()
+	predicted := q.predictWaitLocked(depth)
+	if depth >= q.maxQueue {
+		q.mu.Unlock()
+		q.obs.Add(obs.ShedQueueFull, 1)
+		return nil, &OverloadError{Reason: ReasonQueueFull, RetryAfter: predicted, Queued: depth}
+	}
+	if deadline, ok := deadlineOf(ctx); ok && predicted > 0 && time.Until(deadline) < predicted {
+		q.mu.Unlock()
+		q.obs.Add(obs.ShedDeadline, 1)
+		return nil, &OverloadError{Reason: ReasonDeadline, RetryAfter: predicted, Queued: depth}
+	}
+	w := &waiter{family: family, ready: make(chan struct{})}
+	w.elem = q.waiters.PushBack(w)
+	q.noteDepthLocked()
+	q.mu.Unlock()
+
+	if ctx == nil {
+		<-w.ready
+		return q.releaseFunc(family, w.grantAt), nil
+	}
+	select {
+	case <-w.ready:
+		return q.releaseFunc(family, w.grantAt), nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, so hand it
+			// back through the normal release path and report the
+			// cancellation.
+			q.mu.Unlock()
+			q.releaseFunc(family, w.grantAt)()
+			return nil, par.Canceled(ctx)
+		}
+		q.waiters.Remove(w.elem)
+		q.noteDepthLocked()
+		q.mu.Unlock()
+		return nil, par.Canceled(ctx)
+	}
+}
+
+// slotFree reports whether an acquisition of family could start now.
+// Callers hold q.mu.
+func (q *Queue) slotFree(family string) bool {
+	if q.active >= q.maxConcurrent {
+		return false
+	}
+	if limit, ok := q.familyLimits[family]; ok && q.familyActive[family] >= limit {
+		return false
+	}
+	return true
+}
+
+// grantLocked takes a slot for family. Callers hold q.mu.
+func (q *Queue) grantLocked(family string) {
+	q.active++
+	q.familyActive[family]++
+}
+
+// releaseFunc builds the idempotent release closure for a granted slot:
+// it returns the slot, folds the observed hold time into the EWMA, and
+// promotes eligible waiters.
+func (q *Queue) releaseFunc(family string, start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			held := float64(time.Since(start).Nanoseconds())
+			q.mu.Lock()
+			q.active--
+			if q.familyActive[family] > 1 {
+				q.familyActive[family]--
+			} else {
+				delete(q.familyActive, family)
+			}
+			if q.ewmaNs == 0 {
+				q.ewmaNs = held
+			} else {
+				q.ewmaNs = 0.8*q.ewmaNs + 0.2*held
+			}
+			q.promoteLocked()
+			q.mu.Unlock()
+		})
+	}
+}
+
+// promoteLocked grants freed slots to queued waiters in FIFO order,
+// skipping waiters whose family is at its cap. Callers hold q.mu.
+func (q *Queue) promoteLocked() {
+	for e := q.waiters.Front(); e != nil && q.active < q.maxConcurrent; {
+		next := e.Next()
+		w := e.Value.(*waiter)
+		if q.slotFree(w.family) {
+			q.waiters.Remove(e)
+			q.grantLocked(w.family)
+			w.granted = true
+			w.grantAt = time.Now()
+			close(w.ready)
+		}
+		e = next
+	}
+	q.noteDepthLocked()
+}
+
+// predictWaitLocked estimates how long a request joining at the given queue
+// position would wait for a slot: the positions ahead of it drain at
+// maxConcurrent per EWMA hold time, plus the remainder of the holds now in
+// flight (approximated as one full hold). Zero until a first completion
+// seeds the EWMA. Callers hold q.mu.
+func (q *Queue) predictWaitLocked(position int) time.Duration {
+	if q.ewmaNs == 0 {
+		return 0
+	}
+	rounds := 1 + position/q.maxConcurrent
+	return time.Duration(float64(rounds) * q.ewmaNs)
+}
+
+// noteDepthLocked publishes the depth gauges. Callers hold q.mu.
+func (q *Queue) noteDepthLocked() {
+	depth := q.waiters.Len()
+	if depth > q.maxDepth {
+		q.maxDepth = depth
+	}
+	q.obs.Set(obs.QueueDepth, int64(depth))
+	q.obs.Set(obs.QueueMaxDepth, int64(q.maxDepth))
+}
+
+// SetDraining flips drain mode: while draining, every Acquire is shed with
+// ReasonDraining. In-flight work and already-queued waiters drain normally.
+func (q *Queue) SetDraining(v bool) {
+	q.mu.Lock()
+	q.draining = v
+	q.mu.Unlock()
+}
+
+// Draining reports drain mode.
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// Depth returns the current waiter count.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}
+
+// MaxDepth returns the high-water waiter count since creation; it can never
+// exceed Bound, which the chaos sweep asserts through the queue_max_depth
+// gauge.
+func (q *Queue) MaxDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.maxDepth
+}
+
+// Active returns the granted-slot count.
+func (q *Queue) Active() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.active
+}
+
+// Bound returns the resolved queue bound (waiters beyond the concurrent
+// slots).
+func (q *Queue) Bound() int { return q.maxQueue }
+
+// Saturated reports whether the queue is at its bound — the readiness
+// signal a fronting balancer drains on.
+func (q *Queue) Saturated() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len() >= q.maxQueue
+}
+
+// deadlineOf is ctx.Deadline on a possibly-nil context.
+func deadlineOf(ctx context.Context) (time.Time, bool) {
+	if ctx == nil {
+		return time.Time{}, false
+	}
+	return ctx.Deadline()
+}

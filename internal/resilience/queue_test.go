@@ -1,0 +1,256 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+func TestQueueGrantsUpToConcurrentThenQueues(t *testing.T) {
+	q := NewQueue(QueueConfig{MaxConcurrent: 2, MaxQueue: 4})
+	rel1, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Active() != 2 {
+		t.Fatalf("active = %d, want 2", q.Active())
+	}
+	granted := make(chan struct{})
+	go func() {
+		rel3, err := q.Acquire(context.Background(), "a")
+		if err != nil {
+			t.Error(err)
+			close(granted)
+			return
+		}
+		close(granted)
+		rel3()
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	select {
+	case <-granted:
+		t.Fatal("third acquisition granted beyond MaxConcurrent")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case <-granted:
+	case <-time.After(time.Second):
+		t.Fatal("release did not promote the waiter")
+	}
+	rel2()
+	// Double release must be a no-op.
+	rel2()
+	waitFor(t, func() bool { return q.Active() == 0 })
+}
+
+func TestQueueShedsAtBound(t *testing.T) {
+	o := obs.New()
+	q := NewQueue(QueueConfig{MaxConcurrent: 1, MaxQueue: -1, Obs: o})
+	rel, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = q.Acquire(context.Background(), "a")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonQueueFull {
+		t.Fatalf("err = %v, want OverloadError queue_full", err)
+	}
+	if oe.Status() != 503 {
+		t.Fatalf("queue_full status = %d, want 503", oe.Status())
+	}
+	if got := o.Snapshot().Get(obs.ShedQueueFull); got != 1 {
+		t.Fatalf("shed_queue_full = %d, want 1", got)
+	}
+}
+
+func TestQueueDeadlineShed(t *testing.T) {
+	o := obs.New()
+	q := NewQueue(QueueConfig{MaxConcurrent: 1, MaxQueue: 8, Obs: o})
+	// Seed the EWMA with one observed ~60ms hold.
+	rel, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	rel()
+
+	rel, err = q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err = q.Acquire(ctx, "a")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonDeadline {
+		t.Fatalf("err = %v, want OverloadError deadline", err)
+	}
+	if oe.Status() != 429 {
+		t.Fatalf("deadline status = %d, want 429", oe.Status())
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("deadline shed carries no retry-after hint")
+	}
+	if got := o.Snapshot().Get(obs.ShedDeadline); got != 1 {
+		t.Fatalf("shed_deadline = %d, want 1", got)
+	}
+	// A deadline that covers the predicted wait queues instead of shedding.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := q.Acquire(ctx2, "a")
+		if err == nil {
+			rel2()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("covered-deadline acquire failed: %v", err)
+	}
+}
+
+func TestQueueFamilyLimit(t *testing.T) {
+	q := NewQueue(QueueConfig{MaxConcurrent: 4, MaxQueue: 4,
+		FamilyLimits: map[string]int{"hyper": 1}})
+	relH, err := q.Acquire(context.Background(), "hyper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second hyper must wait even though global slots are free...
+	hyperDone := make(chan struct{})
+	go func() {
+		rel, err := q.Acquire(context.Background(), "hyper")
+		if err != nil {
+			t.Error(err)
+		} else {
+			rel()
+		}
+		close(hyperDone)
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	// ...while another family sails through (FIFO with skips).
+	relM, err := q.Acquire(context.Background(), "mesh")
+	if err != nil {
+		t.Fatalf("mesh blocked by hyper's family limit: %v", err)
+	}
+	relM()
+	select {
+	case <-hyperDone:
+		t.Fatal("second hyper ran concurrently with the first")
+	case <-time.After(20 * time.Millisecond):
+	}
+	relH()
+	select {
+	case <-hyperDone:
+	case <-time.After(time.Second):
+		t.Fatal("family slot release did not promote the hyper waiter")
+	}
+}
+
+func TestQueueDrainingSheds(t *testing.T) {
+	q := NewQueue(QueueConfig{MaxConcurrent: 2, MaxQueue: 2})
+	q.SetDraining(true)
+	_, err := q.Acquire(context.Background(), "a")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonDraining {
+		t.Fatalf("err = %v, want OverloadError draining", err)
+	}
+	q.SetDraining(false)
+	rel, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("acquire after drain lifted: %v", err)
+	}
+	rel()
+}
+
+func TestQueueWaiterCancellation(t *testing.T) {
+	q := NewQueue(QueueConfig{MaxConcurrent: 1, MaxQueue: 4})
+	rel, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, "a")
+		done <- err
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	cancel()
+	err = <-done
+	if !errors.Is(err, par.ErrCanceled) {
+		t.Fatalf("canceled waiter returned %v, want ErrCanceled", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("canceled waiter still queued (depth %d)", q.Depth())
+	}
+	// The held slot is unaffected and still releasable.
+	rel()
+	if q.Active() != 0 {
+		t.Fatalf("active = %d after release, want 0", q.Active())
+	}
+}
+
+// TestQueueDepthNeverExceedsBound hammers the queue from many goroutines
+// and asserts the waiter count never passed the configured bound — the
+// invariant the chaos sweep re-checks over real HTTP.
+func TestQueueDepthNeverExceedsBound(t *testing.T) {
+	o := obs.New()
+	const bound = 3
+	q := NewQueue(QueueConfig{MaxConcurrent: 2, MaxQueue: bound, Obs: o})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := q.Acquire(context.Background(), "a")
+			if err != nil {
+				var oe *OverloadError
+				if !errors.As(err, &oe) {
+					t.Errorf("unexpected acquire error %v", err)
+				}
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if q.MaxDepth() > bound {
+		t.Fatalf("queue depth reached %d, bound %d", q.MaxDepth(), bound)
+	}
+	if got := o.Snapshot().Get(obs.QueueMaxDepth); got > bound {
+		t.Fatalf("queue_max_depth gauge %d exceeds bound %d", got, bound)
+	}
+	if q.Active() != 0 || q.Depth() != 0 {
+		t.Fatalf("queue not drained: active %d depth %d", q.Active(), q.Depth())
+	}
+}
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,94 @@
+// Package resilience is the robustness layer between the serving engines and
+// the wire: server-side overload protection, a client that survives flaky
+// networks, and a network-level chaos injector that proves the pair works.
+//
+// Three pieces compose:
+//
+//   - Queue is bounded admission with deadline-aware load shedding: at most
+//     MaxConcurrent builds run at once (optionally capped per family), at
+//     most MaxQueue more wait FIFO for a slot, and a request whose remaining
+//     deadline cannot cover the predicted queue wait — an EWMA over observed
+//     service times — is rejected immediately with a typed *OverloadError
+//     instead of occupying a slot it can never use. The serving layer maps
+//     that error to the 429/503 retry-after envelope.
+//
+//   - Client wraps an *http.Client with capped exponential backoff plus full
+//     jitter, budget-aware retries (a retry never sleeps past the request
+//     deadline and non-idempotent failures are never retried), and a
+//     consecutive-failure circuit breaker with half-open probing. When the
+//     breaker is open the client waits for the reopen instant if the
+//     deadline affords it, so paced load converges instead of failing fast.
+//
+//   - Chaos is an httptest-composable RoundTripper injecting seeded,
+//     per-class network faults — added latency, synthesized 5xx, connection
+//     resets, truncated and garbled bodies — the internal/fault treatment
+//     applied at the HTTP boundary instead of the geometry.
+//
+// Everything reports through internal/obs counters (sheds by reason, queue
+// depth gauges, retries, breaker opens, injected faults), so /metricsz and
+// the committed BENCH snapshots see the whole control loop.
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ShedReason says why admission rejected a request.
+type ShedReason uint8
+
+const (
+	// ReasonQueueFull: the admission queue was at its configured bound.
+	ReasonQueueFull ShedReason = iota
+	// ReasonDeadline: the request's remaining deadline could not cover the
+	// predicted queue wait, so queueing it could only burn a slot on work
+	// whose client is gone by completion.
+	ReasonDeadline
+	// ReasonDraining: the server is draining for shutdown and admits no new
+	// builds.
+	ReasonDraining
+)
+
+// String returns the reason in envelope casing.
+func (r ShedReason) String() string {
+	switch r {
+	case ReasonQueueFull:
+		return "queue_full"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// OverloadError is the typed shed rejection: the serving layer maps it onto
+// the JSON error envelope with kind "overload", the Status() HTTP code, and
+// a Retry-After header derived from RetryAfter.
+type OverloadError struct {
+	// Reason says which shed path rejected the request.
+	Reason ShedReason
+	// RetryAfter hints when the queue is likely to have room again (the
+	// predicted wait at rejection time); zero means "immediately after a
+	// backoff of the client's choosing".
+	RetryAfter time.Duration
+	// Queued is the queue depth observed at rejection.
+	Queued int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("resilience: overloaded (%s): %d queued, retry after %v",
+		e.Reason, e.Queued, e.RetryAfter)
+}
+
+// Status maps the shed reason onto its HTTP status: server-side conditions
+// (queue at bound, draining) are 503 Service Unavailable, while a deadline
+// the request itself cannot meet is 429 Too Many Requests — the client must
+// come back with more budget or less traffic, not just later.
+func (e *OverloadError) Status() int {
+	if e.Reason == ReasonDeadline {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
+}

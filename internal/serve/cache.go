@@ -15,11 +15,14 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"mlvlsi"
 	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
+	"mlvlsi/internal/resilience"
 )
 
 // Outcome classifies how a cache lookup was satisfied.
@@ -116,8 +119,12 @@ func (c *Cache) Get(ctx context.Context, req mlvlsi.BuildRequest, build BuildFun
 // passing a key that is not req.Key() silently poisons the cache, so only
 // ever pass the canonical one.
 func (c *Cache) GetKeyed(ctx context.Context, key string, req mlvlsi.BuildRequest, build BuildFunc) (*Result, Outcome, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			break
+		}
 		select {
 		case <-e.ready:
 			// Completed entries in the map are always successes (finish
@@ -133,6 +140,14 @@ func (c *Cache) GetKeyed(ctx context.Context, key string, req mlvlsi.BuildReques
 		if err := waitReady(ctx, e.ready); err != nil {
 			return nil, Inflight, err
 		}
+		if leaderScoped(e.err) && par.Canceled(ctx) == nil {
+			// The leader failed for a reason scoped to its own request — its
+			// context was canceled, or its deadline could not cover the
+			// admission wait — which says nothing about this waiter's build.
+			// finish already removed the entry, so loop: this waiter re-enters
+			// the lookup and typically becomes the new leader.
+			continue
+		}
 		return e.res, Inflight, e.err
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -140,7 +155,21 @@ func (c *Cache) GetKeyed(ctx context.Context, key string, req mlvlsi.BuildReques
 	c.mu.Unlock()
 
 	c.obs.Add(obs.CacheMisses, 1)
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// build panicked. Fail the entry anyway so waiters unblock and the
+		// key retries, then let the panic continue up to the server's
+		// recovery middleware; without this, the in-flight entry would hang
+		// every future request for the key.
+		e.err = fmt.Errorf("serve: build panicked for key %s", e.key)
+		c.finish(e)
+		close(e.ready)
+	}()
 	lay, err := build(ctx, req)
+	completed = true
 	if err != nil {
 		e.err = err
 	} else {
@@ -151,6 +180,47 @@ func (c *Cache) GetKeyed(ctx context.Context, key string, req mlvlsi.BuildReques
 	c.finish(e)
 	close(e.ready)
 	return e.res, Miss, e.err
+}
+
+// leaderScoped reports whether a singleflight leader's error is specific to
+// the leader's own request rather than to the build: cancellation of the
+// leader's context, or a deadline-infeasibility shed computed against the
+// leader's deadline. Waiters whose own contexts are still live must not
+// inherit such failures.
+func leaderScoped(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, par.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var oe *resilience.OverloadError
+	return errors.As(err, &oe) && oe.Reason == resilience.ReasonDeadline
+}
+
+// Peek returns the completed result for key if one is retained, bumping its
+// LRU recency; it never waits on an in-flight build and never builds. The
+// degraded-serving path uses it to look for a coarser sibling of a request
+// that admission shed.
+func (c *Cache) Peek(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	if e.err != nil || e.elem == nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.res, true
 }
 
 // waitReady blocks until ready closes or ctx (which may be nil) is done.

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlvlsi"
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+	"mlvlsi/internal/resilience"
+)
+
+// canonicalRequest returns a small canonical build request and its key.
+func canonicalRequest(t *testing.T, name string, params map[string]int, layers int) (mlvlsi.BuildRequest, string) {
+	t.Helper()
+	req := mlvlsi.BuildRequest{Family: mlvlsi.FamilySpec{Name: name, Params: params}, Layers: layers}
+	canon, err := req.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	return canon, canon.Key()
+}
+
+// TestCacheLeaderCancellationDoesNotPoisonWaiters is the singleflight race
+// the resilience PR fixes: the leader's request is canceled mid-build, and a
+// waiter whose own context is live must not inherit that cancellation — it
+// retries and becomes the new leader.
+func TestCacheLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	o := obs.New()
+	c := NewCache(0, o)
+	req, key := canonicalRequest(t, "hypercube", map[string]int{"n": 3}, 2)
+
+	var builds atomic.Int32
+	inBuild := make(chan struct{})
+	build := func(ctx context.Context, r mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		if builds.Add(1) == 1 {
+			close(inBuild)
+			<-ctx.Done()
+			return nil, par.Canceled(ctx)
+		}
+		return mlvlsi.BuildSpecObserved(ctx, r, nil)
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetKeyed(leaderCtx, key, req, build)
+		leaderDone <- err
+	}()
+	<-inBuild
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		res, _, err := c.GetKeyed(context.Background(), key, req, build)
+		if err == nil && res == nil {
+			err = errors.New("nil result without error")
+		}
+		waiterDone <- err
+	}()
+	// The inflight-waits counter ticking is the proof the waiter is parked on
+	// the leader's entry before we cancel the leader.
+	waitForCond(t, func() bool { return o.Snapshot().Get(obs.CacheInflightWaits) >= 1 })
+
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, par.ErrCanceled) {
+		t.Fatalf("leader err = %v, want its own cancellation", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("live waiter poisoned by leader cancellation: %v", err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2 (canceled leader + retried waiter)", n)
+	}
+}
+
+// TestCachePanickingBuildDoesNotWedgeKey: a panic mid-build unblocks waiters
+// with an error and leaves the key retryable instead of wedging it behind a
+// never-ready entry.
+func TestCachePanickingBuildDoesNotWedgeKey(t *testing.T) {
+	c := NewCache(0, nil)
+	req, key := canonicalRequest(t, "hypercube", map[string]int{"n": 3}, 2)
+	var calls atomic.Int32
+	build := func(ctx context.Context, r mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		if calls.Add(1) == 1 {
+			panic("engine bug")
+		}
+		return mlvlsi.BuildSpecObserved(ctx, r, nil)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate to the caller")
+			}
+		}()
+		_, _, _ = c.GetKeyed(context.Background(), key, req, build)
+	}()
+	// The key must retry cleanly.
+	res, out, err := c.GetKeyed(context.Background(), key, req, build)
+	if err != nil || res == nil || out != Miss {
+		t.Fatalf("retry after panic = %v/%v/%v, want a clean miss", res, out, err)
+	}
+}
+
+// blockingServer returns a server whose builds park until release is closed,
+// so tests can hold its one admission slot deterministically.
+func blockingServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	s := New(cfg)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.buildFn = func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, par.Canceled(ctx)
+		}
+		return mlvlsi.BuildSpecObserved(ctx, req, nil)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, release, entered
+}
+
+func TestServerShedsWithOverloadEnvelope(t *testing.T) {
+	o := obs.New()
+	_, ts, release, entered := blockingServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, Obs: o})
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+			strings.NewReader(`{"family":{"name":"hypercube","params":{"n":4}},"layers":2}`))
+		if err != nil {
+			firstDone <- 0
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-entered // the slot is now held
+
+	resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+		strings.NewReader(`{"family":{"name":"hypercube","params":{"n":5}},"layers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(resilience.RetryAfterMillisHeader) == "" || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed response missing retry-after headers: %v", resp.Header)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	e := body.Error
+	if e.Kind != "overload" || e.Reason != "queue_full" || e.Status != 503 || e.RetryAfterMS < 1 {
+		t.Fatalf("shed envelope = %+v, want kind overload reason queue_full", e)
+	}
+	if got := o.Snapshot().Get(obs.ShedQueueFull); got != 1 {
+		t.Fatalf("shed_queue_full = %d, want 1", got)
+	}
+
+	close(release)
+	if status := <-firstDone; status != http.StatusOK {
+		t.Fatalf("slot-holding build finished %d, want 200", status)
+	}
+}
+
+func TestServerDegradedFallback(t *testing.T) {
+	o := obs.New()
+	s, ts, release, entered := blockingServer(t, Config{
+		MaxConcurrent: 1, MaxQueue: -1, Degrade: true, Obs: o,
+	})
+
+	// Warm the coarse sibling (layers 2) through the real engine.
+	coarse := `{"family":{"name":"hypercube","params":{"n":5}},"layers":2}`
+	warmDone := make(chan struct{})
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/build", "application/json", strings.NewReader(coarse))
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(warmDone)
+	}()
+	<-entered
+	release <- struct{}{} // let exactly the warm build through
+	<-warmDone
+	_, coarseKey := canonicalRequest(t, "hypercube", map[string]int{"n": 5}, 2)
+	if _, ok := s.Cache().Peek(coarseKey); !ok {
+		t.Fatal("coarse sibling not cached after warm build")
+	}
+
+	// Hold the only slot with an unrelated build, then ask for the fine
+	// variant: shed, but answered degraded from the coarse slot.
+	holdDone := make(chan struct{})
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+			strings.NewReader(`{"family":{"name":"kary"},"layers":2}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(holdDone)
+	}()
+	<-entered
+
+	resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+		strings.NewReader(`{"family":{"name":"hypercube","params":{"n":5}},"layers":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status = %d, want 200", resp.StatusCode)
+	}
+	var out buildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	_, fineKey := canonicalRequest(t, "hypercube", map[string]int{"n": 5}, 4)
+	if !out.Degraded || out.DegradedKey != coarseKey || out.Key != fineKey || out.Cache != "DEGRADED" {
+		t.Fatalf("degraded body = %+v, want degraded from %s under requested key %s", out, coarseKey, fineKey)
+	}
+	if resp.Header.Get("X-Cache") != "DEGRADED" || resp.Header.Get("X-Degraded") != coarseKey {
+		t.Fatalf("degraded headers = %v", resp.Header)
+	}
+	if got := o.Snapshot().Get(obs.DegradedServed); got != 1 {
+		t.Fatalf("degraded_served = %d, want 1", got)
+	}
+
+	close(release)
+	<-holdDone
+}
+
+// TestPanicRecoveryMiddleware drives a panicking fake engine through the
+// full HTTP stack: 500 "internal" envelope, panics_recovered counts, the
+// stack reaches the log, and the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	o := obs.New()
+	var log bytes.Buffer
+	s := New(Config{Obs: o, Log: &log})
+	s.buildFn = func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		panic("fake engine exploded")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 1; i <= 2; i++ { // twice: the panicked key must not wedge
+		resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+			strings.NewReader(`{"family":{"name":"hypercube","params":{"n":4}},"layers":2}`))
+		if err != nil {
+			t.Fatalf("request %d after panic: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+		}
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if body.Error.Kind != "internal" || !strings.Contains(body.Error.Message, "panic") {
+			t.Fatalf("panic envelope = %+v, want kind internal mentioning the panic", body.Error)
+		}
+	}
+	if got := o.Snapshot().Get(obs.PanicsRecovered); got != 2 {
+		t.Fatalf("panics_recovered = %d, want 2", got)
+	}
+	if !strings.Contains(log.String(), "fake engine exploded") || !strings.Contains(log.String(), "goroutine") {
+		t.Fatalf("panic log missing value or stack:\n%s", log.String())
+	}
+	// The server is still alive and serving unaffected routes.
+	resp, err := http.Get(ts.URL + "/v1/families")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("families after panics = %v %v, want 200", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestReadinessSplitsFromLiveness(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, readyResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body readyResponse
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	if status, body := get("/readyz"); status != http.StatusOK || !body.Ready {
+		t.Fatalf("fresh /readyz = %d %+v, want 200 ready", status, body)
+	}
+	s.BeginDrain()
+	status, body := get("/readyz")
+	if status != http.StatusServiceUnavailable || body.Ready || !body.Draining {
+		t.Fatalf("draining /readyz = %d %+v, want 503 draining", status, body)
+	}
+	// Liveness is unmoved by drain, on both spellings.
+	for _, path := range []string{"/healthz", "/livez"} {
+		if status, _ := get(path); status != http.StatusOK {
+			t.Fatalf("draining %s = %d, want 200 (drain is not death)", path, status)
+		}
+	}
+	// And new builds are shed with the draining reason.
+	resp, err := http.Post(ts.URL+"/v1/build", "application/json",
+		strings.NewReader(`{"family":{"name":"hypercube","params":{"n":4}},"layers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Reason != "draining" {
+		t.Fatalf("draining build = %d %+v, want 503 reason draining", resp.StatusCode, eb.Error)
+	}
+}
+
+// validateBuild is the sweep's response validation: a 200 must carry a
+// parseable build body with a key — garbled or truncated bodies fail here,
+// inside the client's retry loop.
+func validateBuild(status int, body []byte) error {
+	var out buildResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return err
+	}
+	if out.Key == "" {
+		return errors.New("build response without key")
+	}
+	return nil
+}
+
+// TestChaosSweepConverges is the acceptance gate: for every fault class at a
+// 20% injection rate, resilience.Client against the resilient server reaches
+// at least 99% success; the admission queue never exceeds its bound (read
+// back through the queue_max_depth gauge); and the server leaks no
+// goroutines.
+func TestChaosSweepConverges(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := obs.New()
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 4, Timeout: 2 * time.Second, Obs: o})
+	ts := httptest.NewServer(s.Handler())
+
+	bodies := [][]byte{
+		[]byte(`{"family":{"name":"hypercube","params":{"n":4}},"layers":2}`),
+		[]byte(`{"family":{"name":"hypercube","params":{"n":5}},"layers":4}`),
+		[]byte(`{"family":{"name":"kary"},"layers":2}`),
+		[]byte(`{"family":{"name":"butterfly"},"layers":2}`),
+	}
+	policy := resilience.Policy{
+		MaxAttempts: 6,
+		BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+		BreakerThreshold: 10, BreakerCooldown: 20 * time.Millisecond,
+	}
+
+	const perClass = 120
+	for _, f := range resilience.Faults() {
+		chaos := resilience.NewChaos(resilience.ChaosConfig{
+			Rates: map[resilience.Fault]float64{f: 0.20},
+			Seed:  int64(f) + 1,
+			Base:  ts.Client().Transport,
+			Obs:   o,
+		})
+		client := resilience.NewClient(&http.Client{Transport: chaos}, policy, o)
+		ok := 0
+		for i := 0; i < perClass; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			resp, err := client.Post(ctx, ts.URL+"/v1/build", bodies[i%len(bodies)], validateBuild)
+			cancel()
+			if err == nil && resp.Status == http.StatusOK {
+				ok++
+			}
+		}
+		if pct := 100 * float64(ok) / perClass; pct < 99 {
+			t.Errorf("fault %s at 20%%: %d/%d succeeded (%.1f%%), want >= 99%%", f, ok, perClass, pct)
+		}
+		if chaos.Injected()[f] == 0 {
+			t.Errorf("fault %s: nothing injected at a 20%% rate over %d requests", f, perClass)
+		}
+	}
+
+	// A concurrent burst with every class live at once: the shared client's
+	// breaker and the server's queue under real contention.
+	chaos := resilience.NewChaos(resilience.ChaosConfig{
+		Rates: map[resilience.Fault]float64{
+			resilience.FaultLatency: 0.05, resilience.Fault5xx: 0.05, resilience.FaultReset: 0.05,
+			resilience.FaultTruncate: 0.05, resilience.FaultGarble: 0.05,
+		},
+		Seed: 99,
+		Base: ts.Client().Transport,
+		Obs:  o,
+	})
+	client := resilience.NewClient(&http.Client{Transport: chaos}, policy, o)
+	const workers, perWorker = 4, 25
+	var okCount atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				resp, err := client.Post(ctx, ts.URL+"/v1/build", bodies[(w+i)%len(bodies)], validateBuild)
+				cancel()
+				if err == nil && resp.Status == http.StatusOK {
+					okCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pct := 100 * float64(okCount.Load()) / (workers * perWorker); pct < 99 {
+		t.Errorf("concurrent mixed-fault burst: %.1f%% success, want >= 99%%", pct)
+	}
+
+	snap := o.Snapshot()
+	if got, bound := snap.Get(obs.QueueMaxDepth), int64(s.Queue().Bound()); got > bound {
+		t.Errorf("queue_max_depth = %d exceeds configured bound %d", got, bound)
+	}
+	if snap.Get(obs.ChaosInjected) == 0 {
+		t.Error("chaos_injected = 0 across the whole sweep")
+	}
+
+	// Tear down and prove nothing leaked: the goroutine count returns to
+	// (about) where it started once connections and timers wind down.
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before sweep, %d after teardown — leak", before, runtime.NumGoroutine())
+}
+
+// waitForCond polls cond for up to two seconds.
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"mlvlsi"
 	"mlvlsi/internal/obs"
+	"mlvlsi/internal/resilience"
 )
 
 // Config tunes the server. Every field has a serving-safe zero value.
@@ -29,47 +33,140 @@ type Config struct {
 	// Timeout is the per-request deadline, layered over the client's own
 	// disconnect cancellation. 0 means no server-side deadline.
 	Timeout time.Duration
+	// MaxConcurrent bounds builds/verifies running at once; <= 0 means the
+	// available parallelism (see resilience.QueueConfig).
+	MaxConcurrent int
+	// MaxQueue bounds admission waiters beyond the concurrent slots; 0 means
+	// 4x the resolved MaxConcurrent, negative means no waiting at all.
+	MaxQueue int
+	// FamilyLimits caps concurrent builds per family name under the global
+	// MaxConcurrent; absent families are uncapped.
+	FamilyLimits map[string]int
+	// Degrade enables graceful degradation: a build shed by admission (or
+	// rejected by the cell budget) is answered with a retained coarser layout
+	// of the same network when one exists, marked degraded, instead of the
+	// error.
+	Degrade bool
 	// Obs receives cache counters and build/verify spans. Nil gets a
 	// fresh sink-less observer so /metricsz always has counters to report.
 	Obs *obs.Observer
+	// Log receives recovered-panic stacks; nil means os.Stderr.
+	Log io.Writer
 }
 
 // Server serves build/verify/render requests over the registry engines with
-// a content-addressed cache in front. Create one with New; it is an
-// http.Handler factory (Handler) plus a graceful Serve loop.
+// a content-addressed cache and bounded admission in front. Create one with
+// New; it is an http.Handler factory (Handler) plus a graceful Serve loop.
 type Server struct {
 	cfg   Config
 	obs   *obs.Observer
 	cache *Cache
+	queue *resilience.Queue
 	mux   *http.ServeMux
+	log   io.Writer
+	// buildFn runs one cache miss; tests substitute failing or panicking
+	// engines here.
+	buildFn BuildFunc
 }
 
-// New creates a server with its cache and routes installed.
+// New creates a server with its cache, admission queue, and routes installed.
 func New(cfg Config) *Server {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = os.Stderr
 	}
 	s := &Server{
 		cfg:   cfg,
 		obs:   cfg.Obs,
 		cache: NewCache(cfg.CacheBytes, cfg.Obs),
-		mux:   http.NewServeMux(),
+		queue: resilience.NewQueue(resilience.QueueConfig{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+			FamilyLimits:  cfg.FamilyLimits,
+			Obs:           cfg.Obs,
+		}),
+		mux: http.NewServeMux(),
+		log: cfg.Log,
+	}
+	s.buildFn = func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
+		return mlvlsi.BuildSpecObserved(ctx, req, s.obs)
 	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/svg", s.handleSVG)
 	s.mux.HandleFunc("/v1/families", s.handleFamilies)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/livez", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metricsz", s.handleMetrics)
 	return s
 }
 
-// Handler returns the server's route table.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's route table wrapped in the panic-recovery
+// middleware: a handler panic becomes a 500 "internal" envelope (when no
+// response has started), a panics_recovered count, and a logged stack —
+// never a torn-down server.
+func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+
+// recovered is the outermost middleware. http.ErrAbortHandler passes through
+// (it is net/http's own control flow for aborting a response).
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &startedWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.obs.Add(obs.PanicsRecovered, 1)
+			fmt.Fprintf(s.log, "serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rw.started {
+				writeJSON(rw, http.StatusInternalServerError, errorBody{Error: errorInfo{
+					Status: http.StatusInternalServerError, Kind: "internal",
+					Message: fmt.Sprintf("panic: %v", v),
+				}})
+			}
+		}()
+		h.ServeHTTP(rw, r)
+	})
+}
+
+// startedWriter tracks whether the response has started, so the recovery
+// middleware knows if a clean error envelope is still possible.
+type startedWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (w *startedWriter) WriteHeader(code int) {
+	w.started = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *startedWriter) Write(p []byte) (int, error) {
+	w.started = true
+	return w.ResponseWriter.Write(p)
+}
 
 // Cache exposes the build cache (tests and the replay driver read its
 // occupancy).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Queue exposes the admission queue (tests assert its bounds; layoutd reads
+// drain state).
+func (s *Server) Queue() *resilience.Queue { return s.queue }
+
+// BeginDrain flips the server into drain mode: readiness goes false and
+// every new build is shed with ReasonDraining, while in-flight work and
+// already-queued waiters complete normally. Callers flip this on SIGTERM,
+// give the fronting balancer a beat to observe /readyz, then cancel Serve's
+// context for the graceful shutdown.
+func (s *Server) BeginDrain() { s.queue.SetDraining(true) }
 
 // Serve accepts connections on ln until ctx is done, then shuts down
 // gracefully (in-flight requests get five seconds to drain). A nil ctx
@@ -87,6 +184,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return serveResult(err)
 	case <-ctx.Done():
+		// Stop admitting new builds before tearing down connections, so
+		// requests racing the shutdown get a typed shed instead of a reset.
+		s.BeginDrain()
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := hs.Shutdown(shctx)
@@ -125,17 +225,20 @@ func serveResult(err error) error {
 //	{"error":{"status":400,"kind":"param","message":"...","family":"kary","param":"k"}}
 //
 // Mapping: *ParamError → 400 param, *BudgetError → 413 budget,
+// *OverloadError → 429/503 overload (with reason and retry_after_ms),
 // cancellation/deadline → 504 canceled, malformed requests → 400 request,
 // anything else → 500 internal (which the envelope audit in
 // envelope_test.go proves unreachable for the engines' typed rejections).
 type errorInfo struct {
-	Status  int    `json:"status"`
-	Kind    string `json:"kind"`
-	Message string `json:"message"`
-	Family  string `json:"family,omitempty"`
-	Param   string `json:"param,omitempty"`
-	Cells   int    `json:"cells,omitempty"`
-	Budget  int    `json:"budget,omitempty"`
+	Status       int    `json:"status"`
+	Kind         string `json:"kind"`
+	Message      string `json:"message"`
+	Family       string `json:"family,omitempty"`
+	Param        string `json:"param,omitempty"`
+	Cells        int    `json:"cells,omitempty"`
+	Budget       int    `json:"budget,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 type errorBody struct {
@@ -146,6 +249,7 @@ type errorBody struct {
 func envelope(err error) errorInfo {
 	var pe *mlvlsi.ParamError
 	var be *mlvlsi.BudgetError
+	var oe *resilience.OverloadError
 	switch {
 	case errors.As(err, &pe):
 		return errorInfo{Status: http.StatusBadRequest, Kind: "param",
@@ -153,6 +257,9 @@ func envelope(err error) errorInfo {
 	case errors.As(err, &be):
 		return errorInfo{Status: http.StatusRequestEntityTooLarge, Kind: "budget",
 			Message: be.Error(), Family: be.Name, Cells: be.Cells, Budget: be.Budget}
+	case errors.As(err, &oe):
+		return errorInfo{Status: oe.Status(), Kind: "overload", Message: oe.Error(),
+			Reason: oe.Reason.String(), RetryAfterMS: retryAfterMS(oe.RetryAfter)}
 	case errors.Is(err, mlvlsi.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -161,8 +268,26 @@ func envelope(err error) errorInfo {
 	return errorInfo{Status: http.StatusInternalServerError, Kind: "internal", Message: err.Error()}
 }
 
+// retryAfterMS rounds a shed's wait hint up to whole milliseconds, flooring
+// at one so an "overload" envelope always carries a usable hint even before
+// the queue's service-time estimate has warmed up.
+func retryAfterMS(d time.Duration) int64 {
+	ms := (d + time.Millisecond - 1).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	info := envelope(err)
+	if info.RetryAfterMS > 0 {
+		// Standard Retry-After is whole seconds, too coarse for millisecond
+		// sheds, so the precise hint rides a custom header the resilience
+		// client prefers.
+		w.Header().Set("Retry-After", strconv.FormatInt(info.RetryAfterMS/1000, 10))
+		w.Header().Set(resilience.RetryAfterMillisHeader, strconv.FormatInt(info.RetryAfterMS, 10))
+	}
 	writeJSON(w, info.Status, errorBody{Error: info})
 }
 
@@ -195,18 +320,30 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 }
 
 // build runs one request through the cache under its precomputed key.
+// Admission happens inside the miss path: cache hits and in-flight waits
+// never occupy a queue slot, only the request that actually runs an engine
+// does.
 func (s *Server) build(ctx context.Context, key string, req mlvlsi.BuildRequest) (*Result, Outcome, error) {
 	return s.cache.GetKeyed(ctx, key, req, func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
-		return mlvlsi.BuildSpecObserved(ctx, req, s.obs)
+		release, err := s.queue.Acquire(ctx, req.Family.Name)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.buildFn(ctx, req)
 	})
 }
 
-// buildResponse is the /v1/build success body.
+// buildResponse is the /v1/build success body. Degraded marks a response
+// answered with a retained coarser layout (DegradedKey's slot) because the
+// requested build was shed; Key always remains the key the client asked for.
 type buildResponse struct {
-	Key      string       `json:"key"`
-	Cache    string       `json:"cache"`
-	Stats    mlvlsi.Stats `json:"stats"`
-	MemBytes int64        `json:"mem_bytes"`
+	Key         string       `json:"key"`
+	Cache       string       `json:"cache"`
+	Stats       mlvlsi.Stats `json:"stats"`
+	MemBytes    int64        `json:"mem_bytes"`
+	Degraded    bool         `json:"degraded,omitempty"`
+	DegradedKey string       `json:"degraded_key,omitempty"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +355,20 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, out, err := s.build(ctx, key, req)
 	if err != nil {
+		if res, dkey, ok := s.degraded(req, err); ok {
+			s.obs.Add(obs.DegradedServed, 1)
+			w.Header().Set("X-Cache", "DEGRADED")
+			w.Header().Set("X-Degraded", dkey)
+			writeJSON(w, http.StatusOK, buildResponse{
+				Key:         key,
+				Cache:       "DEGRADED",
+				Stats:       res.Stats,
+				MemBytes:    res.MemBytes,
+				Degraded:    true,
+				DegradedKey: dkey,
+			})
+			return
+		}
 		writeError(w, err)
 		return
 	}
@@ -228,6 +379,58 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Stats:    res.Stats,
 		MemBytes: res.MemBytes,
 	})
+}
+
+// degraded decides whether a failed build can be answered with a retained
+// coarser sibling: enabled by Config.Degrade, only for overload sheds and
+// cell-budget rejections (never for bad parameters or cancellation), and
+// only when a candidate is already in cache — degradation never builds.
+func (s *Server) degraded(req mlvlsi.BuildRequest, err error) (*Result, string, bool) {
+	if !s.cfg.Degrade {
+		return nil, "", false
+	}
+	var oe *resilience.OverloadError
+	var be *mlvlsi.BudgetError
+	if !errors.As(err, &oe) && !errors.As(err, &be) {
+		return nil, "", false
+	}
+	for _, cand := range degradedCandidates(req) {
+		if res, ok := s.cache.Peek(cand.Key()); ok {
+			return res, cand.Key(), true
+		}
+	}
+	return nil, "", false
+}
+
+// degradedCandidates lists coarser variants of req, nearest first: halved
+// layer counts down to two, then the default geometry (no node-side or
+// folded-rows overrides). Same family and parameters throughout — a degraded
+// answer is always the same network, laid out coarser.
+func degradedCandidates(req mlvlsi.BuildRequest) []mlvlsi.BuildRequest {
+	key := req.Key()
+	var out []mlvlsi.BuildRequest
+	push := func(cand mlvlsi.BuildRequest) {
+		if cand.Key() == key {
+			return
+		}
+		for _, prev := range out {
+			if prev.Key() == cand.Key() {
+				return
+			}
+		}
+		out = append(out, cand)
+	}
+	for layers := req.Layers / 2; layers >= 2; layers /= 2 {
+		cand := req
+		cand.Layers = layers
+		push(cand)
+	}
+	base := req
+	base.Layers = 2
+	base.NodeSide = 0
+	base.FoldedRows = false
+	push(base)
+	return out
 }
 
 // verifyResponse is the /v1/verify success body. Violations carry the
@@ -251,10 +454,18 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Verification is engine work too: it takes an admission slot even when
+	// the layout itself was a cache hit.
+	release, err := s.queue.Acquire(ctx, req.Family.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	o := req.Options()
 	o.Context = ctx
 	o.Observer = s.obs
 	vs, err := mlvlsi.VerifyLayout(res.Layout, o)
+	release()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -302,8 +513,39 @@ func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mlvlsi.Families())
 }
 
+// handleHealth is liveness (/healthz and /livez): the process is up and the
+// handler chain works. It stays 200 through drain — a draining server is
+// alive, just not ready.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// readyResponse is the /readyz body; the status code carries the verdict
+// (200 ready, 503 not), the body says why.
+type readyResponse struct {
+	Ready      bool `json:"ready"`
+	Draining   bool `json:"draining"`
+	Saturated  bool `json:"saturated"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueBound int  `json:"queue_bound"`
+}
+
+// handleReady is readiness: whether this server should receive new traffic.
+// It flips false while draining for shutdown and while the admission queue
+// sits at its bound (new builds would only be shed).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := readyResponse{
+		Draining:   s.queue.Draining(),
+		Saturated:  s.queue.Saturated(),
+		QueueDepth: s.queue.Depth(),
+		QueueBound: s.queue.Bound(),
+	}
+	resp.Ready = !resp.Draining && !resp.Saturated
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,22 @@ const (
 	CounterCacheEvictions     = obs.CacheEvictions
 	CounterCacheInflightWaits = obs.CacheInflightWaits
 	CounterCacheBytes         = obs.CacheBytes
+
+	// Resilience counters, maintained by the serving layer's overload
+	// protection and by resilience.Client (internal/resilience): admission
+	// queue depth gauges, shed rejections by reason, degraded responses,
+	// recovered handler panics, client retries, breaker opens, and injected
+	// chaos faults. Like the cache counters they depend on request timing.
+	CounterQueueDepth      = obs.QueueDepth
+	CounterQueueMaxDepth   = obs.QueueMaxDepth
+	CounterShedQueueFull   = obs.ShedQueueFull
+	CounterShedDeadline    = obs.ShedDeadline
+	CounterShedDraining    = obs.ShedDraining
+	CounterDegradedServed  = obs.DegradedServed
+	CounterPanicsRecovered = obs.PanicsRecovered
+	CounterClientRetries   = obs.ClientRetries
+	CounterBreakerOpens    = obs.BreakerOpens
+	CounterChaosInjected   = obs.ChaosInjected
 )
 
 // NumCounters is the number of defined counters; every Counter* constant is
