@@ -77,6 +77,14 @@ type Options struct {
 	// constructed layouts and all verification results are identical with
 	// and without an observer.
 	Observer *Observer
+	// Scratch, when non-nil, selects the arena build path: per-phase
+	// allocations are drawn from the scratch's reusable slabs, taking a
+	// large build from tens of thousands of allocations to a handful. The
+	// constructed layout is byte-identical to the default allocating path
+	// and aliases nothing in the scratch, so the scratch may be reused for
+	// the next build immediately — but never by two builds concurrently.
+	// See NewBuildScratch and DESIGN.md §9 for the ownership contract.
+	Scratch *BuildScratch
 }
 
 // maxNodeSide bounds Options.NodeSide: a node square beyond 2^20 grid units
@@ -121,6 +129,7 @@ func (o Options) buildSpec(spec core.Spec) (*Layout, error) {
 	spec.Ctx = o.Context
 	spec.MaxCells = o.MaxCells
 	spec.Obs = o.Observer
+	spec.Scratch = o.Scratch.inner()
 	return core.Build(spec)
 }
 
@@ -130,6 +139,7 @@ func (o Options) buildCluster(cfg cluster.Config) (*Layout, error) {
 	cfg.Ctx = o.Context
 	cfg.MaxCells = o.MaxCells
 	cfg.Obs = o.Observer
+	cfg.Scratch = o.Scratch.inner()
 	return cluster.Build(cfg)
 }
 

@@ -378,14 +378,19 @@ func BenchmarkMaxPathWireParallel(b *testing.B) {
 }
 
 // Serial-vs-parallel wire realization (the build-side half of the engine).
-func BenchmarkBuildHypercubeSerial(b *testing.B) {
+// The spec is assembled once outside the loop — assembly is cheap, identical
+// on every path, and excluding it keeps these comparable with the arena
+// benchmarks in internal/core (BenchmarkBuildLegacy/Scratch/Transient).
+func benchBuildHypercube(b *testing.B, workers int) {
+	b.Helper()
+	spec := core.HypercubeSpec(10, 4, 0)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mustLay(b)(core.Hypercube(10, 4, 0, 1))
+		s := spec
+		s.Workers = workers
+		mustLay(b)(core.Build(s))
 	}
 }
 
-func BenchmarkBuildHypercubeParallel(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		mustLay(b)(core.Hypercube(10, 4, 0, 4))
-	}
-}
+func BenchmarkBuildHypercubeSerial(b *testing.B)   { benchBuildHypercube(b, 1) }
+func BenchmarkBuildHypercubeParallel(b *testing.B) { benchBuildHypercube(b, 4) }

@@ -11,6 +11,16 @@
 // retained map-based checker (DenseLimit < 0), which doubles as the
 // pre-dense baseline, so every snapshot carries its own before/after pair.
 //
+// Since BENCH_8 the build records measure a prebuilt spec (spec assembly is
+// cheap and identical on both paths), and "build/hypercube" is the arena
+// build — a reused scratch, the production configuration of the batch APIs
+// and the daemon — while "build/hypercube-legacy" keeps the allocating map
+// path as the in-snapshot baseline. Earlier snapshots' "build/hypercube"
+// was the map path including spec assembly, so compare those against
+// today's -legacy record. The batch/* pair measures the same 64 mixed
+// requests through BuildBatch (one shared scratch) and through sequential
+// BuildSpec calls.
+//
 // Output selection: -out names the file explicitly; otherwise -pr N writes
 // BENCH_N.json, and with neither flag the tool refreshes the
 // highest-numbered BENCH_<n>.json already present (BENCH_1.json in an
@@ -24,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +44,7 @@ import (
 	"strings"
 	"testing"
 
+	"mlvlsi"
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/obs"
@@ -131,11 +143,44 @@ func main() {
 			}
 		}
 	}
-	build := func(workers int) func(b *testing.B) {
+	buildSpec := core.HypercubeSpec(buildDim, 4, 0)
+	scratch := core.NewBuildScratch()
+	build := func(workers int, sc *core.BuildScratch) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Hypercube(buildDim, 4, 0, workers); err != nil {
+				s := buildSpec
+				s.Workers = workers
+				s.Scratch = sc
+				if _, err := core.Build(s); err != nil {
 					fatal(err)
+				}
+			}
+		}
+	}
+	nBatch := 64
+	if *quick {
+		nBatch = 16
+	}
+	reqs := batchRequests(nBatch)
+	batchBuild := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range mlvlsi.BuildBatch(context.Background(), reqs, mlvlsi.BatchOptions{Workers: workers}) {
+					if r.Err != nil {
+						fatal(r.Err)
+					}
+				}
+			}
+		}
+	}
+	batchSequential := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, req := range reqs {
+					req.Workers = workers
+					if _, err := mlvlsi.BuildSpec(context.Background(), req); err != nil {
+						fatal(err)
+					}
 				}
 			}
 		}
@@ -147,11 +192,55 @@ func main() {
 		run("check/parallel", w, checkParallel(opts, w))
 		run("check/parallel-sparse", w, checkParallel(sparse, w))
 	}
-	run("build/hypercube", 1, build(1))
-	run("build/hypercube", 4, build(4))
+	run("build/hypercube", 1, build(1, scratch))
+	run("build/hypercube", 4, build(4, scratch))
+	run("build/hypercube-legacy", 1, build(1, nil))
+	run("build/hypercube-legacy", 4, build(4, nil))
+	for _, w := range []int{1, 4} {
+		run("batch/sequential", w, batchSequential(w))
+		run("batch/build", w, batchBuild(w))
+	}
 	records = append(records, observed(buildDim)...)
 	records = append(records, merged...)
 	writeOut(*out, records)
+}
+
+// batchRequests generates n distinct build requests: eight families crossed
+// with two sizes of their leading parameter, two layer counts, and folded
+// rows on or off, so the batch pair measures mixed shapes rather than one
+// cached geometry rebuilt n times.
+func batchRequests(n int) []mlvlsi.BuildRequest {
+	type variant struct {
+		family string
+		param  string
+		sizes  [2]int
+	}
+	variants := []variant{
+		{"hypercube", "n", [2]int{4, 5}},
+		{"kary", "k", [2]int{3, 4}},
+		{"mesh", "n", [2]int{3, 4}},
+		{"ccc", "n", [2]int{3, 4}},
+		{"folded", "n", [2]int{4, 5}},
+		{"enhanced", "n", [2]int{4, 5}},
+		{"ghc", "r", [2]int{3, 4}},
+		{"rh", "n", [2]int{4, 8}},
+	}
+	reqs := make([]mlvlsi.BuildRequest, n)
+	for i := range reqs {
+		v := variants[i%len(variants)]
+		r := mlvlsi.BuildRequest{Family: mlvlsi.FamilySpec{
+			Name:   v.family,
+			Params: map[string]int{v.param: v.sizes[(i/len(variants))%2]},
+		}}
+		if (i/(2*len(variants)))%2 == 1 {
+			r.Layers = 4
+		}
+		if (i/(4*len(variants)))%2 == 1 {
+			r.FoldedRows = true
+		}
+		reqs[i] = r
+	}
+	return reqs
 }
 
 // mergeRecords reads each file as a benchjson-schema record list (loadgen's

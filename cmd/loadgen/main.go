@@ -22,11 +22,20 @@
 // what the resilience machinery absorbed: per-envelope-kind errors,
 // retries, sheds, timeouts, degraded responses, breaker opens.
 //
+// With -batch N every scheduled slot posts one /v1/build_batch call of N
+// requests (the mix rotated per slot) instead of a single build: the sample
+// is the whole call, a HIT only when every item came from cache, and any
+// per-item error envelope classifies the call into the breakdown under that
+// item's kind. -smoke always exercises the batch endpoint too: per-item
+// envelopes (a bad family inside an otherwise-good batch) and the scratch
+// reuse counter over real HTTP.
+//
 // Examples:
 //
 //	loadgen -rates 100,300,1000,3000 -duration 3s -out BENCH_7.json
 //	loadgen -chaos all -chaos-rate 0.2 -rps 300 -duration 3s
 //	loadgen -addr localhost:8080 -rps 500 -duration 10s
+//	loadgen -batch 8 -rps 50 -duration 3s
 //	loadgen -smoke
 package main
 
@@ -118,11 +127,19 @@ func main() {
 	chaos := flag.String("chaos", "", "inject network faults: comma-separated classes (latency,5xx,reset,truncate,garble) or \"all\"")
 	chaosRate := flag.Float64("chaos-rate", 0.2, "per-class injection probability for -chaos")
 	seed := flag.Int64("seed", 1, "seed for chaos injection and retry jitter")
+	batch := flag.Int("batch", 0, "post /v1/build_batch calls of this many requests per scheduled slot (0 = single /v1/build requests)")
 	out := flag.String("out", "", "write benchjson-style records to this file ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "run the serve smoke test (in-process, sub-second) and exit")
 	flag.Parse()
+	if *batch < 0 {
+		cli.Usagef("-batch must be >= 0 (got %d)", *batch)
+	}
+	batchSize = *batch
 
 	if *smoke {
+		if *batch != 0 {
+			cli.Usagef("-smoke always covers the batch endpoint; it does not combine with -batch")
+		}
 		runSmoke()
 		return
 	}
@@ -171,12 +188,15 @@ func main() {
 	}
 	samples, metrics := run(cfg, due, windows, nil)
 	label := "serve"
+	if *batch > 0 {
+		label = fmt.Sprintf("serve/batch%d", *batch)
+	}
 	if len(faults) > 0 {
 		names := make([]string, len(faults))
 		for i, f := range faults {
 			names[i] = f.String()
 		}
-		label = "serve/chaos/" + strings.Join(names, "+")
+		label += "/chaos/" + strings.Join(names, "+")
 	}
 	report(samples, windows, cfg, metrics, label, *out)
 }
@@ -191,8 +211,16 @@ func main() {
 func run(cfg runConfig, due []time.Duration, windows []window, extra func(base string, client *resilience.Client)) ([]sample, map[string]int64) {
 	samples := make([]sample, len(due))
 	bodies := make([][]byte, len(mix))
-	for i, req := range mix {
-		b, err := json.Marshal(req)
+	for i := range mix {
+		var payload any = mix[i]
+		if batchSize > 0 {
+			reqs := make([]mlvlsi.BuildRequest, batchSize)
+			for j := range reqs {
+				reqs[j] = mix[(i+j)%len(mix)]
+			}
+			payload = batchPayload{Requests: reqs}
+		}
+		b, err := json.Marshal(payload)
 		if err != nil {
 			cli.Failf("loadgen: encoding request: %v", err)
 		}
@@ -263,7 +291,11 @@ func run(cfg runConfig, due []time.Duration, windows []window, extra func(base s
 			for i >= windows[w].hi {
 				w++
 			}
-			samples[i] = fire(client, base, bodies[i%len(bodies)])
+			if batchSize > 0 {
+				samples[i] = fireBatch(client, base, bodies[i%len(bodies)])
+			} else {
+				samples[i] = fire(client, base, bodies[i%len(bodies)])
+			}
 			samples[i].window = w
 		}
 	})
@@ -321,6 +353,79 @@ func fire(client *resilience.Client, base string, body []byte) sample {
 	var br buildBody
 	_ = json.Unmarshal(resp.Body, &br) // validated inside the retry loop
 	return sample{ns: ns, outcome: br.Cache, key: br.Key, attempts: attempts, degraded: br.Degraded}
+}
+
+// batchSize > 0 switches the stream to /v1/build_batch calls of that many
+// requests each (set once from -batch before any worker starts).
+var batchSize int
+
+// batchPayload is the /v1/build_batch request body.
+type batchPayload struct {
+	Requests []mlvlsi.BuildRequest `json:"requests"`
+}
+
+// batchItemBody is the part of one batch result item loadgen reads.
+type batchItemBody struct {
+	Key   string `json:"key"`
+	Cache string `json:"cache"`
+	Error *struct {
+		Kind string `json:"kind"`
+	} `json:"error"`
+}
+
+// batchBody is the /v1/build_batch success body.
+type batchBody struct {
+	Results []batchItemBody `json:"results"`
+}
+
+// validateBatch rejects 200s whose body is not a parseable batch response,
+// mirroring validateBuild for the batch endpoint.
+func validateBatch(status int, body []byte) error {
+	var bb batchBody
+	if err := json.Unmarshal(body, &bb); err != nil {
+		return err
+	}
+	if len(bb.Results) == 0 {
+		return fmt.Errorf("batch response without results")
+	}
+	return nil
+}
+
+// fireBatch posts one pre-marshaled batch and classifies the whole call: a
+// HIT only when every item came from cache, a MISS when any item built, and
+// the first per-item error envelope turns the call into an error sample of
+// that kind (per-item failure is the batch contract; the call itself still
+// returned 200).
+func fireBatch(client *resilience.Client, base string, body []byte) sample {
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := client.Post(ctx, base+"/v1/build_batch", body, validateBatch)
+	ns := time.Since(t0).Nanoseconds()
+	attempts := 0
+	if resp != nil {
+		attempts = resp.Attempts
+	}
+	if err != nil {
+		kind := classify(resp, err)
+		return sample{ns: ns, outcome: "ERR:" + kind, kind: kind, attempts: attempts}
+	}
+	var bb batchBody
+	_ = json.Unmarshal(resp.Body, &bb) // validated inside the retry loop
+	outcome := "HIT"
+	for _, it := range bb.Results {
+		if it.Error != nil {
+			kind := it.Error.Kind
+			if kind == "" {
+				kind = "batch"
+			}
+			return sample{ns: ns, outcome: "ERR:" + kind, kind: kind, attempts: attempts}
+		}
+		if it.Cache != "HIT" {
+			outcome = "MISS"
+		}
+	}
+	return sample{ns: ns, outcome: outcome, key: bb.Results[0].Key, attempts: attempts}
 }
 
 // classify names a failed request's class: our own exhausted deadline is a
@@ -544,17 +649,62 @@ func runSmoke() {
 			fail("bad param request classified %q after %d attempts, want param after 1", bad.kind, bad.attempts)
 		}
 		scripted = append(scripted, first, second, bad)
+		// The batch endpoint: five good items (the first already cached from
+		// the singles above, the rest fresh builds on the server's pooled
+		// scratch) plus one bad family. The call must return 200 with the bad
+		// item carried as a per-item envelope, not fail the batch.
+		batch, err := json.Marshal(batchPayload{Requests: []mlvlsi.BuildRequest{
+			{Family: mlvlsi.FamilySpec{Name: "hypercube", Params: map[string]int{"n": 5}}, Layers: 4},
+			{Family: mlvlsi.FamilySpec{Name: "kary", Params: map[string]int{"k": 3, "n": 2}}},
+			{Family: mlvlsi.FamilySpec{Name: "mesh"}},
+			{Family: mlvlsi.FamilySpec{Name: "ccc"}},
+			{Family: mlvlsi.FamilySpec{Name: "folded"}},
+			{Family: mlvlsi.FamilySpec{Name: "no-such-family"}},
+		}})
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		ctx, cancelBatch := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancelBatch()
+		resp, err := client.Post(ctx, base+"/v1/build_batch", batch, validateBatch)
+		if err != nil {
+			fail("batch call: %v", err)
+			return
+		}
+		var bb batchBody
+		if err := json.Unmarshal(resp.Body, &bb); err != nil || len(bb.Results) != 6 {
+			fail("batch response: %d results (err %v), want 6", len(bb.Results), err)
+			return
+		}
+		if it := bb.Results[0]; it.Error != nil || it.Cache != "HIT" {
+			fail("batch item 0 should hit the cache warmed by the single build, got cache %q error %v", it.Cache, it.Error)
+		}
+		for i, it := range bb.Results[1:5] {
+			if it.Error != nil || it.Key == "" {
+				fail("batch item %d: error %v key %q, want a keyed success", i+1, it.Error, it.Key)
+			}
+		}
+		if it := bb.Results[5]; it.Error == nil || it.Error.Kind != "param" {
+			fail("batch item 5: error %v, want a param envelope on the bad family", it.Error)
+		}
 		hc := &http.Client{Timeout: time.Minute}
-		resp, err := hc.Get(base + "/metricsz")
+		mresp, err := hc.Get(base + "/metricsz")
 		if err != nil {
 			fail("%v", err)
 			return
 		}
 		var m map[string]int64
-		err = json.NewDecoder(resp.Body).Decode(&m)
-		resp.Body.Close()
+		err = json.NewDecoder(mresp.Body).Decode(&m)
+		mresp.Body.Close()
 		if err != nil || m["cache_hits"] < 1 || m["cache_misses"] < 1 {
 			fail("metrics missing cache counters: %v (err %v)", m, err)
+		}
+		// Every cache-miss build after the first reused the pooled scratch,
+		// and the batch added four misses: the reuse counter must be visible
+		// over the wire by now.
+		if m["scratch_reuses"] < 1 {
+			fail("metrics scratch_reuses = %d, want >= 1 after %d cache misses", m["scratch_reuses"], m["cache_misses"])
 		}
 	}
 	saved := mix

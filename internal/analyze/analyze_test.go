@@ -177,6 +177,9 @@ func TestModuleCoversHotpaths(t *testing.T) {
 		"internal/grid checkDenseParallel": false, // includes the shard merge scan
 		"internal/grid index":              false, // occIndexer.index
 		"internal/par AlignedChunks":       false,
+		"internal/core lookup":             false, // trackTable.lookup
+		"internal/core port":               false, // portTable.port
+		"internal/core realize":            false, // realizeCtx.realize
 	}
 	for _, pkg := range m.Packages {
 		i := strings.LastIndex(pkg.ImportPath, "internal/")

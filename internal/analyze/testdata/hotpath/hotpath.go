@@ -42,10 +42,38 @@ func HotClean(xs []int) int {
 	return buf[0] + p.b
 }
 
+// HotAppend grows capacity-less slices on every iteration of its loops —
+// the append rule's flagged shape. Targets sized before the loop,
+// pointer-deref targets (the caller owns their sizing), parameters, and
+// appends behind a conditional (the rare path) are not flagged.
+//
+//mlvlsi:hotpath
+func HotAppend(xs []int, out *[]int) int {
+	var acc []int
+	zero := make([]int, 0)
+	sized := make([]int, 0, len(xs))
+	for _, x := range xs {
+		acc = append(acc, x)
+		zero = append(zero, x)
+		sized = append(sized, x) // not flagged: capacity preallocated
+		*out = append(*out, x)   // not flagged: caller-owned target
+		if x < 0 {
+			acc = append(acc, -x) // not flagged: guarded, the rare path
+		}
+	}
+	for i := 0; i < 2; i++ {
+		xs = append(xs, i) // not flagged: parameter, caller sized it
+	}
+	acc = append(acc, 0) // not flagged: outside any loop
+	return len(acc) + len(zero) + len(sized) + len(xs)
+}
+
 // ColdOK does everything HotBad does without the directive: not flagged.
 func ColdOK(n int) string {
 	s := fmt.Sprintf("%d", n)
 	xs := []int{1, 2}
-	_ = xs
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
 	return s + "!"
 }

@@ -73,6 +73,10 @@ type Config struct {
 	// reported as an "assemble" span and the engine's "build" span follows.
 	// Nil disables observation at zero cost. See internal/obs.
 	Obs *obs.Observer
+	// Scratch, when non-nil, selects the engine's arena build path; see
+	// core.Spec.Scratch. The spec assembly itself still allocates — only the
+	// realization of the assembled spec draws from the scratch.
+	Scratch *core.BuildScratch
 }
 
 // interval aliases the shared half-position interval type; see the
@@ -90,6 +94,7 @@ func Build(cfg Config) (*layout.Layout, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec.Scratch = cfg.Scratch
 	return core.Build(spec)
 }
 

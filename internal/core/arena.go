@@ -1,0 +1,299 @@
+// Arena-backed build scratch. A BuildScratch gives the engine reusable,
+// size-classed slabs for every per-phase allocation the map path makes fresh
+// on each call — the label bijection bitmap, the interval-disjointness
+// tuples, per-node port demand and port items, per-channel track indexes,
+// grid prefix sums, and the flat point slab behind every wire path. Threaded
+// through build() it takes a Hypercube(10) build from ~27k allocations to a
+// dozen; the map path (Spec.Scratch == nil) is preserved unchanged as the
+// reference implementation, and the differential tests pin the two paths to
+// byte-identical layouts.
+//
+// Ownership contract (DESIGN.md §9): by default a layout built with a
+// scratch aliases nothing in it — the layout struct, node slice, wire slice,
+// and point slab are allocated fresh per build and handed to the caller
+// outright, so the scratch may be reset (reused) immediately. In transient
+// mode (SetTransient) even those come from the scratch: the returned layout
+// is only valid until the next build on the same scratch, the regime the
+// VerifyBatch pipeline runs in, where layouts are verified and dropped.
+package core
+
+import (
+	"mlvlsi/internal/grid"
+	"mlvlsi/internal/layout"
+	"mlvlsi/internal/obs"
+)
+
+// slab is a bump allocator over one backing array of T. take hands out
+// aliased subslices until the array is exhausted, then replaces it with one
+// of at least twice the size (power-of-two size classes), so after a warm-up
+// build every take is allocation-free. Outstanding slices keep the old array
+// alive and stay valid across a growth; reset only rewinds the offset, so
+// slices from the previous build are overwritten by the next one — the
+// aliasing rule the ownership contract is about.
+type slab[T any] struct {
+	buf []T
+	off int
+}
+
+func (s *slab[T]) take(n int, zero bool) []T {
+	if s.off+n > len(s.buf) {
+		c := 2 * len(s.buf)
+		if c < 64 {
+			c = 64
+		}
+		for c < n {
+			c *= 2
+		}
+		s.buf = make([]T, c)
+		s.off = 0
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	if zero {
+		clear(out)
+	}
+	return out
+}
+
+func (s *slab[T]) reset() { s.off = 0 }
+
+// ivRec is one half-position track interval for the scratch-path overlap
+// check: the flat, sortable form of the map path's per-(channel, track)
+// interval lists.
+type ivRec struct {
+	ch, track int
+	u, v      int
+}
+
+// BuildScratch is the reusable allocation arena for the engine's build path.
+// The zero value is ready to use; NewBuildScratch exists for symmetry and
+// documentation. A scratch may be reused for any number of builds but never
+// concurrently: it is owned by one build at a time, with reuse across
+// goroutines ordered through a channel or pool.
+type BuildScratch struct {
+	transient bool
+	warm      bool
+
+	ints    slab[int]
+	i32     slab[int32]
+	bools   slab[bool]
+	items   slab[portItem]
+	assigns slab[trackAssign]
+	ivs     slab[ivRec]
+
+	// Result slabs, used only in transient mode; in the default mode the
+	// layout and everything it references are allocated fresh per build.
+	rects slab[grid.Rect]
+	wires slab[grid.Wire]
+	pts   slab[grid.Point]
+	lay   layout.Layout
+}
+
+// NewBuildScratch returns an empty scratch; slabs grow to fit on first use
+// and are retained for reuse.
+func NewBuildScratch() *BuildScratch { return &BuildScratch{} }
+
+// SetTransient toggles transient mode: when on, the layout struct, node
+// slice, wire slice, and point slab also come from the scratch, so the
+// returned layout is valid only until the next build (or Reset) on this
+// scratch. Off — the default — hands out freshly allocated results that
+// alias nothing.
+func (s *BuildScratch) SetTransient(on bool) { s.transient = on }
+
+// Reset rewinds every slab for reuse. Builds reset the scratch themselves on
+// entry, so explicit calls only matter to drop the aliasing claim a
+// transient-mode layout has on the slabs.
+func (s *BuildScratch) Reset() {
+	s.ints.reset()
+	s.i32.reset()
+	s.bools.reset()
+	s.items.reset()
+	s.assigns.reset()
+	s.ivs.reset()
+	s.rects.reset()
+	s.wires.reset()
+	s.pts.reset()
+}
+
+// Element sizes for Bytes, in the style of layout.MemBytes: 64-bit words for
+// int-backed types, struct sizes summed field-wise with alignment padding.
+const (
+	intSize    = 8
+	int32Size  = 4
+	boolSize   = 1
+	itemSize   = 40 // portItem: dir, rank + endRef{kind, idx, isV(+pad)}
+	assignSize = 16 // trackAssign: group, slot
+	ivRecSize  = 32 // ivRec: ch, track, u, v
+	rectSize   = 32 // grid.Rect: X, Y, W, H
+	wireSize   = 48 // grid.Wire: ID, U, V, Path header
+	pointSize  = 24 // grid.Point: X, Y, Z
+)
+
+// Bytes reports the scratch's retained capacity in bytes, the value behind
+// the scratch_bytes gauge.
+func (s *BuildScratch) Bytes() int64 {
+	return int64(cap(s.ints.buf))*intSize +
+		int64(cap(s.i32.buf))*int32Size +
+		int64(cap(s.bools.buf))*boolSize +
+		int64(cap(s.items.buf))*itemSize +
+		int64(cap(s.assigns.buf))*assignSize +
+		int64(cap(s.ivs.buf))*ivRecSize +
+		int64(cap(s.rects.buf))*rectSize +
+		int64(cap(s.wires.buf))*wireSize +
+		int64(cap(s.pts.buf))*pointSize
+}
+
+// beginBuild readies the scratch for one build and accounts the reuse: the
+// first build on a scratch is a warm-up, every later one is a scratch_reuse.
+func (s *BuildScratch) beginBuild(o *obs.Observer) {
+	s.Reset()
+	if s.warm {
+		o.Add(obs.ScratchReuses, 1)
+	}
+	s.warm = true
+}
+
+// trackTable maps (channel, track) to its assignment. The map path stores a
+// hash map; the scratch path stores, per channel, the sorted unique track
+// ids (a shared segment of the scratch int slab) plus a parallel assignment
+// slab, answered by binary search in lookup.
+type trackTable struct {
+	m map[key]trackAssign
+
+	starts  []int32 // per-channel segment offsets into ids/as (len channels+1)
+	uniqLen []int32 // sorted-unique prefix length of each segment
+	ids     []int
+	as      []trackAssign
+}
+
+// set records the assignment of uniq[idx] == track in channel ch; idx is the
+// track's index within the channel's sorted unique ids.
+func (t *trackTable) set(ch, idx, track int, a trackAssign) {
+	if t.m != nil {
+		t.m[key{ch, track}] = a
+		return
+	}
+	t.as[int(t.starts[ch])+idx] = a
+}
+
+// lookup returns the assignment of track in channel ch. Every queried
+// (channel, track) pair was placed by assignTracks, so the binary search
+// always lands on an exact match.
+//
+//mlvlsi:hotpath
+func (t *trackTable) lookup(ch, track int) trackAssign {
+	if t.m != nil {
+		return t.m[key{ch, track}]
+	}
+	lo := int(t.starts[ch])
+	hi := lo + int(t.uniqLen[ch])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.ids[mid] < track {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return t.as[lo]
+}
+
+// portTable maps a wire end to its port offset within the node side. The map
+// path hashes endRef; the scratch path indexes a dense table laid out as
+// [row-edge ends ×2 | column-edge ends ×2 | bent U ends | bent V ends].
+type portTable struct {
+	m          map[endRef]int
+	dense      []int32
+	nRow, nCol int
+}
+
+func newPortTable(s *BuildScratch, nRow, nCol, nBent int) *portTable {
+	if s == nil {
+		return &portTable{m: make(map[endRef]int)}
+	}
+	return &portTable{
+		dense: s.i32.take(2*nRow+2*nCol+2*nBent, false),
+		nRow:  nRow, nCol: nCol,
+	}
+}
+
+func (p *portTable) index(ref endRef) int {
+	switch ref.kind {
+	case 0:
+		i := 2 * ref.idx
+		if ref.isV {
+			i++
+		}
+		return i
+	case 1:
+		i := 2*p.nRow + 2*ref.idx
+		if ref.isV {
+			i++
+		}
+		return i
+	case 2:
+		return 2*p.nRow + 2*p.nCol + 2*ref.idx
+	default: // kind 3, the bent V end
+		return 2*p.nRow + 2*p.nCol + 2*ref.idx + 1
+	}
+}
+
+func (p *portTable) set(ref endRef, off int) {
+	if p.m != nil {
+		p.m[ref] = off
+		return
+	}
+	p.dense[p.index(ref)] = int32(off)
+}
+
+// port returns the offset assigned to ref; every ref queried during
+// realization was set during port assignment.
+//
+//mlvlsi:hotpath
+func (p *portTable) port(ref endRef) int {
+	if p.m != nil {
+		return p.m[ref]
+	}
+	return int(p.dense[p.index(ref)])
+}
+
+// endsTable collects the per-node wire-end items for port assignment. The
+// map path appends to per-node slices; the scratch path count-then-fills one
+// flat slab using the already-computed per-node port demand as the counts.
+type endsTable struct {
+	perNode [][]portItem
+
+	flat   []portItem
+	starts []int32
+	next   []int32
+}
+
+func (t *endsTable) init(s *BuildScratch, counts []int) {
+	n := len(counts)
+	t.starts = s.i32.take(n+1, false)
+	t.next = s.i32.take(n, false)
+	total := 0
+	for i, c := range counts {
+		t.starts[i] = int32(total)
+		t.next[i] = int32(total)
+		total += c
+	}
+	t.starts[n] = int32(total)
+	t.flat = s.items.take(total, false)
+}
+
+func (t *endsTable) add(node int, it portItem) {
+	if t.perNode != nil {
+		t.perNode[node] = append(t.perNode[node], it)
+		return
+	}
+	t.flat[t.next[node]] = it
+	t.next[node]++
+}
+
+func (t *endsTable) seg(node int) []portItem {
+	if t.perNode != nil {
+		return t.perNode[node]
+	}
+	return t.flat[t.starts[node]:t.next[node]]
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// arenaSpecs are the engine-level differential inputs: a hypercube (row and
+// column channels, no bents) and a k-ary cube with dedicated bent channels,
+// so every realization shape — eight-point straight paths and ten-point bent
+// paths — crosses both storage backends.
+func arenaSpecs() []func() Spec {
+	return []func() Spec{
+		func() Spec { return HypercubeSpec(8, 4, 0) },
+		func() Spec {
+			s := KAryNCubeSpec(4, 3, 4, false, 0)
+			s.AddDedicatedBent(0, 0, 3, 3)
+			s.AddDedicatedBent(1, 2, 2, 1)
+			return s
+		},
+	}
+}
+
+// TestArenaMatchesLegacy is the engine-level differential: an arena build
+// must be deep-equal to the legacy map-path build — wires, nodes, geometry,
+// everything — and stay so across repeated builds on the same scratch, where
+// slab reuse would expose any stale-state bug.
+func TestArenaMatchesLegacy(t *testing.T) {
+	for _, mk := range arenaSpecs() {
+		legacy, err := Build(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewBuildScratch()
+		for i := 0; i < 3; i++ {
+			spec := mk()
+			spec.Scratch = sc
+			got, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(legacy, got) {
+				t.Fatalf("reuse iteration %d: arena build differs from legacy", i)
+			}
+		}
+	}
+}
+
+// TestTransientMatchesSafe checks the transient mode: a layout whose result
+// slabs live inside the scratch must equal the safe-mode (and hence legacy)
+// layout while it is live — i.e. until the next build on that scratch.
+func TestTransientMatchesSafe(t *testing.T) {
+	for _, mk := range arenaSpecs() {
+		want, err := Build(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewBuildScratch()
+		sc.SetTransient(true)
+		for i := 0; i < 3; i++ {
+			spec := mk()
+			spec.Scratch = sc
+			got, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("reuse iteration %d: transient build differs from legacy", i)
+			}
+		}
+	}
+}
+
+// TestBuildAllocsBudget pins the tentpole number: a warm arena build of the
+// 1024-node hypercube must stay within 64 allocations (the safe-mode result
+// slices — layout, nodes, wires, one point slab — plus slack for incidental
+// runtime allocations). The legacy path allocates per wire and per map entry;
+// this budget is what the scratch exists to buy.
+func TestBuildAllocsBudget(t *testing.T) {
+	spec := HypercubeSpec(10, 4, 0)
+	spec.Scratch = NewBuildScratch()
+	spec.Workers = 1
+	if _, err := Build(spec); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		s := spec
+		if _, err := Build(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs per warm arena build: %v", n)
+	if n > 64 {
+		t.Fatalf("warm arena build costs %v allocs, budget is 64", n)
+	}
+}
+
+func benchBuild(b *testing.B, scratch *BuildScratch) {
+	b.Helper()
+	spec := HypercubeSpec(10, 4, 0)
+	spec.Scratch = scratch
+	spec.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := spec
+		if _, err := Build(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The three build paths on the same prebuilt spec: legacy map path, arena
+// safe mode (fresh results), arena transient mode (results inside the
+// scratch). Run with -benchmem: the alloc column is the point.
+func BenchmarkBuildLegacy(b *testing.B)  { benchBuild(b, nil) }
+func BenchmarkBuildScratch(b *testing.B) { benchBuild(b, NewBuildScratch()) }
+func BenchmarkBuildTransient(b *testing.B) {
+	sc := NewBuildScratch()
+	sc.SetTransient(true)
+	benchBuild(b, sc)
+}

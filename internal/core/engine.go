@@ -13,12 +13,21 @@
 // package, including quotient links that attach to different cluster members
 // at their two ends (bent edges); and the folded/enhanced hypercubes'
 // diameter links (§5.3) as bent edges on dedicated tracks.
+//
+// The build path runs in one of two allocation regimes sharing one
+// algorithm: the map path (Spec.Scratch nil) allocates fresh maps and
+// per-wire paths on every call, and the arena path draws every per-phase
+// structure from a reusable BuildScratch (see arena.go). The phase logic —
+// validation, track placement, port assignment, realization — is shared
+// code parameterized over the storage backends, so the two regimes produce
+// byte-identical layouts; the differential tests pin that.
 package core
 
 import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"slices"
 	"sort"
 
 	"mlvlsi/internal/grid"
@@ -83,11 +92,19 @@ type Spec struct {
 	MaxCells int
 	// Obs, when non-nil, receives build telemetry: a "build" span with
 	// placement, routing, and realization children plus the typed counters
-	// (wires realized, cells planned, budget headroom, worker count). Nil —
-	// the default — disables instrumentation entirely; the realize loop is
-	// untouched either way, since spans and counters live on the phase
-	// boundaries, not in per-wire code.
+	// (wires realized, cells planned, budget headroom, worker count, and on
+	// the arena path scratch reuses and retained bytes). Nil — the default —
+	// disables instrumentation entirely; the realize loop is untouched
+	// either way, since spans and counters live on the phase boundaries,
+	// not in per-wire code.
 	Obs *obs.Observer
+	// Scratch, when non-nil, selects the arena build path: every per-phase
+	// allocation is drawn from the scratch's reusable slabs and the build
+	// runs in a handful of allocations instead of tens of thousands. Nil —
+	// the default — selects the allocating map path; the two paths build
+	// byte-identical layouts. A scratch must not be shared by concurrent
+	// builds; see BuildScratch for the ownership contract.
+	Scratch *BuildScratch
 	// Label maps grid position to node label (a bijection onto
 	// 0..Rows·Cols-1). Nil means row-major order.
 	Label func(row, col int) int
@@ -169,6 +186,10 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	if err := par.Canceled(spec.Ctx); err != nil {
 		return nil, geom, err
 	}
+	s := spec.Scratch
+	if s != nil {
+		s.beginBuild(spec.Obs)
+	}
 	root := spec.Obs.StartSpan("build")
 	root.SetAttr("rows", int64(spec.Rows)).SetAttr("cols", int64(spec.Cols)).SetAttr("layers", int64(spec.L))
 	defer root.End()
@@ -179,10 +200,10 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	// "build" span.)
 	place := root.Child("placement")
 	n := spec.Rows * spec.Cols
-	if err := checkLabels(spec, label, n); err != nil {
+	if err := checkLabels(spec, label, n, s); err != nil {
 		return nil, geom, err
 	}
-	if err := checkEdges(&spec); err != nil {
+	if err := checkEdges(&spec, s); err != nil {
 		return nil, geom, err
 	}
 	if err := par.Canceled(spec.Ctx); err != nil {
@@ -190,8 +211,14 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	}
 
 	// Port demand per node.
-	top := make([]int, n)   // ports on the node's top edge
-	right := make([]int, n) // ports on the node's right edge
+	var top, right []int
+	if s != nil {
+		top = s.ints.take(n, true)
+		right = s.ints.take(n, true)
+	} else {
+		top = make([]int, n)   // ports on the node's top edge
+		right = make([]int, n) // ports on the node's right edge
+	}
 	at := func(r, c int) int { return r*spec.Cols + c }
 	for _, e := range spec.RowEdges {
 		top[at(e.Index, e.U)]++
@@ -228,14 +255,22 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	gH := (spec.L + 1) / 2 // horizontal track groups, on odd layers 1,3,…
 	gV := spec.L / 2       // vertical track groups, on even layers 2,4,…
 
-	assignment, hSlots, wSlots := assignTracks(&spec, gH, gV)
+	rowT, colT, hSlots, wSlots := assignTracks(&spec, s, gH, gV)
 
 	// Grid coordinates.
-	rowY := make([]int, spec.Rows+1)
+	var rowY, colX []int
+	if s != nil {
+		rowY = s.ints.take(spec.Rows+1, false)
+		colX = s.ints.take(spec.Cols+1, false)
+	} else {
+		rowY = make([]int, spec.Rows+1)
+		colX = make([]int, spec.Cols+1)
+	}
+	rowY[0] = 0
 	for i := 0; i < spec.Rows; i++ {
 		rowY[i+1] = rowY[i] + side + 1 + hSlots[i]
 	}
-	colX := make([]int, spec.Cols+1)
+	colX[0] = 0
 	for j := 0; j < spec.Cols; j++ {
 		colX[j+1] = colX[j] + side + 1 + wSlots[j]
 	}
@@ -276,18 +311,26 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	// [0, side). Ends are sorted so that, on a shared track, the end of the
 	// edge arriving from the lower side precedes the end of the edge
 	// leaving toward the higher side, keeping same-track trunk intervals
-	// interior-disjoint in realized coordinates.
-	topEnds := make([][]portItem, n)
-	rightEnds := make([][]portItem, n)
+	// interior-disjoint in realized coordinates. The per-node port demand
+	// computed above doubles as the exact item count per node, which is
+	// what lets the arena path count-then-fill one flat slab.
+	var topEnds, rightEnds endsTable
+	if s != nil {
+		topEnds.init(s, top)
+		rightEnds.init(s, right)
+	} else {
+		topEnds.perNode = make([][]portItem, n)
+		rightEnds.perNode = make([][]portItem, n)
+	}
 	for i, e := range spec.RowEdges {
-		r := assignment.row[key{e.Index, e.Track}].order()
-		topEnds[at(e.Index, e.U)] = append(topEnds[at(e.Index, e.U)], portItem{dir: 1, rank: r, ref: endRef{0, i, false}})
-		topEnds[at(e.Index, e.V)] = append(topEnds[at(e.Index, e.V)], portItem{dir: 0, rank: r, ref: endRef{0, i, true}})
+		r := rowT.lookup(e.Index, e.Track).order()
+		topEnds.add(at(e.Index, e.U), portItem{dir: 1, rank: r, ref: endRef{0, i, false}})
+		topEnds.add(at(e.Index, e.V), portItem{dir: 0, rank: r, ref: endRef{0, i, true}})
 	}
 	for i, e := range spec.ColEdges {
-		r := assignment.col[key{e.Index, e.Track}].order()
-		rightEnds[at(e.U, e.Index)] = append(rightEnds[at(e.U, e.Index)], portItem{dir: 1, rank: r, ref: endRef{1, i, false}})
-		rightEnds[at(e.V, e.Index)] = append(rightEnds[at(e.V, e.Index)], portItem{dir: 0, rank: r, ref: endRef{1, i, true}})
+		r := colT.lookup(e.Index, e.Track).order()
+		rightEnds.add(at(e.U, e.Index), portItem{dir: 1, rank: r, ref: endRef{1, i, false}})
+		rightEnds.add(at(e.V, e.Index), portItem{dir: 0, rank: r, ref: endRef{1, i, true}})
 	}
 	for i, e := range spec.Bent {
 		// U end: the horizontal segment heads toward the trunk channel
@@ -304,52 +347,28 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 		if e.URow < e.VRow {
 			vDir = 0
 		}
-		topEnds[at(e.URow, e.UCol)] = append(topEnds[at(e.URow, e.UCol)], portItem{dir: uDir, rank: assignment.row[key{e.URow, e.HTrack}].order(), ref: endRef{2, i, false}})
-		rightEnds[at(e.VRow, e.VCol)] = append(rightEnds[at(e.VRow, e.VCol)], portItem{dir: vDir, rank: assignment.col[key{e.VCol, e.VTrack}].order(), ref: endRef{3, i, true}})
+		topEnds.add(at(e.URow, e.UCol), portItem{dir: uDir, rank: rowT.lookup(e.URow, e.HTrack).order(), ref: endRef{2, i, false}})
+		rightEnds.add(at(e.VRow, e.VCol), portItem{dir: vDir, rank: colT.lookup(e.VCol, e.VTrack).order(), ref: endRef{3, i, true}})
 	}
-	endPort := make(map[endRef]int)
-	assign := func(ends [][]portItem) error {
-		for node, items := range ends {
-			sort.SliceStable(items, func(a, b int) bool {
-				if items[a].dir != items[b].dir {
-					return items[a].dir < items[b].dir
-				}
-				return items[a].rank < items[b].rank
-			})
+	ports := newPortTable(s, len(spec.RowEdges), len(spec.ColEdges), len(spec.Bent))
+	assign := func(ends *endsTable) error {
+		for node := 0; node < n; node++ {
+			items := ends.seg(node)
+			sortPortItems(items)
 			if len(items) > side {
 				return fmt.Errorf("%s: node %d needs %d ports on one side, side is %d", spec.Name, node, len(items), side)
 			}
 			for off, it := range items {
-				endPort[it.ref] = off
+				ports.set(it.ref, off)
 			}
 		}
 		return nil
 	}
-	if err := assign(topEnds); err != nil {
+	if err := assign(&topEnds); err != nil {
 		return nil, geom, err
 	}
-	if err := assign(rightEnds); err != nil {
+	if err := assign(&rightEnds); err != nil {
 		return nil, geom, err
-	}
-
-	// Layer helpers.
-	hLayer := func(a trackAssign) (layerH, layerV int, slot int) {
-		slot = a.slot
-		layerH = 2*a.group + 1
-		layerV = layerH + 1
-		if layerV > spec.L {
-			layerV = layerH - 1
-		}
-		return
-	}
-	vLayer := func(a trackAssign) (layerV, layerH int, slot int) {
-		slot = a.slot
-		layerV = 2*a.group + 2
-		layerH = layerV + 1
-		if layerH > spec.L {
-			layerH = layerV - 1
-		}
-		return
 	}
 
 	// Realize wires. Every edge is independent once tracks and ports are
@@ -357,11 +376,38 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 	// out across Spec.Workers: wire slot i is preassigned to edge i in the
 	// fixed row-edges, column-edges, bent-edges order, making the result
 	// byte-identical to the serial loop for every worker count.
-	lay := &layout.Layout{Name: spec.Name, L: spec.L}
-	lay.Nodes = make([]grid.Rect, n)
+	//
+	// Result allocation: the map path and the default arena path hand out
+	// fresh memory (on the arena path the wire paths share one fresh point
+	// slab, with identical MemBytes since every subslice's cap equals its
+	// length); a transient-mode scratch backs even the results, for callers
+	// that drop each layout before the next build.
+	nRow, nCol, nBent := len(spec.RowEdges), len(spec.ColEdges), len(spec.Bent)
+	nPts := (nRow+nCol)*8 + nBent*10
+	var lay *layout.Layout
+	var pts []grid.Point
+	if s != nil && s.transient {
+		lay = &s.lay
+		*lay = layout.Layout{Name: spec.Name, L: spec.L}
+		lay.Nodes = s.rects.take(n, false)
+		lay.Wires = s.wires.take(nRow+nCol+nBent, false)
+		pts = s.pts.take(nPts, false)
+	} else {
+		lay = &layout.Layout{Name: spec.Name, L: spec.L}
+		lay.Nodes = make([]grid.Rect, n)
+		lay.Wires = make([]grid.Wire, nRow+nCol+nBent)
+		if s != nil {
+			pts = make([]grid.Point, nPts)
+		}
+	}
 	// Labels are tabulated up front: Spec.Label closures need not be
 	// goroutine-safe, so the parallel loop below only reads this table.
-	labelAt := make([]int, n)
+	var labelAt []int
+	if s != nil {
+		labelAt = s.ints.take(n, false)
+	} else {
+		labelAt = make([]int, n)
+	}
 	for r := 0; r < spec.Rows; r++ {
 		for c := 0; c < spec.Cols; c++ {
 			l := label(r, c)
@@ -369,78 +415,162 @@ func build(spec Spec, realize bool) (*layout.Layout, Geometry, error) {
 			lay.Nodes[l] = grid.Rect{X: colX[c], Y: rowY[r], W: side, H: side}
 		}
 	}
-	nRow, nCol := len(spec.RowEdges), len(spec.ColEdges)
-	lay.Wires = make([]grid.Wire, nRow+nCol+len(spec.Bent))
+	rc := &realizeCtx{
+		rowEdges: spec.RowEdges, colEdges: spec.ColEdges, bent: spec.Bent,
+		rowT: rowT, colT: colT, ports: ports,
+		rowY: rowY, colX: colX, labelAt: labelAt,
+		side: side, L: spec.L, cols: spec.Cols,
+		nRow: nRow, nCol: nCol,
+		wires: lay.Wires, pts: pts,
+	}
 	spec.Obs.Set(obs.WorkerCount, int64(par.Workers(spec.Workers)))
-	err := par.ForEachCtx(spec.Ctx, spec.Workers, len(lay.Wires), func(id int) {
-		switch {
-		case id < nRow:
-			i := id
-			e := spec.RowEdges[i]
-			lh, lv, slot := hLayer(assignment.row[key{e.Index, e.Track}])
-			yT := rowY[e.Index] + side + 1 + slot
-			yTop := rowY[e.Index] + side
-			xu := colX[e.U] + endPort[endRef{0, i, false}]
-			xv := colX[e.V] + endPort[endRef{0, i, true}]
-			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.Index, e.U)], V: labelAt[at(e.Index, e.V)], Path: []grid.Point{
-				{X: xu, Y: yTop, Z: 0},
-				{X: xu, Y: yTop, Z: lv},
-				{X: xu, Y: yT, Z: lv},
-				{X: xu, Y: yT, Z: lh},
-				{X: xv, Y: yT, Z: lh},
-				{X: xv, Y: yT, Z: lv},
-				{X: xv, Y: yTop, Z: lv},
-				{X: xv, Y: yTop, Z: 0},
-			}}
-		case id < nRow+nCol:
-			i := id - nRow
-			e := spec.ColEdges[i]
-			lv, lh, slot := vLayer(assignment.col[key{e.Index, e.Track}])
-			xT := colX[e.Index] + side + 1 + slot
-			xR := colX[e.Index] + side
-			yu := rowY[e.U] + endPort[endRef{1, i, false}]
-			yv := rowY[e.V] + endPort[endRef{1, i, true}]
-			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.U, e.Index)], V: labelAt[at(e.V, e.Index)], Path: []grid.Point{
-				{X: xR, Y: yu, Z: 0},
-				{X: xR, Y: yu, Z: lh},
-				{X: xT, Y: yu, Z: lh},
-				{X: xT, Y: yu, Z: lv},
-				{X: xT, Y: yv, Z: lv},
-				{X: xT, Y: yv, Z: lh},
-				{X: xR, Y: yv, Z: lh},
-				{X: xR, Y: yv, Z: 0},
-			}}
-		default:
-			i := id - nRow - nCol
-			e := spec.Bent[i]
-			lh, lvStub, hSlot := hLayer(assignment.row[key{e.URow, e.HTrack}])
-			yT := rowY[e.URow] + side + 1 + hSlot
-			yTop := rowY[e.URow] + side
-			xu := colX[e.UCol] + endPort[endRef{2, i, false}]
-			lv2, lh2, vSlot := vLayer(assignment.col[key{e.VCol, e.VTrack}])
-			xT := colX[e.VCol] + side + 1 + vSlot
-			xR := colX[e.VCol] + side
-			yv := rowY[e.VRow] + endPort[endRef{3, i, true}]
-			lay.Wires[id] = grid.Wire{ID: id, U: labelAt[at(e.URow, e.UCol)], V: labelAt[at(e.VRow, e.VCol)], Path: []grid.Point{
-				{X: xu, Y: yTop, Z: 0},
-				{X: xu, Y: yTop, Z: lvStub},
-				{X: xu, Y: yT, Z: lvStub},
-				{X: xu, Y: yT, Z: lh},
-				{X: xT, Y: yT, Z: lh},
-				{X: xT, Y: yT, Z: lv2},
-				{X: xT, Y: yv, Z: lv2},
-				{X: xT, Y: yv, Z: lh2},
-				{X: xR, Y: yv, Z: lh2},
-				{X: xR, Y: yv, Z: 0},
-			}}
-		}
-	})
-	if err != nil {
+	if err := par.ForEachCtx(spec.Ctx, spec.Workers, len(lay.Wires), rc.realize); err != nil {
 		return nil, geom, err
 	}
 	spec.Obs.Add(obs.WiresRealized, int64(len(lay.Wires)))
+	if s != nil {
+		spec.Obs.Set(obs.ScratchBytes, s.Bytes())
+	}
 	real.SetAttr("wires", int64(len(lay.Wires))).End()
 	return lay, geom, nil
+}
+
+// realizeCtx is the read-only state of the parallel realize loop: edge
+// lists, track and port tables, grid prefix sums, and the output wire slice.
+// pts, when non-nil, is the flat point slab the arena path carves wire paths
+// from; nil makes realize allocate each path, the map path's behavior.
+type realizeCtx struct {
+	rowEdges []ChannelEdge
+	colEdges []ChannelEdge
+	bent     []BentEdge
+
+	rowT, colT *trackTable
+	ports      *portTable
+
+	rowY, colX []int
+	labelAt    []int
+
+	side, L, cols int
+	nRow, nCol    int
+
+	wires []grid.Wire
+	pts   []grid.Point
+}
+
+func (rc *realizeCtx) path(off, n int) []grid.Point {
+	if rc.pts == nil {
+		return make([]grid.Point, n)
+	}
+	return rc.pts[off : off+n : off+n]
+}
+
+// realize computes wire id's eight- or ten-point path. It runs once per edge
+// under the par pool and accounts for most of the build, so it stays free of
+// maps (on the arena path), fmt, and per-wire allocation beyond the map
+// path's deliberate per-path make.
+//
+//mlvlsi:hotpath
+func (rc *realizeCtx) realize(id int) {
+	switch {
+	case id < rc.nRow:
+		i := id
+		e := rc.rowEdges[i]
+		lh, lv, slot := hLayerOf(rc.rowT.lookup(e.Index, e.Track), rc.L)
+		yT := rc.rowY[e.Index] + rc.side + 1 + slot
+		yTop := rc.rowY[e.Index] + rc.side
+		xu := rc.colX[e.U] + rc.ports.port(endRef{0, i, false})
+		xv := rc.colX[e.V] + rc.ports.port(endRef{0, i, true})
+		p := rc.path(id*8, 8)
+		p[0] = grid.Point{X: xu, Y: yTop, Z: 0}
+		p[1] = grid.Point{X: xu, Y: yTop, Z: lv}
+		p[2] = grid.Point{X: xu, Y: yT, Z: lv}
+		p[3] = grid.Point{X: xu, Y: yT, Z: lh}
+		p[4] = grid.Point{X: xv, Y: yT, Z: lh}
+		p[5] = grid.Point{X: xv, Y: yT, Z: lv}
+		p[6] = grid.Point{X: xv, Y: yTop, Z: lv}
+		p[7] = grid.Point{X: xv, Y: yTop, Z: 0}
+		rc.wires[id] = grid.Wire{ID: id, U: rc.labelAt[e.Index*rc.cols+e.U], V: rc.labelAt[e.Index*rc.cols+e.V], Path: p}
+	case id < rc.nRow+rc.nCol:
+		i := id - rc.nRow
+		e := rc.colEdges[i]
+		lv, lh, slot := vLayerOf(rc.colT.lookup(e.Index, e.Track), rc.L)
+		xT := rc.colX[e.Index] + rc.side + 1 + slot
+		xR := rc.colX[e.Index] + rc.side
+		yu := rc.rowY[e.U] + rc.ports.port(endRef{1, i, false})
+		yv := rc.rowY[e.V] + rc.ports.port(endRef{1, i, true})
+		p := rc.path(id*8, 8)
+		p[0] = grid.Point{X: xR, Y: yu, Z: 0}
+		p[1] = grid.Point{X: xR, Y: yu, Z: lh}
+		p[2] = grid.Point{X: xT, Y: yu, Z: lh}
+		p[3] = grid.Point{X: xT, Y: yu, Z: lv}
+		p[4] = grid.Point{X: xT, Y: yv, Z: lv}
+		p[5] = grid.Point{X: xT, Y: yv, Z: lh}
+		p[6] = grid.Point{X: xR, Y: yv, Z: lh}
+		p[7] = grid.Point{X: xR, Y: yv, Z: 0}
+		rc.wires[id] = grid.Wire{ID: id, U: rc.labelAt[e.U*rc.cols+e.Index], V: rc.labelAt[e.V*rc.cols+e.Index], Path: p}
+	default:
+		i := id - rc.nRow - rc.nCol
+		e := rc.bent[i]
+		lh, lvStub, hSlot := hLayerOf(rc.rowT.lookup(e.URow, e.HTrack), rc.L)
+		yT := rc.rowY[e.URow] + rc.side + 1 + hSlot
+		yTop := rc.rowY[e.URow] + rc.side
+		xu := rc.colX[e.UCol] + rc.ports.port(endRef{2, i, false})
+		lv2, lh2, vSlot := vLayerOf(rc.colT.lookup(e.VCol, e.VTrack), rc.L)
+		xT := rc.colX[e.VCol] + rc.side + 1 + vSlot
+		xR := rc.colX[e.VCol] + rc.side
+		yv := rc.rowY[e.VRow] + rc.ports.port(endRef{3, i, true})
+		p := rc.path((rc.nRow+rc.nCol)*8+i*10, 10)
+		p[0] = grid.Point{X: xu, Y: yTop, Z: 0}
+		p[1] = grid.Point{X: xu, Y: yTop, Z: lvStub}
+		p[2] = grid.Point{X: xu, Y: yT, Z: lvStub}
+		p[3] = grid.Point{X: xu, Y: yT, Z: lh}
+		p[4] = grid.Point{X: xT, Y: yT, Z: lh}
+		p[5] = grid.Point{X: xT, Y: yT, Z: lv2}
+		p[6] = grid.Point{X: xT, Y: yv, Z: lv2}
+		p[7] = grid.Point{X: xT, Y: yv, Z: lh2}
+		p[8] = grid.Point{X: xR, Y: yv, Z: lh2}
+		p[9] = grid.Point{X: xR, Y: yv, Z: 0}
+		rc.wires[id] = grid.Wire{ID: id, U: rc.labelAt[e.URow*rc.cols+e.UCol], V: rc.labelAt[e.VRow*rc.cols+e.VCol], Path: p}
+	}
+}
+
+// hLayerOf and vLayerOf place a track assignment's trunk and stub layers:
+// horizontal trunks on odd layer 2g+1 with the vertical stub one layer up
+// (or down at the top), vertical trunks on even layer 2g+2 symmetrically.
+func hLayerOf(a trackAssign, L int) (layerH, layerV, slot int) {
+	slot = a.slot
+	layerH = 2*a.group + 1
+	layerV = layerH + 1
+	if layerV > L {
+		layerV = layerH - 1
+	}
+	return
+}
+
+func vLayerOf(a trackAssign, L int) (layerV, layerH, slot int) {
+	slot = a.slot
+	layerV = 2*a.group + 2
+	layerH = layerV + 1
+	if layerH > L {
+		layerH = layerV - 1
+	}
+	return
+}
+
+// sortPortItems stable-sorts a node's wire ends by (dir, rank): an insertion
+// sort, because the per-node item count is bounded by the node side and a
+// stable sort is unique — the result is identical to sort.SliceStable on
+// either build path, without its allocations.
+func sortPortItems(items []portItem) {
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		j := i - 1
+		for j >= 0 && (items[j].dir > it.dir || (items[j].dir == it.dir && items[j].rank > it.rank)) {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = it
+	}
 }
 
 func ceilDiv(a, b int) int {
@@ -460,20 +590,24 @@ type trackAssign struct {
 // order ports consistently with trunk coordinates.
 func (a trackAssign) order() int { return a.slot<<16 | a.group }
 
-type assignResult struct {
-	row, col map[key]trackAssign
-}
+// pinFunc resolves a (direction, channel, track) to its bent-pinned layer
+// group, if the track belongs to a bent component; nil when the spec has no
+// bent edges at all.
+type pinFunc func(isCol bool, ch, track int) (int, bool)
 
-// assignTracks distributes each channel's tracks over layer groups.
-// Regular tracks balance freely; the H and V tracks of a bent edge are
-// pinned to one common group, so the junction via between the bent's
-// horizontal run (layer 2g+1) and vertical run (layer 2g+2) is a single
-// z-edge whose layer pair is unique per group — without this, junction vias
-// of different layer groups could land on the same (x, y) channel-slot
-// crossing and overlap. Track-sharing chains (several bents sharing escape
-// or trunk tracks) are grouped by union-find and spread round-robin over
-// the min(gH, gV) usable groups.
-func assignTracks(spec *Spec, gH, gV int) (assignResult, []int, []int) {
+// bentPins computes the pinned layer groups of bent-linked tracks. The H
+// and V tracks of a bent edge are pinned to one common group, so the
+// junction via between the bent's horizontal run (layer 2g+1) and vertical
+// run (layer 2g+2) is a single z-edge whose layer pair is unique per group —
+// without this, junction vias of different layer groups could land on the
+// same (x, y) channel-slot crossing and overlap. Track-sharing chains
+// (several bents sharing escape or trunk tracks) are grouped by union-find
+// and spread round-robin over the min(gH, gV) usable groups. Specs without
+// bent edges — the common case and the zero-alloc one — return nil.
+func bentPins(spec *Spec, gH, gV int) pinFunc {
+	if len(spec.Bent) == 0 {
+		return nil
+	}
 	type tnode struct {
 		isCol          bool
 		channel, track int
@@ -529,78 +663,193 @@ func assignTracks(spec *Spec, gH, gV int) (assignResult, []int, []int) {
 	for i, r := range reps {
 		compGroup[r] = i % gMin
 	}
-	pinnedGroup := func(nd tnode) (int, bool) {
-		r := find(nd)
-		g, ok := compGroup[r]
+	return func(isCol bool, ch, track int) (int, bool) {
+		g, ok := compGroup[find(tnode{isCol, ch, track})]
 		return g, ok
 	}
-
-	// Collect used track ids per channel.
-	rowIDs := make([][]int, spec.Rows)
-	colIDs := make([][]int, spec.Cols)
-	for _, e := range spec.RowEdges {
-		rowIDs[e.Index] = append(rowIDs[e.Index], e.Track)
-	}
-	for _, e := range spec.ColEdges {
-		colIDs[e.Index] = append(colIDs[e.Index], e.Track)
-	}
-	for _, e := range spec.Bent {
-		rowIDs[e.URow] = append(rowIDs[e.URow], e.HTrack)
-		colIDs[e.VCol] = append(colIDs[e.VCol], e.VTrack)
-	}
-
-	res := assignResult{row: make(map[key]trackAssign), col: make(map[key]trackAssign)}
-	place := func(ids [][]int, isCol bool, groups int, out map[key]trackAssign) []int {
-		slots := make([]int, len(ids))
-		for ch, tracks := range ids {
-			sort.Ints(tracks)
-			uniq := tracks[:0]
-			prev := 0
-			for i, t := range tracks {
-				if i == 0 || t != prev {
-					uniq = append(uniq, t)
-				}
-				prev = t
-			}
-			load := make([]int, groups)
-			// Pinned (bent) tracks first, then free tracks onto the
-			// lightest group.
-			var freeTracks []int
-			for _, t := range uniq {
-				if g, ok := pinnedGroup(tnode{isCol, ch, t}); ok {
-					out[key{ch, t}] = trackAssign{group: g, slot: load[g]}
-					load[g]++
-				} else {
-					freeTracks = append(freeTracks, t)
-				}
-			}
-			for _, t := range freeTracks {
-				g := 0
-				for i := 1; i < groups; i++ {
-					if load[i] < load[g] {
-						g = i
-					}
-				}
-				out[key{ch, t}] = trackAssign{group: g, slot: load[g]}
-				load[g]++
-			}
-			max := 0
-			for _, l := range load {
-				if l > max {
-					max = l
-				}
-			}
-			slots[ch] = max
-		}
-		return slots
-	}
-	hSlots := place(rowIDs, false, gH, res.row)
-	wSlots := place(colIDs, true, gV, res.col)
-	return res, hSlots, wSlots
 }
 
-func checkLabels(spec Spec, label func(int, int) int, n int) error {
-	seen := make([]bool, n)
+// assignTracks distributes each channel's tracks over layer groups, filling
+// the two track tables and returning the per-channel slot counts. Both
+// backends collect each channel's track ids (the map path into per-channel
+// slices, the arena path into counted slab segments), sort-uniq them with
+// the shared sortUniq, and place them with the shared placeChannel, so the
+// assignment cannot diverge between the paths.
+func assignTracks(spec *Spec, s *BuildScratch, gH, gV int) (rowT, colT *trackTable, hSlots, wSlots []int) {
+	pin := bentPins(spec, gH, gV)
+	// The slot-count slices are referenced by the returned Geometry, so
+	// they are allocated fresh on both paths.
+	hSlots = make([]int, spec.Rows)
+	wSlots = make([]int, spec.Cols)
+	gMax := gH
+	if gV > gMax {
+		gMax = gV
+	}
+	var load []int
+	if s != nil {
+		load = s.ints.take(gMax, false)
+	} else {
+		load = make([]int, gMax)
+	}
+	var free []int
+
+	if s == nil {
+		rowT = &trackTable{m: make(map[key]trackAssign)}
+		colT = &trackTable{m: make(map[key]trackAssign)}
+		rowIDs := make([][]int, spec.Rows)
+		colIDs := make([][]int, spec.Cols)
+		for _, e := range spec.RowEdges {
+			rowIDs[e.Index] = append(rowIDs[e.Index], e.Track)
+		}
+		for _, e := range spec.ColEdges {
+			colIDs[e.Index] = append(colIDs[e.Index], e.Track)
+		}
+		for _, e := range spec.Bent {
+			rowIDs[e.URow] = append(rowIDs[e.URow], e.HTrack)
+			colIDs[e.VCol] = append(colIDs[e.VCol], e.VTrack)
+		}
+		for ch, tracks := range rowIDs {
+			hSlots[ch], free = placeChannel(rowT, false, ch, sortUniq(tracks), gH, pin, load[:gH], free)
+		}
+		for ch, tracks := range colIDs {
+			wSlots[ch], free = placeChannel(colT, true, ch, sortUniq(tracks), gV, pin, load[:gV], free)
+		}
+		return rowT, colT, hSlots, wSlots
+	}
+
+	rowT = scratchTracks(s, spec.Rows, func(emit func(ch, t int)) {
+		for _, e := range spec.RowEdges {
+			emit(e.Index, e.Track)
+		}
+		for _, e := range spec.Bent {
+			emit(e.URow, e.HTrack)
+		}
+	})
+	colT = scratchTracks(s, spec.Cols, func(emit func(ch, t int)) {
+		for _, e := range spec.ColEdges {
+			emit(e.Index, e.Track)
+		}
+		for _, e := range spec.Bent {
+			emit(e.VCol, e.VTrack)
+		}
+	})
+	for ch := 0; ch < spec.Rows; ch++ {
+		uniq := sortUniq(rowT.seg(ch))
+		rowT.uniqLen[ch] = int32(len(uniq))
+		hSlots[ch], free = placeChannel(rowT, false, ch, uniq, gH, pin, load[:gH], free)
+	}
+	for ch := 0; ch < spec.Cols; ch++ {
+		uniq := sortUniq(colT.seg(ch))
+		colT.uniqLen[ch] = int32(len(uniq))
+		wSlots[ch], free = placeChannel(colT, true, ch, uniq, gV, pin, load[:gV], free)
+	}
+	return rowT, colT, hSlots, wSlots
+}
+
+// seg returns channel ch's raw (pre-uniq) track-id segment.
+func (t *trackTable) seg(ch int) []int {
+	return t.ids[t.starts[ch]:t.starts[ch+1]]
+}
+
+// scratchTracks count-then-fills the per-channel track-id segments of a
+// scratch-backed track table: visit enumerates every (channel, track)
+// occurrence twice, once to size the segments and once to fill them.
+func scratchTracks(s *BuildScratch, nCh int, visit func(emit func(ch, t int))) *trackTable {
+	counts := s.ints.take(nCh, true)
+	visit(func(ch, t int) { counts[ch]++ })
+	t := &trackTable{
+		starts:  s.i32.take(nCh+1, false),
+		uniqLen: s.i32.take(nCh, false),
+	}
+	total := 0
+	for ch, c := range counts {
+		t.starts[ch] = int32(total)
+		total += c
+	}
+	t.starts[nCh] = int32(total)
+	t.ids = s.ints.take(total, false)
+	t.as = s.assigns.take(total, false)
+	for ch := range counts {
+		counts[ch] = int(t.starts[ch]) // reuse as fill cursors
+	}
+	visit(func(ch, tr int) {
+		t.ids[counts[ch]] = tr
+		counts[ch]++
+	})
+	return t
+}
+
+// sortUniq sorts a channel's track ids in place and compacts duplicates,
+// returning the unique prefix.
+func sortUniq(tracks []int) []int {
+	sort.Ints(tracks)
+	uniq := tracks[:0]
+	prev := 0
+	for i, t := range tracks {
+		if i == 0 || t != prev {
+			uniq = append(uniq, t)
+		}
+		prev = t
+	}
+	return uniq
+}
+
+// lightest returns the index of the least-loaded group (first wins ties).
+func lightest(load []int) int {
+	g := 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < load[g] {
+			g = i
+		}
+	}
+	return g
+}
+
+// placeChannel assigns one channel's sorted unique tracks to layer groups:
+// pinned (bent) tracks first in track order, then free tracks onto the
+// lightest group, matching the original map-path order exactly. free is a
+// reusable index buffer threaded through the caller's loop; the returned
+// max per-group load is the channel's slot count.
+func placeChannel(tab *trackTable, isCol bool, ch int, uniq []int, groups int, pin pinFunc, load, free []int) (int, []int) {
+	clear(load)
+	if pin == nil {
+		for i, t := range uniq {
+			g := lightest(load)
+			tab.set(ch, i, t, trackAssign{group: g, slot: load[g]})
+			load[g]++
+		}
+	} else {
+		free = free[:0]
+		for i, t := range uniq {
+			if g, ok := pin(isCol, ch, t); ok {
+				tab.set(ch, i, t, trackAssign{group: g, slot: load[g]})
+				load[g]++
+			} else {
+				free = append(free, i)
+			}
+		}
+		for _, i := range free {
+			g := lightest(load)
+			tab.set(ch, i, uniq[i], trackAssign{group: g, slot: load[g]})
+			load[g]++
+		}
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max, free
+}
+
+func checkLabels(spec Spec, label func(int, int) int, n int, s *BuildScratch) error {
+	var seen []bool
+	if s != nil {
+		seen = s.bools.take(n, true)
+	} else {
+		seen = make([]bool, n)
+	}
 	for r := 0; r < spec.Rows; r++ {
 		for c := 0; c < spec.Cols; c++ {
 			l := label(r, c)
@@ -613,16 +862,10 @@ func checkLabels(spec Spec, label func(int, int) int, n int) error {
 	return nil
 }
 
-// checkEdges validates ranges and per-(channel, track) interval
-// disjointness. Intervals are measured in half-positions so that bent-edge
-// segments, which end inside a channel rather than at a node, can share
-// tracks with channel edges safely: position p maps to 2p (node) and the
-// channel right of / above p maps to 2p+1.
-func checkEdges(spec *Spec) error {
-	type iv struct{ u, v int }
-	rowIv := make(map[key][]iv)
-	colIv := make(map[key][]iv)
-
+// checkEdgeRanges validates edge coordinate ranges in declaration order —
+// row edges, column edges, bent edges — with the same messages on both
+// build paths.
+func checkEdgeRanges(spec *Spec) error {
 	for i, e := range spec.RowEdges {
 		if e.Index < 0 || e.Index >= spec.Rows {
 			return fmt.Errorf("%s: row edge %d channel %d out of range", spec.Name, i, e.Index)
@@ -630,8 +873,6 @@ func checkEdges(spec *Spec) error {
 		if e.U < 0 || e.V >= spec.Cols || e.U >= e.V {
 			return fmt.Errorf("%s: row edge %d interval [%d,%d] invalid", spec.Name, i, e.U, e.V)
 		}
-		k := key{e.Index, e.Track}
-		rowIv[k] = append(rowIv[k], iv{2 * e.U, 2 * e.V})
 	}
 	for i, e := range spec.ColEdges {
 		if e.Index < 0 || e.Index >= spec.Cols {
@@ -640,8 +881,6 @@ func checkEdges(spec *Spec) error {
 		if e.U < 0 || e.V >= spec.Rows || e.U >= e.V {
 			return fmt.Errorf("%s: column edge %d interval [%d,%d] invalid", spec.Name, i, e.U, e.V)
 		}
-		k := key{e.Index, e.Track}
-		colIv[k] = append(colIv[k], iv{2 * e.U, 2 * e.V})
 	}
 	for i, e := range spec.Bent {
 		if e.URow < 0 || e.URow >= spec.Rows || e.VRow < 0 || e.VRow >= spec.Rows ||
@@ -651,20 +890,40 @@ func checkEdges(spec *Spec) error {
 		if e.URow == e.VRow && e.UCol == e.VCol {
 			return fmt.Errorf("%s: bent edge %d is a self-loop", spec.Name, i)
 		}
-		// Horizontal segment: from the U port (2·UCol) to the trunk channel
-		// (2·VCol+1).
-		hu, hv := 2*e.UCol, 2*e.VCol+1
-		if hu > hv {
-			hu, hv = hv, hu
-		}
+	}
+	return nil
+}
+
+// checkEdges validates ranges and per-(channel, track) interval
+// disjointness. Intervals are measured in half-positions so that bent-edge
+// segments, which end inside a channel rather than at a node, can share
+// tracks with channel edges safely: position p maps to 2p (node) and the
+// channel right of / above p maps to 2p+1. The map path groups intervals in
+// per-key hash maps; the arena path sorts one flat tuple slab per direction
+// and scans runs — both enforce the identical overlap rule.
+func checkEdges(spec *Spec, s *BuildScratch) error {
+	if err := checkEdgeRanges(spec); err != nil {
+		return err
+	}
+	if s != nil {
+		return checkOverlapsFlat(spec, s)
+	}
+
+	type iv struct{ u, v int }
+	rowIv := make(map[key][]iv)
+	colIv := make(map[key][]iv)
+	for _, e := range spec.RowEdges {
+		k := key{e.Index, e.Track}
+		rowIv[k] = append(rowIv[k], iv{2 * e.U, 2 * e.V})
+	}
+	for _, e := range spec.ColEdges {
+		k := key{e.Index, e.Track}
+		colIv[k] = append(colIv[k], iv{2 * e.U, 2 * e.V})
+	}
+	for _, e := range spec.Bent {
+		hu, hv, vu, vv := bentHalfIntervals(e)
 		hk := key{e.URow, e.HTrack}
 		rowIv[hk] = append(rowIv[hk], iv{hu, hv})
-		// Vertical segment: from URow's channel (2·URow+1) to the V port
-		// (2·VRow).
-		vu, vv := 2*e.URow+1, 2*e.VRow
-		if vu > vv {
-			vu, vv = vv, vu
-		}
 		vk := key{e.VCol, e.VTrack}
 		colIv[vk] = append(colIv[vk], iv{vu, vv})
 	}
@@ -694,4 +953,78 @@ func checkEdges(spec *Spec) error {
 		return err
 	}
 	return checkDisjoint(colIv, "column")
+}
+
+// bentHalfIntervals returns a bent edge's two half-position intervals: the
+// horizontal segment from the U port (2·UCol) to the trunk channel
+// (2·VCol+1), and the vertical segment from URow's channel (2·URow+1) to
+// the V port (2·VRow), each normalized to u <= v.
+func bentHalfIntervals(e BentEdge) (hu, hv, vu, vv int) {
+	hu, hv = 2*e.UCol, 2*e.VCol+1
+	if hu > hv {
+		hu, hv = hv, hu
+	}
+	vu, vv = 2*e.URow+1, 2*e.VRow
+	if vu > vv {
+		vu, vv = vv, vu
+	}
+	return
+}
+
+// checkOverlapsFlat is the arena path's interval-disjointness check: one
+// flat tuple slab per direction, sorted by (channel, track, u, v), with
+// same-track runs scanned under the map path's overlap rule.
+func checkOverlapsFlat(spec *Spec, s *BuildScratch) error {
+	rows := s.ivs.take(len(spec.RowEdges)+len(spec.Bent), false)
+	k := 0
+	for _, e := range spec.RowEdges {
+		rows[k] = ivRec{ch: e.Index, track: e.Track, u: 2 * e.U, v: 2 * e.V}
+		k++
+	}
+	for _, e := range spec.Bent {
+		hu, hv, _, _ := bentHalfIntervals(e)
+		rows[k] = ivRec{ch: e.URow, track: e.HTrack, u: hu, v: hv}
+		k++
+	}
+	if err := scanOverlaps(spec.Name, "row", rows); err != nil {
+		return err
+	}
+	cols := s.ivs.take(len(spec.ColEdges)+len(spec.Bent), false)
+	k = 0
+	for _, e := range spec.ColEdges {
+		cols[k] = ivRec{ch: e.Index, track: e.Track, u: 2 * e.U, v: 2 * e.V}
+		k++
+	}
+	for _, e := range spec.Bent {
+		_, _, vu, vv := bentHalfIntervals(e)
+		cols[k] = ivRec{ch: e.VCol, track: e.VTrack, u: vu, v: vv}
+		k++
+	}
+	return scanOverlaps(spec.Name, "column", cols)
+}
+
+func scanOverlaps(name, what string, ivs []ivRec) error {
+	slices.SortFunc(ivs, func(a, b ivRec) int {
+		if a.ch != b.ch {
+			return a.ch - b.ch
+		}
+		if a.track != b.track {
+			return a.track - b.track
+		}
+		if a.u != b.u {
+			return a.u - b.u
+		}
+		return a.v - b.v
+	})
+	for i := 1; i < len(ivs); i++ {
+		p, c := ivs[i-1], ivs[i]
+		if p.ch != c.ch || p.track != c.track {
+			continue
+		}
+		if c.u < p.v || (c.u == p.v && c.u%2 == 1) {
+			return fmt.Errorf("%s: %s channel %d track %d intervals [%d,%d] and [%d,%d] overlap (half-position units)",
+				name, what, c.ch, c.track, p.u, p.v, c.u, c.v)
+		}
+	}
+	return nil
 }

@@ -25,11 +25,13 @@ func FromFactors(name string, rowFac, colFac *track.Collinear, l, nodeSide int) 
 			return colFac.Label(r)*rowFac.N + rowFac.Label(c)
 		},
 	}
+	spec.RowEdges = make([]ChannelEdge, 0, spec.Rows*len(rowFac.Edges))
 	for r := 0; r < spec.Rows; r++ {
 		for _, e := range rowFac.Edges {
 			spec.RowEdges = append(spec.RowEdges, ChannelEdge{Index: r, U: e.U, V: e.V, Track: e.Track})
 		}
 	}
+	spec.ColEdges = make([]ChannelEdge, 0, spec.Cols*len(colFac.Edges))
 	for c := 0; c < spec.Cols; c++ {
 		for _, e := range colFac.Edges {
 			spec.ColEdges = append(spec.ColEdges, ChannelEdge{Index: c, U: e.U, V: e.V, Track: e.Track})

@@ -3,6 +3,7 @@ package grid
 import (
 	"context"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -64,7 +65,20 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		ob.Add(obs.UnitEdgesChecked, int64(total))
 		ob.Add(obs.DenseChecks, 1)
 		ob.Add(obs.CellsAllocated, int64(ix.cells))
-		return checkDenseParallel(ctx, wires, opts, ix, w)
+		// On the dense path every extra shard costs a full-size occupancy
+		// bitset — cleared, walked, and rescanned in the merge — so fan-out
+		// beyond the machine's actual parallelism only multiplies memory
+		// traffic. That, not the merge scan itself (~0.5ms of the BENCH_5
+		// 12-cube check), is why w=4 ran slower than w=1 on a single-core
+		// host; large inputs therefore clamp to GOMAXPROCS. Small inputs
+		// keep the requested fan-out: the result is identical for every
+		// shard count, and tests rely on small multi-shard runs to cover the
+		// cross-shard merge.
+		dw := w
+		if maxp := runtime.GOMAXPROCS(0); dw > maxp && total >= denseClampEdges {
+			dw = maxp
+		}
+		return checkDenseParallel(ctx, wires, opts, ix, dw)
 	}
 	enc, ok := newEdgeEncoderFromBox(box)
 	if !ok {
@@ -129,6 +143,12 @@ func (c *canceler) hit(counter int) bool {
 // wordsPerLine is the occupancy-bitset alignment unit for the merge scan:
 // eight 64-bit words is one 64-byte cache line.
 const wordsPerLine = 8
+
+// denseClampEdges is the unit-edge count above which the dense path limits
+// its fan-out to GOMAXPROCS. Below it the per-shard bitsets are small enough
+// that oversubscription costs nothing measurable, and keeping the requested
+// fan-out lets small tests exercise the multi-shard merge.
+const denseClampEdges = 1 << 15
 
 // checkDenseParallel is CheckParallelCtx's dense core.
 //
@@ -202,6 +222,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 				}
 				for dup != 0 {
 					bit := bits.TrailingZeros64(dup)
+					//mlvlsi:allow hotpath found stays nil on the legal path; it only grows once shards contest an edge, which is already the replay (cold) path
 					found = append(found, wd<<6|bit)
 					dup &^= 1 << bit
 				}
@@ -217,7 +238,11 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 		}
 	}
 
-	var all []seqViolation
+	nviol := 0
+	for s := range results {
+		nviol += len(results[s].violations)
+	}
+	all := make([]seqViolation, 0, nviol)
 	for s := range results {
 		all = append(all, results[s].violations...)
 	}

@@ -108,6 +108,19 @@ const (
 	// ChaosInjected counts network faults injected by the resilience chaos
 	// transport (ClassServe).
 	ChaosInjected
+	// ScratchReuses counts arena builds that reused an already-warm
+	// BuildScratch (every build on a scratch after its first). Serial reuse
+	// of one scratch is deterministic, but pooled scratches are handed to
+	// builds in arrival order, so totals reproduce only for serial streams
+	// (ClassServe).
+	ScratchReuses
+	// ScratchBytes gauges the retained slab capacity of the scratch used by
+	// the most recent arena build (ClassConfig, written with Set).
+	ScratchBytes
+	// BatchPipelineStalls counts times a batch pipeline stage had to block —
+	// the builder on a full hand-off queue or the verifier on an empty one —
+	// a backpressure signal that depends on scheduling (ClassServe).
+	BatchPipelineStalls
 
 	numCounters
 )
@@ -168,6 +181,12 @@ func (c Counter) String() string {
 		return "breaker_opens"
 	case ChaosInjected:
 		return "chaos_injected"
+	case ScratchReuses:
+		return "scratch_reuses"
+	case ScratchBytes:
+		return "scratch_bytes"
+	case BatchPipelineStalls:
+		return "batch_pipeline_stalls"
 	}
 	return "counter_unknown"
 }
@@ -194,13 +213,14 @@ const (
 // Class returns the counter's reproducibility class.
 func (c Counter) Class() Class {
 	switch c {
-	case BudgetHeadroom, WorkerCount:
+	case BudgetHeadroom, WorkerCount, ScratchBytes:
 		return ClassConfig
 	case MergeNanos:
 		return ClassTiming
 	case CacheHits, CacheMisses, CacheEvictions, CacheInflightWaits, CacheBytes,
 		QueueDepth, QueueMaxDepth, ShedQueueFull, ShedDeadline, ShedDraining,
-		DegradedServed, PanicsRecovered, ClientRetries, BreakerOpens, ChaosInjected:
+		DegradedServed, PanicsRecovered, ClientRetries, BreakerOpens, ChaosInjected,
+		ScratchReuses, BatchPipelineStalls:
 		return ClassServe
 	}
 	return ClassWork

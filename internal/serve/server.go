@@ -15,6 +15,7 @@ import (
 
 	"mlvlsi"
 	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
 	"mlvlsi/internal/resilience"
 )
 
@@ -67,6 +68,12 @@ type Server struct {
 	// buildFn runs one cache miss; tests substitute failing or panicking
 	// engines here.
 	buildFn BuildFunc
+	// scratches pools arena build scratches, one slot per admitted
+	// concurrent build (sized by Config.Workers): cache misses draw a warm
+	// scratch and return it after the build. Take never blocks — an empty
+	// pool hands out a fresh scratch — and extras beyond the pool size are
+	// dropped, so a burst can only cost allocations, never progress.
+	scratches chan *mlvlsi.BuildScratch
 }
 
 // New creates a server with its cache, admission queue, and routes installed.
@@ -87,13 +94,17 @@ func New(cfg Config) *Server {
 			FamilyLimits:  cfg.FamilyLimits,
 			Obs:           cfg.Obs,
 		}),
-		mux: http.NewServeMux(),
-		log: cfg.Log,
+		mux:       http.NewServeMux(),
+		log:       cfg.Log,
+		scratches: make(chan *mlvlsi.BuildScratch, par.Workers(cfg.Workers)),
 	}
 	s.buildFn = func(ctx context.Context, req mlvlsi.BuildRequest) (*mlvlsi.Layout, error) {
-		return mlvlsi.BuildSpecObserved(ctx, req, s.obs)
+		scratch := s.takeScratch()
+		defer s.putScratch(scratch)
+		return mlvlsi.BuildSpecWith(ctx, req, s.obs, scratch)
 	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
+	s.mux.HandleFunc("/v1/build_batch", s.handleBuildBatch)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/svg", s.handleSVG)
 	s.mux.HandleFunc("/v1/families", s.handleFamilies)
@@ -319,6 +330,27 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithCancel(ctx)
 }
 
+// takeScratch draws a warm scratch from the pool, or makes a fresh one when
+// every pooled scratch is in use — builds never wait on scratch
+// availability.
+func (s *Server) takeScratch() *mlvlsi.BuildScratch {
+	select {
+	case sc := <-s.scratches:
+		return sc
+	default:
+		return mlvlsi.NewBuildScratch()
+	}
+}
+
+// putScratch returns a scratch for reuse, dropping it when the pool is
+// already full (the burst that created it has passed).
+func (s *Server) putScratch(sc *mlvlsi.BuildScratch) {
+	select {
+	case s.scratches <- sc:
+	default:
+	}
+}
+
 // build runs one request through the cache under its precomputed key.
 // Admission happens inside the miss path: cache hits and in-flight waits
 // never occupy a queue slot, only the request that actually runs an engine
@@ -379,6 +411,99 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Stats:    res.Stats,
 		MemBytes: res.MemBytes,
 	})
+}
+
+// maxBatchItems bounds one /v1/build_batch request; bigger sweeps should be
+// split so admission and deadlines see work at request granularity.
+const maxBatchItems = 1024
+
+// batchRequest is the /v1/build_batch request body.
+type batchRequest struct {
+	Requests []mlvlsi.BuildRequest `json:"requests"`
+}
+
+// batchItem is one /v1/build_batch item outcome: either the buildResponse
+// fields or an error envelope, mirroring what /v1/build would have answered
+// for the same request — batching changes amortization, never semantics.
+type batchItem struct {
+	Key      string       `json:"key,omitempty"`
+	Cache    string       `json:"cache,omitempty"`
+	Stats    mlvlsi.Stats `json:"stats,omitempty"`
+	MemBytes int64        `json:"mem_bytes,omitempty"`
+	Error    *errorInfo   `json:"error,omitempty"`
+}
+
+// batchResponse is the /v1/build_batch success body; Results aligns with
+// the request's Requests slice index for index.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+// handleBuildBatch runs many builds in one request, sharing the batch's
+// deadline. Each item goes through the same path as /v1/build — canonical
+// key, cache with singleflight, admission on the miss, pooled scratch — and
+// fails independently: one bad item yields one error envelope in its result
+// slot, never a failed batch. Identical items therefore collapse onto one
+// engine run, and distinct cache-miss items reuse the pool's warm scratches
+// back to back.
+func (s *Server) handleBuildBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		badRequest(w, http.StatusMethodNotAllowed, "%s needs POST with a JSON {\"requests\": [...]} body", r.URL.Path)
+		return
+	}
+	var breq batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		badRequest(w, http.StatusBadRequest, "decoding batch request: %v", err)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		badRequest(w, http.StatusBadRequest, "batch has no requests")
+		return
+	}
+	if len(breq.Requests) > maxBatchItems {
+		badRequest(w, http.StatusBadRequest, "batch has %d requests, limit is %d", len(breq.Requests), maxBatchItems)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	span := s.obs.StartSpan("batch")
+	span.SetAttr("items", int64(len(breq.Requests)))
+	defer span.End()
+	resp := batchResponse{Results: make([]batchItem, len(breq.Requests))}
+	for i, req := range breq.Requests {
+		resp.Results[i] = s.batchOne(ctx, req)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchOne runs one batch item, containing its failures — including panics,
+// which for a single request the recovery middleware would map to a 500 —
+// to the item's own error envelope.
+func (s *Server) batchOne(ctx context.Context, req mlvlsi.BuildRequest) (item batchItem) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.obs.Add(obs.PanicsRecovered, 1)
+			fmt.Fprintf(s.log, "serve: panic in batch item: %v\n%s", v, debug.Stack())
+			item = batchItem{Error: &errorInfo{
+				Status: http.StatusInternalServerError, Kind: "internal",
+				Message: fmt.Sprintf("panic: %v", v),
+			}}
+		}
+	}()
+	canon, err := req.Canonical()
+	if err != nil {
+		info := envelope(err)
+		return batchItem{Error: &info}
+	}
+	key := canon.Key()
+	res, out, err := s.build(ctx, key, s.admit(canon))
+	if err != nil {
+		info := envelope(err)
+		return batchItem{Key: key, Error: &info}
+	}
+	return batchItem{Key: key, Cache: out.String(), Stats: res.Stats, MemBytes: res.MemBytes}
 }
 
 // degraded decides whether a failed build can be answered with a retained

@@ -203,8 +203,18 @@ func BuildSpec(ctx context.Context, req BuildRequest) (*Layout, error) {
 // everywhere). The layoutd daemon routes every cache miss through it so one
 // observer sees builds and cache traffic together.
 func BuildSpecObserved(ctx context.Context, req BuildRequest, obsv *Observer) (*Layout, error) {
+	return BuildSpecWith(ctx, req, obsv, nil)
+}
+
+// BuildSpecWith is BuildSpecObserved with an arena scratch: a non-nil
+// scratch selects the zero-alloc build path (see Options.Scratch for the
+// ownership contract), nil the default allocating path — the constructed
+// layout is byte-identical either way. The layoutd daemon and the batch
+// APIs route their builds through it to reuse one scratch across requests.
+func BuildSpecWith(ctx context.Context, req BuildRequest, obsv *Observer, scratch *BuildScratch) (*Layout, error) {
 	o := req.Options()
 	o.Context = ctx
 	o.Observer = obsv
+	o.Scratch = scratch
 	return BuildFamily(req.Family, o)
 }
