@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	repolint [-json] [-list] [packages]
+//	repolint [-json] [-list] [-max-suppressed n] [packages]
 //
 // The package argument is accepted for familiarity ("./...") but the tool
 // always analyzes the entire module containing the named directory (default
@@ -18,8 +18,10 @@
 //
 // with paths relative to the module root. Intentional exceptions carry a
 // "//mlvlsi:allow <analyzer>" comment in source; they are suppressed but
-// still counted and listed on stderr so exceptions stay visible. -json
-// emits every finding (active and suppressed) as a JSON array on stdout.
+// still counted and listed on stderr so exceptions stay visible, and
+// -max-suppressed turns that count into a budget: more than n declared
+// exceptions fails the lint even with zero active findings. -json emits
+// every finding (active and suppressed) as a JSON array on stdout.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	maxSuppressed := flag.Int("max-suppressed", -1, "fail when more than this many //mlvlsi:allow exceptions exist (negative disables the budget)")
 	flag.Parse()
 
 	if *list {
@@ -79,7 +82,13 @@ func main() {
 	} else {
 		emitText(rep)
 	}
-	if len(rep.Findings) > 0 {
+	fail := len(rep.Findings) > 0
+	if *maxSuppressed >= 0 && len(rep.Suppressed) > *maxSuppressed {
+		fmt.Fprintf(os.Stderr, "repolint: suppression budget exceeded: %d //mlvlsi:allow exceptions (budget %d); fix the findings instead of waiving them\n",
+			len(rep.Suppressed), *maxSuppressed)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -43,7 +43,10 @@ type Analyzer struct {
 // Analyzers returns the full analyzer set, in name order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		arenaEscapeAnalyzer,
+		counterDisciplineAnalyzer,
 		ctxflowAnalyzer,
+		envelopeAnalyzer,
 		goroutineAnalyzer,
 		hotpathAnalyzer,
 		mapDeterminismAnalyzer,

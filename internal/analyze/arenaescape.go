@@ -1,0 +1,160 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// arenaEscapeAnalyzer enforces the arena ownership contract (DESIGN §9):
+// memory carved from a BuildScratch — a slab take() result or a pointer
+// into the scratch itself — must never flow into a Layout / Wires / Result
+// value or be returned at such a position, unless the flow happens on a
+// transient-mode path (a branch consulting the scratch's transient flag,
+// where the caller has opted into scratch-backed results that die at the
+// next build). The engine's differential tests catch an escape only when
+// a reused scratch happens to corrupt a compared layout; this analyzer
+// catches the alias itself, at the write, with the def-use chain that
+// carried it. Scalars loaded off scratch memory (an int read from a slab
+// slice) copy by value and are exempt.
+//
+// The tracking is intra-procedural and path-insensitive (see dataflow.go),
+// which is exactly the strength the contract needs: every build-path
+// helper takes the *BuildScratch it draws from as a parameter, so each
+// escape is visible inside one function.
+var arenaEscapeAnalyzer = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "scratch-backed memory must not reach Layout/Wires/Result values outside a transient-mode path",
+	Run:  runArenaEscape,
+}
+
+// arenaSinkNames are the protected result types, matched by name so the
+// contract follows the types through the public aliases (mlvlsi.Layout =
+// layout.Layout) and applies to fixtures.
+var arenaSinkNames = map[string]bool{
+	"Layout": true,
+	"Result": true,
+	"Wires":  true,
+	"Wire":   true,
+}
+
+func runArenaEscape(m *Module, report func(pos token.Pos, message string)) {
+	for _, pkg := range m.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		info := pkg.Info
+		spec := &flowSpec{
+			info:      info,
+			source:    func(e ast.Expr) (string, bool) { return arenaSource(info, e) },
+			sanctions: mentionsTransient,
+			sinkType:  isArenaSinkType,
+			report: func(pos token.Pos, sink string, t *valueTaint) {
+				report(pos, fmt.Sprintf(
+					"scratch-backed memory reaches %s outside a transient-mode path (def-use: %s -> %s); copy into fresh memory or guard the hand-off with the scratch's transient flag",
+					sink, m.renderChain(t), sink))
+			},
+		}
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			flowFunc(spec, fd)
+		})
+	}
+}
+
+// arenaSource classifies the two ways scratch memory enters circulation:
+// a take() call on a slab reached through a BuildScratch, and taking the
+// address of a field of the scratch itself (&s.lay).
+func arenaSource(info *types.Info, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "take" && chainRootIsScratch(info, sel.X) {
+			return exprString(x), true
+		}
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			break
+		}
+		sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr)
+		if ok && chainRootIsScratch(info, sel.X) {
+			return exprString(x), true
+		}
+	}
+	return "", false
+}
+
+// chainRootIsScratch walks a selector/index chain to its base expression
+// and reports whether that base is a BuildScratch (or pointer to one).
+func chainRootIsScratch(info *types.Info, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if isScratchType(info.TypeOf(x.X)) {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return isScratchType(info.TypeOf(e))
+		}
+	}
+}
+
+func isScratchType(t types.Type) bool {
+	return namedTypeName(t) == "BuildScratch"
+}
+
+// isArenaSinkType reports the protected result types, looking through
+// pointers, slices, and arrays (a *Layout, a []Wire, and a Wires are all
+// protected destinations).
+func isArenaSinkType(t types.Type) bool {
+	return arenaSinkNames[namedTypeName(t)]
+}
+
+// namedTypeName unwraps pointers/slices/arrays and returns the named
+// type's name, or "".
+func namedTypeName(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Slice:
+			t = x.Elem()
+		case *types.Array:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return ""
+		}
+	}
+}
+
+// mentionsTransient reports whether an if-condition consults the
+// transient flag (the `s != nil && s.transient` guard shape, or a
+// Transient() accessor). The match is lexical by design: the guard is a
+// contract marker, and a dedicated flag read is what the contract's
+// sanctioned branch looks like.
+func mentionsTransient(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "transient" || x.Sel.Name == "Transient" {
+				found = true
+			}
+		case *ast.Ident:
+			if x.Name == "transient" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestArenaEscapeCatchesEngineMutation is the acceptance check for the
+// arena ownership contract: deliberately aliasing a scratch slice into the
+// engine's result outside the transient guard must produce an arenaescape
+// finding whose message carries the offending def-use chain. The mutation
+// is applied to a temporary copy of the module so the real tree stays
+// clean (TestModuleClean proves the unmutated tree has no findings).
+func TestArenaEscapeCatchesEngineMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks the whole module")
+	}
+	tmp := t.TempDir()
+	copyModule(t, "../..", tmp)
+
+	enginePath := filepath.Join(tmp, "internal/core/engine.go")
+	src, err := os.ReadFile(enginePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-alias the result's wire slice to scratch memory right before the
+	// engine returns, outside any transient guard — the exact bug class
+	// the analyzer exists for.
+	const anchor = "\treturn lay, geom, nil"
+	mutation := "\tif s != nil {\n\t\tlay.Wires = s.wires.take(1, false)\n\t}\n" + anchor
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("engine.go no longer contains %q; update the mutation anchor", anchor)
+	}
+	mutated := strings.Replace(string(src), anchor, mutation, 1)
+	if err := os.WriteFile(enginePath, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Load(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range m.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("mutated module must still type-check, got: %v", terr)
+		}
+	}
+	rep := Run(m, []*Analyzer{arenaEscapeAnalyzer})
+	var hit bool
+	for _, f := range rep.Findings {
+		if f.Pos.Filename != "internal/core/engine.go" {
+			t.Errorf("unexpected finding outside engine.go: %s", f)
+			continue
+		}
+		if strings.Contains(f.Message, "s.wires.take") && strings.Contains(f.Message, "->") &&
+			strings.Contains(f.Message, "lay.Wires") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("mutated engine produced no arenaescape finding naming the s.wires.take -> lay.Wires chain; findings: %v", rep.Findings)
+	}
+}
+
+// copyModule copies the module's go.mod and non-test Go sources into dst,
+// skipping testdata (fixture modules), dot-directories, and build
+// artifacts, so the copy type-checks exactly like the original.
+func copyModule(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") && d.Name() != "go.mod" {
+			return nil
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// counterDisciplineAnalyzer keeps the observability counters honest. The
+// internal/obs registry is a closed enum — every exported Counter constant
+// must be (a) registered in Counter.String, or snapshots render it as
+// counter_unknown, and (b) incremented somewhere (an Observer.Add or
+// Observer.Set site), or it is dead weight that dashboards will chart as
+// an eternal zero. On top of the registry audit, the analyzer pins the
+// PR5 determinism invariant — work-class counter totals are byte-identical
+// across worker counts — by banning Add/Set of a work-class counter
+// lexically inside a function literal handed to the internal/par pool:
+// per-worker increments of a deterministic counter make the totals depend
+// on scheduling. Serve/timing/config-class counters (anything listed in
+// Counter.Class) measure scheduling on purpose — pipeline stalls, queue
+// depths — and are exempt.
+//
+// The worker-closure check is lexical (a literal that is an argument of a
+// call into internal/par): that is the shape every pool dispatch in the
+// tree uses, and a helper closure invoked from a worker is the
+// coordinator's responsibility at its definition site.
+var counterDisciplineAnalyzer = &Analyzer{
+	Name: "counterdiscipline",
+	Doc:  "every exported obs.Counter is registered in String and incremented somewhere; work-class counters never count inside par worker closures",
+	Run:  runCounterDiscipline,
+}
+
+func runCounterDiscipline(m *Module, report func(pos token.Pos, message string)) {
+	var obsPkg *Package
+	for _, pkg := range m.Packages {
+		if pkg.Types != nil && strings.HasSuffix(pkg.ImportPath, "internal/obs") {
+			obsPkg = pkg
+			break
+		}
+	}
+	if obsPkg == nil {
+		return
+	}
+	counterType, _ := obsPkg.Types.Scope().Lookup("Counter").(*types.TypeName)
+	if counterType == nil {
+		return
+	}
+
+	// The registry: every exported constant of type Counter.
+	var counters []*types.Const
+	scope := obsPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && c.Exported() && namedTypeName(c.Type()) == "Counter" {
+			counters = append(counters, c)
+		}
+	}
+	registered := methodConstRefs(obsPkg, counterType, "String")
+	classified := methodConstRefs(obsPkg, counterType, "Class")
+
+	incremented := map[types.Object]bool{}
+	for _, pkg := range m.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		// Increment sites, and the worker-closure rule.
+		parLits := parWorkerLits(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				c := counterArg(pkg, n)
+				if c == nil {
+					return true
+				}
+				incremented[c] = true
+				call := n.(*ast.CallExpr)
+				if !classified[c] && inAnyLit(parLits, call.Pos()) {
+					report(call.Pos(), fmt.Sprintf(
+						"work counter %s is incremented inside a par worker closure; totals would depend on scheduling — count in the coordinator (or classify the counter in Counter.Class)",
+						c.Name()))
+				}
+				return true
+			})
+		}
+	}
+
+	for _, c := range counters {
+		if !registered[c] {
+			report(c.Pos(), fmt.Sprintf(
+				"counter %s is not registered in Counter.String; its snapshots would render as counter_unknown", c.Name()))
+		}
+		if !incremented[c] {
+			report(c.Pos(), fmt.Sprintf(
+				"counter %s is never incremented (no Observer.Add/Set site); wire it up or retire it", c.Name()))
+		}
+	}
+}
+
+// counterArg returns the Counter constant passed to an Observer.Add/Set
+// call, or nil if n is not such a call.
+func counterArg(pkg *Package, n ast.Node) *types.Const {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Set") {
+		return nil
+	}
+	if namedTypeName(pkg.Info.TypeOf(sel.X)) != "Observer" {
+		return nil
+	}
+	var obj types.Object
+	switch a := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.ObjectOf(a)
+	case *ast.SelectorExpr:
+		obj = pkg.Info.ObjectOf(a.Sel)
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || namedTypeName(c.Type()) != "Counter" {
+		return nil
+	}
+	return c
+}
+
+// methodConstRefs collects the Counter constants referenced in the body of
+// the named method on the Counter type (String for registration, Class for
+// the scheduling-dependent classification; anything Class omits defaults
+// to work-class).
+func methodConstRefs(pkg *Package, counter *types.TypeName, method string) map[types.Object]bool {
+	refs := map[types.Object]bool{}
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Name.Name != method || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			return
+		}
+		if namedTypeName(pkg.Info.TypeOf(fd.Recv.List[0].Type)) != counter.Name() {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if c, ok := pkg.Info.Uses[id].(*types.Const); ok && namedTypeName(c.Type()) == counter.Name() {
+				refs[c] = true
+			}
+			return true
+		})
+	})
+	return refs
+}
+
+// litRange is the source extent of one par worker literal.
+type litRange struct{ lo, hi token.Pos }
+
+// parWorkerLits finds every function literal passed directly as an
+// argument to a call into the internal/par package.
+func parWorkerLits(pkg *Package) []litRange {
+	var lits []litRange
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || !strings.HasSuffix(pn.Imported().Path(), "internal/par") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					lits = append(lits, litRange{lit.Pos(), lit.End()})
+				}
+			}
+			return true
+		})
+	}
+	return lits
+}
+
+func inAnyLit(lits []litRange, pos token.Pos) bool {
+	for _, r := range lits {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}

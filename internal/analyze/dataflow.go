@@ -1,0 +1,429 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Intra-procedural value-flow framework. The per-node analyzers (hotpath,
+// goroutine, ...) match single AST shapes; the dataflow analyzers built
+// here (arenaescape first) need to know where a value came FROM, which
+// requires following def-use chains: a configured source expression
+// introduces taint, assignments / slicing / indexing / address-taking /
+// append / composite literals propagate it between the function's objects
+// until a fixpoint, and configured sinks (writes into protected types,
+// returns at protected result positions) report any flow that was not
+// sanctioned. Each propagated taint carries the chain of hops that built
+// it, so a finding can print the whole offending def-use path.
+//
+// Two deliberate limits keep this stdlib-only and fast:
+//
+//   - Path-insensitive: a value tainted on any control path counts as
+//     tainted on all of them, and an if-condition that sanctions a flow
+//     (for arenaescape: one consulting the scratch's transient flag)
+//     sanctions both branches.
+//   - Intra-procedural: taint never crosses a call. That matches how the
+//     checked contracts are written — every build-path helper re-derives
+//     scratch values from the *BuildScratch it was handed — and means a
+//     helper's return is only a sink when its declared result type is
+//     itself protected.
+
+// valueStep is one hop in a def-use chain: where a value was produced or
+// rebound, and a short rendering of the expression that carried it.
+type valueStep struct {
+	pos  token.Pos
+	desc string
+}
+
+// valueTaint is the state attached to one tainted object: the hop chain
+// back to the source, and whether the taint was introduced under a
+// sanctioning guard (which legalizes every downstream sink).
+type valueTaint struct {
+	sanctioned bool
+	chain      []valueStep
+}
+
+// maxChain bounds recorded def-use chains; hops past the cap are dropped
+// (the source and earliest hops are the ones that matter in a message).
+const maxChain = 8
+
+// flowSpec configures one taint pass over a function.
+type flowSpec struct {
+	info *types.Info
+	// source classifies an expression as a taint origin and names it.
+	source func(expr ast.Expr) (string, bool)
+	// sanctions reports whether an if-condition legalizes flows beneath it.
+	sanctions func(cond ast.Expr) bool
+	// sinkType reports whether values of t are protected results.
+	sinkType func(t types.Type) bool
+	// report receives each unsanctioned source-to-sink flow.
+	report func(pos token.Pos, sink string, t *valueTaint)
+}
+
+// flowFunc runs the taint pass over one declared function: propagation
+// passes until the object-taint map is stable, then one reporting pass
+// over the sinks.
+func flowFunc(spec *flowSpec, decl *ast.FuncDecl) {
+	fn, ok := spec.info.Defs[decl.Name].(*types.Func)
+	if !ok || decl.Body == nil {
+		return
+	}
+	p := &flowPass{
+		flowSpec: spec,
+		taint:    map[types.Object]*valueTaint{},
+		sig:      fn.Type().(*types.Signature),
+	}
+	// The chain length bound also bounds the iteration count: each pass
+	// either taints a new object, extends sanctioning knowledge, or stops.
+	for i := 0; i < maxChain+2; i++ {
+		p.changed = false
+		p.stmt(decl.Body, false)
+		if !p.changed {
+			break
+		}
+	}
+	p.reporting = true
+	p.stmt(decl.Body, false)
+}
+
+type flowPass struct {
+	*flowSpec
+	taint     map[types.Object]*valueTaint
+	sig       *types.Signature // innermost function/literal signature
+	changed   bool
+	reporting bool
+}
+
+// stmt walks one statement; g is true inside a sanctioning guard.
+func (p *flowPass) stmt(s ast.Stmt, g bool) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s2 := range x.List {
+			p.stmt(s2, g)
+		}
+	case *ast.IfStmt:
+		p.stmt(x.Init, g)
+		p.funcLits(x.Cond, g)
+		// Path-insensitive sanctioning: a condition consulting the guard
+		// flag sanctions the whole statement, both branches.
+		g2 := g || p.sanctions(x.Cond)
+		p.stmt(x.Body, g2)
+		p.stmt(x.Else, g2)
+	case *ast.ForStmt:
+		p.stmt(x.Init, g)
+		p.funcLits(x.Cond, g)
+		p.stmt(x.Post, g)
+		p.stmt(x.Body, g)
+	case *ast.RangeStmt:
+		p.funcLits(x.X, g)
+		if t := p.taintOf(x.X, g); t != nil {
+			// Ranging over a tainted slice/array taints the element
+			// binding (and the key, for maps of reference values; the
+			// scalar cut in setTaint drops int indexes).
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					p.setTaint(p.info.ObjectOf(id), t, id.Name, id.Pos())
+				}
+			}
+		}
+		p.stmt(x.Body, g)
+	case *ast.SwitchStmt:
+		p.stmt(x.Init, g)
+		p.funcLits(x.Tag, g)
+		p.stmt(x.Body, g)
+	case *ast.TypeSwitchStmt:
+		p.stmt(x.Init, g)
+		p.stmt(x.Assign, g)
+		p.stmt(x.Body, g)
+	case *ast.SelectStmt:
+		p.stmt(x.Body, g)
+	case *ast.CaseClause:
+		for _, s2 := range x.Body {
+			p.stmt(s2, g)
+		}
+	case *ast.CommClause:
+		p.stmt(x.Comm, g)
+		for _, s2 := range x.Body {
+			p.stmt(s2, g)
+		}
+	case *ast.AssignStmt:
+		p.assign(x, g)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				vs, ok := sp.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					p.funcLits(vs.Values[i], g)
+					p.flow(name, vs.Values[i], g, name.Pos())
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		p.ret(x, g)
+	case *ast.ExprStmt:
+		p.funcLits(x.X, g)
+	case *ast.SendStmt:
+		p.funcLits(x.Value, g)
+	case *ast.DeferStmt:
+		p.funcLits(x.Call, g)
+	case *ast.GoStmt:
+		p.funcLits(x.Call, g)
+	case *ast.LabeledStmt:
+		p.stmt(x.Stmt, g)
+	}
+}
+
+// funcLits walks the bodies of any function literals inside e: closures
+// share the enclosing function's objects, so their statements join the
+// same pass (under the literal's own signature, for return sinks).
+func (p *flowPass) funcLits(e ast.Expr, g bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		old := p.sig
+		if sig, ok := p.info.TypeOf(lit).(*types.Signature); ok {
+			p.sig = sig
+		}
+		p.stmt(lit.Body, g)
+		p.sig = old
+		return false
+	})
+}
+
+func (p *flowPass) assign(x *ast.AssignStmt, g bool) {
+	for _, r := range x.Rhs {
+		p.funcLits(r, g)
+	}
+	if len(x.Lhs) != len(x.Rhs) {
+		// Multi-value RHS is a call, map index, or type assertion; calls
+		// cut taint by design and the others carry none to split.
+		return
+	}
+	for i := range x.Lhs {
+		p.flow(x.Lhs[i], x.Rhs[i], g, x.Lhs[i].Pos())
+	}
+}
+
+// flow handles one lhs ← rhs pair: sink detection on protected
+// destinations, then taint propagation to the destination's root object.
+func (p *flowPass) flow(lhs, rhs ast.Expr, g bool, pos token.Pos) {
+	t := p.taintOf(rhs, g)
+	if t == nil {
+		return
+	}
+	if p.reporting && !t.sanctioned && !g {
+		if name, ok := p.sinkWrite(lhs); ok {
+			p.report(pos, name, t)
+		}
+	}
+	if root, desc := p.bindTarget(lhs); root != nil {
+		p.setTaint(root, t, desc, lhs.Pos())
+	}
+}
+
+func (p *flowPass) ret(x *ast.ReturnStmt, g bool) {
+	for _, r := range x.Results {
+		p.funcLits(r, g)
+	}
+	if p.sig == nil {
+		return
+	}
+	res := p.sig.Results()
+	switch {
+	case len(x.Results) == res.Len():
+		for i, r := range x.Results {
+			t := p.taintOf(r, g)
+			if t != nil && p.reporting && !t.sanctioned && !g && p.sinkType(res.At(i).Type()) {
+				p.report(x.Pos(), "return "+exprString(r), t)
+			}
+		}
+	case len(x.Results) == 0:
+		// Bare return: named results carry whatever they were assigned.
+		for i := 0; i < res.Len(); i++ {
+			v := res.At(i)
+			t := p.taint[v]
+			if v.Name() != "" && t != nil && p.reporting && !t.sanctioned && !g && p.sinkType(v.Type()) {
+				p.report(x.Pos(), "return "+v.Name(), t)
+			}
+		}
+	}
+}
+
+// taintOf computes the taint carried by an expression, or nil.
+func (p *flowPass) taintOf(e ast.Expr, g bool) *valueTaint {
+	e = ast.Unparen(e)
+	if typ := p.info.TypeOf(e); typ != nil && isScalarType(typ) {
+		// Scalars copy by value; reading one off a tainted carrier does
+		// not alias the source.
+		return nil
+	}
+	if desc, ok := p.source(e); ok {
+		return &valueTaint{sanctioned: g, chain: []valueStep{{e.Pos(), desc}}}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := p.info.ObjectOf(x); obj != nil {
+			return p.taint[obj]
+		}
+	case *ast.SelectorExpr:
+		return p.taintOf(x.X, g)
+	case *ast.IndexExpr:
+		return p.taintOf(x.X, g)
+	case *ast.SliceExpr:
+		return p.taintOf(x.X, g)
+	case *ast.StarExpr:
+		return p.taintOf(x.X, g)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return p.taintOf(x.X, g)
+		}
+	case *ast.CompositeLit:
+		var out *valueTaint
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			out = mergeTaint(out, p.taintOf(v, g))
+		}
+		return out
+	case *ast.CallExpr:
+		if tv, ok := p.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return p.taintOf(x.Args[0], g) // conversion: same backing memory
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := p.info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+				var out *valueTaint
+				for _, a := range x.Args {
+					out = mergeTaint(out, p.taintOf(a, g))
+				}
+				return out
+			}
+		}
+		// Every other call cuts taint (intra-procedural by design; copy()
+		// in statement position duplicates rather than aliases).
+	}
+	return nil
+}
+
+// sinkWrite reports whether lhs writes through a protected root: a field,
+// element, or pointee of an object with a sink type. A bare identifier is
+// only a local rebind, never a sink (escape happens at a field write or a
+// protected return).
+func (p *flowPass) sinkWrite(lhs ast.Expr) (string, bool) {
+	if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		return "", false
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return "", false
+	}
+	obj := p.info.ObjectOf(root)
+	if obj == nil || !p.sinkType(obj.Type()) {
+		return "", false
+	}
+	return exprString(lhs), true
+}
+
+// bindTarget resolves the object an assignment binds taint to: the
+// identifier itself, or the root of a field/element write (writing a
+// tainted value into any part of x taints x).
+func (p *flowPass) bindTarget(lhs ast.Expr) (types.Object, string) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return nil, ""
+	}
+	return p.info.ObjectOf(root), exprString(lhs)
+}
+
+// setTaint records taint on an object. First taint wins except that an
+// unsanctioned flow overrides a sanctioned one (the conservative union of
+// all paths); this also keeps chains from growing without bound.
+func (p *flowPass) setTaint(obj types.Object, t *valueTaint, desc string, pos token.Pos) {
+	if obj == nil || t == nil || isScalarType(obj.Type()) {
+		return
+	}
+	if cur := p.taint[obj]; cur != nil && (!cur.sanctioned || t.sanctioned) {
+		return
+	}
+	nt := &valueTaint{sanctioned: t.sanctioned, chain: t.chain}
+	if len(t.chain) < maxChain && desc != "" {
+		if n := len(t.chain); n == 0 || t.chain[n-1].desc != desc {
+			nt.chain = append(append([]valueStep{}, t.chain...), valueStep{pos, desc})
+		}
+	}
+	p.taint[obj] = nt
+	p.changed = true
+}
+
+func mergeTaint(a, b *valueTaint) *valueTaint {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.sanctioned && !b.sanctioned:
+		return b
+	}
+	return a
+}
+
+// isScalarType reports types whose values copy rather than alias: basic
+// types and channels/functions (no memory an arena slab could back).
+func isScalarType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// rootIdent returns the base identifier of a selector / index / deref /
+// address chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// renderChain formats a def-use chain for a finding message:
+// "s.wires.take(...) (engine.go:393) -> lay.Wires (engine.go:393)".
+func (m *Module) renderChain(t *valueTaint) string {
+	parts := make([]string, 0, len(t.chain))
+	for _, s := range t.chain {
+		pos := m.Fset.Position(s.pos)
+		parts = append(parts, fmt.Sprintf("%s (%s:%d)", s.desc, filepath.Base(pos.Filename), pos.Line))
+	}
+	return strings.Join(parts, " -> ")
+}

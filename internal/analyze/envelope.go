@@ -1,0 +1,214 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// envelopeAnalyzer keeps the serving layer's error envelope total: every
+// exported typed error the module defines — error-implementing named types
+// like *ParamError or *BudgetError, and exported error sentinels like
+// ErrCanceled — must be claimed by an errors.As / errors.Is in the
+// internal/serve package, where the envelope function maps typed failures
+// onto stable HTTP statuses and kinds. A typed error nobody maps falls
+// through to the generic 500 "internal" case, silently downgrading a
+// structured rejection into an opaque server error; this analyzer makes
+// adding a typed error without extending the envelope a lint failure.
+//
+// Two scoping rules keep the contract honest: types and sentinels defined
+// in main packages (cmd/*, examples/*) are tooling-local and exempt, and
+// so are ones defined inside internal/serve itself (its own plumbing).
+// Sentinel re-exports (var ErrCanceled = par.ErrCanceled) form an alias
+// group; claiming any member claims the group.
+var envelopeAnalyzer = &Analyzer{
+	Name: "envelope",
+	Doc:  "every exported typed error and sentinel must be matched by errors.As/Is in internal/serve's envelope mapping",
+	Run:  runEnvelope,
+}
+
+func runEnvelope(m *Module, report func(pos token.Pos, message string)) {
+	var servePkg *Package
+	for _, pkg := range m.Packages {
+		if pkg.Types != nil && strings.HasSuffix(pkg.ImportPath, "internal/serve") {
+			servePkg = pkg
+			break
+		}
+	}
+	if servePkg == nil {
+		return // nothing serves errors; no envelope to keep total
+	}
+	claimedTypes, claimedObjs := envelopeClaims(servePkg)
+
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	aliasRoot := sentinelAliases(m)
+	// Alias-group claims: claiming any member claims the whole group.
+	claimedRoots := map[types.Object]bool{}
+	for obj := range claimedObjs {
+		claimedRoots[rootSentinel(obj, aliasRoot)] = true
+	}
+
+	for _, pkg := range m.Packages {
+		if pkg.Types == nil || pkg == servePkg || pkg.Types.Name() == "main" {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			switch o := obj.(type) {
+			case *types.TypeName:
+				if o.IsAlias() {
+					continue // the aliased named type is audited at its definition
+				}
+				named, ok := o.Type().(*types.Named)
+				if !ok || !implementsError(named, errIface) {
+					continue
+				}
+				if !claimedTypes[o] {
+					report(o.Pos(), fmt.Sprintf(
+						"typed error %s.%s is not matched in internal/serve's envelope mapping; add an errors.As case so it cannot fall through to a generic 500",
+						pkg.Types.Name(), o.Name()))
+				}
+			case *types.Var:
+				if !types.Identical(o.Type(), errIface) && !implementsError(o.Type(), errIface) {
+					continue
+				}
+				root := rootSentinel(o, aliasRoot)
+				if root != o {
+					continue // re-export: audited at the group root
+				}
+				if !claimedRoots[o] {
+					report(o.Pos(), fmt.Sprintf(
+						"error sentinel %s.%s is not matched in internal/serve's envelope mapping; add an errors.Is case so it cannot fall through to a generic 500",
+						pkg.Types.Name(), o.Name()))
+				}
+			}
+		}
+	}
+}
+
+// envelopeClaims scans the serve package for errors.As / errors.Is calls
+// and returns the claimed named-type objects and sentinel objects.
+func envelopeClaims(pkg *Package) (map[*types.TypeName]bool, map[types.Object]bool) {
+	claimedTypes := map[*types.TypeName]bool{}
+	claimedObjs := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "errors" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "As":
+				if tn := claimedTypeName(pkg.Info.TypeOf(call.Args[1])); tn != nil {
+					claimedTypes[tn] = true
+				}
+			case "Is":
+				switch target := ast.Unparen(call.Args[1]).(type) {
+				case *ast.Ident:
+					if obj := pkg.Info.ObjectOf(target); obj != nil {
+						claimedObjs[obj] = true
+					}
+				case *ast.SelectorExpr:
+					if obj := pkg.Info.ObjectOf(target.Sel); obj != nil {
+						claimedObjs[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return claimedTypes, claimedObjs
+}
+
+// claimedTypeName strips the errors.As target's pointers down to the
+// claimed named type: **T and *T both claim T.
+func claimedTypeName(t types.Type) *types.TypeName {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj()
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+func implementsError(t types.Type, errIface *types.Interface) bool {
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// sentinelAliases maps each package-level error var initialized from
+// another package-level var (a re-export like mlvlsi.ErrCanceled =
+// par.ErrCanceled) to its initializer's object.
+func sentinelAliases(m *Module) map[types.Object]types.Object {
+	out := map[types.Object]types.Object{}
+	for _, pkg := range m.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, sp := range gd.Specs {
+					vs, ok := sp.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != len(vs.Names) {
+						continue
+					}
+					for i, name := range vs.Names {
+						def := pkg.Info.ObjectOf(name)
+						var init types.Object
+						switch v := ast.Unparen(vs.Values[i]).(type) {
+						case *ast.Ident:
+							init = pkg.Info.ObjectOf(v)
+						case *ast.SelectorExpr:
+							init = pkg.Info.ObjectOf(v.Sel)
+						}
+						if def != nil && init != nil {
+							if _, ok := init.(*types.Var); ok {
+								out[def] = init
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rootSentinel follows re-export links to the originally defined sentinel.
+func rootSentinel(obj types.Object, alias map[types.Object]types.Object) types.Object {
+	for i := 0; i < 8; i++ { // cycle guard
+		next, ok := alias[obj]
+		if !ok {
+			return obj
+		}
+		obj = next
+	}
+	return obj
+}

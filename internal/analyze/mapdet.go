@@ -141,6 +141,16 @@ func exprString(expr ast.Expr) string {
 		return exprString(e.Fun) + "(...)"
 	case *ast.IndexExpr:
 		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return "&" + exprString(e.X)
+		}
+	case *ast.ParenExpr:
+		return exprString(e.X)
 	}
 	return "expression"
 }

@@ -1,0 +1,106 @@
+// Package fix exercises the arenaescape analyzer: memory carved from a
+// BuildScratch (slab take results, pointers into the scratch) must not
+// flow into Layout/Wires/Result values outside a transient-mode path.
+package fix
+
+// Point is a path coordinate.
+type Point struct{ X, Y int }
+
+// Wire is a routed wire; Wires is the protected collection type.
+type Wire struct{ Path []Point }
+
+// Wires is a protected sink type.
+type Wires []Wire
+
+// Layout is the protected result type.
+type Layout struct {
+	Name  string
+	Nodes []int
+	Wires Wires
+}
+
+// slab is a bump allocator for ints.
+type slab struct{ buf []int }
+
+func (s *slab) take(n int) []int {
+	if len(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	return s.buf[:n]
+}
+
+// wireSlab is a bump allocator for wires.
+type wireSlab struct{ buf Wires }
+
+func (s *wireSlab) take(n int) Wires {
+	if len(s.buf) < n {
+		s.buf = make(Wires, n)
+	}
+	return s.buf[:n]
+}
+
+// BuildScratch is the arena; its name is what roots the taint sources.
+type BuildScratch struct {
+	transient bool
+	ints      slab
+	wires     wireSlab
+	lay       Layout
+}
+
+// escapeField aliases a scratch slab straight into a Layout field with no
+// transient guard: flagged at the field write (and again at the return,
+// since the layout now carries the alias out).
+func escapeField(s *BuildScratch) *Layout {
+	lay := &Layout{Name: "leak"}
+	lay.Nodes = s.ints.take(4)
+	return lay
+}
+
+// escapeChain leaks through a def-use chain — take, local, reslice — into
+// a sink-typed return; the finding prints every hop.
+func escapeChain(s *BuildScratch) Wires {
+	buf := s.wires.take(8)
+	part := buf[2:4]
+	return part
+}
+
+// escapeLayoutPtr hands out a pointer into the scratch itself without the
+// transient guard: flagged at the return.
+func escapeLayoutPtr(s *BuildScratch) *Layout {
+	lay := &s.lay
+	return lay
+}
+
+// transientBuild hands out scratch-backed results only under the
+// transient flag — the sanctioned ownership hand-off: not flagged.
+func transientBuild(s *BuildScratch) *Layout {
+	if s != nil && s.transient {
+		lay := &s.lay
+		lay.Nodes = s.ints.take(4)
+		return lay
+	}
+	lay := &Layout{}
+	lay.Nodes = make([]int, 4)
+	return lay
+}
+
+// scratchLocal keeps scratch memory internal to the computation; scalars
+// read off a slab copy by value: not flagged.
+func scratchLocal(s *BuildScratch) int {
+	tmp := s.ints.take(8)
+	sum := 0
+	for _, v := range tmp {
+		sum += v
+	}
+	return sum
+}
+
+// copyOut copies scratch-backed values into fresh memory before
+// publishing, which breaks the alias: not flagged.
+func copyOut(s *BuildScratch) *Layout {
+	tmp := s.ints.take(4)
+	lay := &Layout{}
+	lay.Nodes = make([]int, len(tmp))
+	copy(lay.Nodes, tmp)
+	return lay
+}

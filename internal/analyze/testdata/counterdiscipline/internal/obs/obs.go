@@ -1,0 +1,61 @@
+// Package obs mirrors the module's counter registry shape: a closed
+// Counter enum, a String registration switch, a Class bucketing (anything
+// omitted is work-class and must stay deterministic across worker
+// counts), and a nil-safe Observer.
+package obs
+
+// Counter identifies one metric.
+type Counter int
+
+const (
+	// CounterBuilds is registered and incremented: not flagged.
+	CounterBuilds Counter = iota
+	// CounterOrphan is registered but never incremented: flagged.
+	CounterOrphan
+	// CounterGhost is incremented but missing from String: flagged.
+	CounterGhost
+	// CounterStalls is serve-class (listed in Class); incrementing it
+	// inside a par worker closure is legal: not flagged.
+	CounterStalls
+	numCounters
+)
+
+func (c Counter) String() string {
+	switch c {
+	case CounterBuilds:
+		return "builds"
+	case CounterOrphan:
+		return "orphan"
+	case CounterStalls:
+		return "stalls"
+	}
+	return "counter_unknown"
+}
+
+// Class buckets counters by how they may be counted.
+type Class int
+
+const (
+	// ClassWork counters must be byte-identical across worker counts.
+	ClassWork Class = iota
+	// ClassServe counters measure scheduling on purpose.
+	ClassServe
+)
+
+// Class reports a counter's bucket; anything unlisted is work-class.
+func (c Counter) Class() Class {
+	switch c {
+	case CounterStalls:
+		return ClassServe
+	}
+	return ClassWork
+}
+
+// Observer accumulates counters.
+type Observer struct{ counts [int(numCounters)]int64 }
+
+// Add increments a counter.
+func (o *Observer) Add(c Counter, n int64) { o.counts[c] += n }
+
+// Set overwrites a counter.
+func (o *Observer) Set(c Counter, n int64) { o.counts[c] = n }

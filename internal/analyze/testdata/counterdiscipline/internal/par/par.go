@@ -1,0 +1,10 @@
+// Package par mirrors the worker-pool entry points the counterdiscipline
+// analyzer treats as worker-closure boundaries.
+package par
+
+// Chunks fans f out over shards.
+func Chunks(shards, workers int, f func(i int)) {
+	for i := 0; i < shards; i++ {
+		f(i)
+	}
+}

@@ -1,0 +1,23 @@
+// Package fix exercises counter discipline: coordinator-side increments
+// are legal, work-class increments inside par worker closures are not.
+package fix
+
+import (
+	"fix/internal/obs"
+	"fix/internal/par"
+)
+
+// Run drives the counters.
+func Run(o *obs.Observer) {
+	// Coordinator-side Add/Set is the discipline: not flagged.
+	o.Add(obs.CounterBuilds, 1)
+	o.Set(obs.CounterGhost, 2)
+	par.Chunks(2, 2, func(i int) {
+		// A work counter incremented per worker makes totals depend on
+		// scheduling: flagged.
+		o.Add(obs.CounterBuilds, 1)
+		// Serve-class counters count scheduling events on purpose:
+		// not flagged.
+		o.Add(obs.CounterStalls, 1)
+	})
+}

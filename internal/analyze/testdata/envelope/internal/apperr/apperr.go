@@ -1,0 +1,36 @@
+// Package apperr defines the module's typed error surface for the
+// envelope fixture: types and sentinels the serve envelope must claim.
+package apperr
+
+import "errors"
+
+// ParamError is matched by the serve envelope via errors.As: not flagged.
+type ParamError struct{ Param string }
+
+func (e *ParamError) Error() string { return "bad param " + e.Param }
+
+// DriftError is constructed here but never matched in internal/serve's
+// envelope, so it would fall through to a generic 500: flagged.
+type DriftError struct{ Name string }
+
+func (e *DriftError) Error() string { return "drift in " + e.Name }
+
+// ErrStale is matched by the serve envelope through its re-export
+// ErrStaleAlias; claiming any member of the alias group claims the group:
+// not flagged.
+var ErrStale = errors.New("stale")
+
+// ErrStaleAlias re-exports ErrStale: not flagged (audited at the root).
+var ErrStaleAlias = ErrStale
+
+// ErrOrphan has no errors.Is case in the serve envelope: flagged.
+var ErrOrphan = errors.New("orphan")
+
+// internalErr is unexported plumbing, wrapped before it escapes the
+// package, so the envelope owes it nothing: not flagged.
+var internalErr = errors.New("internal detail")
+
+// Wrap is the only way internalErr escapes.
+func Wrap(op string) error {
+	return errors.Join(internalErr, errors.New(op))
+}

@@ -1,0 +1,22 @@
+// Package serve holds the envelope mapping the analyzer audits: every
+// exported typed error and sentinel elsewhere in the module must have an
+// errors.As / errors.Is claim here.
+package serve
+
+import (
+	"errors"
+
+	"fix/internal/apperr"
+)
+
+// Envelope maps typed errors onto (status, message) pairs.
+func Envelope(err error) (int, string) {
+	var pe *apperr.ParamError
+	switch {
+	case errors.As(err, &pe):
+		return 400, pe.Error()
+	case errors.Is(err, apperr.ErrStaleAlias):
+		return 410, err.Error()
+	}
+	return 500, err.Error()
+}

@@ -17,6 +17,7 @@ import (
 	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
 	"mlvlsi/internal/resilience"
+	"mlvlsi/internal/stack"
 )
 
 // Config tunes the server. Every field has a serving-safe zero value.
@@ -235,11 +236,16 @@ func serveResult(err error) error {
 //
 //	{"error":{"status":400,"kind":"param","message":"...","family":"kary","param":"k"}}
 //
-// Mapping: *ParamError → 400 param, *BudgetError → 413 budget,
-// *OverloadError → 429/503 overload (with reason and retry_after_ms),
-// cancellation/deadline → 504 canceled, malformed requests → 400 request,
-// anything else → 500 internal (which the envelope audit in
-// envelope_test.go proves unreachable for the engines' typed rejections).
+// Mapping: *ParamError and *SideError → 400 param, *BudgetError → 413
+// budget, Violation → 422 violation, *OverloadError → 429/503 overload
+// (with reason and retry_after_ms), *BreakerOpenError → 503 overload,
+// *StatusError → 502 upstream, *PanicError → 500 internal (explicitly,
+// so the catch-all below stays for truly unknown errors), cancellation/
+// deadline → 504 canceled, malformed requests → 400 request, anything
+// else → 500 internal. The envelope analyzer (internal/analyze) fails the
+// lint if a typed error is ever defined without a case here, and the
+// audit in envelope_test.go proves the catch-all unreachable for the
+// engines' typed rejections.
 type errorInfo struct {
 	Status       int    `json:"status"`
 	Kind         string `json:"kind"`
@@ -260,17 +266,41 @@ type errorBody struct {
 func envelope(err error) errorInfo {
 	var pe *mlvlsi.ParamError
 	var be *mlvlsi.BudgetError
+	var se *stack.SideError
+	var vio mlvlsi.Violation
 	var oe *resilience.OverloadError
+	var boe *resilience.BreakerOpenError
+	var ste *resilience.StatusError
+	var pa *mlvlsi.PanicError
 	switch {
 	case errors.As(err, &pe):
 		return errorInfo{Status: http.StatusBadRequest, Kind: "param",
 			Message: pe.Error(), Family: pe.Family, Param: pe.Param}
+	case errors.As(err, &se):
+		// The stacked engines convert SideError to ParamError at the API
+		// boundary (stackErr); this case keeps a raw one equally typed.
+		return errorInfo{Status: http.StatusBadRequest, Kind: "param",
+			Message: se.Error(), Family: se.Name, Param: "NodeSide"}
 	case errors.As(err, &be):
 		return errorInfo{Status: http.StatusRequestEntityTooLarge, Kind: "budget",
 			Message: be.Error(), Family: be.Name, Cells: be.Cells, Budget: be.Budget}
+	case errors.As(err, &vio):
+		// An illegal layout surfacing as an error (e.g. a joined
+		// VerifyFolded result) is a rejected input, not a server fault.
+		return errorInfo{Status: http.StatusUnprocessableEntity, Kind: "violation",
+			Message: vio.Error()}
 	case errors.As(err, &oe):
 		return errorInfo{Status: oe.Status(), Kind: "overload", Message: oe.Error(),
 			Reason: oe.Reason.String(), RetryAfterMS: retryAfterMS(oe.RetryAfter)}
+	case errors.As(err, &boe):
+		return errorInfo{Status: http.StatusServiceUnavailable, Kind: "overload",
+			Message: boe.Error(), Reason: "breaker_open", RetryAfterMS: retryAfterMS(boe.RetryAfter)}
+	case errors.As(err, &ste):
+		// Client-side resilience errors can only reach an envelope through
+		// a proxying deployment; 502 keeps the upstream status visible.
+		return errorInfo{Status: http.StatusBadGateway, Kind: "upstream", Message: ste.Error()}
+	case errors.As(err, &pa):
+		return errorInfo{Status: http.StatusInternalServerError, Kind: "internal", Message: pa.Error()}
 	case errors.Is(err, mlvlsi.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
