@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race lint bench benchjson trace-smoke serve-smoke soak-smoke loadgen chaos fuzz check clean
+.PHONY: all vet build test race lint bench benchjson trace-smoke verify-smoke serve-smoke soak-smoke loadgen chaos fuzz check clean
 
 all: check
 
@@ -52,6 +52,15 @@ trace-smoke:
 	$(GO) run ./cmd/layoutgen -network hypercube -n 6 -L 4 -trace $(TRACE) > /dev/null
 	$(GO) run ./cmd/tracelint $(TRACE)
 
+# Tiled-verifier smoke: build Hypercube(14) at L=4 and verify it under a
+# deliberately small memory ceiling, then assert from the printed counters
+# that the ladder really dropped to the tiled rung (tiles_checked > 0)
+# instead of silently verifying dense. Guards the whole -verify-mem path
+# end to end: flag parsing, BuildRequest plumbing, ladder selection, and
+# the counter discipline the assertion reads.
+verify-smoke:
+	$(GO) run ./cmd/layoutgen -network hypercube -n 14 -L 4 -verify-mem 4m -counters | grep -E '^tiles_checked [1-9]'
+
 # Serving smoke: an in-process layoutd driven over real HTTP — MISS then
 # HIT on one content key under two request spellings, the typed param error
 # envelope, and the cache counters in /metricsz.
@@ -84,7 +93,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzCheckDifferential -fuzztime $(FUZZTIME) ./internal/fault/
 
-check: vet build test race lint trace-smoke serve-smoke soak-smoke
+check: vet build test race lint trace-smoke verify-smoke serve-smoke soak-smoke
 
 clean:
 	$(GO) clean ./...

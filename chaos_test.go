@@ -9,6 +9,7 @@ import (
 
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/fault"
+	"mlvlsi/internal/grid"
 )
 
 // TestChaosSweepAllFamilies is the metamorphic chaos sweep: every registered
@@ -24,6 +25,48 @@ func TestChaosSweepAllFamilies(t *testing.T) {
 		for _, workers := range []int{1, 4} {
 			if err := fault.SelfTest(lay, 1, workers); err != nil {
 				t.Errorf("%s (workers=%d): %v", fam.Name, workers, err)
+			}
+		}
+	}
+}
+
+// TestChaosSweepTiledGeometries repeats the chaos sweep through the tiled
+// streaming verifier at its three partition shapes: a single tile (the
+// default per-tile budget comfortably holds a small layout), a proper
+// multi-row multi-column grid (a tiny ceiling on the same layout), and a
+// degenerate thin partition (a wide, flat mesh whose tiles clip the full
+// height — the extreme-aspect-ratio stress collinear networks produce).
+// Every fault class must be detected on every geometry with the violation
+// set byte-identical to the sharded checker's, so seam clipping and border
+// reconciliation cannot hide a corruption whatever shape the budget forces.
+func TestChaosSweepTiledGeometries(t *testing.T) {
+	square, err := Hypercube(6, Options{Layers: 4})
+	if err != nil {
+		t.Fatalf("hypercube build: %v", err)
+	}
+	thin, err := Mesh([]int{64, 2}, Options{})
+	if err != nil {
+		t.Fatalf("mesh build: %v", err)
+	}
+	cases := []struct {
+		name      string
+		lay       *Layout
+		tileBytes int
+		shape     func(tl grid.Tiling) bool
+	}{
+		{"one-tile", square, -1, func(tl grid.Tiling) bool { return tl.NX == 1 && tl.NY == 1 }},
+		{"grid", square, 1 << 10, func(tl grid.Tiling) bool { return tl.NX >= 2 && tl.NY >= 2 }},
+		{"thin", thin, 1 << 10, func(tl grid.Tiling) bool { return tl.NX >= 2 && tl.NY == 1 }},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			tl, ok := grid.NewTiling(tc.lay.Wires, tc.tileBytes, workers)
+			if !ok || !tc.shape(tl) {
+				t.Fatalf("%s workers=%d: budget %d induced %dx%d tiles of %dx%d, not the intended geometry",
+					tc.name, workers, tc.tileBytes, tl.NX, tl.NY, tl.TileW, tl.TileH)
+			}
+			if err := fault.SelfTestTiled(tc.lay, 1, workers, tc.tileBytes); err != nil {
+				t.Errorf("%s workers=%d: %v", tc.name, workers, err)
 			}
 		}
 	}

@@ -21,6 +21,14 @@
 // requests through BuildBatch (one shared scratch) and through sequential
 // BuildSpec calls.
 //
+// Since BENCH_10 the memceil/* records track the ROADMAP's memory-ceiling
+// story: for each hypercube dimension, one dense verify and one tiled
+// verify under a ceiling a quarter of the dense working set, with BytesOp
+// carrying the peak occupancy working set rather than allocator traffic.
+// Dimensions whose dense bitsets no longer fit an 8 GiB cap appear with
+// the tiled record only — that infeasibility is the point of the ladder's
+// tiled rung.
+//
 // Output selection: -out names the file explicitly; otherwise -pr N writes
 // BENCH_N.json, and with neither flag the tool refreshes the
 // highest-numbered BENCH_<n>.json already present (BENCH_1.json in an
@@ -40,9 +48,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mlvlsi"
 	"mlvlsi/internal/core"
@@ -201,8 +211,88 @@ func main() {
 		run("batch/build", w, batchBuild(w))
 	}
 	records = append(records, observed(buildDim)...)
+	memDims := []int{12, 14, 16, 18}
+	if *quick {
+		memDims = []int{8}
+	}
+	records = append(records, memCeiling(memDims)...)
 	records = append(records, merged...)
 	writeOut(*out, records)
+}
+
+// memCeiling measures the ROADMAP memory-ceiling story: for each hypercube
+// dimension, one observed dense verify and one tiled verify under a ceiling
+// a quarter of the dense working set, both at L=4 and four workers. NsOp is
+// the single run's verify wall time; BytesOp the peak occupancy working set
+// — dense: shards × bitset bytes (the CellsAllocated counter), tiled: the
+// tile_bytes_peak gauge. Dimensions whose dense working set would exceed
+// eight GiB skip the dense run (that infeasibility is the point of the
+// tiled rung) and contribute only the tiled record, with the estimate
+// logged to stderr.
+func memCeiling(dims []int) []Record {
+	const workers = 4
+	const denseCap = int64(8) << 30
+	var records []Record
+	for _, dim := range dims {
+		lay, err := core.Hypercube(dim, 4, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		opts := grid.CheckOptions{Layers: lay.L, Discipline: true, Nodes: lay.Nodes, Workers: workers}
+		shards := int64(workers)
+		if mp := int64(runtime.GOMAXPROCS(0)); mp < shards {
+			shards = mp
+		}
+		b := grid.Wires(lay.Wires).Bounds()
+		cells := 3 * int64(b.Width()+1) * int64(b.Height()+1) * int64(b.MaxZ-b.MinZ+1)
+		denseEst := (cells + 63) / 64 * 8 * shards
+
+		verify := func(kind string, tileBytes int) (int64, obs.Metrics) {
+			ob := obs.New()
+			run := opts
+			run.Observer = ob
+			run.TileBytes = tileBytes
+			start := time.Now()
+			v, err := grid.Verify(nil, lay.Wires, run)
+			if err != nil {
+				fatal(err)
+			}
+			if len(v) > 0 {
+				fatal(v[0])
+			}
+			fmt.Fprintf(os.Stderr, "memceil/hypercube%d/%s done in %v\n", dim, kind, time.Since(start).Round(time.Millisecond))
+			return time.Since(start).Nanoseconds(), ob.Snapshot()
+		}
+
+		if denseEst <= denseCap {
+			ns, m := verify("dense", 0)
+			if m.Get(obs.DenseChecks) == 0 {
+				fatal(fmt.Sprintf("hypercube%d: dense rung did not engage", dim))
+			}
+			denseBytes := (m.Get(obs.CellsAllocated) + 63) / 64 * 8 * m.Get(obs.WorkerCount)
+			records = append(records, Record{
+				Bench: fmt.Sprintf("memceil/hypercube%d/dense", dim),
+				NsOp:  float64(ns), BytesOp: denseBytes, Workers: workers,
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "memceil/hypercube%d/dense skipped: ~%d MiB working set over the %d MiB cap\n",
+				dim, denseEst>>20, denseCap>>20)
+		}
+
+		ns, m := verify("tiled", int(denseEst/4))
+		if m.Get(obs.TiledChecks) != 1 {
+			fatal(fmt.Sprintf("hypercube%d: ceiling %d did not engage the tiled rung", dim, denseEst/4))
+		}
+		records = append(records, Record{
+			Bench: fmt.Sprintf("memceil/hypercube%d/tiled", dim),
+			NsOp:  float64(ns), BytesOp: m.Get(obs.TileBytesPeak), Workers: workers,
+			Counters: map[string]int64{
+				"tiles_checked":           m.Get(obs.TilesChecked),
+				"border_edges_reconciled": m.Get(obs.BorderEdgesReconciled),
+			},
+		})
+	}
+	return records
 }
 
 // batchRequests generates n distinct build requests: eight families crossed

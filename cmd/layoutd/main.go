@@ -58,6 +58,7 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 256, "build cache byte budget in MiB (0 = unlimited retention)")
 	maxCells := flag.Int("max-cells", 0, "admission ceiling on planned grid cells per request (0 = admit everything)")
 	workers := flag.Int("workers", 0, "clamp per-request build/verify workers (0 = requests choose, up to GOMAXPROCS)")
+	verifyMem := flag.String("verify-mem", "", "clamp per-request verifier working set (bytes, k/m/g suffixes; empty = requests choose)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 = none)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent build/verify slots (0 = available parallelism)")
 	maxQueue := flag.Int("max-queue", 0, "admission waiters beyond the slots (0 = 4x slots, negative = no waiting)")
@@ -73,21 +74,32 @@ func main() {
 	if err != nil {
 		cli.Usagef("%v", err)
 	}
+	memBytes := 0
+	if *verifyMem != "" {
+		memBytes, err = cli.ParseBytes("-verify-mem", *verifyMem)
+		if err != nil {
+			cli.Usagef("%v", err)
+		}
+		if memBytes < 0 {
+			cli.Usagef("-verify-mem: the admission clamp must be positive (per-request negatives select the tiled default)")
+		}
+	}
 
 	obsv, traceDone, err := cli.Trace(*tracePath)
 	if err != nil {
 		cli.Usagef("%v", err)
 	}
 	s := serve.New(serve.Config{
-		CacheBytes:    int64(*cacheMB) << 20,
-		MaxCells:      *maxCells,
-		Workers:       *workers,
-		Timeout:       *timeout,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		FamilyLimits:  limits,
-		Degrade:       *degrade,
-		Obs:           obsv,
+		CacheBytes:     int64(*cacheMB) << 20,
+		MaxCells:       *maxCells,
+		Workers:        *workers,
+		VerifyMemBytes: memBytes,
+		Timeout:        *timeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		FamilyLimits:   limits,
+		Degrade:        *degrade,
+		Obs:            obsv,
 	})
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

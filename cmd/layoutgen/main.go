@@ -65,6 +65,8 @@ func main() {
 	list := flag.Bool("list", false, "list the registered families and their parameters")
 	timeout := flag.Duration("timeout", 0, "abort build and verify after this long (0 = no deadline)")
 	maxCells := flag.Int("max-cells", 0, "fail fast if the planned grid exceeds this many cells (0 = unlimited)")
+	verifyMem := flag.String("verify-mem", "", "cap the verifier's occupancy working set (bytes, k/m/g suffixes; negative forces the tiled rung; empty = no cap)")
+	counters := flag.Bool("counters", false, "print the observer counter totals after the run, one 'name value' line per counter")
 	tracePath := flag.String("trace", "", "write a Chrome-trace (chrome://tracing) span file of the build and verify phases")
 	flag.Parse()
 
@@ -94,11 +96,24 @@ func main() {
 		p[name] = v
 	}
 
+	memBytes := 0
+	if *verifyMem != "" {
+		memBytes, err = cli.ParseBytes("-verify-mem", *verifyMem)
+		if err != nil {
+			cli.Usagef("%v", err)
+		}
+	}
+
 	ctx, cancel := cli.Timeout(*timeout)
 	defer cancel()
 	obsv, traceDone, err := cli.Trace(*tracePath)
 	if err != nil {
 		cli.Usagef("%v", err)
+	}
+	if *counters && obsv == nil {
+		// Counters need an observer even when no trace file is requested; a
+		// sink-less one records totals and writes nothing.
+		obsv = mlvlsi.NewObserver()
 	}
 	// The same request shape layoutd serves: the content key printed below
 	// is the layoutd cache key for this exact geometry.
@@ -107,6 +122,7 @@ func main() {
 		Layers:   *layers,
 		NodeSide: *nodeSide, FoldedRows: *folded,
 		Workers: *workers, MaxCells: *maxCells,
+		VerifyMemBytes: memBytes,
 	}
 	o := req.Options()
 	o.Context = ctx
@@ -150,6 +166,13 @@ func main() {
 			cli.Failf("svg: %v", err)
 		}
 		fmt.Println("wrote", *svgPath)
+	}
+	if *counters {
+		m := obsv.Snapshot()
+		for i := 0; i < mlvlsi.NumCounters; i++ {
+			c := mlvlsi.Counter(i)
+			fmt.Printf("%s %d\n", c, m.Get(c))
+		}
 	}
 	if err := traceDone(); err != nil {
 		cli.Failf("%v", err)

@@ -22,6 +22,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and titles without running")
 	format := flag.String("format", "text", "output format: text | csv")
 	workers := flag.Int("workers", 0, "cap the scheduler's parallelism for all experiments (0 = all cores)")
+	verifyMem := flag.String("verify-mem", "", "cap the experiments' verifier working set (bytes, k/m/g suffixes; empty = no cap)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all experiments) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-trace (chrome://tracing) span file with one span per experiment run")
@@ -61,6 +62,13 @@ func main() {
 		// The experiment generators run builds and verifies at the default
 		// full fan-out; capping GOMAXPROCS bounds them all at once.
 		runtime.GOMAXPROCS(*workers)
+	}
+	if *verifyMem != "" {
+		n, err := cli.ParseBytes("-verify-mem", *verifyMem)
+		if err != nil {
+			cli.Usagef("%v", err)
+		}
+		experiments.VerifyMemBytes = n
 	}
 
 	obsv, traceDone, err := cli.Trace(*tracePath)

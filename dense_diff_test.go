@@ -8,13 +8,16 @@ import (
 	"mlvlsi/internal/grid"
 )
 
-// TestDenseMapDifferentialAllFamilies is the dense-vs-map differential
-// sweep: for every registered family — legal as built, and corrupted with
-// every fault class — the dense occupancy checker and the retained map
-// fallback (DenseLimit < 0) must report identical violation slices, for the
-// serial checker and for the sharded checker at several worker counts.
-// Together with the chaos sweep (which proves each corruption is detected)
-// this pins the two occupancy cores to each other edge for edge.
+// TestDenseMapDifferentialAllFamilies is the three-way occupancy
+// differential sweep: for every registered family — legal as built, and
+// corrupted with every fault class — the dense occupancy checker, the
+// retained map fallback (DenseLimit < 0), and the tiled streaming verifier
+// (TileBytes < 0, plus a deliberately tiny positive ceiling that forces a
+// multi-tile partition with conflicts crossing seams) must report identical
+// violation slices, for the serial checker and for the sharded checker at
+// several worker counts. Together with the chaos sweep (which proves each
+// corruption is detected) this pins the three occupancy cores to each other
+// edge for edge.
 func TestDenseMapDifferentialAllFamilies(t *testing.T) {
 	for _, fam := range Families() {
 		lay, err := BuildFamily(FamilySpec{Name: fam.Name}, Options{})
@@ -39,9 +42,11 @@ func TestDenseMapDifferentialAllFamilies(t *testing.T) {
 	}
 }
 
-// assertDenseMatchesMap checks one wire set under both occupancy cores,
-// serially and sharded, and (when legal is set) that the layout verifies
-// clean everywhere.
+// assertDenseMatchesMap checks one wire set under all three occupancy
+// cores, serially and sharded, and (when legal is set) that the layout
+// verifies clean everywhere. The tiled rung's contract is the parallel
+// checker's canonical set, so its output is compared against the sharded
+// result at the same worker count.
 func assertDenseMatchesMap(t *testing.T, name string, wires []grid.Wire, opts grid.CheckOptions, legal bool) {
 	t.Helper()
 	sparse := opts
@@ -64,6 +69,19 @@ func assertDenseMatchesMap(t *testing.T, name string, wires []grid.Wire, opts gr
 		if (len(parDense) == 0) != (len(serialDense) == 0) {
 			t.Errorf("%s workers=%d: verdicts diverge (serial %d, parallel %d)",
 				name, workers, len(serialDense), len(parDense))
+		}
+		for _, tileBytes := range []int{-1, 1 << 10} {
+			tiled := opts
+			tiled.Workers = workers
+			tiled.TileBytes = tileBytes
+			got, err := grid.Verify(nil, wires, tiled)
+			if err != nil {
+				t.Fatalf("%s workers=%d tile=%d: %v", name, workers, tileBytes, err)
+			}
+			if !reflect.DeepEqual(got, parDense) {
+				t.Errorf("%s workers=%d tile=%d: tiled/parallel divergence\ntiled:    %v\nparallel: %v",
+					name, workers, tileBytes, got, parDense)
+			}
 		}
 	}
 }

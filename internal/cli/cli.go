@@ -73,6 +73,42 @@ func ParseInts(flagName, csv string) ([]int, error) {
 	return out, nil
 }
 
+// ParseBytes parses a byte-count flag value: a plain integer is bytes, and
+// a k/m/g (or kib/mib/gib) suffix scales by the binary unit, so "64m" is
+// 64 MiB. Negative values pass through unscaled — the verifier's memory
+// knobs use them as "force the tiled rung at its default budget" — and
+// flagName is used in error messages.
+func ParseBytes(flagName, s string) (int, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, fmt.Errorf("%s: empty byte count", flagName)
+	}
+	shift := 0
+	for _, suf := range []struct {
+		text  string
+		shift int
+	}{{"kib", 10}, {"mib", 20}, {"gib", 30}, {"k", 10}, {"m", 20}, {"g", 30}} {
+		if strings.HasSuffix(t, suf.text) {
+			t, shift = strings.TrimSuffix(t, suf.text), suf.shift
+			break
+		}
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(t))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not a byte count (use an integer with an optional k/m/g suffix)", flagName, s)
+	}
+	if v < 0 {
+		if shift != 0 {
+			return 0, fmt.Errorf("%s: negative byte counts take no unit suffix", flagName)
+		}
+		return v, nil
+	}
+	if shift > 0 && v > int(^uint(0)>>1)>>shift {
+		return 0, fmt.Errorf("%s: %q overflows", flagName, s)
+	}
+	return v << shift, nil
+}
+
 // ParseParams parses a comma-separated name=value list ("k=4,n=3") into a
 // family-parameter map; flagName is used in error messages.
 func ParseParams(flagName, csv string) (map[string]int, error) {

@@ -139,6 +139,32 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"0", 0}, {"123", 123}, {" 64k ", 64 << 10}, {"2m", 2 << 20},
+		{"1g", 1 << 30}, {"3KiB", 3 << 10}, {"5MiB", 5 << 20},
+		{"7gib", 7 << 30}, {"-1", -1}, {"-65536", -65536},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes("-verify-mem", tc.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "  ", "x", "1t", "2.5m", "-1k", "99999999999g"} {
+		if _, err := ParseBytes("-verify-mem", bad); err == nil {
+			t.Errorf("ParseBytes(%q) = nil error, want failure", bad)
+		} else if !strings.Contains(err.Error(), "-verify-mem") {
+			t.Errorf("ParseBytes(%q) error %q does not name the flag", bad, err)
+		}
+	}
+}
+
 func TestParseParams(t *testing.T) {
 	got, err := ParseParams("-params", "k=4, n = 3 ,")
 	if err != nil {

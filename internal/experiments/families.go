@@ -3,6 +3,7 @@ package experiments
 import (
 	"mlvlsi/internal/core"
 	"mlvlsi/internal/formulas"
+	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
 	"mlvlsi/internal/route"
 	"mlvlsi/internal/track"
@@ -14,11 +15,18 @@ import (
 // suite, so experiments re-verify only the smaller instances).
 const verifyLimit = 1100
 
+// VerifyMemBytes, when non-zero, caps the verifier working set of every
+// experiment re-verification, engaging the tiled streaming rung when the
+// dense bitset would not fit (see Options.VerifyMemBytes at the module
+// root). paperbench's -verify-mem flag sets it before any experiment runs;
+// zero (the default) leaves the dense→map ladder unbudgeted.
+var VerifyMemBytes int
+
 // checkedStats verifies the layout when it is small enough and returns its
 // stats; verification failures are reported in the table notes.
 func checkedStats(t *Table, lay *layout.Layout) layout.Stats {
 	if len(lay.Nodes) <= verifyLimit {
-		if v := lay.Verify(); len(v) > 0 {
+		if v, _ := lay.VerifyOpts(nil, grid.CheckOptions{TileBytes: VerifyMemBytes}); len(v) > 0 {
 			t.Note("VERIFY FAILED %s: %v", lay.Name, v[0])
 		}
 	}

@@ -15,6 +15,7 @@ package fault
 
 import (
 	"fmt"
+	"reflect"
 
 	"mlvlsi/internal/grid"
 	"mlvlsi/internal/layout"
@@ -468,6 +469,39 @@ func SelfTest(lay *layout.Layout, seed uint64, workers int) error {
 		}
 		if vs := grid.CheckParallel(bad.Wires, opts, workers); !c.Detected(vs) {
 			return fmt.Errorf("%s on %s: parallel checker missed it (%s; %d violations)", c, lay.Name, info, len(vs))
+		}
+	}
+	return nil
+}
+
+// SelfTestTiled repeats SelfTest through the tiled streaming rung: for every
+// corruption class the verifier — forced onto the tiled path by tileBytes
+// (negative selects the default per-tile budget; a positive ceiling must be
+// one the dense bitset exceeds, or the ladder falls back to dense and the
+// tiled engine is not exercised) — must both detect the corruption and
+// reproduce the sharded checker's canonical violation set byte for byte at
+// the same worker count, whatever tile geometry the budget induces.
+func SelfTestTiled(lay *layout.Layout, seed uint64, workers, tileBytes int) error {
+	inj := Injector{Seed: seed}
+	base := grid.CheckOptions{Layers: lay.L, Discipline: true, Nodes: lay.Nodes}
+	for _, c := range Classes() {
+		bad, info, err := inj.Apply(lay, c)
+		if err != nil {
+			return fmt.Errorf("%s: inject on %s: %w", c, lay.Name, err)
+		}
+		tiled := base
+		tiled.Workers = workers
+		tiled.TileBytes = tileBytes
+		got, err := grid.Verify(nil, bad.Wires, tiled)
+		if err != nil {
+			return fmt.Errorf("%s on %s: tiled verify: %w", c, lay.Name, err)
+		}
+		if !c.Detected(got) {
+			return fmt.Errorf("%s on %s: tiled checker missed it (%s; %d violations)", c, lay.Name, info, len(got))
+		}
+		if want := grid.CheckParallel(bad.Wires, base, workers); !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("%s on %s: tiled/parallel divergence at tileBytes=%d workers=%d (%s)",
+				c, lay.Name, tileBytes, workers, info)
 		}
 	}
 	return nil

@@ -212,6 +212,23 @@ func FuzzCheckDifferential(f *testing.F) {
 				t.Fatalf("%s workers=%d: parallel dense/map divergence for %s\ndense: %v\nmap:   %v",
 					c, workers, info, par, parSparse)
 			}
+			// The tiled streaming rung promises the sharded checker's
+			// canonical set byte for byte, whatever the tile geometry: the
+			// default per-tile budget (usually one tile) and a deliberately
+			// tiny ceiling (many tiles, claims crossing every seam).
+			for _, tileBytes := range []int{-1, 1 << 10} {
+				tiled := opts
+				tiled.Workers = workers
+				tiled.TileBytes = tileBytes
+				got, err := grid.Verify(nil, bad.Wires, tiled)
+				if err != nil {
+					t.Fatalf("%s workers=%d tile=%d: %v", c, workers, tileBytes, err)
+				}
+				if !reflect.DeepEqual(got, par) {
+					t.Fatalf("%s workers=%d tile=%d: tiled/parallel divergence for %s\ntiled:    %v\nparallel: %v",
+						c, workers, tileBytes, info, got, par)
+				}
+			}
 		}
 	})
 }

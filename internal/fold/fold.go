@@ -140,32 +140,43 @@ func gutterX(edgeX int) int {
 	return edgeX + 1
 }
 
-// Verify checks a folded layout for rectilinearity, edge-disjointness and
-// the direction discipline (terminal checks are skipped: folded nodes live
-// on raised active layers).
+// VerifyOpts checks a folded layout for rectilinearity, edge-disjointness
+// and the direction discipline. Terminal checks are skipped — folded nodes
+// live on raised active layers, so opts.Nodes is cleared — while the
+// engine, memory-ladder, and instrumentation knobs pass through to
+// grid.Verify exactly as Layout.VerifyOpts does for engine-built layouts
+// (including rooting a "verify" span on opts.Observer when opts.Span is
+// nil).
+func VerifyOpts(ctx context.Context, lay *layout.Layout, opts grid.CheckOptions) ([]grid.Violation, error) {
+	opts.Layers = lay.L
+	opts.Discipline = true
+	opts.Nodes = nil
+	var sp *obs.Span
+	if opts.Span == nil {
+		sp = opts.Observer.StartSpan("verify")
+		sp.SetAttr("wires", int64(len(lay.Wires)))
+		opts.Span = sp
+	}
+	vs, err := grid.Verify(ctx, lay.Wires, opts)
+	sp.SetAttr("violations", int64(len(vs))).End()
+	return vs, err
+}
+
+// Verify checks a folded layout with the serial engine.
+//
+// Deprecated: equivalent to VerifyOpts with Workers: 1.
 func Verify(lay *layout.Layout) []grid.Violation {
-	vs, _ := VerifyObserved(nil, lay, 1, 0, nil)
+	vs, _ := VerifyOpts(nil, lay, grid.CheckOptions{Workers: 1})
 	return vs
 }
 
-// VerifyObserved is Verify with every verifier knob exposed — cooperative
-// cancellation, worker fan-out, dense-occupancy threshold — plus
-// observation: the check is reported as a "verify" span on o and the
-// verifier counters accumulate there, exactly as Layout.VerifyObserved does
-// for engine-built layouts. Terminal checks stay skipped. A nil observer
-// disables observation at zero cost; violations are identical for every
-// knob combination.
+// VerifyObserved is Verify with the worker fan-out, dense-occupancy
+// threshold, cancellation, and observer exposed.
+//
+// Deprecated: equivalent to VerifyOpts with Workers, DenseLimit, and
+// Observer set.
 func VerifyObserved(ctx context.Context, lay *layout.Layout, workers, denseLimit int, o *obs.Observer) ([]grid.Violation, error) {
-	sp := o.StartSpan("verify")
-	sp.SetAttr("wires", int64(len(lay.Wires)))
-	vs, err := grid.CheckParallelCtx(ctx, lay.Wires, grid.CheckOptions{
-		Layers:     lay.L,
-		Discipline: true,
-		DenseLimit: denseLimit,
-		Span:       sp,
-	}, workers)
-	sp.SetAttr("violations", int64(len(vs))).End()
-	return vs, err
+	return VerifyOpts(ctx, lay, grid.CheckOptions{Workers: workers, DenseLimit: denseLimit, Observer: o})
 }
 
 // Stats summarizes a folded layout against its source, the comparison §2.2

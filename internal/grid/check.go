@@ -30,6 +30,28 @@ type CheckOptions struct {
 	// negative value disables the dense path entirely, forcing the
 	// map-based reference implementation. Results are identical either way.
 	DenseLimit int
+	// Workers selects the verifier engine: 1 runs the serial checker
+	// (Check's early-exit semantics), any other value runs the sharded
+	// parallel checker with that fan-out (0 meaning GOMAXPROCS). Results
+	// differ between the two engines only in the documented corner — on
+	// layouts with several interacting violations the serial walk stops
+	// recording a violating wire's remaining edges — and legality verdicts
+	// always agree.
+	Workers int
+	// TileBytes is the verifier's memory ceiling in bytes, selecting the
+	// rung of the dense→tiled→map ladder. Zero imposes no ceiling (the
+	// dense→map choice is DenseLimit's alone, exactly the pre-ladder
+	// behavior). A positive value caps the occupancy working set: the dense
+	// bitset is used only when every shard's copy fits under the ceiling
+	// together; otherwise the box is partitioned into tiles whose pooled
+	// bitsets fit TileBytes/workers each and verified tile by tile (see
+	// Tiling), falling back to the hash map only when tiling itself is
+	// infeasible (empty box, unpackable coordinates, or a degenerate
+	// partition of more than maxTiles tiles). A negative value forces the
+	// tiled rung with the default per-tile budget, which is what the
+	// differential tests use. The tiled rung always produces the parallel
+	// checker's canonical violation set, for every worker count.
+	TileBytes int
 	// Span, when non-nil, is the parent span the checkers hang their phase
 	// spans off (measure, walk, merge, resolve); counters go to the span's
 	// observer. Nil disables instrumentation. Either way the per-edge hot
@@ -37,6 +59,21 @@ type CheckOptions struct {
 	// the coordinator path, using aggregates the check computes anyway, so
 	// results and allocation behavior are identical.
 	Span *obs.Span
+	// Observer receives the counters when Span is nil — callers that want
+	// metrics without a span tree (Layout.VerifyOpts builds the span root
+	// itself and leaves this to programmatic grid.Verify users) set it
+	// instead. When Span is non-nil its observer wins and this field is
+	// ignored.
+	Observer *obs.Observer
+}
+
+// observer resolves where counters go: the span's observer when a span was
+// supplied, the explicit Observer otherwise. Both legs are nil-safe.
+func (o *CheckOptions) observer() *obs.Observer {
+	if o.Span != nil {
+		return o.Span.Observer()
+	}
+	return o.Observer
 }
 
 // Reason is a typed violation cause. Codes are formatted lazily by
@@ -196,34 +233,68 @@ func edgeViolation(w *Wire, low Point, axis Axis, opts *CheckOptions) (Violation
 	return Violation{}, false
 }
 
-// Check verifies that a set of wires forms a legal multilayer layout:
-// every wire is a well-formed rectilinear path, no two wires share a unit
-// grid edge (the multilayer grid model requires edge-disjoint paths), the
-// direction discipline holds if requested, all geometry stays within the
-// wiring layers, and wire endpoints terminate on their nodes. It returns all
-// violations found (nil means the layout is legal).
+// Verify is the single verifier entrypoint: it checks that a set of wires
+// forms a legal multilayer layout — every wire is a well-formed rectilinear
+// path, no two wires share a unit grid edge (the multilayer grid model
+// requires edge-disjoint paths), the direction discipline holds if
+// requested, all geometry stays within the wiring layers, and wire
+// endpoints terminate on their nodes. It returns all violations found (nil
+// means the layout is legal), and a nil slice plus an error wrapping
+// par.ErrCanceled once ctx (which may be nil, meaning no cancellation) is
+// done.
 //
 // The check is exact, not sampled: every unit grid edge of every wire is
-// recorded. Edge occupancy lives in a dense bitset over the wire set's
-// bounding box whenever that box is compact (the structure Thompson-model
-// layouts always have), falling back to a hash map on sparse or adversarial
-// inputs; see CheckOptions.DenseLimit. Memory on the dense path is one bit
-// per bounding-box edge slot; on the sparse path it is proportional to total
-// wire length.
+// recorded. Everything else — serial vs parallel engine (Workers), the
+// dense→tiled→map occupancy ladder (TileBytes, DenseLimit), and
+// instrumentation (Span, Observer) — is selected by the options struct; the
+// deprecated Check/CheckCtx/CheckParallel/CheckParallelCtx names are thin
+// wrappers over the same cores.
+func Verify(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	if len(wires) == 0 {
+		return nil, nil
+	}
+	if opts.TileBytes != 0 {
+		if vs, err, handled := verifyBudgeted(ctx, wires, opts); handled {
+			return vs, err
+		}
+		// The ceiling admits the full dense bitset (or the box is empty):
+		// fall through to the unbudgeted engines.
+	}
+	if opts.Workers == 1 {
+		opts.observer().Set(obs.WorkerCount, 1)
+		return verifySerial(ctx, wires, opts)
+	}
+	return verifyParallel(ctx, wires, opts)
+}
+
+// Check verifies the wire set with the serial engine and no memory ceiling.
+//
+// Deprecated: equivalent to Verify with Workers: 1; kept as a wrapper for
+// existing callers and for the serial half of the differential tests.
 func Check(wires []Wire, opts CheckOptions) []Violation {
 	vs, _ := CheckCtx(nil, wires, opts)
 	return vs
 }
 
-// CheckCtx is Check with cooperative cancellation: the wire walk polls ctx
-// (which may be nil, meaning no cancellation) every few wires and returns a
-// nil violation slice plus an error wrapping par.ErrCanceled once the
-// context is done. On a nil error the violations are exactly Check's.
+// CheckCtx is Check with cooperative cancellation.
+//
+// Deprecated: equivalent to Verify with Workers: 1.
 func CheckCtx(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
+	opts.Workers = 1
+	return Verify(ctx, wires, opts)
+}
+
+// verifySerial is the serial core behind Verify with Workers == 1: one pass
+// in wire order with the early-exit semantics the package's differential
+// tests pin (a wire's walk stops at its first violation).
+func verifySerial(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
 	ms := opts.Span.Child("measure")
 	box, total := Wires(wires).measure()
 	ms.End()
-	ob := opts.Span.Observer()
+	ob := opts.observer()
 	ob.Add(obs.UnitEdgesChecked, int64(total))
 	wk := opts.Span.Child("walk")
 	if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {

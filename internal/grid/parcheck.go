@@ -36,6 +36,11 @@ import (
 // serial early exit also stops recording the rest of a violating wire's
 // edges; CheckParallel records them, so it can attribute a conflict on those
 // edges that Check never sees. Legality verdicts always agree.
+//
+// Deprecated: equivalent to Verify with Workers set — except that Verify
+// maps Workers == 1 to the serial engine, while CheckParallel(…, 1) keeps
+// running the parallel algorithm on one worker (the differential tests pin
+// its output as byte-identical across worker counts, including 1).
 func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 	vs, _ := CheckParallelCtx(nil, wires, opts, workers)
 	return vs
@@ -46,7 +51,17 @@ func CheckParallel(wires []Wire, opts CheckOptions, workers int) []Violation {
 // cancellation) and the call returns a nil violation slice plus an error
 // wrapping par.ErrCanceled once the context is done. On a nil error the
 // violations are exactly CheckParallel's.
+//
+// Deprecated: see CheckParallel; new callers use Verify.
 func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, workers int) ([]Violation, error) {
+	opts.Workers = workers
+	return verifyParallel(ctx, wires, opts)
+}
+
+// verifyParallel is the sharded core behind Verify (any Workers value other
+// than 1) and the deprecated CheckParallel wrappers, which is why it runs
+// the parallel algorithm even for a fan-out of one.
+func verifyParallel(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error) {
 	if err := par.Canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -54,8 +69,8 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 	if n == 0 {
 		return nil, nil
 	}
-	w := par.Workers(workers)
-	ob := opts.Span.Observer()
+	w := par.Workers(opts.Workers)
+	ob := opts.observer()
 	ob.Set(obs.WorkerCount, int64(w))
 
 	ms := opts.Span.Child("measure")
@@ -87,7 +102,7 @@ func CheckParallelCtx(ctx context.Context, wires []Wire, opts CheckOptions, work
 		// which re-measures and maintains the counters itself.
 		fallback := opts
 		fallback.Span = opts.Span.Child("fallback-serial")
-		vs, err := CheckCtx(ctx, wires, fallback)
+		vs, err := verifySerial(ctx, wires, fallback)
 		fallback.Span.End()
 		return vs, err
 	}
@@ -229,7 +244,7 @@ func checkDenseParallel(ctx context.Context, wires []Wire, opts CheckOptions, ix
 			}
 			crossed[chunk] = found
 		})
-		opts.Span.Observer().Add(obs.MergeNanos, int64(merge.End()))
+		opts.observer().Add(obs.MergeNanos, int64(merge.End()))
 		if err := par.Canceled(ctx); err != nil {
 			return nil, err
 		}
@@ -456,7 +471,7 @@ func checkSparseParallel(ctx context.Context, wires []Wire, opts CheckOptions, e
 		}
 		perBucket[b] = found
 	})
-	opts.Span.Observer().Add(obs.MergeNanos, int64(merge.End()))
+	opts.observer().Add(obs.MergeNanos, int64(merge.End()))
 	if err := par.Canceled(ctx); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,687 @@
+package grid
+
+// The tiled streaming verifier is the middle rung of the dense→tiled→map
+// ladder (see CheckOptions.TileBytes). The dense bitset sizes its store by
+// the full bounding box — 3·W·H·D unit-edge slots — which for
+// Hypercube(20)-class layouts (area Θ(N²), Greenberg & Guan) either falls
+// back to the slow map path or does not fit in RAM. Tiling bounds the
+// working set by a *tile* instead: the box is partitioned into planar tiles
+// (full Z depth) whose pooled bitsets fit a configurable budget, wires are
+// streamed through the tiles their segments intersect (clipped at tile
+// borders, never re-walked whole per tile), tiles are verified
+// independently on the par pool, and unit edges straddling a tile seam are
+// reconciled in a final pass so no overlap spanning a boundary is missed.
+//
+// Edge→tile assignment is total and order-free: every unit edge belongs to
+// the tile containing its lower endpoint. An X-edge whose lower endpoint
+// sits on its tile's last lattice column (and likewise a Y-edge on the last
+// row) crosses into the neighboring tile; those are the border edges,
+// collected as packed claims instead of bitset marks. Z-edges never cross a
+// seam — tiles span the full depth. Interior conflicts are found by the
+// per-tile pooled bitset exactly as in the dense checker; border conflicts
+// by a hash map over the sorted claims, processed in global wire order so
+// ownership attribution matches the serial checker's rule.
+//
+// The output contract is the parallel checker's: checkTiled produces
+// CheckParallel's canonical violation set byte for byte, for every worker
+// count and every tile geometry — the three-way differential tests pin
+// tiled against both the dense and the map engines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"mlvlsi/internal/obs"
+	"mlvlsi/internal/par"
+)
+
+// defaultTileBytes is the per-tile bitset budget used when TileBytes < 0
+// forces the tiled rung without naming a ceiling: 1 MiB per tile keeps the
+// working set cache-resident while the tile count stays small on layouts up
+// to the mid hypercube sizes.
+const defaultTileBytes = 1 << 20
+
+// maxTiles bounds the partition size; a budget/box combination that would
+// shatter the plane into more tiles than this (adversarially sparse
+// geometry, sub-kilobyte ceilings over huge boxes) makes the tiled rung
+// refuse, and the ladder falls back to the unbudgeted dense→map choice.
+const maxTiles = 1 << 16
+
+// stopNone marks a wire whose walk hits no layer-range or discipline
+// violation; every real stop position is smaller.
+const stopNone = int32(1<<31 - 1)
+
+// ErrOutsideTiling is returned by ReverifyTiles when a wire's geometry
+// leaves the tiling's bounding box: the partition no longer covers the wire
+// set, so the caller must re-tile (NewTiling) and run a full check.
+var ErrOutsideTiling = errors.New("grid: wire set extends outside the tiling's bounding box")
+
+// Tiling is a spatial partition of a wire set's bounding box into NX×NY
+// planar tiles of TileW×TileH lattice points (edge tiles may be smaller);
+// tiles span the full Z depth, so vias never cross tile seams. Build one
+// with NewTiling; the zero value is not a valid tiling.
+type Tiling struct {
+	Box          BoundingBox
+	TileW, TileH int
+	NX, NY       int
+}
+
+// NewTiling measures the wire set and partitions its bounding box so that
+// one tile's occupancy bitset fits the per-tile share of tileBytes
+// (tileBytes/workers with the fan-out resolved as in Verify; tileBytes <= 0
+// selects the default per-tile budget). ok is false when the set is empty
+// or the partition would be degenerate (see maxTiles) — the same admission
+// rule Verify's tiled rung applies, so a NewTiling built from the same
+// inputs reproduces that rung's geometry exactly.
+func NewTiling(wires []Wire, tileBytes, workers int) (Tiling, bool) {
+	box, _ := Wires(wires).measure()
+	per := defaultTileBytes
+	if tileBytes > 0 {
+		per = tileBytes / par.Workers(workers)
+	}
+	tl, _, ok := newTilingFromBox(box, per)
+	return tl, ok
+}
+
+// newTilingFromBox picks the tile dimensions for a measured box: start at
+// the whole box and halve the larger planar side until the tile's bitset
+// (3·tw·th·d slots) fits perTileBytes. It also derives the packed edge
+// encoder border reconciliation uses. ok is false when the box is empty,
+// coordinates cannot pack into 64 bits, the partition would exceed
+// maxTiles, or even a 1×1 tile cannot fit the budget (a Z extent taller
+// than the budget's bit count).
+func newTilingFromBox(box BoundingBox, perTileBytes int) (Tiling, edgeEncoder, bool) {
+	if box.Empty() {
+		return Tiling{}, edgeEncoder{}, false
+	}
+	enc, ok := newEdgeEncoderFromBox(box)
+	if !ok {
+		return Tiling{}, edgeEncoder{}, false
+	}
+	w := box.MaxX - box.MinX + 1
+	h := box.MaxY - box.MinY + 1
+	d := box.MaxZ - box.MinZ + 1
+	bits := 8
+	if perTileBytes > 1 {
+		bits = perTileBytes * 8
+	}
+	tw, th := w, h
+	for !tileFits(tw, th, d, bits) && (tw > 1 || th > 1) {
+		if tw >= th {
+			tw = (tw + 1) / 2
+		} else {
+			th = (th + 1) / 2
+		}
+	}
+	if !tileFits(tw, th, d, bits) {
+		return Tiling{}, edgeEncoder{}, false
+	}
+	nx := (w + tw - 1) / tw
+	ny := (h + th - 1) / th
+	if nx > maxTiles || ny > maxTiles || nx*ny > maxTiles {
+		return Tiling{}, edgeEncoder{}, false
+	}
+	return Tiling{Box: box, TileW: tw, TileH: th, NX: nx, NY: ny}, enc, true
+}
+
+// tileFits reports whether a tw×th×d tile's slot count 3·tw·th·d stays at
+// or below limit, overflow-safe (the stepwise form newOccIndexer uses).
+func tileFits(tw, th, d, limit int) bool {
+	cells := 3
+	for _, extent := range [...]int{tw, th, d} {
+		if extent > limit/cells {
+			return false
+		}
+		cells *= extent
+	}
+	return true
+}
+
+// Tiles returns the number of tiles in the partition.
+func (t Tiling) Tiles() int { return t.NX * t.NY }
+
+// TileIndex returns the tile holding the planar lattice point (x, y); the
+// point must lie inside the tiling's box.
+func (t Tiling) TileIndex(x, y int) int {
+	return (y-t.Box.MinY)/t.TileH*t.NX + (x-t.Box.MinX)/t.TileW
+}
+
+// tileSpan returns the tile's inclusive planar lattice ranges.
+func (t Tiling) tileSpan(tile int) (x0, x1, y0, y1 int) {
+	tx, ty := tile%t.NX, tile/t.NX
+	x0 = t.Box.MinX + tx*t.TileW
+	x1 = minInt(x0+t.TileW-1, t.Box.MaxX)
+	y0 = t.Box.MinY + ty*t.TileH
+	y1 = minInt(y0+t.TileH-1, t.Box.MaxY)
+	return
+}
+
+// cells returns one tile's unit-edge slot count. It is uniform across
+// tiles — edge tiles waste the tail of the shared pooled bitset, which is
+// what lets every tile reuse buffers of one size from the occ pool.
+func (t Tiling) cells() int {
+	return 3 * t.TileW * t.TileH * (t.Box.MaxZ - t.Box.MinZ + 1)
+}
+
+// indexer returns the occupancy indexer for one tile's sub-box.
+func (t Tiling) indexer(tile int) occIndexer {
+	x0, _, y0, _ := t.tileSpan(tile)
+	return occIndexer{
+		minX: x0, minY: y0, minZ: t.Box.MinZ,
+		w: t.TileW, h: t.TileH, cells: t.cells(),
+	}
+}
+
+// contains reports whether every path vertex lies inside the tiling's box.
+func (t Tiling) contains(w *Wire) bool {
+	for _, p := range w.Path {
+		if p.X < t.Box.MinX || p.X > t.Box.MaxX ||
+			p.Y < t.Box.MinY || p.Y > t.Box.MaxY ||
+			p.Z < t.Box.MinZ || p.Z > t.Box.MaxZ {
+			return false
+		}
+	}
+	return true
+}
+
+// WireTiles visits (once each, unordered) the tiles holding at least one of
+// the wire's unit edges. This is the dirty-set primitive for ReverifyTiles:
+// a mutation protocol marks dirty every tile of the wire's old route and
+// every tile of its new route, which guarantees any edge the mutation could
+// conflict on lies in a dirty tile. Wires with malformed paths or geometry
+// outside the box visit nothing.
+func (t Tiling) WireTiles(w *Wire, visit func(tile int)) {
+	if _, bad := w.structural(); bad || !t.contains(w) {
+		return
+	}
+	seen := make(map[int]struct{}, 4)
+	mark := func(tile int) {
+		if _, dup := seen[tile]; !dup {
+			seen[tile] = struct{}{}
+			visit(tile)
+		}
+	}
+	for i := 1; i < len(w.Path); i++ {
+		a := w.Path[i-1]
+		axis, lo, hi := hopRange(a, w.Path[i])
+		end := hi - 1 // last edge's low coordinate
+		switch axis {
+		case AxisX:
+			row := (a.Y - t.Box.MinY) / t.TileH * t.NX
+			for c := (lo - t.Box.MinX) / t.TileW; c <= (end-t.Box.MinX)/t.TileW; c++ {
+				mark(row + c)
+			}
+		case AxisY:
+			col := (a.X - t.Box.MinX) / t.TileW
+			for r := (lo - t.Box.MinY) / t.TileH; r <= (end-t.Box.MinY)/t.TileH; r++ {
+				mark(r*t.NX + col)
+			}
+		default:
+			mark(t.TileIndex(a.X, a.Y))
+		}
+	}
+}
+
+// hopRange decomposes a path hop into its axis and the ascending coordinate
+// range [lo, hi] of its endpoints; the hop's unit edges have lower-endpoint
+// coordinates lo..hi-1 and are walked in ascending order regardless of the
+// hop's direction (Wire.UnitEdges' order). Callers have already rejected
+// malformed hops, so exactly one delta is nonzero.
+func hopRange(a, b Point) (Axis, int, int) {
+	switch {
+	case b.X != a.X:
+		lo, hi := a.X, b.X
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return AxisX, lo, hi
+	case b.Y != a.Y:
+		lo, hi := a.Y, b.Y
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return AxisY, lo, hi
+	default:
+		lo, hi := a.Z, b.Z
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return AxisZ, lo, hi
+	}
+}
+
+// hopStop finds the hop's first layer-range or discipline violation without
+// visiting its edges: planar verdicts are uniform along a hop (every edge
+// shares the same Z), and a via run's only mid-hop failure is climbing past
+// the top wiring layer, whose first violating edge follows from the
+// endpoints. k is the violating edge's index in ascending walk order.
+func hopStop(w *Wire, a Point, axis Axis, lo, hi int, opts *CheckOptions) (int, Violation, bool) {
+	first := a
+	switch axis {
+	case AxisX:
+		first.X = lo
+	case AxisY:
+		first.Y = lo
+	default:
+		first.Z = lo
+	}
+	if v, bad := edgeViolation(w, first, axis, opts); bad {
+		return 0, v, true
+	}
+	if axis == AxisZ && opts.Layers > 0 && hi > opts.Layers {
+		// The first edge was legal, so lo >= 0 and the run fails first at
+		// the edge leaving the top layer: lower endpoint Z == Layers.
+		v, _ := edgeViolation(w, Point{a.X, a.Y, opts.Layers}, AxisZ, opts)
+		return opts.Layers - lo, v, true
+	}
+	return 0, Violation{}, false
+}
+
+// tileEdges walks w's unit edges clipped to one tile's lattice ranges, in
+// global walk order, calling fn for every edge whose walk position is below
+// stop. border reports a seam edge (an X-edge whose lower endpoint is on
+// the tile's last column, or a Y-edge on its last row): its other endpoint
+// lies in the neighboring tile, so it is claimed for reconciliation instead
+// of marked in the tile bitset. The box's own last column and row never
+// yield border edges — an edge's far endpoint would leave the bounding box.
+// fn returning false aborts the walk.
+func tileEdges(w *Wire, x0, x1, y0, y1 int, stop int32, fn func(low Point, axis Axis, seq int32, border bool) bool) {
+	seq := int32(0)
+	for i := 1; i < len(w.Path); i++ {
+		a := w.Path[i-1]
+		axis, lo, hi := hopRange(a, w.Path[i])
+		cnt := hi - lo
+		if int64(cnt) > int64(stop-seq) {
+			cnt = int(stop - seq)
+		}
+		if cnt > 0 {
+			end := lo + cnt - 1 // last walked edge's low coordinate
+			switch axis {
+			case AxisX:
+				if a.Y >= y0 && a.Y <= y1 {
+					for x := maxInt(lo, x0); x <= minInt(end, x1); x++ {
+						if !fn(Point{x, a.Y, a.Z}, AxisX, seq+int32(x-lo), x == x1) {
+							return
+						}
+					}
+				}
+			case AxisY:
+				if a.X >= x0 && a.X <= x1 {
+					for y := maxInt(lo, y0); y <= minInt(end, y1); y++ {
+						if !fn(Point{a.X, y, a.Z}, AxisY, seq+int32(y-lo), y == y1) {
+							return
+						}
+					}
+				}
+			default:
+				if a.X >= x0 && a.X <= x1 && a.Y >= y0 && a.Y <= y1 {
+					for z := lo; z < lo+cnt; z++ {
+						if !fn(Point{a.X, a.Y, z}, AxisZ, seq+int32(z-lo), false) {
+							return
+						}
+					}
+				}
+			}
+		}
+		seq += int32(hi - lo)
+		if seq >= stop {
+			return
+		}
+	}
+}
+
+// ReverifyTiles is the incremental primitive behind interactive editing: it
+// re-checks only the tiles in dirty (indices into tl's partition,
+// duplicates allowed), streaming every wire's clipped edges through those
+// tiles but never materializing — or even visiting — the untouched tiles'
+// occupancy. The obs.TilesChecked counter advances by exactly the number of
+// distinct dirty tiles, which is what the incremental tests assert.
+//
+// The returned violations are those detectable within the dirty tiles:
+// interior and border conflicts on their edges, plus the walk, terminal,
+// and structural violations of wires intersecting them (a wire whose walk
+// stops before its first edge intersects no tile and is reported only by a
+// full check). Correctness requires the dirty set to cover every tile of
+// each mutated wire's old and new routes — use Tiling.WireTiles — and the
+// wires to stay inside tl.Box; geometry outside the box returns
+// ErrOutsideTiling, the signal to re-tile and run a full Verify.
+func ReverifyTiles(ctx context.Context, wires []Wire, tl Tiling, dirty []int, opts CheckOptions) ([]Violation, error) {
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	if len(wires) == 0 || len(dirty) == 0 {
+		return nil, nil
+	}
+	if tl.TileW <= 0 || tl.TileH <= 0 || tl.NX <= 0 || tl.NY <= 0 || tl.Box.Empty() {
+		return nil, fmt.Errorf("grid: ReverifyTiles on an invalid tiling %+v", tl)
+	}
+	enc, ok := newEdgeEncoderFromBox(tl.Box)
+	if !ok {
+		return nil, fmt.Errorf("grid: tiling box %+v cannot pack edge keys", tl.Box)
+	}
+	mask := make([]bool, tl.Tiles())
+	for _, tile := range dirty {
+		if tile < 0 || tile >= len(mask) {
+			return nil, fmt.Errorf("grid: dirty tile %d outside partition of %d tiles", tile, len(mask))
+		}
+		mask[tile] = true
+	}
+	return checkTiled(ctx, wires, opts, tl, enc, par.Workers(opts.Workers), 0, mask)
+}
+
+// verifyBudgeted applies the TileBytes memory ceiling: it decides the rung
+// of the dense→tiled→map ladder and runs the tiled rung when selected.
+// handled is false when the ceiling admits the full dense working set
+// (every shard's bitset together under TileBytes) or when tiling is
+// infeasible — both fall back to the unbudgeted engines.
+func verifyBudgeted(ctx context.Context, wires []Wire, opts CheckOptions) ([]Violation, error, bool) {
+	w := par.Workers(opts.Workers)
+	ms := opts.Span.Child("measure")
+	box, total := parMeasure(wires, w)
+	ms.End()
+	if box.Empty() {
+		return nil, nil, false
+	}
+	if opts.TileBytes > 0 {
+		if ix, ok := newOccIndexer(box, opts.DenseLimit, total); ok {
+			// Mirror verifyParallel's shard count: the dense working set is
+			// one full-box bitset per shard.
+			shards := 1
+			if opts.Workers != 1 {
+				dw := w
+				if maxp := runtime.GOMAXPROCS(0); dw > maxp && total >= denseClampEdges {
+					dw = maxp
+				}
+				shards = par.NumChunks(dw, len(wires))
+			}
+			if shards*ix.words()*8 <= opts.TileBytes {
+				return nil, nil, false
+			}
+		}
+	}
+	perTile := defaultTileBytes
+	if opts.TileBytes > 0 {
+		perTile = opts.TileBytes / w
+	}
+	tl, enc, ok := newTilingFromBox(box, perTile)
+	if !ok {
+		return nil, nil, false
+	}
+	vs, err := checkTiled(ctx, wires, opts, tl, enc, w, total, nil)
+	return vs, err, true
+}
+
+// tileBin is the output of the binning pass: per-tile wire lists in
+// ascending wire order, each wire's walk-stop position, the violations
+// found outside the occupancy walk (structural, first layer/discipline
+// stop, terminals), and the edge total of the wires an incremental check
+// re-walks.
+type tileBin struct {
+	tileWires  [][]int32
+	stopSeq    []int32
+	pre        []seqViolation
+	dirtyEdges int64
+}
+
+// binWires routes every wire to the tiles its unit edges occupy, walking
+// segments (path hops), not edges — O(vertices + tiles touched) per wire on
+// the coordinator — and computes each wire's walk-stop position
+// arithmetically via hopStop, so the per-edge checks never run here. mask
+// non-nil applies ReverifyTiles' dirty-mode reporting rule: a wire's stop,
+// terminal, and edge-total contributions count only when the wire touches a
+// dirty tile (structural violations always count). ok is false when a wire
+// leaves the tiling's box.
+func binWires(wires []Wire, opts *CheckOptions, tl Tiling, mask []bool, cancel *canceler) (tileBin, bool) {
+	bin := tileBin{
+		tileWires: make([][]int32, tl.Tiles()),
+		stopSeq:   make([]int32, len(wires)),
+	}
+	for i := range bin.stopSeq {
+		bin.stopSeq[i] = stopNone
+	}
+	// seen[tile] holds wi+1 for the last wire routed there, deduplicating a
+	// wire that re-enters a tile on a later hop without a per-wire set.
+	seen := make([]int32, tl.Tiles())
+	for wi := range wires {
+		if cancel.hit(wi) {
+			return bin, true
+		}
+		w := &wires[wi]
+		if v, bad := w.structural(); bad {
+			bin.pre = append(bin.pre, seqViolation{wire: int32(wi), seq: seqValidate, v: v})
+			continue
+		}
+		if !tl.contains(w) {
+			return bin, false
+		}
+		touched := mask == nil
+		route := func(tile int) {
+			if mask != nil && mask[tile] {
+				touched = true
+			}
+			if seen[tile] != int32(wi)+1 {
+				seen[tile] = int32(wi) + 1
+				bin.tileWires[tile] = append(bin.tileWires[tile], int32(wi))
+			}
+		}
+		var stopV Violation
+		seq, stop := int32(0), stopNone
+		edges := int64(0)
+		for i := 1; i < len(w.Path); i++ {
+			a := w.Path[i-1]
+			axis, lo, hi := hopRange(a, w.Path[i])
+			edges += int64(hi - lo)
+			cnt := 0
+			if stop == stopNone {
+				cnt = hi - lo
+				if k, v, bad := hopStop(w, a, axis, lo, hi, opts); bad {
+					stop, stopV = seq+int32(k), v
+					cnt = k
+				}
+			}
+			if cnt > 0 {
+				end := lo + cnt - 1 // last walked edge's low coordinate
+				switch axis {
+				case AxisX:
+					row := (a.Y - tl.Box.MinY) / tl.TileH * tl.NX
+					for c := (lo - tl.Box.MinX) / tl.TileW; c <= (end-tl.Box.MinX)/tl.TileW; c++ {
+						route(row + c)
+					}
+				case AxisY:
+					col := (a.X - tl.Box.MinX) / tl.TileW
+					for r := (lo - tl.Box.MinY) / tl.TileH; r <= (end-tl.Box.MinY)/tl.TileH; r++ {
+						route(r*tl.NX + col)
+					}
+				default:
+					route(tl.TileIndex(a.X, a.Y))
+				}
+			}
+			seq += int32(hi - lo)
+		}
+		bin.stopSeq[wi] = stop
+		if mask == nil || touched {
+			bin.dirtyEdges += edges
+			if stop != stopNone {
+				bin.pre = append(bin.pre, seqViolation{wire: int32(wi), seq: stop, v: stopV})
+			}
+			collectTerminals(w, int32(wi), opts.Nodes, &bin.pre)
+		}
+	}
+	return bin, true
+}
+
+// tileResult is one walked tile's output: interior shared-edge violations
+// (already owner-attributed by the per-tile replay) and the border claims
+// awaiting cross-tile reconciliation.
+type tileResult struct {
+	violations []seqViolation
+	claims     []claim
+}
+
+// walkTile verifies one tile: every listed wire's clipped edges are marked
+// in the tile's pooled bitset (border edges become claims instead), and if
+// any slot was hit twice the clipped walk replays in global wire order to
+// attribute owners — the dense checker's contested/replay protocol scoped
+// to the tile, valid because an interior edge's every claimant is in this
+// tile's list.
+func walkTile(wires []Wire, list []int32, tl Tiling, tile int, enc edgeEncoder, occ []uint64, stopSeq []int32, res *tileResult, cancel *canceler) {
+	x0, x1, y0, y1 := tl.tileSpan(tile)
+	ix := tl.indexer(tile)
+	var contested []int
+	for k, wi := range list {
+		if cancel.hit(k) {
+			return
+		}
+		w := &wires[wi]
+		c := wi
+		tileEdges(w, x0, x1, y0, y1, stopSeq[wi], func(low Point, axis Axis, seq int32, border bool) bool {
+			if border {
+				res.claims = append(res.claims, claim{key: enc.pack(low, axis), wire: c, seq: seq})
+				return true
+			}
+			idx := ix.index(low, axis)
+			word, mask := idx>>6, uint64(1)<<(idx&63)
+			if occ[word]&mask != 0 {
+				contested = append(contested, idx)
+			} else {
+				occ[word] |= mask
+			}
+			return true
+		})
+	}
+	if len(contested) == 0 {
+		return
+	}
+	targets := make(map[int]int, len(contested))
+	for _, idx := range contested {
+		targets[idx] = -1
+	}
+	for _, wi := range list {
+		w := &wires[wi]
+		c := wi
+		tileEdges(w, x0, x1, y0, y1, stopSeq[wi], func(low Point, axis Axis, seq int32, border bool) bool {
+			if border {
+				return true
+			}
+			idx := ix.index(low, axis)
+			if owner, hit := targets[idx]; hit {
+				if owner < 0 {
+					targets[idx] = w.ID
+				} else {
+					res.violations = append(res.violations, seqViolation{wire: c, seq: seq, v: Violation{
+						WireID: w.ID, OtherID: owner, Where: low,
+						Code: ReasonSharedEdge, EdgeAxis: axis,
+					}})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkTiled runs the tiled verification protocol: a serial binning pass
+// over path hops, an independent pooled-bitset walk per tile on the par
+// pool, and a border-claim reconciliation on the coordinator, all flowing
+// through canonicalize for byte-identical parity with the parallel checker.
+// mask non-nil restricts the walk to the dirty tiles (ReverifyTiles); total
+// is the full-mode unit-edge count from the measure pass.
+func checkTiled(ctx context.Context, wires []Wire, opts CheckOptions, tl Tiling, enc edgeEncoder, workers, total int, mask []bool) ([]Violation, error) {
+	ob := opts.observer()
+	ob.Set(obs.WorkerCount, int64(workers))
+	cancel := &canceler{ctx: ctx}
+
+	bs := opts.Span.Child("bin")
+	bin, ok := binWires(wires, &opts, tl, mask, cancel)
+	bs.End()
+	if !ok {
+		return nil, ErrOutsideTiling
+	}
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
+
+	checked := int64(tl.Tiles())
+	if mask != nil {
+		ob.Add(obs.UnitEdgesChecked, bin.dirtyEdges)
+		checked = 0
+		for _, dirty := range mask {
+			if dirty {
+				checked++
+			}
+		}
+	} else {
+		ob.Add(obs.UnitEdgesChecked, int64(total))
+	}
+	ob.Add(obs.TiledChecks, 1)
+	ob.Add(obs.TilesChecked, checked)
+
+	// Tiles to walk: the dirty ones in incremental mode, all of them on a
+	// full check — minus tiles no wire touches, which are vacuously legal.
+	var work []int32
+	for t := range bin.tileWires {
+		if (mask == nil || mask[t]) && len(bin.tileWires[t]) > 0 {
+			work = append(work, int32(t))
+		}
+	}
+	words := (tl.cells() + 63) / 64
+	results := make([]tileResult, len(work))
+	ws := opts.Span.Child("walk")
+	par.ForEach(workers, len(work), func(i int) {
+		if cancel.stop.Load() {
+			return
+		}
+		buf := occGet(words)
+		t := int(work[i])
+		walkTile(wires, bin.tileWires[t], tl, t, enc, buf.bits, bin.stopSeq, &results[i], cancel)
+		occPut(buf)
+	})
+	ws.End()
+	if err := par.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	inflight := int64(workers)
+	if int64(len(work)) < inflight {
+		inflight = int64(len(work))
+	}
+	ob.Set(obs.TileBytesPeak, int64(words)*8*inflight)
+
+	rs := opts.Span.Child("reconcile")
+	all := bin.pre
+	nclaims := 0
+	for i := range results {
+		all = append(all, results[i].violations...)
+		nclaims += len(results[i].claims)
+	}
+	if nclaims > 0 {
+		claims := make([]claim, 0, nclaims)
+		for i := range results {
+			claims = append(claims, results[i].claims...)
+		}
+		// Global wire order, then walk order: the first claimant of each
+		// seam edge under this order owns it — Check's attribution rule.
+		sort.Slice(claims, func(i, j int) bool {
+			if claims[i].wire != claims[j].wire {
+				return claims[i].wire < claims[j].wire
+			}
+			return claims[i].seq < claims[j].seq
+		})
+		owner := make(map[uint64]int32, nclaims)
+		for _, c := range claims {
+			if first, dup := owner[c.key]; dup {
+				all = append(all, seqViolation{wire: c.wire, seq: c.seq, v: Violation{
+					WireID: wires[c.wire].ID, OtherID: wires[first].ID,
+					Where: enc.unpack(c.key),
+					Code:  ReasonSharedEdge, EdgeAxis: Axis(c.key & 3),
+				}})
+			} else {
+				owner[c.key] = c.wire
+			}
+		}
+	}
+	ob.Add(obs.BorderEdgesReconciled, int64(nclaims))
+	rs.End()
+	return canonicalize(wires, all), nil
+}

@@ -138,58 +138,76 @@ type WireLength struct {
 	U, V, Length int
 }
 
-// Verify checks the layout's legality under the multilayer grid model:
-// wires are rectilinear, pairwise edge-disjoint, within layers 0..L,
-// obey the direction discipline, and terminate on their endpoint nodes.
-// It runs the sharded checker at full fan-out; use VerifyWorkers to bound
-// the worker count.
+// VerifyOpts is the single verifier entrypoint behind every Verify* name:
+// it checks the layout's legality under the multilayer grid model — wires
+// are rectilinear, pairwise edge-disjoint, within layers 0..L, obey the
+// direction discipline, and terminate on their endpoint nodes. The
+// layout's geometry (layers, discipline, node rectangles) overrides the
+// corresponding option fields; everything else — engine selection
+// (Workers), the dense→tiled→map memory ladder (TileBytes, DenseLimit),
+// and instrumentation — comes from opts. When opts.Span is nil the check
+// is rooted as a "verify" span on opts.Observer (which may itself be nil,
+// disabling observation at zero cost); a caller-supplied span is used
+// as-is, exactly as grid.Verify documents.
+func (l *Layout) VerifyOpts(ctx context.Context, opts grid.CheckOptions) ([]grid.Violation, error) {
+	opts.Layers = l.L
+	opts.Discipline = true
+	opts.Nodes = l.Nodes
+	var sp *obs.Span
+	if opts.Span == nil {
+		sp = opts.Observer.StartSpan("verify")
+		sp.SetAttr("wires", int64(len(l.Wires)))
+		opts.Span = sp
+	}
+	vs, err := grid.Verify(ctx, l.Wires, opts)
+	sp.SetAttr("violations", int64(len(vs))).End()
+	return vs, err
+}
+
+// Verify checks the layout's legality with the sharded checker at full
+// fan-out.
+//
+// Deprecated: equivalent to VerifyOpts(nil, grid.CheckOptions{}); kept for
+// the many construction-time callers.
 func (l *Layout) Verify() []grid.Violation {
 	vs, _ := l.VerifyContext(nil, 0)
 	return vs
 }
 
 // VerifyWorkers is Verify with an explicit fan-out bound (0 = GOMAXPROCS,
-// 1 = serial). The result is identical for every worker count.
+// 1 = the serial engine). Legality verdicts are identical for every worker
+// count.
+//
+// Deprecated: equivalent to VerifyOpts with Workers set.
 func (l *Layout) VerifyWorkers(workers int) []grid.Violation {
-	vs, _ := l.VerifyTuned(nil, workers, 0)
+	vs, _ := l.VerifyOpts(nil, grid.CheckOptions{Workers: workers})
 	return vs
 }
 
 // VerifyContext is VerifyWorkers with cooperative cancellation: it returns
 // a nil violation slice plus an error wrapping par.ErrCanceled once ctx
-// (which may be nil, meaning no cancellation) is done. On a nil error the
-// violations are exactly Verify's.
+// (which may be nil, meaning no cancellation) is done.
+//
+// Deprecated: equivalent to VerifyOpts with Workers set.
 func (l *Layout) VerifyContext(ctx context.Context, workers int) ([]grid.Violation, error) {
-	return l.VerifyTuned(ctx, workers, 0)
+	return l.VerifyOpts(ctx, grid.CheckOptions{Workers: workers})
 }
 
-// VerifyTuned exposes every verifier knob: the fan-out bound, cooperative
-// cancellation, and the dense-occupancy threshold (denseLimit 0 adapts to
-// the layout, negative forces the sparse hash path, positive caps the dense
-// grid's slot count — see grid.CheckOptions.DenseLimit). Violations are
-// identical for every knob combination.
+// VerifyTuned is VerifyContext plus the dense-occupancy threshold
+// (grid.CheckOptions.DenseLimit).
+//
+// Deprecated: equivalent to VerifyOpts with Workers and DenseLimit set.
 func (l *Layout) VerifyTuned(ctx context.Context, workers, denseLimit int) ([]grid.Violation, error) {
-	return l.VerifyObserved(ctx, workers, denseLimit, nil)
+	return l.VerifyOpts(ctx, grid.CheckOptions{Workers: workers, DenseLimit: denseLimit})
 }
 
-// VerifyObserved is VerifyTuned with observation: the whole check is
-// reported as a "verify" root span on o (with measure/walk/merge/resolve
-// children from the sharded checker) and the verifier counters — unit edges
-// checked, dense vs. sparse path, cells allocated — accumulate on o. A nil
-// observer disables observation at zero cost; violations are identical
-// either way.
+// VerifyObserved is VerifyTuned with observation: the check is reported as
+// a "verify" root span on o and the verifier counters accumulate there.
+//
+// Deprecated: equivalent to VerifyOpts with Workers, DenseLimit, and
+// Observer set.
 func (l *Layout) VerifyObserved(ctx context.Context, workers, denseLimit int, o *obs.Observer) ([]grid.Violation, error) {
-	sp := o.StartSpan("verify")
-	sp.SetAttr("wires", int64(len(l.Wires)))
-	vs, err := grid.CheckParallelCtx(ctx, l.Wires, grid.CheckOptions{
-		Layers:     l.L,
-		Discipline: true,
-		Nodes:      l.Nodes,
-		DenseLimit: denseLimit,
-		Span:       sp,
-	}, workers)
-	sp.SetAttr("violations", int64(len(vs))).End()
-	return vs, err
+	return l.VerifyOpts(ctx, grid.CheckOptions{Workers: workers, DenseLimit: denseLimit, Observer: o})
 }
 
 // VerifyStrict performs Verify plus the Thompson-strict clearance check:

@@ -121,6 +121,28 @@ const (
 	// the builder on a full hand-off queue or the verifier on an empty one —
 	// a backpressure signal that depends on scheduling (ClassServe).
 	BatchPipelineStalls
+	// TiledChecks counts verifier runs that took the tiled streaming path —
+	// the middle rung of the dense→tiled→map ladder, engaged when a memory
+	// ceiling rejects the full dense bitset (ClassWork: the rung decision
+	// depends only on the input and the configured ceiling).
+	TiledChecks
+	// TilesChecked counts tiles walked by the tiled verifier: every tile of
+	// the partition on a full check, exactly the dirty tiles on a
+	// ReverifyTiles call (ClassWork; added once per check from the tile
+	// count, which is what lets tests assert incremental re-checks touched
+	// only the k dirty tiles).
+	TilesChecked
+	// BorderEdgesReconciled counts unit-edge claims processed by the tiled
+	// verifier's border-reconciliation pass — edges whose two endpoints lie
+	// in different tiles, checked against a shared map after the per-tile
+	// walks (ClassWork: border membership is a function of the tiling, not
+	// the schedule).
+	BorderEdgesReconciled
+	// TileBytesPeak gauges the peak occupancy-bitset working set of the most
+	// recent tiled check: per-tile bitset bytes times the number of tiles
+	// concurrently in flight (ClassConfig, written with Set — it reflects
+	// the configured ceiling and worker fan-out).
+	TileBytesPeak
 
 	numCounters
 )
@@ -187,6 +209,14 @@ func (c Counter) String() string {
 		return "scratch_bytes"
 	case BatchPipelineStalls:
 		return "batch_pipeline_stalls"
+	case TiledChecks:
+		return "tiled_checks"
+	case TilesChecked:
+		return "tiles_checked"
+	case BorderEdgesReconciled:
+		return "border_edges_reconciled"
+	case TileBytesPeak:
+		return "tile_bytes_peak"
 	}
 	return "counter_unknown"
 }
@@ -213,7 +243,7 @@ const (
 // Class returns the counter's reproducibility class.
 func (c Counter) Class() Class {
 	switch c {
-	case BudgetHeadroom, WorkerCount, ScratchBytes:
+	case BudgetHeadroom, WorkerCount, ScratchBytes, TileBytesPeak:
 		return ClassConfig
 	case MergeNanos:
 		return ClassTiming

@@ -194,12 +194,12 @@ func TestCounterNamesAndClasses(t *testing.T) {
 		t.Errorf("out-of-range counter name = %q", Counter(200).String())
 	}
 	for c, want := range map[Counter]Class{
-		WiresRealized:    ClassWork,
-		UnitEdgesChecked: ClassWork,
-		DenseChecks:      ClassWork,
-		SparseChecks:     ClassWork,
-		CellsPlanned:     ClassWork,
-		CellsAllocated:   ClassWork,
+		WiresRealized:      ClassWork,
+		UnitEdgesChecked:   ClassWork,
+		DenseChecks:        ClassWork,
+		SparseChecks:       ClassWork,
+		CellsPlanned:       ClassWork,
+		CellsAllocated:     ClassWork,
 		BudgetHeadroom:     ClassConfig,
 		WorkerCount:        ClassConfig,
 		MergeNanos:         ClassTiming,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mlvlsi"
+	"mlvlsi/internal/grid"
 	"mlvlsi/internal/obs"
 	"mlvlsi/internal/par"
 	"mlvlsi/internal/resilience"
@@ -32,6 +33,11 @@ type Config struct {
 	// Workers clamps per-request build/verify fan-out; 0 leaves requests at
 	// their own setting (which itself degrades to GOMAXPROCS).
 	Workers int
+	// VerifyMemBytes caps each request's verifier working set: requests
+	// asking for more (or for no cap at all) are clamped to it, engaging
+	// the tiled streaming rung when the dense bit-grid would not fit (see
+	// Options.VerifyMemBytes). 0 leaves requests at their own setting.
+	VerifyMemBytes int
 	// Timeout is the per-request deadline, layered over the client's own
 	// disconnect cancellation. 0 means no server-side deadline.
 	Timeout time.Duration
@@ -301,6 +307,11 @@ func envelope(err error) errorInfo {
 		return errorInfo{Status: http.StatusBadGateway, Kind: "upstream", Message: ste.Error()}
 	case errors.As(err, &pa):
 		return errorInfo{Status: http.StatusInternalServerError, Kind: "internal", Message: pa.Error()}
+	case errors.Is(err, grid.ErrOutsideTiling):
+		// A stale incremental re-verify (the wire set outgrew its tiling
+		// partition) is a conflicting client precondition, not a server
+		// fault: the client re-tiles and retries with a full verify.
+		return errorInfo{Status: http.StatusConflict, Kind: "stale_tiling", Message: err.Error()}
 	case errors.Is(err, mlvlsi.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -748,6 +759,9 @@ func (s *Server) admit(req mlvlsi.BuildRequest) mlvlsi.BuildRequest {
 	}
 	if s.cfg.MaxCells > 0 && (req.MaxCells == 0 || req.MaxCells > s.cfg.MaxCells) {
 		req.MaxCells = s.cfg.MaxCells
+	}
+	if s.cfg.VerifyMemBytes > 0 && (req.VerifyMemBytes <= 0 || req.VerifyMemBytes > s.cfg.VerifyMemBytes) {
+		req.VerifyMemBytes = s.cfg.VerifyMemBytes
 	}
 	return req
 }

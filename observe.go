@@ -76,6 +76,16 @@ const (
 	CounterClientRetries   = obs.ClientRetries
 	CounterBreakerOpens    = obs.BreakerOpens
 	CounterChaosInjected   = obs.ChaosInjected
+
+	// Tiled-verifier counters, maintained by the dense→tiled→map ladder
+	// behind Options.VerifyMemBytes: runs that engaged the tiled rung, tiles
+	// walked (all of them on a full check, only the dirty ones on an
+	// incremental re-check), border unit-edge claims reconciled across tile
+	// seams, and the peak tile-bitset working set gauge.
+	CounterTiledChecks           = obs.TiledChecks
+	CounterTilesChecked          = obs.TilesChecked
+	CounterBorderEdgesReconciled = obs.BorderEdgesReconciled
+	CounterTileBytesPeak         = obs.TileBytesPeak
 )
 
 // NumCounters is the number of defined counters; every Counter* constant is

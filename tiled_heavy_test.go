@@ -1,0 +1,41 @@
+package mlvlsi
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTiledHypercube16UnderBudget is the acceptance run for the tiled
+// streaming verifier: Hypercube(16, L=4) spans a ~24000² grid whose dense
+// occupancy bitset needs over a gigabyte, so under a 64 MiB ceiling the
+// dense rung cannot allocate and the ladder must drop to the tiled rung —
+// which still has to verify the 1.6-billion-edge layout clean. The run
+// takes minutes and tens of gigabytes for the layout itself, so it is
+// gated behind MLVLSI_HEAVY=1 rather than riding the tier-1 suite.
+func TestTiledHypercube16UnderBudget(t *testing.T) {
+	if os.Getenv("MLVLSI_HEAVY") == "" {
+		t.Skip("set MLVLSI_HEAVY=1 to run the Hypercube(16) tiled acceptance check")
+	}
+	lay, err := Hypercube(16, Options{Layers: 4})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ob := NewObserver()
+	vs, err := VerifyLayout(lay, Options{VerifyMemBytes: 64 << 20, Observer: ob})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("layout reported %d violations, first: %v", len(vs), vs[0])
+	}
+	m := ob.Snapshot()
+	if m.Get(CounterTiledChecks) != 1 {
+		t.Fatalf("tiled_checks = %d: the ceiling did not engage the tiled rung", m.Get(CounterTiledChecks))
+	}
+	if peak := m.Get(CounterTileBytesPeak); peak == 0 || peak > 64<<20 {
+		t.Fatalf("tile_bytes_peak = %d, want within the 64 MiB ceiling", peak)
+	}
+	t.Logf("tiles_checked=%d border_edges_reconciled=%d tile_bytes_peak=%d unit_edges=%d",
+		m.Get(CounterTilesChecked), m.Get(CounterBorderEdgesReconciled),
+		m.Get(CounterTileBytesPeak), m.Get(CounterUnitEdgesChecked))
+}

@@ -133,6 +133,7 @@ type BuildRequest struct {
 	Workers         int `json:"workers,omitempty"`
 	MaxCells        int `json:"max_cells,omitempty"`
 	DenseCheckCells int `json:"dense_check_cells,omitempty"`
+	VerifyMemBytes  int `json:"verify_mem_bytes,omitempty"`
 }
 
 // Options converts the request into an Options value. Context and Observer
@@ -145,6 +146,7 @@ func (r BuildRequest) Options() Options {
 		Workers:         r.Workers,
 		MaxCells:        r.MaxCells,
 		DenseCheckCells: r.DenseCheckCells,
+		VerifyMemBytes:  r.VerifyMemBytes,
 	}
 }
 

@@ -113,7 +113,8 @@ func TestBuildRequestKeyIgnoresExecutionKnobs(t *testing.T) {
 	base := BuildRequest{Family: FamilySpec{Name: "hypercube", Params: map[string]int{"n": 6}}, Layers: 4}
 	key := base.Key()
 	same := base
-	same.Workers, same.MaxCells, same.DenseCheckCells = 7, 1 << 30, -1
+	same.Workers, same.MaxCells, same.DenseCheckCells = 7, 1<<30, -1
+	same.VerifyMemBytes = 1 << 20
 	if same.Key() != key {
 		t.Errorf("execution knobs changed the key")
 	}
